@@ -1,0 +1,93 @@
+"""Shared fixtures for the benchmark harness.
+
+The benchmark campaign is mid-size (8 runs on the small VM) so that one
+``pytest benchmarks/ --benchmark-only`` pass regenerates every table and
+figure of the paper in a few minutes. The campaign is simulated once per
+session and shared.
+
+Absolute timings belong to this hardware; the assertions in each bench
+check the paper's *shape* claims (orderings, monotonicity, crossovers),
+which is what the reproduction is accountable for.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import AggregationConfig, aggregate_history
+from repro.system import CampaignConfig, MachineConfig, TestbedSimulator
+
+#: Aggregation window used throughout the benchmark harness (seconds).
+BENCH_WINDOW = 20.0
+
+
+def bench_campaign() -> CampaignConfig:
+    machine = MachineConfig(
+        ram_kb=524_288.0,
+        swap_kb=262_144.0,
+        os_base_kb=131_072.0,
+        app_working_set_kb=65_536.0,
+        min_cache_kb=16_384.0,
+        shared_kb=8_192.0,
+        buffers_kb=4_096.0,
+    )
+    return CampaignConfig(
+        n_runs=8,
+        seed=13,
+        machine=machine,
+        n_browsers=40,
+        p_leak_range=(0.3, 0.5),
+        leak_kb_range=(1024.0, 4096.0),
+        max_run_seconds=3000.0,
+    )
+
+
+@pytest.fixture(scope="session")
+def campaign_config():
+    return bench_campaign()
+
+
+@pytest.fixture(scope="session")
+def bench_window():
+    return BENCH_WINDOW
+
+
+@pytest.fixture(scope="session")
+def history():
+    return TestbedSimulator(bench_campaign()).run_campaign()
+
+
+@pytest.fixture(scope="session")
+def dataset(history):
+    return aggregate_history(history, AggregationConfig(window_seconds=BENCH_WINDOW))
+
+
+@pytest.fixture(scope="session")
+def split(dataset):
+    """(train, validation) split shared by the model benches."""
+    return dataset.split(0.3, seed=0)
+
+
+@pytest.fixture(scope="session")
+def selection(dataset):
+    """The Lasso selection at the Table-I operating point."""
+    from repro.core import LassoFeatureSelector
+
+    return LassoFeatureSelector().fit(dataset).strongest_with_at_least(6)
+
+
+@pytest.fixture(scope="session")
+def selected_split(split, selection):
+    """The same train/validation rows, projected onto the selection."""
+    train, val = split
+    return (
+        train.select_features(selection.selected),
+        val.select_features(selection.selected),
+    )
+
+
+@pytest.fixture(scope="session")
+def smae_threshold(history):
+    """The paper's 10%-of-horizon S-MAE tolerance."""
+    return 0.10 * history.mean_run_length

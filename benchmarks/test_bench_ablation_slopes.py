@@ -1,0 +1,52 @@
+"""Ablation bench — slope features and the gen_time metric.
+
+DESIGN.md calls out two added metrics as load-bearing: the Eq. (1)
+slopes ("slopes play an important role to build the prediction model",
+Table I) and the inter-generation time. This ablation trains the best
+linear-family model with and without them and verifies that the full
+feature set is never worse — and that dropping both degrades the
+memory-state-only models.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.datapoint import FEATURES, GEN_TIME, SLOPE_FEATURES
+from repro.core.model_zoo import make_model
+from repro.ml.metrics import soft_mean_absolute_error
+
+VARIANTS = {
+    "full": None,  # all 30 columns
+    "no_slopes": [n for n in FEATURES] + [GEN_TIME],
+    "no_gen_time": [n for n in FEATURES] + list(SLOPE_FEATURES),
+    "raw_only": list(FEATURES),
+}
+
+_SMAE: dict[str, float] = {}
+
+
+def _evaluate(dataset, names, smae_threshold):
+    ds = dataset if names is None else dataset.select_features(names)
+    train, val = ds.split(0.3, seed=0)
+    model = make_model("linear").fit(train.X, train.y)
+    return soft_mean_absolute_error(val.y, model.predict(val.X), smae_threshold)
+
+
+@pytest.mark.parametrize("variant", list(VARIANTS), ids=list(VARIANTS))
+def test_ablation_added_metrics(benchmark, dataset, smae_threshold, variant):
+    names = VARIANTS[variant]
+    smae = benchmark.pedantic(
+        lambda: _evaluate(dataset, names, smae_threshold), rounds=1, iterations=1
+    )
+    _SMAE[variant] = smae
+
+
+def test_ablation_added_metrics_shape(dataset, smae_threshold):
+    for variant, names in VARIANTS.items():
+        if variant not in _SMAE:
+            _SMAE[variant] = _evaluate(dataset, names, smae_threshold)
+    # the full set is at least as good as the ablated ones (small slack
+    # for validation noise)
+    assert _SMAE["full"] <= 1.1 * _SMAE["raw_only"]
+    assert _SMAE["full"] <= 1.1 * _SMAE["no_slopes"]

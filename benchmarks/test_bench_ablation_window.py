@@ -1,0 +1,56 @@
+"""Ablation bench — aggregation window size (paper Sec. III-B motivation).
+
+The paper motivates aggregation with (a) de-noising of scheduler skew and
+(b) reducing the datapoint count ("without affecting the accuracy of the
+model"). This ablation sweeps the window size and checks that claim:
+the aggregated dataset shrinks roughly linearly with the window, while
+the best model's S-MAE stays within a modest factor of the finest
+window's.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import AggregationConfig, aggregate_history
+from repro.core.model_zoo import make_model
+from repro.ml.metrics import soft_mean_absolute_error
+
+WINDOWS = [10.0, 20.0, 40.0, 80.0]
+
+_SMAE: dict[float, float] = {}
+_ROWS: dict[float, int] = {}
+
+
+@pytest.mark.parametrize("window", WINDOWS)
+def test_ablation_window(benchmark, history, smae_threshold, window):
+    def aggregate_and_fit():
+        ds = aggregate_history(history, AggregationConfig(window_seconds=window))
+        train, val = ds.split(0.3, seed=0)
+        model = make_model("m5p").fit(train.X, train.y)
+        smae = soft_mean_absolute_error(
+            val.y, model.predict(val.X), smae_threshold
+        )
+        return ds.n_samples, smae
+
+    n_rows, smae = benchmark.pedantic(aggregate_and_fit, rounds=1, iterations=1)
+    _ROWS[window] = n_rows
+    _SMAE[window] = smae
+
+
+def test_ablation_window_shape(history, smae_threshold):
+    for window in WINDOWS:
+        if window not in _SMAE:
+            ds = aggregate_history(history, AggregationConfig(window_seconds=window))
+            train, val = ds.split(0.3, seed=0)
+            model = make_model("m5p").fit(train.X, train.y)
+            _ROWS[window] = ds.n_samples
+            _SMAE[window] = soft_mean_absolute_error(
+                val.y, model.predict(val.X), smae_threshold
+            )
+    # dataset size decreases monotonically with the window
+    rows = [_ROWS[w] for w in WINDOWS]
+    assert rows == sorted(rows, reverse=True)
+    assert rows[0] > 3 * rows[-1]
+    # accuracy does not collapse: paper's "without affecting the accuracy"
+    assert _SMAE[40.0] < 5.0 * max(_SMAE[10.0], 1.0)

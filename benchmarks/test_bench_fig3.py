@@ -1,0 +1,27 @@
+"""Bench FIG3 — the response-time correlation of the paper's Fig. 3.
+
+Benchmarks the correlation-model fit over one instrumented run and
+asserts the figure's shape: generation time and response time both grow
+toward the failure point and the linear model explains the RT variance.
+"""
+
+from __future__ import annotations
+
+from repro.core import ResponseTimeCorrelator
+
+
+def test_fig3_rt_correlation(benchmark, history):
+    run = history[0]
+
+    def fit():
+        return ResponseTimeCorrelator().fit_run(run)
+
+    series = benchmark(fit)
+
+    # --- Fig. 3 shape assertions -------------------------------------------
+    k = series.time.size // 4
+    assert series.generation_time[-k:].mean() > 1.5 * series.generation_time[:k].mean()
+    assert series.response_time[-k:].mean() > 1.5 * series.response_time[:k].mean()
+    assert series.r2 > 0.4
+    # the correlated-RT curve tracks measured RT within its own scale
+    assert series.mae < 0.5 * series.response_time.max()

@@ -1,0 +1,44 @@
+"""Bench FIG5 — predicted-vs-real RTTF curves (paper Fig. 5).
+
+Benchmarks the generation of each panel's prediction series and asserts
+the figure's shape: prediction error shrinks as the true RTTF approaches
+zero (the models are most accurate where proactive rejuvenation needs
+them), and the Lasso-as-a-predictor panel stays far from the diagonal.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.model_zoo import make_model
+
+PANELS = [
+    ("lasso(1e9)", "lasso", {"lam": 1e9}),
+    ("linear", "linear", {}),
+    ("m5p", "m5p", {}),
+    ("reptree", "reptree", {}),
+    ("svm", "svm", {"max_iter": 60_000}),
+    ("svm2", "svm2", {}),
+]
+
+
+@pytest.mark.parametrize("label,zoo,overrides", PANELS, ids=[p[0] for p in PANELS])
+def test_fig5_panel(benchmark, split, label, zoo, overrides):
+    train, val = split
+    model = make_model(zoo, **overrides).fit(train.X, train.y)
+
+    pred = benchmark(lambda: model.predict(val.X))
+
+    y = val.y
+    err = np.abs(pred - y)
+    edges = np.quantile(y, [1 / 3, 2 / 3])
+    near = err[y <= edges[0]].mean()
+    far = err[y > edges[1]].mean()
+
+    if label == "lasso(1e9)":
+        # the degenerate panel: poor everywhere
+        assert err.mean() > 0.3 * np.abs(y - y.mean()).mean()
+    else:
+        # error is smallest while approaching the failure point
+        assert near < far

@@ -1,0 +1,59 @@
+"""Scaling bench — training cost vs dataset size per learner.
+
+Not a paper artefact, but the quantitative backbone of its Table III
+discussion: the gap between the closed-form/greedy methods and SMO
+*grows* with the dataset. Each bench times ``fit`` at three training-set
+sizes drawn from the campaign data; the shape test asserts the expected
+complexity ordering at the largest size.
+
+Expected growth (n = samples, p = features):
+- linear / lasso: O(n p^2) — effectively flat here;
+- trees: O(n log n * p) per level;
+- LS-SVM: O(n^3) dense solve;
+- epsilon-SVR: SMO iterations grow superlinearly on a rank-p
+  linear-kernel Gram matrix (the paper's 417 s regime).
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.core.model_zoo import make_model
+
+SIZES = [120, 240, 480]
+
+METHODS = [
+    ("linear", {}),
+    ("lasso", {"lam": 1e2}),
+    ("reptree", {}),
+    ("m5p", {}),
+    ("svm2", {}),
+    ("svm", {"max_iter": 40_000}),
+]
+
+
+@pytest.mark.parametrize("n", SIZES)
+@pytest.mark.parametrize("name,overrides", METHODS, ids=[m[0] for m in METHODS])
+def test_ml_scaling(benchmark, dataset, name, overrides, n):
+    if n > dataset.n_samples:
+        pytest.skip(f"campaign has only {dataset.n_samples} windows")
+    X, y = dataset.X[:n], dataset.y[:n]
+    benchmark.pedantic(
+        lambda: make_model(name, **overrides).fit(X, y), rounds=1, iterations=1
+    )
+
+
+def test_ml_scaling_shape(dataset):
+    """At the largest size: svm slowest by far, linear fastest."""
+    n = min(SIZES[-1], dataset.n_samples)
+    X, y = dataset.X[:n], dataset.y[:n]
+    times = {}
+    for name, overrides in METHODS:
+        t0 = time.perf_counter()
+        make_model(name, **overrides).fit(X, y)
+        times[name] = time.perf_counter() - t0
+    assert times["svm"] == max(times.values())
+    assert times["linear"] == min(times.values())
+    assert times["svm"] > 20.0 * times["linear"]

@@ -1,0 +1,61 @@
+"""Substrate benches — simulator and aggregation throughput.
+
+Not paper artefacts; these keep the two hot paths honest:
+
+- the campaign simulator must stay ~10^4 x faster than real time, or the
+  "one week of monitoring in seconds" substitution stops being true;
+- datapoint aggregation is the per-experiment preprocessing step and is
+  implemented with sorted-segment reductions — it must stay linear and
+  fast (tens of thousands of raw datapoints per millisecond-scale call).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core import AggregationConfig, aggregate_history, aggregate_run
+from repro.core.aggregation import OnlineAggregator
+from repro.system import TestbedSimulator
+
+
+def test_simulator_run_throughput(benchmark, campaign_config):
+    sim = TestbedSimulator(campaign_config)
+
+    run = benchmark.pedantic(lambda: sim.run_once(seed=123), rounds=1, iterations=1)
+
+    # faster-than-real-time contract: >= 1000 simulated seconds per wall
+    # second is ample slack on any hardware (typically ~5000x)
+    assert run.fail_time > 100.0
+    wall = benchmark.stats.stats.mean
+    assert run.fail_time / wall > 1000.0
+
+
+def test_batch_aggregation_throughput(benchmark, history):
+    cfg = AggregationConfig(window_seconds=20.0)
+
+    dataset = benchmark(lambda: aggregate_history(history, cfg))
+
+    assert dataset.n_samples > 100
+    n_raw = history.n_datapoints
+    wall = benchmark.stats.stats.mean
+    # vectorized reduceat path: > 100k raw datapoints per second
+    assert n_raw / wall > 100_000.0
+
+
+def test_online_aggregation_throughput(benchmark, history):
+    run = history[0]
+
+    def stream():
+        agg = OnlineAggregator(20.0)
+        rows = [out for raw in run.features if (out := agg.add(raw)) is not None]
+        tail = agg.flush()
+        if tail is not None:
+            rows.append(tail)
+        return np.vstack(rows)
+
+    online = benchmark(stream)
+
+    # parity with the batch path (the core invariant; also tested in unit
+    # tests — asserted here so the bench never drifts from it)
+    batch, _ = aggregate_run(run, AggregationConfig(window_seconds=20.0))
+    assert np.allclose(online, batch)

@@ -1,0 +1,28 @@
+"""Bench TAB1 — the strongest-selection weight table (paper Table I).
+
+Benchmarks the selection at the maximal-shrinkage operating point and
+asserts the table's shape: the surviving set is dominated by memory/swap
+quantities and includes slope features.
+"""
+
+from __future__ import annotations
+
+from repro.core import LassoFeatureSelector
+
+
+def test_table1_strongest_selection(benchmark, dataset):
+    selector = LassoFeatureSelector().fit(dataset)
+
+    def select():
+        return selector.strongest_with_at_least(6)
+
+    selection = benchmark(select)
+
+    # --- Table I shape assertions ------------------------------------------
+    assert selection.n_selected >= 6
+    memoryish = [n for n in selection.selected if "mem_" in n or "swap_" in n]
+    assert len(memoryish) * 2 >= selection.n_selected
+    assert any(n.endswith("_slope") for n in selection.selected)
+    # weight table is sorted by decreasing magnitude
+    weights = [abs(w) for _, w in selection.weight_table()]
+    assert weights == sorted(weights, reverse=True)

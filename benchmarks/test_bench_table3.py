@@ -1,0 +1,62 @@
+"""Bench TAB3 — training time per method (paper Table III).
+
+This bench *is* the table: pytest-benchmark times ``fit`` per method on
+both the all-parameters and Lasso-selected training sets. Shape
+assertions: the SVM trains orders of magnitude slower than the
+closed-form/greedy methods, and the selected feature set never trains
+slower than the full one (beyond timing noise).
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.core.model_zoo import make_model
+
+METHODS = [
+    ("linear", {}),
+    ("m5p", {}),
+    ("reptree", {}),
+    ("svm", {"max_iter": 60_000}),
+    ("svm2", {}),
+    ("lasso", {"lam": 1e4}),
+]
+
+
+@pytest.mark.parametrize("feature_set", ["all", "selected"])
+@pytest.mark.parametrize("name,overrides", METHODS, ids=[m[0] for m in METHODS])
+def test_table3_training_time(
+    benchmark, split, selected_split, name, overrides, feature_set
+):
+    train, _ = split if feature_set == "all" else selected_split
+    model = make_model(name, **overrides)
+
+    benchmark.pedantic(
+        lambda: make_model(name, **overrides).fit(train.X, train.y),
+        rounds=1,
+        iterations=1,
+    )
+    del model
+
+
+def test_table3_shape(split, selected_split):
+    """SVM training dominates; feature selection speeds training up."""
+    train_all, _ = split
+    train_sel, _ = selected_split
+
+    def fit_time(name, overrides, train):
+        t0 = time.perf_counter()
+        make_model(name, **overrides).fit(train.X, train.y)
+        return time.perf_counter() - t0
+
+    t_svm = fit_time("svm", {"max_iter": 60_000}, train_all)
+    t_linear = fit_time("linear", {}, train_all)
+    t_m5p = fit_time("m5p", {}, train_all)
+    t_reptree = fit_time("reptree", {}, train_all)
+    assert t_svm > 10.0 * max(t_linear, t_m5p, t_reptree)
+
+    # selection shrinks the design: tree/linear training gets cheaper
+    t_m5p_sel = fit_time("m5p", {}, train_sel)
+    assert t_m5p_sel < t_m5p * 1.2

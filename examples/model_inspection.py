@@ -1,0 +1,104 @@
+"""Model inspection: what did the RTTF model actually learn?
+
+The paper inspects its models through Lasso weights (Table I). This
+example goes further on a trained campaign:
+
+1. print the winning REP-Tree/M5P structure (WEKA-style text dump);
+2. cross-check the Lasso selection with *permutation importance* of the
+   best model — do the features Lasso keeps match the features the tree
+   actually relies on?
+3. tune the M5P smoothing constant by cross-validated grid search.
+
+Run with::
+
+    python examples/model_inspection.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core import AggregationConfig, F2PM, F2PMConfig
+from repro.ml import GridSearchCV, KFold, M5PRegressor, permutation_importance
+from repro.ml.tree import export_text
+from repro.system import CampaignConfig, MachineConfig, TestbedSimulator
+
+
+def campaign() -> CampaignConfig:
+    machine = MachineConfig(
+        ram_kb=524_288.0,
+        swap_kb=262_144.0,
+        os_base_kb=131_072.0,
+        app_working_set_kb=65_536.0,
+        min_cache_kb=16_384.0,
+        shared_kb=8_192.0,
+        buffers_kb=4_096.0,
+    )
+    return CampaignConfig(
+        n_runs=8,
+        seed=19,
+        machine=machine,
+        n_browsers=40,
+        p_leak_range=(0.3, 0.5),
+        leak_kb_range=(1024.0, 4096.0),
+        max_run_seconds=3000.0,
+    )
+
+
+def main() -> None:
+    print("collecting campaign and training models ...")
+    history = TestbedSimulator(campaign()).run_campaign()
+    f2pm = F2PM(
+        F2PMConfig(
+            aggregation=AggregationConfig(window_seconds=20.0),
+            models=("m5p", "reptree"),
+            lasso_predictor_lambdas=(),
+            seed=0,
+        )
+    ).run(history)
+    dataset = f2pm.dataset
+    best = f2pm.best_by_smae("all")
+    model = f2pm.models[(best.name, "all")]
+    print(f"best model: {best.name} (S-MAE {best.s_mae:.1f}s)\n")
+
+    # -- 1. tree structure -----------------------------------------------------
+    print("=== tree structure (truncated to 25 lines) ===")
+    text = export_text(model, feature_names=dataset.feature_names)
+    print("\n".join(text.splitlines()[:25]))
+    print("...\n")
+
+    # -- 2. permutation importance vs Lasso selection -----------------------------
+    train, val = dataset.split(0.3, seed=0)
+    imp = permutation_importance(
+        model, val.X, val.y, feature_names=dataset.feature_names, seed=0
+    )
+    print("=== permutation importance (top 8) ===")
+    for name, value in imp.ranking()[:8]:
+        print(f"  {name:24s} +{value:8.2f}s MAE when shuffled")
+    lasso_selected = set(f2pm.selection.selected)
+    top_by_permutation = set(imp.top(len(lasso_selected)))
+    overlap = lasso_selected & top_by_permutation
+    print(
+        f"\nLasso kept {sorted(lasso_selected)};"
+        f"\npermutation top-{len(lasso_selected)} is {sorted(top_by_permutation)};"
+        f"\noverlap: {len(overlap)}/{len(lasso_selected)}\n"
+    )
+
+    # -- 3. grid search over M5P smoothing -----------------------------------------
+    print("=== grid search: M5P smoothing constant ===")
+    search = GridSearchCV(
+        M5PRegressor(),
+        {"smoothing_k": [0.0, 5.0, 15.0, 50.0]},
+        cv=KFold(4, shuffle=True, seed=0),
+    )
+    result = search.fit(dataset.X, dataset.y)
+    for params, cv in zip(result.params, result.results):
+        print(
+            f"  smoothing_k={params['smoothing_k']:5.1f}  "
+            f"CV MAE {cv.mean:7.2f}s (+/- {cv.std:.2f})"
+        )
+    print(f"best: {result.best_params} at {result.best_score:.2f}s")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,88 @@
+"""Quickstart: monitor, learn, predict.
+
+Runs the full F2PM workflow end to end on a small simulated campaign:
+
+1. simulate a monitoring campaign (a TPC-W server that leaks memory and
+   threads until it crashes, restarted on every fail event);
+2. run F2PM: aggregation + slopes, Lasso feature selection, six-method
+   model generation and validation;
+3. print the model-comparison tables (paper Tables II-IV);
+4. use the best model to predict the Remaining Time To Failure for the
+   most recent observation window.
+
+Run with::
+
+    python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+from repro.core import AggregationConfig, F2PM, F2PMConfig
+from repro.system import CampaignConfig, MachineConfig, TestbedSimulator
+
+
+def main() -> None:
+    # -- 1. monitoring campaign (small VM so this takes ~2 s) ----------------
+    machine = MachineConfig(
+        ram_kb=524_288.0,  # 512 MB
+        swap_kb=262_144.0,  # 256 MB
+        os_base_kb=131_072.0,
+        app_working_set_kb=65_536.0,
+        min_cache_kb=16_384.0,
+        shared_kb=8_192.0,
+        buffers_kb=4_096.0,
+    )
+    campaign = CampaignConfig(
+        n_runs=8,
+        seed=42,
+        machine=machine,
+        n_browsers=40,
+        p_leak_range=(0.3, 0.5),
+        leak_kb_range=(1024.0, 4096.0),
+        max_run_seconds=3000.0,
+    )
+    print("simulating monitoring campaign ...")
+    history = TestbedSimulator(campaign).run_campaign()
+    print(
+        f"  {len(history)} runs, {history.n_datapoints} raw datapoints, "
+        f"mean time-to-failure {history.mean_run_length:.0f}s\n"
+    )
+
+    # -- 2. F2PM -------------------------------------------------------------
+    config = F2PMConfig(
+        aggregation=AggregationConfig(window_seconds=20.0),
+        models=("linear", "m5p", "reptree", "svm2"),  # add "svm" for the
+        lasso_predictor_lambdas=(1e0, 1e4, 1e9),      # full (slow) SMO run
+        smae_threshold_frac=0.10,
+        seed=0,
+    )
+    print("running F2PM (aggregation -> selection -> models) ...\n")
+    result = F2PM(config).run(history)
+
+    # -- 3. comparison tables --------------------------------------------------
+    print(f"Lasso selection (lambda = {result.selection.lam:.0e}):")
+    for name, weight in result.selection.weight_table():
+        print(f"  {name:24s} {weight:+.9f}")
+    print()
+    print(result.smae_table())
+    print()
+    print(result.training_time_table())
+    print()
+
+    # -- 4. predict RTTF for the latest window ---------------------------------
+    best = result.best_by_smae("all")
+    model = result.models[(best.name, "all")]
+    latest = result.dataset.X[-1:]
+    predicted = float(model.predict(latest)[0])
+    actual = float(result.dataset.y[-1])
+    print(
+        f"best model: {best.name} (S-MAE {best.s_mae:.1f}s at threshold "
+        f"{result.smae_threshold:.0f}s)"
+    )
+    print(
+        f"latest window: predicted RTTF {predicted:.0f}s, actual {actual:.0f}s"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,41 @@
+"""F2PM — Framework for building Failure Prediction Models.
+
+Reproduction of *"A Machine Learning-based Framework for Building
+Application Failure Prediction Models"* (Pellegrini, Di Sanzo, Avresky;
+IPDPS Workshops 2015).
+
+The package is organized in four layers:
+
+``repro.ml``
+    A from-scratch machine-learning substrate (numpy/scipy only) providing
+    the six regression methods the paper evaluates — Linear Regression,
+    Lasso, M5P, REP-Tree, epsilon-SVR and LS-SVM — plus metrics, model
+    selection and preprocessing.
+
+``repro.system``
+    A simulated testbed substituting the paper's VMware/TPC-W deployment:
+    a machine resource model, TPC-W workload generator, application-server
+    model, anomaly injectors and the FMC/FMS monitoring pair.
+
+``repro.core``
+    F2PM itself: data history, datapoint aggregation with slope metrics,
+    RTTF labelling, Lasso-based feature selection, model generation and
+    validation, and the comparison reports.
+
+``repro.experiments``
+    One driver per table and figure of the paper's evaluation section.
+
+Quickstart::
+
+    from repro.system import TestbedSimulator, CampaignConfig
+    from repro.core import F2PM, F2PMConfig
+
+    history = TestbedSimulator(CampaignConfig(n_runs=8, seed=7)).run_campaign()
+    f2pm = F2PM(F2PMConfig())
+    result = f2pm.run(history)
+    print(result.comparison_table())
+"""
+
+from repro._version import __version__
+
+__all__ = ["__version__"]

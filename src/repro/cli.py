@@ -1,0 +1,334 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands mirror the F2PM workflow:
+
+==============  ========================================================
+simulate        run a monitoring campaign, save the DataHistory (.npz)
+aggregate       aggregate a history into a training set (.npz)
+select          print the Lasso regularization path (Fig. 4 / Table I)
+train           run the full F2PM workflow, print the comparison tables
+experiments     regenerate every paper table/figure (runall)
+rejuvenate      compare rejuvenation policies on a managed horizon
+==============  ========================================================
+
+Every command accepts ``--seed`` for reproducibility; campaign sizing
+flags default to the small demonstration VM so commands finish quickly.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from dataclasses import replace
+from pathlib import Path
+
+import numpy as np
+
+from repro._version import __version__
+from repro.core import (
+    AggregationConfig,
+    DataHistory,
+    F2PM,
+    F2PMConfig,
+    LassoFeatureSelector,
+    aggregate_history,
+)
+from repro.system import CampaignConfig, MachineConfig, TestbedSimulator
+from repro.utils.tables import render_table
+
+
+def demo_machine() -> MachineConfig:
+    """The small VM used by the CLI defaults (fast demonstrations)."""
+    return MachineConfig(
+        ram_kb=524_288.0,
+        swap_kb=262_144.0,
+        os_base_kb=131_072.0,
+        app_working_set_kb=65_536.0,
+        min_cache_kb=16_384.0,
+        shared_kb=8_192.0,
+        buffers_kb=4_096.0,
+    )
+
+
+def demo_campaign(n_runs: int, seed: int) -> CampaignConfig:
+    return CampaignConfig(
+        n_runs=n_runs,
+        seed=seed,
+        machine=demo_machine(),
+        n_browsers=40,
+        p_leak_range=(0.3, 0.5),
+        leak_kb_range=(1024.0, 4096.0),
+        max_run_seconds=3000.0,
+    )
+
+
+def _load_history(path: str) -> DataHistory:
+    file = Path(path)
+    if not file.exists():
+        raise SystemExit(f"error: history file not found: {path}")
+    return DataHistory.load(file)
+
+
+# -- commands --------------------------------------------------------------------
+
+
+def cmd_simulate(args: argparse.Namespace) -> int:
+    config = demo_campaign(args.runs, args.seed)
+    if args.browsers is not None:
+        config = replace(config, n_browsers=args.browsers)
+    history = TestbedSimulator(config).run_campaign()
+    history.save(args.output)
+    print(
+        f"saved {len(history)} runs ({history.n_datapoints} datapoints, "
+        f"mean TTF {history.mean_run_length:.0f}s) to {args.output}"
+    )
+    return 0
+
+
+def cmd_aggregate(args: argparse.Namespace) -> int:
+    history = _load_history(args.history)
+    dataset = aggregate_history(
+        history, AggregationConfig(window_seconds=args.window)
+    )
+    np.savez_compressed(
+        args.output,
+        X=dataset.X,
+        y=dataset.y,
+        feature_names=np.array(dataset.feature_names),
+        run_ids=dataset.run_ids,
+    )
+    print(
+        f"aggregated {history.n_datapoints} datapoints into "
+        f"{dataset.n_samples} windows x {dataset.n_features} features "
+        f"-> {args.output}"
+    )
+    return 0
+
+
+def cmd_select(args: argparse.Namespace) -> int:
+    history = _load_history(args.history)
+    dataset = aggregate_history(
+        history, AggregationConfig(window_seconds=args.window)
+    )
+    selector = LassoFeatureSelector().fit(dataset)
+    rows = [
+        [f"1e{int(round(np.log10(lam)))}", count]
+        for lam, count in selector.selection_counts()
+    ]
+    print(render_table(("lambda", "selected"), rows, title="Lasso regularization path"))
+    strongest = selector.strongest_with_at_least(args.min_features)
+    print(f"\nstrongest selection (lambda = {strongest.lam:.0e}):")
+    for name, weight in strongest.weight_table():
+        print(f"  {name:24s} {weight:+.12f}")
+    return 0
+
+
+def cmd_train(args: argparse.Namespace) -> int:
+    history = _load_history(args.history)
+    models = tuple(args.models.split(","))
+    config = F2PMConfig(
+        aggregation=AggregationConfig(window_seconds=args.window),
+        models=models,
+        lasso_predictor_lambdas=(1e0, 1e4, 1e9) if args.lasso_predictors else (),
+        smae_threshold_frac=args.smae_frac,
+        seed=args.seed,
+    )
+    result = F2PM(config).run(history)
+    print(result.smae_table())
+    print()
+    print(result.training_time_table())
+    print()
+    print(result.validation_time_table())
+    best = result.best_by_smae("all")
+    print(f"\nbest model: {best.name} (S-MAE {best.s_mae:.1f}s)")
+    if args.report:
+        from repro.core.report import write_markdown_report
+
+        path = write_markdown_report(result, args.report)
+        print(f"wrote report to {path}")
+    if args.save_model:
+        from repro.core.persistence import save_model
+
+        path = save_model(
+            result.models[(best.name, "all")],
+            args.save_model,
+            feature_names=result.dataset.feature_names,
+            metadata={"model": best.name, "s_mae": best.s_mae},
+        )
+        print(f"saved best model ({best.name}) to {path}")
+    return 0
+
+
+def cmd_ingest(args: argparse.Namespace) -> int:
+    from repro.core.ingest import CSVTraceSpec, read_campaign_csv
+
+    spec = CSVTraceSpec.identity(
+        response_time_column=args.rt_column if args.rt_column else None
+    )
+    history = read_campaign_csv(args.directory, spec, pattern=args.pattern)
+    history.save(args.output)
+    print(
+        f"ingested {len(history)} runs ({history.n_datapoints} datapoints) "
+        f"from {args.directory} -> {args.output}"
+    )
+    return 0
+
+
+def cmd_predict(args: argparse.Namespace) -> int:
+    from repro.core import AggregationConfig, aggregate_history
+    from repro.core.persistence import load_model
+
+    envelope = load_model(args.model)
+    history = _load_history(args.history)
+    dataset = aggregate_history(
+        history, AggregationConfig(window_seconds=args.window)
+    )
+    envelope.check_features(dataset.feature_names)
+    pred = envelope.predict(dataset.X)
+    print(f"model: {envelope.metadata.get('model', '?')} "
+          f"(package {envelope.package_version})")
+    n = min(args.limit, pred.shape[0])
+    print(f"predicted RTTF for the last {n} windows (seconds):")
+    for t, p, actual in zip(
+        dataset.X[-n:, 0], pred[-n:], dataset.y[-n:]
+    ):
+        print(f"  t={t:8.1f}s  predicted={p:8.1f}  actual={actual:8.1f}")
+    return 0
+
+
+def cmd_experiments(args: argparse.Namespace) -> int:
+    from repro.experiments.runall import main as runall_main
+
+    runall_main()
+    return 0
+
+
+def cmd_rejuvenate(args: argparse.Namespace) -> int:
+    from repro.core import F2PM, F2PMConfig
+    from repro.rejuvenation import (
+        ManagedSystem,
+        ManagedSystemConfig,
+        NoRejuvenation,
+        PeriodicRejuvenation,
+        PredictiveRejuvenation,
+        summarize,
+    )
+    from repro.rejuvenation.metrics import AvailabilityReport
+
+    campaign = demo_campaign(args.runs, args.seed)
+    history = TestbedSimulator(campaign).run_campaign()
+    f2pm = F2PM(
+        F2PMConfig(
+            aggregation=AggregationConfig(window_seconds=args.window),
+            models=("m5p", "reptree"),
+            lasso_predictor_lambdas=(),
+            seed=args.seed,
+        )
+    ).run(history)
+    best = f2pm.best_by_smae("all")
+    model = f2pm.models[(best.name, "all")]
+
+    managed = ManagedSystemConfig(
+        horizon_seconds=args.horizon,
+        rejuvenation_downtime=30.0,
+        crash_downtime=300.0,
+        window_seconds=args.window,
+    )
+    policies = [
+        NoRejuvenation(),
+        PeriodicRejuvenation(0.5 * min(r.fail_time for r in history)),
+        PredictiveRejuvenation(model, rttf_margin=f2pm.smae_threshold),
+    ]
+    rows = []
+    for policy in policies:
+        log = ManagedSystem(campaign, managed, policy).run(seed=args.seed + 1)
+        rows.append(summarize(log).row())
+    print(
+        render_table(
+            AvailabilityReport.HEADERS,
+            rows,
+            title=f"Rejuvenation policies over {args.horizon:.0f}s "
+            f"(model: {best.name})",
+            float_fmt=".4f",
+        )
+    )
+    return 0
+
+
+# -- parser ----------------------------------------------------------------------
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="F2PM: failure-prediction-model framework (IPDPS-W 2015 reproduction)",
+    )
+    parser.add_argument("--version", action="version", version=__version__)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("simulate", help="run a monitoring campaign")
+    p.add_argument("-o", "--output", default="history.npz")
+    p.add_argument("--runs", type=int, default=8)
+    p.add_argument("--browsers", type=int, default=None)
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(func=cmd_simulate)
+
+    p = sub.add_parser("aggregate", help="aggregate a history into a training set")
+    p.add_argument("history")
+    p.add_argument("-o", "--output", default="dataset.npz")
+    p.add_argument("--window", type=float, default=20.0)
+    p.set_defaults(func=cmd_aggregate)
+
+    p = sub.add_parser("select", help="print the Lasso regularization path")
+    p.add_argument("history")
+    p.add_argument("--window", type=float, default=20.0)
+    p.add_argument("--min-features", type=int, default=6)
+    p.set_defaults(func=cmd_select)
+
+    p = sub.add_parser("train", help="run the full F2PM workflow")
+    p.add_argument("history")
+    p.add_argument("--window", type=float, default=20.0)
+    p.add_argument("--models", default="linear,m5p,reptree,svm2")
+    p.add_argument("--lasso-predictors", action="store_true")
+    p.add_argument("--smae-frac", type=float, default=0.10)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--report", default=None, help="write a Markdown report here")
+    p.add_argument(
+        "--save-model", default=None, help="persist the best fitted model here"
+    )
+    p.set_defaults(func=cmd_train)
+
+    p = sub.add_parser("ingest", help="ingest a directory of CSV run traces")
+    p.add_argument("directory")
+    p.add_argument("-o", "--output", default="history.npz")
+    p.add_argument("--pattern", default="*.csv")
+    p.add_argument("--rt-column", default=None)
+    p.set_defaults(func=cmd_ingest)
+
+    p = sub.add_parser("predict", help="apply a saved model to a history")
+    p.add_argument("model")
+    p.add_argument("history")
+    p.add_argument("--window", type=float, default=20.0)
+    p.add_argument("--limit", type=int, default=10)
+    p.set_defaults(func=cmd_predict)
+
+    p = sub.add_parser("experiments", help="regenerate all paper tables/figures")
+    p.set_defaults(func=cmd_experiments)
+
+    p = sub.add_parser("rejuvenate", help="compare rejuvenation policies")
+    p.add_argument("--runs", type=int, default=8)
+    p.add_argument("--horizon", type=float, default=10_000.0)
+    p.add_argument("--window", type=float, default=20.0)
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(func=cmd_rejuvenate)
+
+    return parser
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,103 @@
+"""Inter-generation-time / response-time correlation (paper Fig. 3).
+
+The paper's key observation enabling application-agnostic monitoring: the
+interval between consecutive FMC datapoints stretches when the system is
+overloaded, and a *linear* model over it tracks the client-side response
+time well — "a pragmatic estimation of the response time seen by end
+users, without any modification to the software at the end point".
+
+:class:`ResponseTimeCorrelator` fits that model: RT ~ a * gen_time + b,
+trained on one instrumented run (the paper instruments the emulated
+browsers with probes only for this study) and thereafter applicable to
+uninstrumented systems.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.history import RunRecord
+from repro.ml.linear import LinearRegression
+from repro.ml.metrics import mean_absolute_error, r2_score
+from repro.utils.validation import check_array, check_consistent_length
+
+
+def generation_intervals(run: RunRecord) -> np.ndarray:
+    """Per-datapoint inter-generation time of a run (first = its tgen)."""
+    tgen = run.column("tgen")
+    out = np.empty_like(tgen)
+    out[0] = tgen[0]
+    np.subtract(tgen[1:], tgen[:-1], out=out[1:])
+    return out
+
+
+@dataclass
+class CorrelationSeries:
+    """The three curves of the paper's Fig. 3 for one run."""
+
+    time: np.ndarray  # x axis: execution time (tgen)
+    generation_time: np.ndarray
+    response_time: np.ndarray  # ground truth from browser probes
+    correlated_rt: np.ndarray  # linear model evaluated on generation_time
+
+    @property
+    def r2(self) -> float:
+        return r2_score(self.response_time, self.correlated_rt)
+
+    @property
+    def mae(self) -> float:
+        return mean_absolute_error(self.response_time, self.correlated_rt)
+
+
+class ResponseTimeCorrelator:
+    """Linear model mapping inter-generation time to client response time."""
+
+    def __init__(self) -> None:
+        self._model: LinearRegression | None = None
+
+    def fit(self, generation_time: np.ndarray, response_time: np.ndarray) -> "ResponseTimeCorrelator":
+        generation_time = check_array(generation_time, ndim=1, name="generation_time")
+        response_time = check_array(response_time, ndim=1, name="response_time")
+        check_consistent_length(generation_time, response_time)
+        self._model = LinearRegression().fit(
+            generation_time[:, None], response_time
+        )
+        return self
+
+    @property
+    def slope(self) -> float:
+        self._require_fit()
+        return float(self._model.coef_[0])
+
+    @property
+    def intercept(self) -> float:
+        self._require_fit()
+        return float(self._model.intercept_)
+
+    def _require_fit(self) -> None:
+        if self._model is None:
+            raise RuntimeError("correlator is not fitted; call fit() first")
+
+    def predict(self, generation_time: np.ndarray) -> np.ndarray:
+        """Predicted RT (the paper's "Correlated RT") from gen time only."""
+        self._require_fit()
+        generation_time = check_array(generation_time, ndim=1, name="generation_time")
+        return self._model.predict(generation_time[:, None])
+
+    def fit_run(self, run: RunRecord) -> CorrelationSeries:
+        """Fit on one instrumented run and return the Fig. 3 series."""
+        if run.response_times is None:
+            raise ValueError(
+                "run has no response-time ground truth; instrument the "
+                "browsers (the simulator records RT by default)"
+            )
+        gen = generation_intervals(run)
+        self.fit(gen, run.response_times)
+        return CorrelationSeries(
+            time=run.column("tgen"),
+            generation_time=gen,
+            response_time=run.response_times,
+            correlated_rt=self.predict(gen),
+        )

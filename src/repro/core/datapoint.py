@@ -1,0 +1,116 @@
+"""The monitored feature schema (paper Sec. III-A).
+
+Each raw datapoint is a tuple of 15 system-level values. F2PM is
+application-agnostic precisely because this schema contains only values
+any OS exposes (``free``, ``vmstat``, ``/proc``):
+
+=============  ========================================================
+name           paper symbol / meaning
+=============  ========================================================
+tgen           Tgen — elapsed seconds since (re)start
+n_threads      nth — active threads in the system
+mem_used       Mused — memory used by applications (KB)
+mem_free       Mfree — freely available memory (KB)
+mem_shared     Mshared — shared buffers (KB)
+mem_buffers    Mbuff — OS data buffers (KB)
+mem_cached     Mcached — disk cache (KB)
+swap_used      SWused — swap in use (KB)
+swap_free      SWfree — free swap (KB)
+cpu_user       CPUus — % CPU in userspace
+cpu_nice       CPUni — % CPU in niced processes
+cpu_sys        CPUsys — % CPU in kernel mode
+cpu_iowait     CPUiow — % CPU waiting for I/O
+cpu_steal      CPUst — % CPU stolen by the hypervisor
+cpu_idle       CPUid — % CPU idle
+=============  ========================================================
+
+Aggregation (Sec. III-B) extends this with one *slope* per non-time
+feature (Eq. 1) and the derived *inter-generation time* ``gen_time``,
+yielding the 30-column aggregated schema in :data:`AGGREGATED_FEATURES`
+(15 base + 14 slopes + gen_time) — consistent with the ~30 parameters at
+the left edge of the paper's Fig. 4.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, fields
+
+import numpy as np
+
+TGEN = "tgen"
+GEN_TIME = "gen_time"
+
+#: Raw datapoint schema, in canonical column order.
+FEATURES: tuple[str, ...] = (
+    TGEN,
+    "n_threads",
+    "mem_used",
+    "mem_free",
+    "mem_shared",
+    "mem_buffers",
+    "mem_cached",
+    "swap_used",
+    "swap_free",
+    "cpu_user",
+    "cpu_nice",
+    "cpu_sys",
+    "cpu_iowait",
+    "cpu_steal",
+    "cpu_idle",
+)
+
+#: Features that get a slope column during aggregation (all but tgen).
+BASE_FEATURES: tuple[str, ...] = FEATURES[1:]
+
+#: Slope column names, paper-style (e.g. ``mem_used_slope``).
+SLOPE_FEATURES: tuple[str, ...] = tuple(f"{name}_slope" for name in BASE_FEATURES)
+
+#: Aggregated datapoint schema: base features + slopes + gen_time.
+AGGREGATED_FEATURES: tuple[str, ...] = FEATURES + SLOPE_FEATURES + (GEN_TIME,)
+
+#: Column index of each raw feature.
+FEATURE_INDEX: dict[str, int] = {name: i for i, name in enumerate(FEATURES)}
+
+
+@dataclass(frozen=True)
+class Datapoint:
+    """One raw measurement — a named view over the 15-feature tuple.
+
+    The pipeline operates on ``(n, 15)`` arrays for speed; this dataclass
+    exists for ergonomic construction and inspection of single points
+    (e.g. in the monitoring client and in tests).
+    """
+
+    tgen: float
+    n_threads: float
+    mem_used: float
+    mem_free: float
+    mem_shared: float
+    mem_buffers: float
+    mem_cached: float
+    swap_used: float
+    swap_free: float
+    cpu_user: float
+    cpu_nice: float
+    cpu_sys: float
+    cpu_iowait: float
+    cpu_steal: float
+    cpu_idle: float
+
+    def to_array(self) -> np.ndarray:
+        """Return the point as a (15,) float array in canonical order."""
+        return np.array([getattr(self, name) for name in FEATURES], dtype=np.float64)
+
+    @classmethod
+    def from_array(cls, values: np.ndarray) -> "Datapoint":
+        values = np.asarray(values, dtype=np.float64)
+        if values.shape != (len(FEATURES),):
+            raise ValueError(
+                f"expected shape ({len(FEATURES)},), got {values.shape}"
+            )
+        return cls(**{name: float(v) for name, v in zip(FEATURES, values)})
+
+
+# Consistency guard: the dataclass field order must match FEATURES so that
+# to_array/from_array round-trip positionally.
+assert tuple(f.name for f in fields(Datapoint)) == FEATURES

@@ -1,0 +1,125 @@
+"""Training-set container: feature matrix + RTTF target + provenance.
+
+The feature-selection phase produces *several* training sets that differ
+only in which columns they retain (paper Sec. III-C: "The output of this
+phase is a number of training sets, each one including a sub-set of
+selected features"). :class:`TrainingSet` keeps names and columns bound
+together so that selections compose safely.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+import numpy as np
+
+from repro.utils.rng import as_rng
+from repro.utils.validation import check_consistent_length
+
+
+@dataclass
+class TrainingSet:
+    """An aggregated dataset: ``X`` (n, d), ``y`` = RTTF seconds.
+
+    ``run_ids`` records which system run each row came from, enabling
+    leakage-free run-wise splits (all windows of a run stay on one side).
+    """
+
+    X: np.ndarray
+    y: np.ndarray
+    feature_names: tuple[str, ...]
+    run_ids: np.ndarray = field(default=None)  # type: ignore[assignment]
+
+    def __post_init__(self) -> None:
+        self.X = np.asarray(self.X, dtype=np.float64)
+        self.y = np.asarray(self.y, dtype=np.float64)
+        if self.X.ndim != 2:
+            raise ValueError(f"X must be 2-D, got shape {self.X.shape}")
+        if self.X.shape[1] != len(self.feature_names):
+            raise ValueError(
+                f"{self.X.shape[1]} columns but {len(self.feature_names)} names"
+            )
+        if self.run_ids is None:
+            self.run_ids = np.zeros(self.X.shape[0], dtype=np.int64)
+        self.run_ids = np.asarray(self.run_ids, dtype=np.int64)
+        check_consistent_length(self.X, self.y, self.run_ids)
+        self.feature_names = tuple(self.feature_names)
+
+    @property
+    def n_samples(self) -> int:
+        return self.X.shape[0]
+
+    @property
+    def n_features(self) -> int:
+        return self.X.shape[1]
+
+    def column(self, name: str) -> np.ndarray:
+        """Values of a named feature."""
+        try:
+            idx = self.feature_names.index(name)
+        except ValueError:
+            raise KeyError(f"unknown feature {name!r}") from None
+        return self.X[:, idx]
+
+    def select_features(self, names: Sequence[str]) -> "TrainingSet":
+        """Project onto a subset of features (order preserved as given)."""
+        indices = []
+        for name in names:
+            try:
+                indices.append(self.feature_names.index(name))
+            except ValueError:
+                raise KeyError(f"unknown feature {name!r}") from None
+        if not indices:
+            raise ValueError("cannot select an empty feature set")
+        return TrainingSet(
+            X=self.X[:, indices],
+            y=self.y,
+            feature_names=tuple(names),
+            run_ids=self.run_ids,
+        )
+
+    def subset(self, mask_or_idx: np.ndarray) -> "TrainingSet":
+        """Row subset by boolean mask or index array."""
+        return TrainingSet(
+            X=self.X[mask_or_idx],
+            y=self.y[mask_or_idx],
+            feature_names=self.feature_names,
+            run_ids=self.run_ids[mask_or_idx],
+        )
+
+    def split(
+        self,
+        validation_fraction: float = 0.3,
+        *,
+        by_run: bool = False,
+        seed: "int | None | np.random.Generator" = 0,
+    ) -> tuple["TrainingSet", "TrainingSet"]:
+        """Split into (train, validation).
+
+        ``by_run=True`` assigns whole runs to a side (no window of a
+        validation run ever appears in training — the stricter protocol);
+        otherwise rows are shuffled individually, which matches the
+        paper's "sub-set (validation set) of samples" wording.
+        """
+        if not 0.0 < validation_fraction < 1.0:
+            raise ValueError(
+                f"validation_fraction must be in (0,1), got {validation_fraction}"
+            )
+        rng = as_rng(seed)
+        n = self.n_samples
+        if by_run:
+            runs = np.unique(self.run_ids)
+            if runs.size < 2:
+                raise ValueError("run-wise split needs at least 2 runs")
+            perm = rng.permutation(runs)
+            n_val_runs = max(1, int(round(runs.size * validation_fraction)))
+            n_val_runs = min(n_val_runs, runs.size - 1)
+            val_runs = set(perm[:n_val_runs].tolist())
+            mask = np.fromiter(
+                (rid in val_runs for rid in self.run_ids), dtype=bool, count=n
+            )
+            return self.subset(~mask), self.subset(mask)
+        perm = rng.permutation(n)
+        n_val = min(max(1, int(round(n * validation_fraction))), n - 1)
+        return self.subset(perm[n_val:]), self.subset(perm[:n_val])

@@ -1,0 +1,138 @@
+"""Model-staleness detection for deployed RTTF models.
+
+A trained F2PM model ages: the application gets patched, the anomaly mix
+shifts, the VM is resized. The paper's answer is to collect more runs
+and retrain — but *noticing* that the model went stale is left to the
+user. Two detectors close that gap:
+
+:class:`TrajectoryConsistencyMonitor`
+    Label-free, online. Within a run, the true RTTF falls at exactly
+    -1 s/s by construction; a healthy model's *predicted* RTTF
+    trajectory must track that slope. The monitor regresses the recent
+    predictions against time and flags drift when the slope strays from
+    -1 beyond a tolerance — catching a stale model *before* the failure,
+    with no ground truth needed.
+
+:class:`ResidualDriftDetector`
+    Post-hoc, labelled. After a run completes (its fail event is known),
+    every window's true RTTF becomes available; the detector compares
+    the realized error against the validation S-MAE the model shipped
+    with and flags staleness when errors inflate beyond a factor.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class DriftStatus:
+    """Outcome of a trajectory-consistency check."""
+
+    slope: float
+    score: float  # |slope + 1|
+    drifting: bool
+    n_points: int
+
+
+class TrajectoryConsistencyMonitor:
+    """Online slope check on the predicted-RTTF trajectory.
+
+    Parameters
+    ----------
+    window : number of recent (time, prediction) points regressed.
+    tolerance : maximum |slope + 1| considered healthy. The paper's
+        Fig. 5 shows predictions compress far from failure (slope closer
+        to 0 there), so tolerances below ~0.5 are only meaningful near
+        the failure region — which is where the check matters.
+    min_points : checks report ``drifting=False`` until this many points.
+    """
+
+    def __init__(
+        self, window: int = 10, tolerance: float = 0.5, min_points: int = 4
+    ) -> None:
+        if window < 2:
+            raise ValueError(f"window must be >= 2, got {window}")
+        if tolerance <= 0:
+            raise ValueError(f"tolerance must be positive, got {tolerance}")
+        if not 2 <= min_points <= window:
+            raise ValueError("need 2 <= min_points <= window")
+        self.window = window
+        self.tolerance = tolerance
+        self.min_points = min_points
+        self._times: deque[float] = deque(maxlen=window)
+        self._preds: deque[float] = deque(maxlen=window)
+
+    def reset(self) -> None:
+        """Forget the trajectory (call after a restart)."""
+        self._times.clear()
+        self._preds.clear()
+
+    def add(self, now: float, predicted_rttf: float) -> DriftStatus:
+        """Ingest one prediction; returns the current status."""
+        if self._times and now <= self._times[-1]:
+            raise ValueError("observations must arrive in increasing time order")
+        self._times.append(float(now))
+        self._preds.append(float(predicted_rttf))
+        n = len(self._times)
+        if n < self.min_points:
+            return DriftStatus(slope=float("nan"), score=float("nan"), drifting=False, n_points=n)
+        t = np.asarray(self._times)
+        p = np.asarray(self._preds)
+        tc = t - t.mean()
+        denom = float(tc @ tc)
+        slope = float(tc @ (p - p.mean()) / denom) if denom > 0 else 0.0
+        score = abs(slope + 1.0)
+        return DriftStatus(
+            slope=slope, score=score, drifting=score > self.tolerance, n_points=n
+        )
+
+
+class ResidualDriftDetector:
+    """Post-hoc staleness check against the shipped validation S-MAE.
+
+    Parameters
+    ----------
+    baseline_smae : the S-MAE the model achieved at training time.
+    smae_threshold : the tolerance T the S-MAE was computed with.
+    inflation_factor : realized S-MAE beyond ``factor * baseline`` on a
+        completed run flags the model as stale.
+    """
+
+    def __init__(
+        self,
+        baseline_smae: float,
+        smae_threshold: float,
+        inflation_factor: float = 2.0,
+    ) -> None:
+        if baseline_smae < 0:
+            raise ValueError(f"baseline_smae must be >= 0, got {baseline_smae}")
+        if smae_threshold < 0:
+            raise ValueError(f"smae_threshold must be >= 0, got {smae_threshold}")
+        if inflation_factor <= 1.0:
+            raise ValueError(
+                f"inflation_factor must be > 1, got {inflation_factor}"
+            )
+        self.baseline_smae = baseline_smae
+        self.smae_threshold = smae_threshold
+        self.inflation_factor = inflation_factor
+
+    def evaluate_run(
+        self, predicted_rttf: np.ndarray, true_rttf: np.ndarray
+    ) -> tuple[float, bool]:
+        """Realized S-MAE on a completed run and the staleness verdict.
+
+        Returns ``(realized_smae, is_stale)``.
+        """
+        from repro.ml.metrics import soft_mean_absolute_error
+
+        realized = soft_mean_absolute_error(
+            np.asarray(true_rttf, dtype=np.float64),
+            np.asarray(predicted_rttf, dtype=np.float64),
+            self.smae_threshold,
+        )
+        floor = max(self.baseline_smae, 1e-9)
+        return realized, realized > self.inflation_factor * floor

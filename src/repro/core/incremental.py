@@ -1,0 +1,133 @@
+"""Incremental data collection until the models are accurate enough.
+
+Paper Sec. III-A: determining how much monitoring data suffices "could
+require a long period of training time. F2PM can support this task
+incrementally, via the set of metrics that allow the user to evaluate the
+accuracy of the produced models. If the estimated accuracy is not
+sufficient, further system runs can be executed to collect new data into
+the training set, and to produce new models."
+
+:class:`IncrementalCollector` automates that loop: collect a batch of
+runs, rebuild the models, check the best S-MAE against a target, repeat
+until the target is met or the run budget is exhausted. The accuracy
+trace (best S-MAE per campaign size) doubles as a learning-curve
+diagnostic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.framework import F2PM, F2PMConfig, F2PMResult
+from repro.core.history import DataHistory
+from repro.system.simulator import TestbedSimulator
+from repro.utils.rng import as_rng
+
+
+@dataclass(frozen=True)
+class IncrementalConfig:
+    """Stopping rule and batch sizing for incremental collection."""
+
+    #: Runs added per iteration.
+    batch_runs: int = 4
+    #: Hard budget on total runs.
+    max_runs: int = 40
+    #: Stop when the best model's S-MAE falls below this (seconds); if
+    #: None, ``target_smae_frac`` of the mean run length is used.
+    target_smae: "float | None" = None
+    target_smae_frac: float = 0.05
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.batch_runs < 1:
+            raise ValueError(f"batch_runs must be >= 1, got {self.batch_runs}")
+        if self.max_runs < self.batch_runs:
+            raise ValueError("max_runs must be >= batch_runs")
+        if self.target_smae is not None and self.target_smae <= 0:
+            raise ValueError("target_smae must be positive")
+        if not 0.0 < self.target_smae_frac < 1.0:
+            raise ValueError("target_smae_frac must be in (0, 1)")
+
+
+@dataclass(frozen=True)
+class TracePoint:
+    """One iteration of the collect-train-evaluate loop."""
+
+    n_runs: int
+    n_windows: int
+    best_model: str
+    best_smae: float
+    target: float
+
+
+@dataclass
+class IncrementalResult:
+    """Outcome of an incremental campaign."""
+
+    history: DataHistory
+    final: F2PMResult
+    trace: list[TracePoint] = field(default_factory=list)
+    target_met: bool = False
+
+    @property
+    def n_runs(self) -> int:
+        return len(self.history)
+
+    def learning_curve(self) -> np.ndarray:
+        """(n_runs, best_smae) pairs, one per iteration."""
+        return np.array([(p.n_runs, p.best_smae) for p in self.trace])
+
+
+class IncrementalCollector:
+    """Collects runs in batches until the model accuracy target is met."""
+
+    def __init__(
+        self,
+        simulator: TestbedSimulator,
+        f2pm_config: F2PMConfig,
+        config: IncrementalConfig | None = None,
+    ) -> None:
+        self.simulator = simulator
+        self.f2pm_config = f2pm_config
+        self.config = config or IncrementalConfig()
+
+    def _resolve_target(self, history: DataHistory) -> float:
+        if self.config.target_smae is not None:
+            return self.config.target_smae
+        return self.config.target_smae_frac * history.mean_run_length
+
+    def collect(self) -> IncrementalResult:
+        """Run the incremental loop; always returns a final model set."""
+        cfg = self.config
+        rng = as_rng(cfg.seed)
+        history = DataHistory()
+        trace: list[TracePoint] = []
+        framework = F2PM(self.f2pm_config)
+        result: F2PMResult | None = None
+        target_met = False
+
+        while len(history) < cfg.max_runs:
+            for run_rng in rng.spawn(cfg.batch_runs):
+                history.add_run(self.simulator.run_once(run_rng))
+            result = framework.run(history)
+            best = result.best_by_smae("all")
+            target = self._resolve_target(history)
+            trace.append(
+                TracePoint(
+                    n_runs=len(history),
+                    n_windows=result.dataset.n_samples,
+                    best_model=best.name,
+                    best_smae=best.s_mae,
+                    target=target,
+                )
+            )
+            if best.s_mae <= target:
+                target_met = True
+                break
+
+        assert result is not None  # max_runs >= batch_runs guarantees a pass
+        return IncrementalResult(
+            history=history, final=result, trace=trace, target_met=target_met
+        )

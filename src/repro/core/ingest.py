@@ -1,0 +1,173 @@
+"""Ingesting real monitoring traces (CSV) into F2PM.
+
+The simulator substitutes for the paper's testbed, but the framework is
+meant to run on *real* data: anything that periodically dumps the 15
+system features (collectd, sadc, a cron'd ``free``/``vmstat`` wrapper,
+the FMC itself). This module maps delimited text traces onto the
+canonical schema:
+
+- :class:`CSVTraceSpec` — how your columns are named, which column is
+  the timestamp, optional response-time ground truth, unit scaling;
+- :func:`read_run_csv` — one run (one restart cycle) per file;
+- :func:`read_campaign_csv` — a directory of run files -> DataHistory;
+- :func:`write_run_csv` — the inverse, for exporting simulated runs to
+  other tools.
+
+Parsing is dependency-free (``csv`` module); values must be numeric
+after scaling.
+"""
+
+from __future__ import annotations
+
+import csv
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Mapping
+
+import numpy as np
+
+from repro.core.datapoint import FEATURES
+from repro.core.history import DataHistory, RunRecord
+
+
+@dataclass(frozen=True)
+class CSVTraceSpec:
+    """Mapping from a CSV layout to the canonical feature schema.
+
+    Attributes
+    ----------
+    columns : mapping of canonical feature name -> CSV header name.
+        Must cover all 15 features (``tgen`` included).
+    response_time_column : optional CSV header with client RT ground
+        truth (enables the Fig. 3 correlation on real data).
+    scale : optional per-feature multipliers applied after parsing
+        (e.g. ``{"mem_used": 1024.0}`` when the trace is in MB but the
+        schema expects KB).
+    delimiter : CSV delimiter.
+    """
+
+    columns: Mapping[str, str]
+    response_time_column: "str | None" = None
+    scale: Mapping[str, float] = field(default_factory=dict)
+    delimiter: str = ","
+
+    def __post_init__(self) -> None:
+        missing = [name for name in FEATURES if name not in self.columns]
+        if missing:
+            raise ValueError(f"column mapping missing features: {missing}")
+        unknown = [name for name in self.scale if name not in FEATURES]
+        if unknown:
+            raise ValueError(f"scale refers to unknown features: {unknown}")
+
+    @classmethod
+    def identity(cls, **kwargs) -> "CSVTraceSpec":
+        """Spec for traces already using the canonical column names."""
+        return cls(columns={name: name for name in FEATURES}, **kwargs)
+
+
+def read_run_csv(
+    path: "str | Path",
+    spec: CSVTraceSpec,
+    *,
+    fail_time: "float | None" = None,
+    crashed: bool = True,
+) -> RunRecord:
+    """Parse one run's trace file into a :class:`RunRecord`.
+
+    ``fail_time`` defaults to the last datapoint's timestamp (the fail
+    event coincides with monitoring stopping); pass the logged fail-event
+    time when you have one. ``crashed=False`` marks truncated runs that
+    aggregation should skip for RTTF labelling.
+    """
+    path = Path(path)
+    with path.open(newline="") as fh:
+        reader = csv.DictReader(fh, delimiter=spec.delimiter)
+        if reader.fieldnames is None:
+            raise ValueError(f"{path}: empty file")
+        header = set(reader.fieldnames)
+        missing = [c for c in spec.columns.values() if c not in header]
+        if missing:
+            raise ValueError(f"{path}: missing columns {missing}")
+        if (
+            spec.response_time_column is not None
+            and spec.response_time_column not in header
+        ):
+            raise ValueError(
+                f"{path}: missing response-time column "
+                f"{spec.response_time_column!r}"
+            )
+        rows: list[list[float]] = []
+        rts: list[float] = []
+        for lineno, record in enumerate(reader, start=2):
+            try:
+                row = [
+                    float(record[spec.columns[name]])
+                    * float(spec.scale.get(name, 1.0))
+                    for name in FEATURES
+                ]
+            except (TypeError, ValueError) as exc:
+                raise ValueError(f"{path}:{lineno}: non-numeric value ({exc})")
+            rows.append(row)
+            if spec.response_time_column is not None:
+                try:
+                    rts.append(float(record[spec.response_time_column]))
+                except (TypeError, ValueError) as exc:
+                    raise ValueError(
+                        f"{path}:{lineno}: non-numeric response time ({exc})"
+                    )
+    if not rows:
+        raise ValueError(f"{path}: no datapoints")
+    features = np.asarray(rows, dtype=np.float64)
+    order = np.argsort(features[:, 0], kind="stable")
+    features = features[order]
+    response_times = (
+        np.asarray(rts, dtype=np.float64)[order]
+        if spec.response_time_column is not None
+        else None
+    )
+    resolved_fail = float(features[-1, 0]) if fail_time is None else float(fail_time)
+    return RunRecord(
+        features=features,
+        fail_time=resolved_fail,
+        response_times=response_times,
+        metadata={"crashed": 1.0 if crashed else 0.0, "source": 0.0},
+    )
+
+
+def read_campaign_csv(
+    directory: "str | Path",
+    spec: CSVTraceSpec,
+    *,
+    pattern: str = "*.csv",
+) -> DataHistory:
+    """Read every run file in *directory* (sorted by name) into a history."""
+    directory = Path(directory)
+    files = sorted(directory.glob(pattern))
+    if not files:
+        raise ValueError(f"no files matching {pattern!r} in {directory}")
+    history = DataHistory()
+    for file in files:
+        history.add_run(read_run_csv(file, spec))
+    return history
+
+
+def write_run_csv(
+    run: RunRecord, path: "str | Path", *, include_response_time: bool = True
+) -> Path:
+    """Export a run in the canonical CSV layout (inverse of identity spec)."""
+    path = Path(path)
+    headers = list(FEATURES)
+    with_rt = include_response_time and run.response_times is not None
+    if with_rt:
+        headers.append("response_time")
+    with path.open("w", newline="") as fh:
+        writer = csv.writer(fh)
+        writer.writerow(headers)
+        for i in range(run.n_datapoints):
+            # %.17g round-trips float64 exactly (repr of numpy scalars
+            # would render as 'np.float64(...)' under numpy >= 2)
+            row = [format(float(v), ".17g") for v in run.features[i]]
+            if with_rt:
+                row.append(format(float(run.response_times[i]), ".17g"))
+            writer.writerow(row)
+    return path

@@ -1,0 +1,89 @@
+"""Fitted-model persistence.
+
+The monitoring/training phase and the prediction phase of F2PM run at
+different times (often on different machines — the FMS trains, the
+monitored host predicts). ``save_model``/``load_model`` persist any
+fitted estimator from this package, wrapped in an envelope that records
+the package version and the feature schema the model expects, so a
+mismatched deployment fails loudly instead of predicting garbage.
+
+Pickle is the serialization (models are plain Python/numpy objects);
+the usual caveat applies — only load files you trust.
+"""
+
+from __future__ import annotations
+
+import pickle
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Sequence
+
+import numpy as np
+
+from repro._version import __version__
+from repro.ml.base import Regressor
+
+#: Envelope format version (bump on incompatible layout changes).
+FORMAT_VERSION = 1
+
+
+@dataclass(frozen=True)
+class ModelEnvelope:
+    """A fitted model plus the metadata needed to use it safely."""
+
+    model: Regressor
+    feature_names: "tuple[str, ...] | None"
+    package_version: str
+    format_version: int
+    metadata: dict
+
+    def check_features(self, feature_names: Sequence[str]) -> None:
+        """Raise if the deployment's schema differs from training's."""
+        if self.feature_names is None:
+            return
+        given = tuple(feature_names)
+        if given != self.feature_names:
+            raise ValueError(
+                "feature schema mismatch: model was trained on "
+                f"{self.feature_names}, deployment provides {given}"
+            )
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        """Convenience passthrough to the wrapped model."""
+        return self.model.predict(X)
+
+
+def save_model(
+    model: Regressor,
+    path: "str | Path",
+    *,
+    feature_names: "Sequence[str] | None" = None,
+    metadata: "dict | None" = None,
+) -> Path:
+    """Persist a fitted *model* to *path*; returns the written path."""
+    envelope = ModelEnvelope(
+        model=model,
+        feature_names=tuple(feature_names) if feature_names is not None else None,
+        package_version=__version__,
+        format_version=FORMAT_VERSION,
+        metadata=dict(metadata or {}),
+    )
+    path = Path(path)
+    with path.open("wb") as fh:
+        pickle.dump(envelope, fh, protocol=pickle.HIGHEST_PROTOCOL)
+    return path
+
+
+def load_model(path: "str | Path") -> ModelEnvelope:
+    """Load a model envelope written by :func:`save_model`."""
+    path = Path(path)
+    with path.open("rb") as fh:
+        envelope = pickle.load(fh)
+    if not isinstance(envelope, ModelEnvelope):
+        raise ValueError(f"{path} does not contain an F2PM model envelope")
+    if envelope.format_version > FORMAT_VERSION:
+        raise ValueError(
+            f"{path} uses envelope format {envelope.format_version}; this "
+            f"package supports up to {FORMAT_VERSION}"
+        )
+    return envelope

@@ -1,0 +1,39 @@
+"""Experiment drivers — one per table/figure of the paper's Sec. IV.
+
+Every driver exposes ``run(history=None, verbose=True)`` returning a
+structured result, and can be executed as a script::
+
+    python -m repro.experiments.fig4_lasso_path
+
+The default monitoring campaign is simulated once and cached on disk
+(:mod:`repro.experiments.common`), so repeated experiment runs are fast
+and share identical data — like the paper's one-week trace feeding all
+its tables.
+
+=========  ===================================================
+driver     paper artefact
+=========  ===================================================
+fig3_*     Fig. 3 — response-time / inter-generation-time correlation
+fig4_*     Fig. 4 — #parameters selected by Lasso vs lambda
+table1_*   Table I — weights at the strongest selection point
+table2_*   Table II — S-MAE, all vs selected parameters
+table3_*   Table III — training time
+table4_*   Table IV — validation time
+fig5_*     Fig. 5 — predicted vs real RTTF per method
+runall     all of the above, sharing one F2PM execution
+=========  ===================================================
+"""
+
+from repro.experiments.common import (
+    DEFAULT_CAMPAIGN,
+    default_history,
+    default_f2pm_config,
+    run_f2pm_cached,
+)
+
+__all__ = [
+    "DEFAULT_CAMPAIGN",
+    "default_history",
+    "default_f2pm_config",
+    "run_f2pm_cached",
+]

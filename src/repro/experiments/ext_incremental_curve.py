@@ -1,0 +1,102 @@
+"""Extension experiment — how much monitoring data does F2PM need?
+
+Paper Sec. III-A: the initial monitoring phase must collect "a given
+amount of data, which would be sufficient to build ML models with a
+given accuracy", collected incrementally until the model metrics say
+enough. This driver runs the :class:`~repro.core.incremental.IncrementalCollector`
+loop and reports the learning curve: best-model S-MAE as the campaign
+grows, with the iteration at which a target accuracy is first met.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core import AggregationConfig, F2PMConfig
+from repro.core.incremental import (
+    IncrementalCollector,
+    IncrementalConfig,
+    IncrementalResult,
+)
+from repro.experiments.common import DEFAULT_CAMPAIGN, EXPERIMENT_WINDOW
+from repro.system import TestbedSimulator
+from repro.utils.tables import render_table
+
+
+@dataclass
+class IncrementalCurveResult:
+    result: IncrementalResult
+
+    def table(self) -> str:
+        rows = [
+            [p.n_runs, p.n_windows, p.best_model, p.best_smae, p.target]
+            for p in self.result.trace
+        ]
+        return render_table(
+            ("runs", "windows", "best model", "best S-MAE (s)", "target (s)"),
+            rows,
+            title="Learning curve: accuracy vs campaign size",
+            float_fmt=".1f",
+        )
+
+    @property
+    def smae_improves(self) -> bool:
+        """Accuracy at the end is no worse than after the first batch."""
+        trace = self.result.trace
+        return trace[-1].best_smae <= trace[0].best_smae * 1.05
+
+
+def run(
+    campaign=None,
+    verbose: bool = True,
+    *,
+    batch_runs: int = 4,
+    max_runs: int = 20,
+    target_smae_frac: float = 0.03,
+    seed: int = 11,
+) -> IncrementalCurveResult:
+    """Run the incremental loop on a fresh campaign configuration.
+
+    Unlike the table/figure drivers this one owns its simulation (the
+    loop *is* the collection process), so it takes a campaign config
+    rather than a history.
+    """
+    if campaign is None:
+        campaign = DEFAULT_CAMPAIGN
+    collector = IncrementalCollector(
+        TestbedSimulator(campaign),
+        F2PMConfig(
+            aggregation=AggregationConfig(window_seconds=EXPERIMENT_WINDOW),
+            models=("m5p", "reptree"),
+            lasso_predictor_lambdas=(),
+            seed=0,
+        ),
+        IncrementalConfig(
+            batch_runs=batch_runs,
+            max_runs=max_runs,
+            target_smae=None,
+            target_smae_frac=target_smae_frac,
+            seed=seed,
+        ),
+    )
+    result = IncrementalCurveResult(result=collector.collect())
+    if verbose:
+        print(result.table())
+        inner = result.result
+        if inner.target_met:
+            print(
+                f"\ntarget met after {inner.n_runs} runs "
+                f"({inner.trace[-1].best_smae:.1f}s <= "
+                f"{inner.trace[-1].target:.1f}s)"
+            )
+        else:
+            print(
+                f"\ntarget not met within {inner.n_runs} runs; "
+                f"best {inner.trace[-1].best_smae:.1f}s vs target "
+                f"{inner.trace[-1].target:.1f}s"
+            )
+    return result
+
+
+if __name__ == "__main__":
+    run()

@@ -1,0 +1,83 @@
+"""Fig. 3 — response time vs datapoint inter-generation time.
+
+The paper instruments the emulated browsers (only for this study) to get
+ground-truth response times, then shows that a linear model over the FMC
+datapoint inter-generation time tracks them: both grow as memory leaks
+and unterminated threads accumulate.
+
+Shape to reproduce: Generation Time and Response Time both increase
+toward the failure point, and the Correlated RT curve (linear model
+evaluated on generation time alone) follows the measured RT closely.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core import DataHistory, ResponseTimeCorrelator
+from repro.core.correlation import CorrelationSeries
+from repro.experiments.common import default_history
+from repro.utils.tables import render_table
+
+
+@dataclass
+class Fig3Result:
+    """Correlation outcome for one monitored run."""
+
+    series: CorrelationSeries
+    slope: float
+    intercept: float
+
+    @property
+    def r2(self) -> float:
+        return self.series.r2
+
+    @property
+    def mae(self) -> float:
+        return self.series.mae
+
+    def table(self, n_rows: int = 12) -> str:
+        """Downsampled series table (the plotted curves, as text)."""
+        s = self.series
+        idx = np.linspace(0, s.time.size - 1, n_rows).astype(int)
+        rows = [
+            [
+                float(s.time[i]),
+                float(s.generation_time[i]),
+                float(s.response_time[i]),
+                float(s.correlated_rt[i]),
+            ]
+            for i in idx
+        ]
+        return render_table(
+            ("exec time (s)", "generation time (s)", "response time (s)", "correlated RT (s)"),
+            rows,
+            title="Fig. 3 — Response Time Correlation",
+            float_fmt=".3f",
+        )
+
+
+def run(history: DataHistory | None = None, verbose: bool = True) -> Fig3Result:
+    """Fit the correlation on the campaign's first run and report it."""
+    if history is None:
+        history = default_history()
+    run_record = history[0]
+    correlator = ResponseTimeCorrelator()
+    series = correlator.fit_run(run_record)
+    result = Fig3Result(
+        series=series, slope=correlator.slope, intercept=correlator.intercept
+    )
+    if verbose:
+        print(result.table())
+        print(
+            f"linear model: RT = {result.slope:.3f} * gen_time "
+            f"{result.intercept:+.3f}   (R^2 = {result.r2:.3f}, "
+            f"MAE = {result.mae:.3f}s)"
+        )
+    return result
+
+
+if __name__ == "__main__":
+    run()

@@ -1,0 +1,59 @@
+"""Fig. 4 — number of parameters selected by Lasso vs lambda.
+
+The paper sweeps lambda over ten decades (10^0 .. 10^9) and counts the
+non-zero weights of the Eq. (2) solution: the curve is non-increasing,
+starting near the full parameter count (~30: base features + slopes +
+gen_time) and ending with a handful of high-interest features.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core import AggregationConfig, DataHistory, LassoFeatureSelector, aggregate_history
+from repro.experiments.common import EXPERIMENT_WINDOW, default_history
+from repro.utils.tables import render_table
+
+
+@dataclass
+class Fig4Result:
+    """The selection-count series over the lambda grid."""
+
+    lambdas: np.ndarray
+    counts: np.ndarray
+    selector: LassoFeatureSelector
+
+    def table(self) -> str:
+        rows = [
+            [f"1e{int(round(np.log10(lam)))}", int(cnt)]
+            for lam, cnt in zip(self.lambdas, self.counts)
+        ]
+        return render_table(
+            ("lambda", "selected parameters"),
+            rows,
+            title="Fig. 4 — Parameters selected by Lasso",
+        )
+
+
+def run(history: DataHistory | None = None, verbose: bool = True) -> Fig4Result:
+    if history is None:
+        history = default_history()
+    dataset = aggregate_history(
+        history, AggregationConfig(window_seconds=EXPERIMENT_WINDOW)
+    )
+    selector = LassoFeatureSelector().fit(dataset)
+    pairs = selector.selection_counts()
+    result = Fig4Result(
+        lambdas=np.array([lam for lam, _ in pairs]),
+        counts=np.array([cnt for _, cnt in pairs]),
+        selector=selector,
+    )
+    if verbose:
+        print(result.table())
+    return result
+
+
+if __name__ == "__main__":
+    run()

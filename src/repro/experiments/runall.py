@@ -1,0 +1,55 @@
+"""Run every experiment in paper order, sharing one campaign + F2PM run.
+
+Usage::
+
+    python -m repro.experiments.runall
+"""
+
+from __future__ import annotations
+
+from repro.experiments import common
+from repro.experiments import (
+    ext_incremental_curve,
+    ext_mix_comparison,
+    ext_rejuvenation_sweep,
+    fig3_rt_correlation,
+    fig4_lasso_path,
+    fig5_fitted_models,
+    table1_weights,
+    table2_smae,
+    table3_training_time,
+    table4_validation_time,
+)
+
+
+def main() -> None:
+    history = common.default_history()
+    print(
+        f"campaign: {len(history)} runs, {history.n_datapoints} datapoints, "
+        f"mean run length {history.mean_run_length:.0f}s\n"
+    )
+    for driver in (
+        fig3_rt_correlation,
+        fig4_lasso_path,
+        table1_weights,
+        table2_smae,
+        table3_training_time,
+        table4_validation_time,
+        fig5_fitted_models,
+        ext_rejuvenation_sweep,
+    ):
+        print(f"==== {driver.__name__.rsplit('.', 1)[-1]} ====")
+        driver.run(history)
+        print()
+
+    # These extensions own their simulations (campaign config, not history).
+    print("==== ext_incremental_curve ====")
+    ext_incremental_curve.run(batch_runs=4, max_runs=12)
+    print()
+    print("==== ext_mix_comparison ====")
+    ext_mix_comparison.run(n_runs=6)
+    print()
+
+
+if __name__ == "__main__":
+    main()

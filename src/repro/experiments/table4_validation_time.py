@@ -1,0 +1,42 @@
+"""Table IV — model validation time.
+
+Time to predict the validation set and compute the error metrics. Paper
+shape: all methods validate in fractions of a second, and validation on
+Lasso-selected features is uniformly cheaper than on all parameters.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core import DataHistory, F2PMResult
+from repro.experiments.common import default_history, run_f2pm_cached
+
+
+@dataclass
+class Table4Result:
+    result: F2PMResult
+
+    def validation_time(self, name: str, feature_set: str = "all") -> float:
+        return self.result.report(name, feature_set).validation_time
+
+    @property
+    def all_sub_second(self) -> bool:
+        """Paper shape: validation is fast (sub-second) for every model."""
+        return all(r.validation_time < 1.0 for r in self.result.reports)
+
+    def table(self) -> str:
+        return self.result.validation_time_table()
+
+
+def run(history: DataHistory | None = None, verbose: bool = True) -> Table4Result:
+    if history is None:
+        history = default_history()
+    result = Table4Result(result=run_f2pm_cached(history))
+    if verbose:
+        print(result.table())
+    return result
+
+
+if __name__ == "__main__":
+    run()

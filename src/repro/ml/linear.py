@@ -1,0 +1,114 @@
+"""Ordinary least squares and ridge regression.
+
+Linear Regression is one of the paper's six methods (Sec. III-D, Eq. 3)
+and also powers two other pieces of the reproduction:
+
+- the inter-generation-time -> response-time correlation model of Fig. 3
+  ("using the fast Linear Regression"), and
+- the linear models at the nodes of the M5P model tree, which use the
+  ridge variant for numerical robustness on tiny leaf samples.
+
+The solver is :func:`numpy.linalg.lstsq` (SVD-backed), which handles
+rank-deficient design matrices — common once slope features are added,
+since e.g. ``swap_used_slope`` and ``swap_free_slope`` are exactly
+collinear.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.ml.base import Regressor
+from repro.utils.validation import check_array, check_is_fitted, check_X_y
+
+
+class LinearRegression(Regressor):
+    """Ordinary least squares: ``y = X beta + intercept``.
+
+    Parameters
+    ----------
+    fit_intercept : bool
+        If True (default) the model learns an unpenalized intercept by
+        centring X and y before the solve.
+    """
+
+    def __init__(self, fit_intercept: bool = True) -> None:
+        self.fit_intercept = fit_intercept
+        self.coef_: np.ndarray | None = None
+        self.intercept_: float = 0.0
+
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "LinearRegression":
+        X, y = check_X_y(X, y)
+        if self.fit_intercept:
+            x_mean = X.mean(axis=0)
+            y_mean = y.mean()
+            Xc = X - x_mean
+            yc = y - y_mean
+        else:
+            x_mean = np.zeros(X.shape[1])
+            y_mean = 0.0
+            Xc, yc = X, y
+        coef, *_ = np.linalg.lstsq(Xc, yc, rcond=None)
+        self.coef_ = coef
+        self.intercept_ = float(y_mean - x_mean @ coef)
+        return self
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        check_is_fitted(self, "coef_")
+        X = check_array(X)
+        if X.shape[1] != self.coef_.shape[0]:
+            raise ValueError(
+                f"X has {X.shape[1]} features, model was fitted on "
+                f"{self.coef_.shape[0]}"
+            )
+        return X @ self.coef_ + self.intercept_
+
+
+class RidgeRegression(Regressor):
+    """L2-regularized least squares.
+
+    Solves ``min ||y - X beta||^2 + alpha ||beta||^2`` via the normal
+    equations with a Cholesky solve; the intercept is unpenalized. Used by
+    M5P leaf models, where leaves may contain fewer samples than features.
+    """
+
+    def __init__(self, alpha: float = 1.0, fit_intercept: bool = True) -> None:
+        if alpha < 0:
+            raise ValueError(f"alpha must be non-negative, got {alpha}")
+        self.alpha = alpha
+        self.fit_intercept = fit_intercept
+        self.coef_: np.ndarray | None = None
+        self.intercept_: float = 0.0
+
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "RidgeRegression":
+        X, y = check_X_y(X, y)
+        n, p = X.shape
+        if self.fit_intercept:
+            x_mean = X.mean(axis=0)
+            y_mean = y.mean()
+            Xc = X - x_mean
+            yc = y - y_mean
+        else:
+            x_mean = np.zeros(p)
+            y_mean = 0.0
+            Xc, yc = X, y
+        A = Xc.T @ Xc
+        A[np.diag_indices_from(A)] += self.alpha
+        try:
+            coef = np.linalg.solve(A, Xc.T @ yc)
+        except np.linalg.LinAlgError:
+            # alpha == 0 with a singular design: fall back to the pseudoinverse.
+            coef, *_ = np.linalg.lstsq(Xc, yc, rcond=None)
+        self.coef_ = coef
+        self.intercept_ = float(y_mean - x_mean @ coef)
+        return self
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        check_is_fitted(self, "coef_")
+        X = check_array(X)
+        if X.shape[1] != self.coef_.shape[0]:
+            raise ValueError(
+                f"X has {X.shape[1]} features, model was fitted on "
+                f"{self.coef_.shape[0]}"
+            )
+        return X @ self.coef_ + self.intercept_

@@ -1,0 +1,104 @@
+"""Least-Squares Support Vector Machine regression (Suykens & Vandewalle).
+
+The paper's sixth method ("SVM2" in its Tables II-IV). LS-SVM replaces the
+SVM's inequality constraints with equality constraints and a squared-error
+loss, so training reduces to one symmetric linear system::
+
+    [ 0    1'        ] [ b     ]   [ 0 ]
+    [ 1    K + I/gam ] [ alpha ] = [ y ]
+
+Prediction is ``f(x) = sum_i alpha_i K(x_i, x) + b``. Every training point
+becomes a "support vector" (alpha is dense) — the classic LS-SVM
+trade-off: much cheaper training than SMO, no sparsity.
+
+The system is solved with a symmetric-indefinite factorization
+(``scipy.linalg.solve(assume_a="sym")``); for ill-conditioned kernels a
+tiny jitter is added to the diagonal and the solve retried.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.linalg
+
+from repro.ml.base import Regressor
+from repro.ml.kernels import resolve_gamma, resolve_kernel
+from repro.utils.validation import check_array, check_is_fitted, check_X_y
+
+
+class LSSVMRegressor(Regressor):
+    """Least-squares SVM for regression.
+
+    Parameters
+    ----------
+    gam : float
+        Regularization constant gamma (larger fits harder; the ridge term
+        on the kernel diagonal is ``1/gam``).
+    kernel : {"rbf", "linear", "poly"}
+    gamma : float or "scale"
+        Kernel coefficient (RBF width / poly scale).
+    degree, coef0 :
+        Polynomial kernel parameters.
+
+    Attributes
+    ----------
+    alpha_ : (n,) dual weights (dense).
+    intercept_ : float bias term b.
+    """
+
+    def __init__(
+        self,
+        gam: float = 10.0,
+        kernel: str = "rbf",
+        gamma: "float | str" = "scale",
+        degree: int = 3,
+        coef0: float = 1.0,
+    ) -> None:
+        if gam <= 0:
+            raise ValueError(f"gam must be positive, got {gam}")
+        self.gam = gam
+        self.kernel = kernel
+        self.gamma = gamma
+        self.degree = degree
+        self.coef0 = coef0
+        self.alpha_: np.ndarray | None = None
+        self.intercept_: float = 0.0
+
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "LSSVMRegressor":
+        X, y = check_X_y(X, y)
+        n = X.shape[0]
+        gamma = resolve_gamma(self.gamma, X)
+        self._kernel = resolve_kernel(
+            self.kernel, gamma=gamma, degree=self.degree, coef0=self.coef0
+        )
+        K = self._kernel(X, X)
+        A = np.empty((n + 1, n + 1))
+        A[0, 0] = 0.0
+        A[0, 1:] = 1.0
+        A[1:, 0] = 1.0
+        A[1:, 1:] = K
+        idx = np.arange(1, n + 1)
+        A[idx, idx] += 1.0 / self.gam
+        rhs = np.empty(n + 1)
+        rhs[0] = 0.0
+        rhs[1:] = y
+        try:
+            sol = scipy.linalg.solve(A, rhs, assume_a="sym")
+        except (scipy.linalg.LinAlgError, np.linalg.LinAlgError):
+            A[idx, idx] += 1e-8 * (1.0 + np.abs(A[idx, idx]))
+            sol = scipy.linalg.solve(A, rhs, assume_a="sym")
+        self.intercept_ = float(sol[0])
+        self.alpha_ = sol[1:]
+        self._X_train = X
+        return self
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        check_is_fitted(self, "alpha_")
+        X = check_array(X)
+        if X.shape[1] != self._X_train.shape[1]:
+            raise ValueError(
+                f"X has {X.shape[1]} features, model was fitted on "
+                f"{self._X_train.shape[1]}"
+            )
+        K = self._kernel(X, self._X_train)
+        return K @ self.alpha_ + self.intercept_

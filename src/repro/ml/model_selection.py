@@ -1,0 +1,210 @@
+"""Data splitting and cross-validation.
+
+F2PM's validation phase holds out a validation set from the aggregated
+training data (paper Sec. III-D). The splitters here support both the
+simple shuffled split the experiments use and k-fold cross-validation for
+the extended model-comparison utilities.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Iterator
+
+import numpy as np
+
+from repro.ml.base import Regressor, clone
+from repro.ml.metrics import mean_absolute_error
+from repro.utils.rng import as_rng
+from repro.utils.validation import check_consistent_length
+
+
+def train_test_split(
+    X: np.ndarray,
+    y: np.ndarray,
+    *,
+    test_size: float = 0.25,
+    shuffle: bool = True,
+    seed: int | None | np.random.Generator = None,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Split ``(X, y)`` into train and test partitions.
+
+    Parameters
+    ----------
+    test_size : float
+        Fraction of samples assigned to the test partition, in ``(0, 1)``.
+        At least one sample always lands on each side.
+    shuffle : bool
+        If False the split is a temporal head/tail split — important for
+        time-series-flavoured data where shuffling would leak future
+        samples into training.
+    seed : int, Generator or None
+        Randomness source for shuffling.
+
+    Returns ``(X_train, X_test, y_train, y_test)``.
+    """
+    X = np.asarray(X)
+    y = np.asarray(y)
+    check_consistent_length(X, y)
+    n = X.shape[0]
+    if not 0.0 < test_size < 1.0:
+        raise ValueError(f"test_size must be in (0, 1), got {test_size}")
+    if n < 2:
+        raise ValueError("need at least 2 samples to split")
+    n_test = min(max(int(round(n * test_size)), 1), n - 1)
+    if shuffle:
+        perm = as_rng(seed).permutation(n)
+    else:
+        perm = np.arange(n)
+    test_idx = perm[n - n_test :]
+    train_idx = perm[: n - n_test]
+    return X[train_idx], X[test_idx], y[train_idx], y[test_idx]
+
+
+@dataclass
+class KFold:
+    """K-fold cross-validation index generator.
+
+    Yields ``(train_idx, test_idx)`` pairs. With ``shuffle=True`` the
+    sample order is permuted once before folding.
+    """
+
+    n_splits: int = 5
+    shuffle: bool = False
+    seed: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.n_splits < 2:
+            raise ValueError(f"n_splits must be >= 2, got {self.n_splits}")
+
+    def split(self, n_samples: int) -> Iterator[tuple[np.ndarray, np.ndarray]]:
+        if n_samples < self.n_splits:
+            raise ValueError(
+                f"cannot split {n_samples} samples into {self.n_splits} folds"
+            )
+        indices = np.arange(n_samples)
+        if self.shuffle:
+            indices = as_rng(self.seed).permutation(n_samples)
+        # Spread the remainder over the first folds, sklearn-style.
+        fold_sizes = np.full(self.n_splits, n_samples // self.n_splits, dtype=int)
+        fold_sizes[: n_samples % self.n_splits] += 1
+        start = 0
+        for size in fold_sizes:
+            test_idx = indices[start : start + size]
+            train_idx = np.concatenate([indices[:start], indices[start + size :]])
+            yield train_idx, test_idx
+            start += size
+
+
+@dataclass
+class CVResult:
+    """Per-fold scores from :func:`cross_validate`."""
+
+    scores: list[float] = field(default_factory=list)
+
+    @property
+    def mean(self) -> float:
+        return float(np.mean(self.scores))
+
+    @property
+    def std(self) -> float:
+        return float(np.std(self.scores))
+
+
+def cross_validate(
+    estimator: Regressor,
+    X: np.ndarray,
+    y: np.ndarray,
+    *,
+    cv: KFold | None = None,
+    scorer: Callable[[np.ndarray, np.ndarray], float] = mean_absolute_error,
+) -> CVResult:
+    """Evaluate *estimator* by k-fold cross-validation.
+
+    A fresh clone is fitted per fold; *scorer* maps
+    ``(y_true, y_pred) -> float`` (default MAE, lower is better).
+    """
+    X = np.asarray(X, dtype=np.float64)
+    y = np.asarray(y, dtype=np.float64)
+    check_consistent_length(X, y)
+    cv = cv or KFold()
+    result = CVResult()
+    for train_idx, test_idx in cv.split(X.shape[0]):
+        model = clone(estimator)
+        model.fit(X[train_idx], y[train_idx])
+        result.scores.append(float(scorer(y[test_idx], model.predict(X[test_idx]))))
+    return result
+
+
+@dataclass
+class GridSearchResult:
+    """Outcome of :class:`GridSearchCV`: per-candidate CV scores."""
+
+    params: list[dict]
+    results: list[CVResult]
+    best_index: int
+
+    @property
+    def best_params(self) -> dict:
+        return self.params[self.best_index]
+
+    @property
+    def best_score(self) -> float:
+        return self.results[self.best_index].mean
+
+
+class GridSearchCV:
+    """Exhaustive hyper-parameter search by cross-validation.
+
+    The paper leaves hyper-parameter choice to the user; this utility
+    automates it for any zoo method. The grid is a mapping from parameter
+    name to candidate values; every combination is cross-validated and
+    the lowest mean score (default MAE) wins.
+
+    Example::
+
+        search = GridSearchCV(Lasso(), {"lam": [0.01, 0.1, 1.0]})
+        result = search.fit(X, y)
+        best = Lasso(**result.best_params).fit(X, y)
+    """
+
+    def __init__(
+        self,
+        estimator: Regressor,
+        param_grid: dict,
+        *,
+        cv: KFold | None = None,
+        scorer: Callable[[np.ndarray, np.ndarray], float] = mean_absolute_error,
+    ) -> None:
+        if not param_grid:
+            raise ValueError("param_grid must contain at least one parameter")
+        for name, values in param_grid.items():
+            if not list(values):
+                raise ValueError(f"parameter {name!r} has no candidate values")
+        self.estimator = estimator
+        self.param_grid = param_grid
+        self.cv = cv or KFold()
+        self.scorer = scorer
+
+    def _combinations(self) -> Iterator[dict]:
+        names = sorted(self.param_grid)
+        def rec(i: int, current: dict):
+            if i == len(names):
+                yield dict(current)
+                return
+            for value in self.param_grid[names[i]]:
+                current[names[i]] = value
+                yield from rec(i + 1, current)
+        yield from rec(0, {})
+
+    def fit(self, X: np.ndarray, y: np.ndarray) -> GridSearchResult:
+        params: list[dict] = []
+        results: list[CVResult] = []
+        for combo in self._combinations():
+            candidate = clone(self.estimator).set_params(**combo)
+            params.append(combo)
+            results.append(
+                cross_validate(candidate, X, y, cv=self.cv, scorer=self.scorer)
+            )
+        best = int(np.argmin([r.mean for r in results]))
+        return GridSearchResult(params=params, results=results, best_index=best)

@@ -1,0 +1,57 @@
+"""Estimator composition: scaling wrapper.
+
+The SVM-family learners (and WEKA's SMOreg, which normalizes internally)
+are scale-sensitive, while F2PM feeds models raw system features spanning
+nine orders of magnitude (KB counts vs CPU percentages). ``ScaledModel``
+reproduces WEKA's internal normalization: it standardizes the features
+(and optionally the target) before fitting the wrapped learner and maps
+predictions back to target units.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.ml.base import Regressor, clone
+from repro.ml.preprocessing import StandardScaler
+from repro.utils.validation import check_is_fitted, check_X_y
+
+
+class ScaledModel(Regressor):
+    """Standardize X (and optionally y) around an inner regressor.
+
+    The *inner* estimator is treated as a prototype: ``fit`` trains a
+    fresh clone (``inner_``), so several ``ScaledModel`` instances may
+    share one prototype safely.
+    """
+
+    def __init__(
+        self, inner: Regressor, scale_X: bool = True, scale_y: bool = True
+    ) -> None:
+        self.inner = inner
+        self.scale_X = scale_X
+        self.scale_y = scale_y
+        self.inner_: Regressor | None = None
+
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "ScaledModel":
+        X, y = check_X_y(X, y)
+        self._x_scaler = StandardScaler() if self.scale_X else None
+        Xs = self._x_scaler.fit_transform(X) if self._x_scaler else X
+        if self.scale_y:
+            self._y_mean = float(y.mean())
+            self._y_scale = float(y.std()) or 1.0
+            ys = (y - self._y_mean) / self._y_scale
+        else:
+            self._y_mean, self._y_scale = 0.0, 1.0
+            ys = y
+        self.inner_ = clone(self.inner)
+        self.inner_.fit(Xs, ys)
+        return self
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        check_is_fitted(self, "inner_")
+        Xs = self._x_scaler.transform(X) if self._x_scaler else np.asarray(X, dtype=np.float64)
+        return self.inner_.predict(Xs) * self._y_scale + self._y_mean
+
+    def __repr__(self) -> str:
+        return f"ScaledModel({self.inner!r}, scale_X={self.scale_X}, scale_y={self.scale_y})"

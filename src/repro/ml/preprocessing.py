@@ -1,0 +1,102 @@
+"""Feature scaling.
+
+The SVR, LS-SVM and Lasso learners are scale-sensitive; F2PM standardizes
+features before handing them to those methods (the tree learners are
+scale-invariant and skip it). Both scalers follow the fit/transform
+convention and support exact inverse transforms.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.validation import check_array, check_is_fitted
+
+
+class StandardScaler:
+    """Standardize features to zero mean and unit variance.
+
+    Constant features (zero variance) are left centred but un-scaled so the
+    transform never divides by zero — relevant for F2PM because some
+    monitored features (e.g. ``cpu_steal`` on an idle hypervisor) can be
+    constant over a whole campaign.
+    """
+
+    def __init__(self, with_mean: bool = True, with_std: bool = True) -> None:
+        self.with_mean = with_mean
+        self.with_std = with_std
+        self.mean_: np.ndarray | None = None
+        self.scale_: np.ndarray | None = None
+
+    def fit(self, X: np.ndarray) -> "StandardScaler":
+        X = check_array(X)
+        self.mean_ = X.mean(axis=0) if self.with_mean else np.zeros(X.shape[1])
+        if self.with_std:
+            std = X.std(axis=0)
+            std[std == 0.0] = 1.0
+            self.scale_ = std
+        else:
+            self.scale_ = np.ones(X.shape[1])
+        return self
+
+    def transform(self, X: np.ndarray) -> np.ndarray:
+        check_is_fitted(self, "mean_")
+        X = check_array(X)
+        if X.shape[1] != self.mean_.shape[0]:
+            raise ValueError(
+                f"X has {X.shape[1]} features, scaler was fitted on "
+                f"{self.mean_.shape[0]}"
+            )
+        return (X - self.mean_) / self.scale_
+
+    def fit_transform(self, X: np.ndarray) -> np.ndarray:
+        return self.fit(X).transform(X)
+
+    def inverse_transform(self, X: np.ndarray) -> np.ndarray:
+        check_is_fitted(self, "mean_")
+        X = check_array(X)
+        return X * self.scale_ + self.mean_
+
+
+class MinMaxScaler:
+    """Scale features to a target range (default ``[0, 1]``).
+
+    Constant features map to the lower bound of the range.
+    """
+
+    def __init__(self, feature_range: tuple[float, float] = (0.0, 1.0)) -> None:
+        lo, hi = feature_range
+        if not lo < hi:
+            raise ValueError(f"feature_range must be increasing, got {feature_range}")
+        self.feature_range = feature_range
+        self.min_: np.ndarray | None = None
+        self.scale_: np.ndarray | None = None
+
+    def fit(self, X: np.ndarray) -> "MinMaxScaler":
+        X = check_array(X)
+        lo, hi = self.feature_range
+        data_min = X.min(axis=0)
+        data_range = X.max(axis=0) - data_min
+        data_range[data_range == 0.0] = 1.0
+        self.scale_ = (hi - lo) / data_range
+        self.min_ = lo - data_min * self.scale_
+        self.data_min_ = data_min
+        return self
+
+    def transform(self, X: np.ndarray) -> np.ndarray:
+        check_is_fitted(self, "min_")
+        X = check_array(X)
+        if X.shape[1] != self.min_.shape[0]:
+            raise ValueError(
+                f"X has {X.shape[1]} features, scaler was fitted on "
+                f"{self.min_.shape[0]}"
+            )
+        return X * self.scale_ + self.min_
+
+    def fit_transform(self, X: np.ndarray) -> np.ndarray:
+        return self.fit(X).transform(X)
+
+    def inverse_transform(self, X: np.ndarray) -> np.ndarray:
+        check_is_fitted(self, "min_")
+        X = check_array(X)
+        return (X - self.min_) / self.scale_

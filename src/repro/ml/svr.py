@@ -1,0 +1,382 @@
+"""Epsilon-insensitive Support Vector Regression via SMO.
+
+This is the paper's "SVM" method (Sec. III-D, WEKA's SMOreg). The dual
+problem is solved with a from-scratch Sequential Minimal Optimization
+solver in the LIBSVM formulation:
+
+The epsilon-SVR dual over ``alpha, alpha*`` is folded into a single
+2n-variable box-constrained QP::
+
+    min_a  1/2 a' Q a + p' a
+    s.t.   z' a = 0,   0 <= a_t <= C
+
+with ``z = (+1,...,+1, -1,...,-1)``, ``Q[s,t] = z_s z_t K(s%n, t%n)``,
+``p = (eps - y, eps + y)``. The regression coefficients are
+``beta = a[:n] - a[n:]`` and the prediction is
+``f(x) = sum_i beta_i K(x_i, x) + b``.
+
+The solver uses maximal-violating-pair working-set selection (Keerthi
+WSS1) with the analytic two-variable update, maintaining the gradient
+incrementally — one kernel-matrix column per iteration. Kernel columns
+are computed on demand through a bounded FIFO cache (LIBSVM's kernel
+cache), so memory stays O(cache_columns * n) and training cost scales
+with the feature count; Q columns are materialized on the fly from the
+block structure.
+
+Complexity is the reason the paper's Table III shows SVM training two to
+three orders of magnitude slower than the tree learners; the same gap
+reproduces here.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.ml.base import Regressor
+from repro.ml.kernels import resolve_gamma, resolve_kernel, resolve_kernel_diag
+from repro.utils.validation import check_array, check_is_fitted, check_X_y
+
+_TAU = 1e-12
+
+
+class _KernelColumnCache:
+    """LIBSVM-style kernel cache: columns of K computed on demand.
+
+    Computing columns lazily (one ``K[:, t] = k(X, x_t)`` per working-set
+    index, FIFO-bounded cache) keeps memory at O(cache * n) instead of
+    O(n^2) and — deliberately — makes the training cost proportional to
+    the feature count, reproducing the paper's Table III observation that
+    Lasso-selected feature sets train the SVM substantially faster.
+    """
+
+    def __init__(self, X: np.ndarray, kernel, max_columns: int = 512) -> None:
+        self.X = X
+        self.kernel = kernel
+        self.max_columns = max(1, max_columns)
+        self._columns: dict[int, np.ndarray] = {}
+
+    def column(self, t: int) -> np.ndarray:
+        col = self._columns.get(t)
+        if col is None:
+            col = self.kernel(self.X, self.X[t : t + 1])[:, 0]
+            if len(self._columns) >= self.max_columns:
+                # FIFO eviction: drop the oldest inserted column.
+                self._columns.pop(next(iter(self._columns)))
+            self._columns[t] = col
+        return col
+
+
+class _SMOSolver:
+    """LIBSVM-style SMO for ``min 1/2 a'Qa + p'a, z'a = 0, 0 <= a <= C``."""
+
+    def __init__(
+        self,
+        cache: _KernelColumnCache,
+        n: int,
+        p: np.ndarray,
+        z: np.ndarray,
+        C: float,
+        tol: float,
+        max_iter: int,
+        k_diag: np.ndarray,
+    ) -> None:
+        self.cache = cache
+        self.n = n
+        self.p = p
+        self.z = z
+        self.C = C
+        self.tol = tol
+        self.max_iter = max_iter
+        # Diagonal of Q: Q_tt = z_t^2 K_tt = K_tt, duplicated for both blocks.
+        self.QD = np.concatenate([k_diag, k_diag])
+
+    #: Re-examine the active set every this many inner iterations.
+    SHRINK_PERIOD = 1000
+
+    def _q_column_active(
+        self, t_global: int, active_mod: np.ndarray, z_active: np.ndarray
+    ) -> np.ndarray:
+        """Entries ``Q[active, t]`` without materializing Q.
+
+        ``Q[s, t] = z_s z_t K[s%n, t%n]``; one cached kernel column serves
+        both blocks.
+        """
+        col = self.cache.column(t_global % self.n)
+        return (self.z[t_global] * z_active) * col[active_mod]
+
+    def _full_gradient(self, a: np.ndarray) -> np.ndarray:
+        """Reconstruct G = Qa + p from scratch (unshrinking step).
+
+        Uses only the support columns: O(n * nSV) kernel work.
+        """
+        n = self.n
+        beta = a[:n] - a[n:]
+        sv = np.flatnonzero(beta)
+        G = self.p.copy()
+        if sv.size:
+            kb = self.cache.kernel(self.cache.X, self.cache.X[sv]) @ beta[sv]
+            G[:n] += kb
+            G[n:] -= kb
+        return G
+
+    def solve(self) -> tuple[np.ndarray, float, int]:
+        """Run SMO with shrinking. Returns (a, rho, n_iter); bias = -rho.
+
+        The solver iterates on a shrinking *active set*: variables pinned
+        at a bound with no prospect of violating the KKT conditions are
+        dropped from the working-set search. Whenever the active problem
+        converges, the full gradient is reconstructed and the global KKT
+        gap checked — shrinking is a heuristic; the final answer always
+        satisfies the full-problem stopping rule (or the iteration cap).
+        """
+        m2 = 2 * self.n
+        a = np.zeros(m2)
+        G = self.p.copy()  # gradient of the objective at a = 0
+        z = self.z
+        C = self.C
+        tol = self.tol
+        n_iter = 0
+        neg_inf = -np.inf
+
+        active = np.arange(m2)
+        while True:
+            # Views over the active set (copied; written back on exit).
+            act_mod = active % self.n
+            za = z[active]
+            aa = a[active]
+            Ga = G[active]
+            QDa = self.QD[active]
+            pos = za > 0
+            budget = self.SHRINK_PERIOD
+            converged_active = False
+            last_m = np.inf
+            last_M = -np.inf
+
+            while n_iter < self.max_iter and budget > 0:
+                g = -(za * Ga)
+                up_mask = np.where(pos, aa < C, aa > 0.0)
+                low_mask = np.where(pos, aa > 0.0, aa < C)
+                up_vals = np.where(up_mask, g, neg_inf)
+                i = int(np.argmax(up_vals))
+                g_i = float(up_vals[i])
+                low_vals = np.where(low_mask, g, np.inf)
+                last_m, last_M = g_i, float(np.min(low_vals))
+                if g_i - last_M < tol:
+                    converged_active = True
+                    break
+                n_iter += 1
+                budget -= 1
+
+                # Second-order working-set selection (LIBSVM WSS2).
+                Qi = self._q_column_active(int(active[i]), act_mod, za)
+                b_t = g_i - g
+                cand = low_mask & (b_t > 0.0)
+                denom = QDa[i] + QDa - 2.0 * Qi
+                np.maximum(denom, _TAU, out=denom)
+                obj = np.where(cand, -(b_t * b_t) / denom, np.inf)
+                j = int(np.argmin(obj))
+                Qj = self._q_column_active(int(active[j]), act_mod, za)
+                old_ai, old_aj = aa[i], aa[j]
+
+                if za[i] != za[j]:
+                    quad = Qi[i] + Qj[j] + 2.0 * Qi[j]
+                    if quad <= 0.0:
+                        quad = _TAU
+                    delta = (-Ga[i] - Ga[j]) / quad
+                    diff = aa[i] - aa[j]
+                    aa[i] += delta
+                    aa[j] += delta
+                    if diff > 0.0:
+                        if aa[j] < 0.0:
+                            aa[j] = 0.0
+                            aa[i] = diff
+                    else:
+                        if aa[i] < 0.0:
+                            aa[i] = 0.0
+                            aa[j] = -diff
+                    if diff > 0.0:  # C_i == C_j == C
+                        if aa[i] > C:
+                            aa[i] = C
+                            aa[j] = C - diff
+                    else:
+                        if aa[j] > C:
+                            aa[j] = C
+                            aa[i] = C + diff
+                else:
+                    quad = Qi[i] + Qj[j] - 2.0 * Qi[j]
+                    if quad <= 0.0:
+                        quad = _TAU
+                    delta = (Ga[i] - Ga[j]) / quad
+                    total = aa[i] + aa[j]
+                    aa[i] -= delta
+                    aa[j] += delta
+                    if total > C:
+                        if aa[i] > C:
+                            aa[i] = C
+                            aa[j] = total - C
+                    else:
+                        if aa[j] < 0.0:
+                            aa[j] = 0.0
+                            aa[i] = total
+                    if total > C:
+                        if aa[j] > C:
+                            aa[j] = C
+                            aa[i] = total - C
+                    else:
+                        if aa[i] < 0.0:
+                            aa[i] = 0.0
+                            aa[j] = total
+
+                # Incremental gradient update on the active set.
+                Ga += Qi * (aa[i] - old_ai) + Qj * (aa[j] - old_aj)
+
+            # Write the active block back into the full vectors.
+            a[active] = aa
+            G[active] = Ga
+
+            if converged_active or n_iter >= self.max_iter:
+                # Unshrink: rebuild the full gradient and re-check globally.
+                G = self._full_gradient(a)
+                g = -(z * G)
+                up_mask = np.where(z > 0, a < C, a > 0.0)
+                low_mask = np.where(z > 0, a > 0.0, a < C)
+                g_max = float(np.max(np.where(up_mask, g, neg_inf)))
+                g_min = float(np.min(np.where(low_mask, g, np.inf)))
+                if g_max - g_min < tol or n_iter >= self.max_iter:
+                    break
+                active = np.arange(m2)  # restart on the full problem
+                continue
+
+            # Shrink: keep free variables and bound variables that can
+            # still violate the KKT conditions at the current (m, M).
+            g = -(za * Ga)
+            free = (aa > 0.0) & (aa < C)
+            up_mask = np.where(pos, aa < C, aa > 0.0)
+            low_mask = np.where(pos, aa > 0.0, aa < C)
+            keep = free | (up_mask & (g > last_M)) | (low_mask & (g < last_m))
+            if keep.sum() < 2:
+                keep[:] = True
+            active = active[keep]
+
+        rho = self._calculate_rho(a, G)
+        return a, rho, n_iter
+
+    def _calculate_rho(self, a: np.ndarray, G: np.ndarray) -> float:
+        """LIBSVM rho: average z*G over free variables, else midpoint."""
+        zG = self.z * G
+        free = (a > 0.0) & (a < self.C)
+        if free.any():
+            return float(zG[free].mean())
+        at_upper = a >= self.C
+        at_lower = a <= 0.0
+        # Upper bound candidates: z=-1 at C, or z=+1 at 0.
+        ub_mask = (at_upper & (self.z < 0)) | (at_lower & (self.z > 0))
+        lb_mask = (at_upper & (self.z > 0)) | (at_lower & (self.z < 0))
+        ub = float(zG[ub_mask].min()) if ub_mask.any() else np.inf
+        lb = float(zG[lb_mask].max()) if lb_mask.any() else -np.inf
+        if not np.isfinite(ub) or not np.isfinite(lb):
+            return 0.0
+        return (ub + lb) / 2.0
+
+
+class SVR(Regressor):
+    """Epsilon-insensitive Support Vector Regression.
+
+    Parameters
+    ----------
+    C : float
+        Box constraint (regularization strength; larger fits harder).
+    epsilon : float
+        Width of the insensitive tube in target units.
+    kernel : {"rbf", "linear", "poly"}
+    gamma : float or "scale"
+        RBF/poly kernel coefficient; "scale" uses the LIBSVM
+        ``1/(p * var(X))`` rule.
+    degree, coef0 :
+        Polynomial kernel parameters.
+    tol : float
+        KKT violation tolerance for the SMO stopping rule.
+    max_iter : int
+        Hard cap on SMO iterations.
+    cache_columns : int
+        Kernel-cache capacity (columns kept resident).
+
+    Attributes
+    ----------
+    support_ : indices of support vectors (non-zero dual coefficients).
+    dual_coef_ : beta values at the support vectors.
+    intercept_ : float bias.
+    n_iter_ : SMO iterations used.
+    """
+
+    def __init__(
+        self,
+        C: float = 1.0,
+        epsilon: float = 0.1,
+        kernel: str = "rbf",
+        gamma: "float | str" = "scale",
+        degree: int = 3,
+        coef0: float = 1.0,
+        tol: float = 1e-3,
+        max_iter: int = 100_000,
+        cache_columns: int = 512,
+    ) -> None:
+        if C <= 0:
+            raise ValueError(f"C must be positive, got {C}")
+        if epsilon < 0:
+            raise ValueError(f"epsilon must be non-negative, got {epsilon}")
+        self.C = C
+        self.epsilon = epsilon
+        self.kernel = kernel
+        self.gamma = gamma
+        self.degree = degree
+        self.coef0 = coef0
+        self.tol = tol
+        self.max_iter = max_iter
+        self.cache_columns = cache_columns
+        self.support_: np.ndarray | None = None
+        self.dual_coef_: np.ndarray | None = None
+        self.intercept_: float = 0.0
+        self.n_iter_: int = 0
+
+    def _kernel_fn(self, X: np.ndarray):
+        gamma = resolve_gamma(self.gamma, X)
+        return resolve_kernel(
+            self.kernel, gamma=gamma, degree=self.degree, coef0=self.coef0
+        )
+
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "SVR":
+        X, y = check_X_y(X, y)
+        n = X.shape[0]
+        self._kernel = self._kernel_fn(X)
+        cache = _KernelColumnCache(X, self._kernel, max_columns=self.cache_columns)
+        p = np.concatenate([self.epsilon - y, self.epsilon + y])
+        z = np.concatenate([np.ones(n), -np.ones(n)])
+        gamma = resolve_gamma(self.gamma, X)
+        k_diag = resolve_kernel_diag(
+            self.kernel, gamma=gamma, degree=self.degree, coef0=self.coef0
+        )(X)
+        solver = _SMOSolver(
+            cache, n, p, z, self.C, self.tol, self.max_iter, k_diag
+        )
+        a, rho, self.n_iter_ = solver.solve()
+        beta = a[:n] - a[n:]
+        support = np.flatnonzero(np.abs(beta) > 1e-12)
+        self.support_ = support
+        self.support_vectors_ = X[support]
+        self.dual_coef_ = beta[support]
+        self.intercept_ = -rho
+        self._n_features = X.shape[1]
+        return self
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        check_is_fitted(self, "dual_coef_")
+        X = check_array(X)
+        if X.shape[1] != self._n_features:
+            raise ValueError(
+                f"X has {X.shape[1]} features, model was fitted on {self._n_features}"
+            )
+        if self.support_.size == 0:
+            return np.full(X.shape[0], self.intercept_)
+        K = self._kernel(X, self.support_vectors_)
+        return K @ self.dual_coef_ + self.intercept_

@@ -1,0 +1,7 @@
+"""Regression-tree learners: REP-Tree and the M5P model tree."""
+
+from repro.ml.tree.reptree import REPTreeRegressor
+from repro.ml.tree.m5p import M5PRegressor
+from repro.ml.tree.export import export_text
+
+__all__ = ["REPTreeRegressor", "M5PRegressor", "export_text"]

@@ -1,0 +1,122 @@
+"""Shared tree-node structure and vectorized index routing.
+
+Both tree learners use linked :class:`Node` objects (the trees here are
+small — tens to hundreds of nodes — so a flat-array encoding buys nothing,
+while the pruning passes are much clearer on linked nodes). Prediction is
+still vectorized: instead of walking the tree per sample, whole index
+arrays are partitioned at each node (``route_indices``), so the per-node
+work is numpy masking, not Python-level iteration per row.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional
+
+import numpy as np
+
+
+class Node:
+    """A regression-tree node.
+
+    Internal nodes carry ``(feature, threshold, left, right)``; every node
+    carries ``value`` (mean target of its training block) and ``n_samples``.
+    Model trees additionally attach a ``model`` attribute.
+    """
+
+    __slots__ = (
+        "feature",
+        "threshold",
+        "left",
+        "right",
+        "value",
+        "n_samples",
+        "model",
+        "gain",
+    )
+
+    def __init__(self, value: float, n_samples: int) -> None:
+        self.feature: int = -1
+        self.threshold: float = 0.0
+        self.left: Optional["Node"] = None
+        self.right: Optional["Node"] = None
+        self.value = value
+        self.n_samples = n_samples
+        self.model = None
+        self.gain: float = 0.0  # criterion gain of this node's split
+
+    @property
+    def is_leaf(self) -> bool:
+        return self.left is None
+
+    def make_leaf(self) -> None:
+        """Collapse this node to a leaf (used by pruning)."""
+        self.feature = -1
+        self.threshold = 0.0
+        self.left = None
+        self.right = None
+        self.gain = 0.0
+
+    def route_indices(self, X: np.ndarray, idx: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Partition *idx* into (left, right) per this node's split."""
+        mask = X[idx, self.feature] <= self.threshold
+        return idx[mask], idx[~mask]
+
+    # -- introspection -------------------------------------------------------
+
+    def iter_nodes(self) -> Iterator["Node"]:
+        """Pre-order traversal of the subtree rooted here."""
+        stack = [self]
+        while stack:
+            node = stack.pop()
+            yield node
+            if not node.is_leaf:
+                stack.append(node.right)
+                stack.append(node.left)
+
+    def n_leaves(self) -> int:
+        return sum(1 for n in self.iter_nodes() if n.is_leaf)
+
+    def n_nodes(self) -> int:
+        return sum(1 for _ in self.iter_nodes())
+
+    def depth(self) -> int:
+        """Maximum root-to-leaf edge count of the subtree rooted here."""
+        if self.is_leaf:
+            return 0
+        return 1 + max(self.left.depth(), self.right.depth())
+
+
+def feature_importances(root: Node, n_features: int) -> np.ndarray:
+    """Gain-based feature importances of a fitted tree.
+
+    Each internal node credits its split's criterion gain to the split
+    feature; the result is normalized to sum to 1 (all-zeros for a
+    stump). This is the standard CART importance, applicable to both
+    tree learners here.
+    """
+    importances = np.zeros(n_features)
+    for node in root.iter_nodes():
+        if not node.is_leaf:
+            importances[node.feature] += node.gain
+    total = importances.sum()
+    if total > 0.0:
+        importances /= total
+    return importances
+
+
+def predict_means(root: Node, X: np.ndarray) -> np.ndarray:
+    """Vectorized mean-value prediction (REP-Tree style leaves)."""
+    out = np.empty(X.shape[0])
+    _fill_means(root, X, np.arange(X.shape[0]), out)
+    return out
+
+
+def _fill_means(node: Node, X: np.ndarray, idx: np.ndarray, out: np.ndarray) -> None:
+    if idx.size == 0:
+        return
+    if node.is_leaf:
+        out[idx] = node.value
+        return
+    left_idx, right_idx = node.route_indices(X, idx)
+    _fill_means(node.left, X, left_idx, out)
+    _fill_means(node.right, X, right_idx, out)

@@ -1,0 +1,86 @@
+"""Human-readable rendering of fitted trees.
+
+WEKA prints its REP-Trees and M5P model trees as indented text; model
+inspection is half the reason practitioners reach for trees. These
+exporters do the same for this package's learners::
+
+    print(export_text(model, feature_names))
+
+REP-Tree leaves show the predicted mean and sample count; M5P leaves show
+the leaf's linear model (and internal nodes can optionally show theirs,
+since smoothing consults them).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.ml.tree._node import Node
+
+
+def _name(feature: int, feature_names: "Sequence[str] | None") -> str:
+    if feature_names is None:
+        return f"x[{feature}]"
+    return feature_names[feature]
+
+
+def _format_model(model, feature_names: "Sequence[str] | None") -> str:
+    """Render a _NodeModel as 'a*f1 + b*f2 + c'."""
+    terms = [
+        f"{coef:+.4g}*{_name(int(f), feature_names)}"
+        for f, coef in zip(model.features, model.coef)
+    ]
+    terms.append(f"{model.intercept:+.4g}")
+    return " ".join(terms)
+
+
+def export_text(
+    estimator,
+    feature_names: "Sequence[str] | None" = None,
+    *,
+    show_internal_models: bool = False,
+) -> str:
+    """Render a fitted tree estimator (REP-Tree or M5P) as text.
+
+    Parameters
+    ----------
+    estimator : fitted REPTreeRegressor or M5PRegressor (anything with a
+        ``root_`` Node attribute).
+    feature_names : optional names for the split/model features.
+    show_internal_models : for model trees, also print the linear model
+        attached to internal nodes (used by smoothing).
+    """
+    root: "Node | None" = getattr(estimator, "root_", None)
+    if root is None:
+        raise RuntimeError(
+            f"{type(estimator).__name__} is not fitted; call fit() first"
+        )
+    lines: list[str] = []
+    _render(root, feature_names, show_internal_models, prefix="", lines=lines)
+    return "\n".join(lines)
+
+
+def _leaf_label(node: Node, feature_names: "Sequence[str] | None") -> str:
+    if node.model is not None:
+        return f"LM: {_format_model(node.model, feature_names)} (n={node.n_samples})"
+    return f"value = {node.value:.4g} (n={node.n_samples})"
+
+
+def _render(
+    node: Node,
+    feature_names: "Sequence[str] | None",
+    show_internal_models: bool,
+    prefix: str,
+    lines: list[str],
+) -> None:
+    if node.is_leaf:
+        lines.append(f"{prefix}{_leaf_label(node, feature_names)}")
+        return
+    name = _name(node.feature, feature_names)
+    suffix = ""
+    if show_internal_models and node.model is not None:
+        suffix = f"   [LM: {_format_model(node.model, feature_names)}]"
+    lines.append(f"{prefix}{name} <= {node.threshold:.6g}{suffix}")
+    _render(node.left, feature_names, show_internal_models, prefix + "|   ", lines)
+    lines.append(f"{prefix}{name} > {node.threshold:.6g}")
+    _render(node.right, feature_names, show_internal_models, prefix + "|   ", lines)

@@ -1,0 +1,257 @@
+"""M5P model tree (Wang & Witten 1997, "M5 prime").
+
+The paper's second-best method. A model tree is a regression tree whose
+leaves hold *linear models* rather than constants:
+
+1. **Growing** — standard-deviation-reduction (SDR) splitting; growth
+   stops when a node's target standard deviation falls below 5% of the
+   root's, or too few samples remain (paper Sec. III-D: "a splitting
+   criterion is used that minimizes the intra-subset variation ... stops if
+   the class values of all instances that reach a node vary very slightly,
+   or only a few instances remain").
+2. **Linear models** — each node gets a linear model restricted to the
+   attributes tested in the subtree rooted at it, then greedily simplified
+   by dropping terms while the complexity-penalized error estimate does
+   not increase. The penalty is Quinlan's ``(n + v) / (n - v)`` factor on
+   the training MAE, with ``v`` the number of model parameters.
+3. **Pruning** — bottom-up: an inner node is turned into a leaf with its
+   regression plane whenever the node model's estimated error does not
+   exceed the (sample-weighted) estimated error of its subtree.
+4. **Smoothing** — at prediction time, the leaf prediction ``p`` is
+   blended with each ancestor's model value ``q`` along the path back to
+   the root: ``p' = (n p + k q) / (n + k)``, with ``n`` the child's
+   training count and ``k = 15`` (the W&W constant), avoiding sharp
+   discontinuities between adjacent subtrees.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.ml.base import Regressor
+from repro.ml.linear import RidgeRegression
+from repro.ml.tree._node import Node
+from repro.ml.tree._splitter import find_best_split
+from repro.utils.validation import check_array, check_is_fitted, check_X_y
+
+_BIG = np.inf
+
+
+class _NodeModel:
+    """A linear model over a subset of the feature columns."""
+
+    __slots__ = ("features", "coef", "intercept")
+
+    def __init__(self, features: np.ndarray, coef: np.ndarray, intercept: float) -> None:
+        self.features = features
+        self.coef = coef
+        self.intercept = intercept
+
+    @property
+    def n_params(self) -> int:
+        """Parameter count v used in the (n+v)/(n-v) penalty."""
+        return self.coef.shape[0] + 1
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        if self.features.size == 0:
+            return np.full(X.shape[0], self.intercept)
+        return X[:, self.features] @ self.coef + self.intercept
+
+    @classmethod
+    def fit(cls, X: np.ndarray, y: np.ndarray, features: np.ndarray) -> "_NodeModel":
+        if features.size == 0 or X.shape[0] < 2:
+            return cls(np.empty(0, dtype=np.intp), np.empty(0), float(y.mean()))
+        # Fit on standardized columns so the ridge penalty is meaningful
+        # across raw feature scales, then fold the scaling back. Leaves
+        # hold few samples and near-collinear features; without real
+        # shrinkage the local coefficients explode and the model
+        # extrapolates wildly outside the leaf's region.
+        block = X[:, features]
+        mean = block.mean(axis=0)
+        scale = block.std(axis=0)
+        scale[scale == 0.0] = 1.0
+        reg = RidgeRegression(alpha=1e-2).fit((block - mean) / scale, y)
+        coef = reg.coef_ / scale
+        intercept = float(reg.intercept_ - mean @ coef)
+        return cls(features, coef, intercept)
+
+
+def _penalty(n: int, v: int) -> float:
+    """Quinlan's pessimistic multiplier (n+v)/(n-v); inf when n <= v."""
+    if n <= v:
+        return _BIG
+    return (n + v) / (n - v)
+
+
+def _estimated_error(model: _NodeModel, X: np.ndarray, y: np.ndarray) -> float:
+    """Complexity-penalized training MAE of *model* on (X, y)."""
+    if y.shape[0] == 0:
+        return 0.0
+    mae = float(np.abs(model.predict(X) - y).mean())
+    return mae * _penalty(y.shape[0], model.n_params)
+
+
+def _fit_simplified(
+    X: np.ndarray, y: np.ndarray, candidates: np.ndarray
+) -> tuple[_NodeModel, float]:
+    """Fit a node model, greedily dropping the weakest term while the
+    estimated error does not increase. Returns (model, estimated_error)."""
+    features = np.asarray(sorted(candidates), dtype=np.intp)
+    model = _NodeModel.fit(X, y, features)
+    err = _estimated_error(model, X, y)
+    while model.features.size > 0:
+        # Weakest term = smallest |coef| * std(feature): least contribution
+        # to the prediction in target units.
+        scales = X[:, model.features].std(axis=0)
+        weight = np.abs(model.coef) * np.where(scales > 0, scales, 1.0)
+        drop = int(np.argmin(weight))
+        reduced = np.delete(model.features, drop)
+        trial = _NodeModel.fit(X, y, reduced)
+        trial_err = _estimated_error(trial, X, y)
+        if trial_err <= err:
+            model, err = trial, trial_err
+        else:
+            break
+    return model, err
+
+
+class M5PRegressor(Regressor):
+    """M5P model tree for regression.
+
+    Parameters
+    ----------
+    min_samples_split : int
+        Minimum node size eligible for splitting (M5 default 4).
+    sd_threshold : float
+        Growth stops when node sd < ``sd_threshold`` * root sd (M5: 0.05).
+    prune : bool
+        Apply the complexity-penalized pruning pass (default True).
+    smoothing : bool
+        Blend leaf predictions with ancestor models (default True).
+    smoothing_k : float
+        The k constant of the smoothing rule (W&W use 15).
+
+    Attributes
+    ----------
+    root_ : fitted tree root (nodes carry ``model`` attributes).
+    n_leaves_, depth_ : structure statistics after pruning.
+    """
+
+    def __init__(
+        self,
+        min_samples_split: int = 4,
+        sd_threshold: float = 0.05,
+        prune: bool = True,
+        smoothing: bool = True,
+        smoothing_k: float = 15.0,
+    ) -> None:
+        if min_samples_split < 2:
+            raise ValueError(f"min_samples_split must be >= 2, got {min_samples_split}")
+        self.min_samples_split = min_samples_split
+        self.sd_threshold = sd_threshold
+        self.prune = prune
+        self.smoothing = smoothing
+        self.smoothing_k = smoothing_k
+        self.root_: Node | None = None
+
+    # -- growing -------------------------------------------------------------
+
+    def _grow(self, X: np.ndarray, y: np.ndarray, sd_stop: float) -> Node:
+        node = Node(value=float(y.mean()), n_samples=y.shape[0])
+        if y.shape[0] < self.min_samples_split or float(y.std()) < sd_stop:
+            return node
+        split = find_best_split(X, y, criterion="sdr", min_samples_leaf=2)
+        if split is None:
+            return node
+        node.feature = split.feature
+        node.threshold = split.threshold
+        node.gain = split.gain
+        mask = X[:, split.feature] <= split.threshold
+        node.left = self._grow(X[mask], y[mask], sd_stop)
+        node.right = self._grow(X[~mask], y[~mask], sd_stop)
+        return node
+
+    # -- model fitting + pruning (single bottom-up pass) ----------------------
+
+    def _build(
+        self, node: Node, X: np.ndarray, y: np.ndarray, idx: np.ndarray
+    ) -> tuple[float, set[int]]:
+        """Attach (simplified) models bottom-up and prune.
+
+        Returns the estimated error of the (possibly pruned) subtree and
+        the attribute set referenced beneath *node* (which constrains the
+        ancestors' candidate models, per M5).
+        """
+        X_node, y_node = X[idx], y[idx]
+        if node.is_leaf:
+            model, err = _fit_simplified(X_node, y_node, np.empty(0, dtype=np.intp))
+            node.model = model
+            return err, set(model.features.tolist())
+
+        left_idx, right_idx = node.route_indices(X, idx)
+        left_err, used_left = self._build(node.left, X, y, left_idx)
+        right_err, used_right = self._build(node.right, X, y, right_idx)
+        used = used_left | used_right | {node.feature}
+
+        model, node_err = _fit_simplified(X_node, y_node, np.asarray(sorted(used)))
+        node.model = model
+
+        n = idx.size
+        subtree_err = (left_idx.size * left_err + right_idx.size * right_err) / n
+        if self.prune and node_err <= subtree_err:
+            node.make_leaf()
+            return node_err, set(model.features.tolist())
+        return subtree_err, used
+
+    # -- prediction ------------------------------------------------------------
+
+    def _predict_rec(self, node: Node, X: np.ndarray, idx: np.ndarray, out: np.ndarray) -> None:
+        if idx.size == 0:
+            return
+        if node.is_leaf:
+            out[idx] = node.model.predict(X[idx])
+            return
+        left_idx, right_idx = node.route_indices(X, idx)
+        self._predict_rec(node.left, X, left_idx, out)
+        self._predict_rec(node.right, X, right_idx, out)
+        if self.smoothing:
+            k = self.smoothing_k
+            for child, child_idx in ((node.left, left_idx), (node.right, right_idx)):
+                if child_idx.size == 0:
+                    continue
+                q = node.model.predict(X[child_idx])
+                n = child.n_samples
+                out[child_idx] = (n * out[child_idx] + k * q) / (n + k)
+
+    # -- public API ------------------------------------------------------------
+
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "M5PRegressor":
+        X, y = check_X_y(X, y)
+        sd_stop = self.sd_threshold * float(y.std())
+        self.root_ = self._grow(X, y, sd_stop)
+        self._build(self.root_, X, y, np.arange(X.shape[0]))
+        self.n_leaves_ = self.root_.n_leaves()
+        self.depth_ = self.root_.depth()
+        self._n_features = X.shape[1]
+        return self
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        check_is_fitted(self, "root_")
+        X = check_array(X)
+        if X.shape[1] != self._n_features:
+            raise ValueError(
+                f"X has {X.shape[1]} features, model was fitted on {self._n_features}"
+            )
+        out = np.empty(X.shape[0])
+        self._predict_rec(self.root_, X, np.arange(X.shape[0]), out)
+        return out
+
+    @property
+    def feature_importances_(self) -> np.ndarray:
+        """Gain-based (SDR) importances of the split structure,
+        normalized to sum to 1. Leaf linear models are not included —
+        use permutation importance for the full picture."""
+        check_is_fitted(self, "root_")
+        from repro.ml.tree._node import feature_importances
+
+        return feature_importances(self.root_, self._n_features)

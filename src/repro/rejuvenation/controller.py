@@ -1,0 +1,189 @@
+"""Managed-system simulation: the testbed under a rejuvenation policy.
+
+Runs the same components as :class:`~repro.system.simulator.TestbedSimulator`
+(machine, TPC-W pool, app server, FMC), but closes the control loop: every
+FMC datapoint feeds a streaming aggregator, and each completed window is
+handed to the policy. A policy trigger performs a *planned* restart
+(short downtime); a failure-condition trigger performs a *crash* restart
+(long downtime — state recovery, fsck, cache warm-up). The controller
+accounts wall-clock uptime and downtime over a fixed horizon so that
+policies can be compared by availability.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.aggregation import OnlineAggregator
+from repro.rejuvenation.policy import RejuvenationPolicy
+from repro.system.anomalies import AnomalyProfile
+from repro.system.failure import FailureCondition, MemoryExhaustion, SystemView
+from repro.system.monitor import FeatureMonitorClient
+from repro.system.resources import MachineState
+from repro.system.server import AppServer
+from repro.system.simulator import CampaignConfig
+from repro.system.tpcw import EmulatedBrowserPool
+from repro.utils.rng import as_rng
+
+
+@dataclass(frozen=True)
+class ManagedSystemConfig:
+    """Horizon and downtime accounting for a managed simulation."""
+
+    #: Total simulated wall-clock horizon (seconds).
+    horizon_seconds: float = 20_000.0
+    #: Downtime of a planned (rejuvenation) restart.
+    rejuvenation_downtime: float = 30.0
+    #: Downtime of an unplanned crash (recovery, fsck, warm-up).
+    crash_downtime: float = 300.0
+    #: Aggregation window for the online feature stream.
+    window_seconds: float = 20.0
+
+    def __post_init__(self) -> None:
+        if self.horizon_seconds <= 0:
+            raise ValueError("horizon_seconds must be positive")
+        if self.rejuvenation_downtime < 0 or self.crash_downtime < 0:
+            raise ValueError("downtimes must be non-negative")
+        if self.window_seconds <= 0:
+            raise ValueError("window_seconds must be positive")
+
+
+@dataclass(frozen=True)
+class Episode:
+    """One uptime stretch, ended by a crash, a rejuvenation, or the horizon."""
+
+    start: float
+    end: float
+    outcome: str  # "crash" | "rejuvenation" | "horizon"
+    predicted_rttf: "float | None" = None  # at the trigger, if predictive
+
+    @property
+    def uptime(self) -> float:
+        return self.end - self.start
+
+
+@dataclass
+class ManagedRunLog:
+    """Everything a managed simulation produced."""
+
+    policy_name: str
+    episodes: list[Episode] = field(default_factory=list)
+    total_uptime: float = 0.0
+    total_downtime: float = 0.0
+
+    @property
+    def n_crashes(self) -> int:
+        return sum(1 for e in self.episodes if e.outcome == "crash")
+
+    @property
+    def n_rejuvenations(self) -> int:
+        return sum(1 for e in self.episodes if e.outcome == "rejuvenation")
+
+    @property
+    def availability(self) -> float:
+        total = self.total_uptime + self.total_downtime
+        return self.total_uptime / total if total > 0 else 1.0
+
+
+class ManagedSystem:
+    """The testbed under a rejuvenation policy, simulated over a horizon."""
+
+    def __init__(
+        self,
+        campaign: CampaignConfig,
+        managed: ManagedSystemConfig,
+        policy: RejuvenationPolicy,
+        failure_condition: FailureCondition | None = None,
+    ) -> None:
+        self.campaign = campaign
+        self.managed = managed
+        self.policy = policy
+        self.failure_condition = failure_condition or MemoryExhaustion()
+
+    def run(self, seed: "int | None | np.random.Generator" = None) -> ManagedRunLog:
+        """Simulate the managed system for the configured horizon."""
+        cfg = self.campaign
+        mcfg = self.managed
+        rng = as_rng(seed if seed is not None else cfg.seed)
+        log = ManagedRunLog(policy_name=self.policy.name)
+        aggregator = OnlineAggregator(mcfg.window_seconds)
+
+        wall = 0.0  # global wall clock (uptime + downtime)
+        while wall < mcfg.horizon_seconds:
+            # -- boot a fresh episode ---------------------------------------
+            r_profile, r_pool, r_server, r_monitor = rng.spawn(4)
+            profile = AnomalyProfile.draw(
+                r_profile,
+                p_leak_range=cfg.p_leak_range,
+                leak_kb_range=cfg.leak_kb_range,
+                p_thread_range=cfg.p_thread_range,
+            )
+            state = MachineState(cfg.machine)
+            pool = EmulatedBrowserPool(cfg.n_browsers, cfg.mix, seed=r_pool)
+            server = AppServer(cfg.server, state, pool, profile, seed=r_server)
+            fmc = FeatureMonitorClient(cfg.monitor, seed=r_monitor)
+            fmc.reset(0.0)
+            aggregator.reset()
+            self.policy.reset()
+
+            episode_start = wall
+            now = 0.0  # episode-local clock (what the features see)
+            ewma_rt = 0.0
+            outcome = "horizon"
+            predicted: float | None = None
+
+            while wall + now < mcfg.horizon_seconds:
+                # The load schedule follows global wall time, not episode
+                # time: a restart does not reset the time of day.
+                fraction = cfg.load_schedule.active_fraction(wall + now)
+                stats = server.tick(now, cfg.dt, fraction)
+                now += cfg.dt
+                if stats.n_completed > 0:
+                    ewma_rt += 0.2 * (stats.mean_response_time - ewma_rt)
+
+                if fmc.due(now):
+                    queue_delay = server.backlog_cpu_s / cfg.machine.n_cpus
+                    dp = fmc.sample(now, state, stats.utilization, queue_delay)
+                    window = aggregator.add(dp.to_array())
+                    if window is not None and self.policy.should_rejuvenate(
+                        window, run_age=now
+                    ):
+                        outcome = "rejuvenation"
+                        predicted = getattr(self.policy, "last_prediction", None)
+                        break
+
+                view = SystemView(
+                    state=state,
+                    mean_response_time=ewma_rt,
+                    last_generation_interval=fmc.last_interval,
+                )
+                if self.failure_condition.is_failed(view):
+                    outcome = "crash"
+                    break
+
+            uptime = min(now, mcfg.horizon_seconds - wall)
+            log.total_uptime += uptime
+            wall += uptime
+            log.episodes.append(
+                Episode(
+                    start=episode_start,
+                    end=episode_start + uptime,
+                    outcome=outcome,
+                    predicted_rttf=predicted,
+                )
+            )
+
+            if outcome == "horizon":
+                break
+            downtime = (
+                mcfg.rejuvenation_downtime
+                if outcome == "rejuvenation"
+                else mcfg.crash_downtime
+            )
+            downtime = min(downtime, mcfg.horizon_seconds - wall)
+            log.total_downtime += downtime
+            wall += downtime
+
+        return log

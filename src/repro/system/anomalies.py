@@ -1,0 +1,223 @@
+"""Anomaly injection, mirroring the paper's two mechanisms.
+
+The paper injects anomalies in two ways:
+
+1. **Request-coupled** (Sec. IV-A): the TPC-W ``Home`` interaction is
+   modified so that each arriving session leaks memory or spawns a thread
+   with per-run probabilities drawn at server startup. The anomaly rate
+   therefore tracks the request rate — which is what makes the RTTF
+   curves bend (throughput collapse slows anomaly accumulation near the
+   crash). :class:`AnomalyProfile` carries those per-run draws.
+
+2. **Time-based utilities** (Sec. III-E): standalone injectors where leak
+   sizes are uniform in a user interval and inter-arrival times are
+   exponential with a mean itself drawn uniformly at startup, leaks being
+   *written* so they occupy real memory. :class:`MemoryLeakInjector` and
+   :class:`ThreadLeakInjector` implement exactly that design and can be
+   used to stress a :class:`~repro.system.resources.MachineState` without
+   any workload at all ("testing F2PM in a synthetic environment, or to
+   speed up the collection of datapoints").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.system.resources import MachineState
+from repro.utils.rng import as_rng
+
+
+@dataclass(frozen=True)
+class AnomalyProfile:
+    """Per-run anomaly intensities (redrawn at every restart).
+
+    Attributes
+    ----------
+    p_leak : probability a Home interaction leaks memory.
+    leak_min_kb, leak_max_kb : uniform leak-size interval.
+    p_thread : probability a Home interaction leaves an unterminated thread.
+    """
+
+    p_leak: float
+    leak_min_kb: float
+    leak_max_kb: float
+    p_thread: float
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.p_leak <= 1.0:
+            raise ValueError(f"p_leak must be in [0,1], got {self.p_leak}")
+        if not 0.0 <= self.p_thread <= 1.0:
+            raise ValueError(f"p_thread must be in [0,1], got {self.p_thread}")
+        if not 0.0 <= self.leak_min_kb <= self.leak_max_kb:
+            raise ValueError(
+                f"need 0 <= leak_min_kb <= leak_max_kb, got "
+                f"({self.leak_min_kb}, {self.leak_max_kb})"
+            )
+
+    @classmethod
+    def draw(
+        cls,
+        rng: np.random.Generator,
+        *,
+        p_leak_range: tuple[float, float] = (0.08, 0.30),
+        leak_kb_range: tuple[float, float] = (64.0, 2048.0),
+        p_thread_range: tuple[float, float] = (0.02, 0.10),
+    ) -> "AnomalyProfile":
+        """Draw a fresh profile, as the modified servlet does at startup."""
+        lo, hi = leak_kb_range
+        leak_min = float(rng.uniform(lo, (lo + hi) / 2.0))
+        leak_max = float(rng.uniform(leak_min, hi))
+        return cls(
+            p_leak=float(rng.uniform(*p_leak_range)),
+            leak_min_kb=leak_min,
+            leak_max_kb=leak_max,
+            p_thread=float(rng.uniform(*p_thread_range)),
+        )
+
+    # -- request-coupled injection ---------------------------------------------
+
+    def apply_home_visits(
+        self, state: MachineState, n_visits: int, rng: np.random.Generator
+    ) -> tuple[float, int]:
+        """Inject anomalies for *n_visits* Home interactions.
+
+        Returns ``(leaked_kb, threads_spawned)`` for bookkeeping.
+        """
+        if n_visits <= 0:
+            return 0.0, 0
+        n_leaks = int(rng.binomial(n_visits, self.p_leak))
+        leaked = 0.0
+        if n_leaks > 0:
+            sizes = rng.uniform(self.leak_min_kb, self.leak_max_kb, size=n_leaks)
+            leaked = float(sizes.sum())
+            state.leak_memory(leaked)
+        n_threads = int(rng.binomial(n_visits, self.p_thread))
+        if n_threads > 0:
+            state.spawn_threads(n_threads)
+        return leaked, n_threads
+
+
+class _ExponentialArrivals:
+    """Shared event-timing logic: exponential inter-arrivals whose mean is
+    itself drawn uniformly at construction (paper Sec. III-E)."""
+
+    def __init__(
+        self,
+        mean_interval_range: tuple[float, float],
+        seed: "int | None | np.random.Generator",
+    ) -> None:
+        lo, hi = mean_interval_range
+        if not 0.0 < lo <= hi:
+            raise ValueError(
+                f"mean_interval_range must be positive-increasing, got {mean_interval_range}"
+            )
+        self.rng = as_rng(seed)
+        self.mean_interval = float(self.rng.uniform(lo, hi))
+        self._next_time = float(self.rng.exponential(self.mean_interval))
+
+    def events_until(self, now: float) -> int:
+        """Number of events with firing time <= now; advances the clock."""
+        count = 0
+        while self._next_time <= now:
+            count += 1
+            self._next_time += float(self.rng.exponential(self.mean_interval))
+        return count
+
+
+class MemoryLeakInjector:
+    """Time-based leak generator (paper Sec. III-E).
+
+    Each event leaks ``Uniform(size_min_kb, size_max_kb)`` KB; events
+    arrive with exponential inter-arrival times whose mean is drawn
+    uniformly from *mean_interval_range* at construction.
+    """
+
+    def __init__(
+        self,
+        size_range_kb: tuple[float, float] = (128.0, 4096.0),
+        mean_interval_range: tuple[float, float] = (2.0, 20.0),
+        seed: "int | None | np.random.Generator" = None,
+    ) -> None:
+        lo, hi = size_range_kb
+        if not 0.0 <= lo <= hi:
+            raise ValueError(f"invalid size_range_kb {size_range_kb}")
+        self.size_range_kb = size_range_kb
+        self._timing = _ExponentialArrivals(mean_interval_range, seed)
+        self.total_leaked_kb = 0.0
+
+    @property
+    def mean_interval(self) -> float:
+        return self._timing.mean_interval
+
+    def advance(self, state: MachineState, now: float) -> float:
+        """Fire all leaks due by *now*; returns KB leaked this call."""
+        n = self._timing.events_until(now)
+        if n == 0:
+            return 0.0
+        sizes = self._timing.rng.uniform(*self.size_range_kb, size=n)
+        leaked = float(sizes.sum())
+        state.leak_memory(leaked)
+        self.total_leaked_kb += leaked
+        return leaked
+
+
+class LockContentionInjector:
+    """Time-based stuck-lock generator (extension).
+
+    The paper's introduction lists "unreleased locks" among the anomaly
+    classes; its evaluation injects only leaks and threads. This injector
+    adds the third class: each event leaves one application lock
+    permanently held, serializing a slice of the request mix. Unlike the
+    memory anomalies it consumes *no* memory — it degrades service times
+    directly (via :meth:`~repro.system.server.AppServer.add_stuck_locks`),
+    so an RT-based failure condition can fire without any swap pressure.
+
+    Same stochastic design as the other Sec. III-E utilities: exponential
+    inter-arrival times with a uniformly drawn mean.
+    """
+
+    def __init__(
+        self,
+        mean_interval_range: tuple[float, float] = (30.0, 300.0),
+        seed: "int | None | np.random.Generator" = None,
+    ) -> None:
+        self._timing = _ExponentialArrivals(mean_interval_range, seed)
+        self.total_locks = 0
+
+    @property
+    def mean_interval(self) -> float:
+        return self._timing.mean_interval
+
+    def advance(self, server, now: float) -> int:
+        """Leave all locks due by *now* stuck; returns the count."""
+        n = self._timing.events_until(now)
+        if n > 0:
+            server.add_stuck_locks(n)
+            self.total_locks += n
+        return n
+
+
+class ThreadLeakInjector:
+    """Time-based unterminated-thread generator (paper Sec. III-E)."""
+
+    def __init__(
+        self,
+        mean_interval_range: tuple[float, float] = (5.0, 60.0),
+        seed: "int | None | np.random.Generator" = None,
+    ) -> None:
+        self._timing = _ExponentialArrivals(mean_interval_range, seed)
+        self.total_threads = 0
+
+    @property
+    def mean_interval(self) -> float:
+        return self._timing.mean_interval
+
+    def advance(self, state: MachineState, now: float) -> int:
+        """Spawn all threads due by *now*; returns the count."""
+        n = self._timing.events_until(now)
+        if n > 0:
+            state.spawn_threads(n)
+            self.total_threads += n
+        return n

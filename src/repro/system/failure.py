@@ -1,0 +1,125 @@
+"""User-defined failure conditions (paper Sec. I / III).
+
+F2PM's failure definition is deliberately user-supplied: "the condition
+can be defined by the user on the basis of the values of one or more
+selected system features, which can reveal that the system is
+approaching, e.g., a hang/crash point or is working in a sub-optimal
+way". A condition is a predicate over the live system; the simulator
+checks it every tick and, when it fires, logs the fail event and
+restarts the VM.
+
+Provided conditions:
+
+- :class:`MemoryExhaustion` — demand exceeds RAM + swap (the OOM crash of
+  the paper's testbed);
+- :class:`ResponseTimeLimit` — the "working in a sub-optimal way"
+  alternative: mean client RT above a threshold;
+- :class:`GenerationTimeLimit` — threshold on the datapoint
+  inter-generation time, the knob the paper suggests for fine-tuning the
+  failure definition after the Fig. 3 correlation;
+- :class:`AnyOf` — disjunction of conditions.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+
+from repro.system.resources import MachineState
+
+
+@dataclass
+class SystemView:
+    """The live quantities a failure condition may inspect."""
+
+    state: MachineState
+    mean_response_time: float
+    last_generation_interval: float
+
+
+class FailureCondition(ABC):
+    """Predicate deciding whether the monitored system has failed."""
+
+    @abstractmethod
+    def is_failed(self, view: SystemView) -> bool:
+        """True when the user-defined failure condition holds."""
+
+    @property
+    def description(self) -> str:
+        return type(self).__name__
+
+    def __or__(self, other: "FailureCondition") -> "AnyOf":
+        return AnyOf(self, other)
+
+
+class MemoryExhaustion(FailureCondition):
+    """System failed when memory demand exceeds RAM + swap.
+
+    ``headroom_frac`` fires slightly early (e.g. 0.02 keeps 2% of swap as
+    margin), modelling the kernel OOM-killing the JVM before literal
+    exhaustion.
+    """
+
+    def __init__(self, headroom_frac: float = 0.0) -> None:
+        if not 0.0 <= headroom_frac < 1.0:
+            raise ValueError(f"headroom_frac must be in [0,1), got {headroom_frac}")
+        self.headroom_frac = headroom_frac
+
+    def is_failed(self, view: SystemView) -> bool:
+        state = view.state
+        limit = state.config.swap_kb * (1.0 - self.headroom_frac)
+        return state.overflow_kb > limit
+
+    @property
+    def description(self) -> str:
+        return f"memory exhaustion (headroom {self.headroom_frac:.0%})"
+
+
+class ResponseTimeLimit(FailureCondition):
+    """System failed when the mean client response time exceeds a limit."""
+
+    def __init__(self, limit_seconds: float) -> None:
+        if limit_seconds <= 0:
+            raise ValueError(f"limit_seconds must be positive, got {limit_seconds}")
+        self.limit_seconds = limit_seconds
+
+    def is_failed(self, view: SystemView) -> bool:
+        return view.mean_response_time > self.limit_seconds
+
+    @property
+    def description(self) -> str:
+        return f"response time > {self.limit_seconds}s"
+
+
+class GenerationTimeLimit(FailureCondition):
+    """System failed when the datapoint inter-generation time exceeds a
+    limit — the paper's suggested overload proxy once the Fig. 3
+    correlation is established (no client instrumentation needed)."""
+
+    def __init__(self, limit_seconds: float) -> None:
+        if limit_seconds <= 0:
+            raise ValueError(f"limit_seconds must be positive, got {limit_seconds}")
+        self.limit_seconds = limit_seconds
+
+    def is_failed(self, view: SystemView) -> bool:
+        return view.last_generation_interval > self.limit_seconds
+
+    @property
+    def description(self) -> str:
+        return f"inter-generation time > {self.limit_seconds}s"
+
+
+class AnyOf(FailureCondition):
+    """Disjunction: failed when any sub-condition fires."""
+
+    def __init__(self, *conditions: FailureCondition) -> None:
+        if not conditions:
+            raise ValueError("AnyOf needs at least one condition")
+        self.conditions = conditions
+
+    def is_failed(self, view: SystemView) -> bool:
+        return any(c.is_failed(view) for c in self.conditions)
+
+    @property
+    def description(self) -> str:
+        return " OR ".join(c.description for c in self.conditions)

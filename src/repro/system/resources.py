@@ -1,0 +1,230 @@
+"""Machine resource model: memory, swap, and CPU-time accounting.
+
+The model reproduces the observable behaviour of a Linux VM under a
+memory-leaking workload, at the granularity the FMC samples it:
+
+- **Memory.** Application demand (base working set + leaked heap + thread
+  stacks) is served from RAM first. The page cache yields before the
+  kernel swaps (as Linux does): cache shrinks toward a floor as demand
+  grows, then overflow spills to swap. Swap usage is monotone within a
+  run — leaked pages never come back — which is what makes ``swap_used``
+  and the memory slopes such strong predictors in the paper's Table I.
+- **Swap pressure.** ``swap_pressure`` in [0, 1] measures how much of the
+  swap device is consumed; the server model turns it into service-time
+  inflation and iowait (thrashing).
+- **CPU.** Per-tick utilization is decomposed into the six accounting
+  categories the FMC samples (user, nice, system, iowait, steal, idle).
+
+All sizes are in KB, matching ``free``'s output units.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class MachineConfig:
+    """Static sizing of the simulated VM.
+
+    Defaults model a small VM comparable to the paper's testbed guests:
+    2 GB RAM, 1 GB swap, 2 vCPUs.
+    """
+
+    ram_kb: float = 2_097_152.0
+    swap_kb: float = 1_048_576.0
+    n_cpus: int = 2
+    #: OS + idle JVM + MySQL resident set.
+    os_base_kb: float = 409_600.0
+    #: Application working set at zero anomalies.
+    app_working_set_kb: float = 307_200.0
+    #: Stack reservation per (leaked) thread — Java default -Xss512k.
+    thread_stack_kb: float = 512.0
+    #: Page-cache floor the kernel defends before swapping.
+    min_cache_kb: float = 65_536.0
+    #: Fraction of headroom the page cache opportunistically occupies.
+    cache_headroom_frac: float = 0.6
+    #: Shared-memory segments (SysV/POSIX shm of the DB).
+    shared_kb: float = 49_152.0
+    #: OS data buffers at steady state.
+    buffers_kb: float = 24_576.0
+
+    def __post_init__(self) -> None:
+        if self.ram_kb <= 0 or self.swap_kb < 0:
+            raise ValueError("ram_kb must be positive, swap_kb non-negative")
+        if self.n_cpus < 1:
+            raise ValueError(f"n_cpus must be >= 1, got {self.n_cpus}")
+        base = self.os_base_kb + self.app_working_set_kb
+        if base >= self.ram_kb:
+            raise ValueError(
+                f"base memory demand {base} exceeds RAM {self.ram_kb}"
+            )
+
+
+@dataclass
+class CpuSample:
+    """One tick's CPU decomposition, as percentages summing to 100."""
+
+    user: float = 0.0
+    nice: float = 0.0
+    sys: float = 0.0
+    iowait: float = 0.0
+    steal: float = 0.0
+    idle: float = 100.0
+
+    def as_tuple(self) -> tuple[float, float, float, float, float, float]:
+        return (self.user, self.nice, self.sys, self.iowait, self.steal, self.idle)
+
+
+class MachineState:
+    """Mutable resource state of the simulated VM within one run."""
+
+    def __init__(self, config: MachineConfig) -> None:
+        self.config = config
+        self.leaked_kb: float = 0.0
+        self.n_leaked_threads: int = 0
+        #: Threads of the healthy application (pool workers etc.).
+        self.base_threads: int = 120
+        self._swap_used_kb: float = 0.0  # monotone within a run
+        self.cpu = CpuSample()
+
+    # -- anomaly application ----------------------------------------------------
+
+    def leak_memory(self, size_kb: float) -> None:
+        """Account a leaked (written, hence resident) allocation."""
+        if size_kb < 0:
+            raise ValueError(f"leak size must be non-negative, got {size_kb}")
+        self.leaked_kb += size_kb
+
+    def spawn_threads(self, count: int) -> None:
+        """Account unterminated threads (stack memory + scheduler load)."""
+        if count < 0:
+            raise ValueError(f"thread count must be non-negative, got {count}")
+        self.n_leaked_threads += count
+
+    # -- derived memory accounting ----------------------------------------------
+
+    @property
+    def app_demand_kb(self) -> float:
+        """Total resident demand of OS + application + anomalies."""
+        c = self.config
+        return (
+            c.os_base_kb
+            + c.app_working_set_kb
+            + self.leaked_kb
+            + self.n_leaked_threads * c.thread_stack_kb
+        )
+
+    def _memory_layout(self) -> tuple[float, float, float, float]:
+        """Return (resident_kb, cached_kb, free_kb, overflow_kb).
+
+        ``resident`` is the RAM actually held by OS+app; ``overflow`` is
+        demand that no longer fits in RAM after the cache has yielded.
+        """
+        c = self.config
+        fixed = c.buffers_kb + c.shared_kb
+        demand = self.app_demand_kb
+        # RAM left for app pages after the kernel defends its cache floor.
+        ram_for_app = c.ram_kb - fixed - c.min_cache_kb
+        overflow = max(0.0, demand - ram_for_app)
+        resident = demand - overflow
+        headroom = max(0.0, c.ram_kb - fixed - resident - c.min_cache_kb)
+        cached = c.min_cache_kb + c.cache_headroom_frac * headroom
+        free = max(0.0, c.ram_kb - fixed - resident - cached)
+        return resident, cached, free, overflow
+
+    def update_swap(self) -> None:
+        """Advance the monotone swap high-water mark from current demand."""
+        _, _, _, overflow = self._memory_layout()
+        self._swap_used_kb = min(
+            self.config.swap_kb, max(self._swap_used_kb, overflow)
+        )
+
+    @property
+    def mem_used_kb(self) -> float:
+        resident, _, _, _ = self._memory_layout()
+        return resident
+
+    @property
+    def mem_free_kb(self) -> float:
+        _, _, free, _ = self._memory_layout()
+        return free
+
+    @property
+    def mem_cached_kb(self) -> float:
+        _, cached, _, _ = self._memory_layout()
+        return cached
+
+    @property
+    def swap_used_kb(self) -> float:
+        return self._swap_used_kb
+
+    @property
+    def swap_free_kb(self) -> float:
+        return self.config.swap_kb - self._swap_used_kb
+
+    @property
+    def swap_pressure(self) -> float:
+        """Fraction of swap consumed, in [0, 1]."""
+        if self.config.swap_kb == 0:
+            return 1.0 if self.overflow_kb > 0 else 0.0
+        return self._swap_used_kb / self.config.swap_kb
+
+    @property
+    def overflow_kb(self) -> float:
+        _, _, _, overflow = self._memory_layout()
+        return overflow
+
+    @property
+    def memory_exhausted(self) -> bool:
+        """True when demand exceeds RAM + swap — the OOM crash point."""
+        return self.overflow_kb > self.config.swap_kb
+
+    @property
+    def n_threads(self) -> int:
+        return self.base_threads + self.n_leaked_threads
+
+    # -- CPU accounting -----------------------------------------------------------
+
+    def account_cpu(
+        self,
+        *,
+        busy_frac: float,
+        sys_share: float,
+        iowait_frac: float,
+        steal_frac: float,
+        nice_frac: float = 0.0,
+    ) -> None:
+        """Record one tick's CPU decomposition.
+
+        ``busy_frac`` is the total compute utilization (user+sys) in
+        [0, 1]; ``sys_share`` the kernel share of it. iowait/steal/nice
+        are independent fractions; everything is clamped and normalized
+        so the six categories sum to exactly 100%.
+        """
+        busy = float(np.clip(busy_frac, 0.0, 1.0))
+        sys_share = float(np.clip(sys_share, 0.0, 1.0))
+        user = busy * (1.0 - sys_share)
+        sys_ = busy * sys_share
+        iowait = max(0.0, iowait_frac)
+        steal = max(0.0, steal_frac)
+        nice = max(0.0, nice_frac)
+        total = user + sys_ + iowait + steal + nice
+        if total > 1.0:
+            scale = 1.0 / total
+            user *= scale
+            sys_ *= scale
+            iowait *= scale
+            steal *= scale
+            nice *= scale
+            total = 1.0
+        self.cpu = CpuSample(
+            user=100.0 * user,
+            nice=100.0 * nice,
+            sys=100.0 * sys_,
+            iowait=100.0 * iowait,
+            steal=100.0 * steal,
+            idle=100.0 * (1.0 - total),
+        )

@@ -1,0 +1,108 @@
+"""Time-varying workload intensity schedules.
+
+The paper's testbed drives a constant emulated-browser population for a
+week. Real web workloads are diurnal — and because the paper couples
+anomaly generation to the request rate (Home-interaction probability),
+load variation directly shapes the anomaly accumulation curve and hence
+the diversity of RTTF trajectories F2PM trains on.
+
+A :class:`LoadSchedule` maps simulation time to the fraction of the
+browser pool that is active. The pool applies it by gating which EBs may
+issue requests. Schedules are deterministic functions of time, keeping
+campaigns reproducible.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+
+import numpy as np
+
+
+class LoadSchedule(ABC):
+    """Maps simulation time (seconds) to an active fraction in [0, 1]."""
+
+    @abstractmethod
+    def active_fraction(self, now: float) -> float:
+        """Fraction of emulated browsers active at *now*."""
+
+    def validate_over(self, horizon: float, step: float = 60.0) -> None:
+        """Raise if the schedule leaves [0, 1] anywhere on a grid."""
+        times = np.arange(0.0, horizon + step, step)
+        values = np.array([self.active_fraction(float(t)) for t in times])
+        if (values < 0.0).any() or (values > 1.0).any():
+            raise ValueError(
+                f"{type(self).__name__} leaves [0, 1] over [0, {horizon}]"
+            )
+
+
+@dataclass(frozen=True)
+class ConstantLoad(LoadSchedule):
+    """The paper's setting: a constant fraction (default: everyone)."""
+
+    fraction: float = 1.0
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.fraction <= 1.0:
+            raise ValueError(f"fraction must be in [0,1], got {self.fraction}")
+
+    def active_fraction(self, now: float) -> float:
+        return self.fraction
+
+
+@dataclass(frozen=True)
+class DiurnalLoad(LoadSchedule):
+    """Sinusoidal day/night cycle.
+
+    ``fraction(t) = base + amplitude * sin(2 pi (t - phase)/period)``,
+    clipped to [floor, 1]. Defaults give a 24 h cycle compressed to a
+    simulated "day" of ``period`` seconds with load swinging between 30%
+    and 90% of the pool.
+    """
+
+    period: float = 3600.0
+    base: float = 0.6
+    amplitude: float = 0.3
+    phase: float = 0.0
+    floor: float = 0.05
+
+    def __post_init__(self) -> None:
+        if self.period <= 0:
+            raise ValueError(f"period must be positive, got {self.period}")
+        if not 0.0 <= self.floor <= 1.0:
+            raise ValueError(f"floor must be in [0,1], got {self.floor}")
+
+    def active_fraction(self, now: float) -> float:
+        value = self.base + self.amplitude * np.sin(
+            2.0 * np.pi * (now - self.phase) / self.period
+        )
+        return float(np.clip(value, self.floor, 1.0))
+
+
+@dataclass(frozen=True)
+class StepLoad(LoadSchedule):
+    """Piecewise-constant schedule (e.g. a flash crowd).
+
+    ``breakpoints`` are ascending times; ``fractions`` has one more entry
+    than ``breakpoints`` (the level before the first breakpoint, between
+    each pair, and after the last).
+    """
+
+    breakpoints: tuple[float, ...]
+    fractions: tuple[float, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.fractions) != len(self.breakpoints) + 1:
+            raise ValueError(
+                "need len(fractions) == len(breakpoints) + 1, got "
+                f"{len(self.fractions)} and {len(self.breakpoints)}"
+            )
+        if any(b2 <= b1 for b1, b2 in zip(self.breakpoints, self.breakpoints[1:])):
+            raise ValueError("breakpoints must be strictly increasing")
+        if any(not 0.0 <= f <= 1.0 for f in self.fractions):
+            raise ValueError("fractions must be in [0, 1]")
+
+    def active_fraction(self, now: float) -> float:
+        idx = int(np.searchsorted(np.asarray(self.breakpoints), now, side="right"))
+        return self.fractions[idx]

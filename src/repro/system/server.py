@@ -1,0 +1,205 @@
+"""Application-server model: service under anomaly-driven degradation.
+
+A fluid (CPU-seconds backlog) model of the Tomcat+MySQL tier, advanced in
+fixed ticks. Per tick:
+
+1. EBs whose think timers expired issue interactions; Home visits trigger
+   request-coupled anomaly injection (leaks / unterminated threads).
+2. Each request's CPU demand is its base interaction demand inflated by
+   two multiplicative degradation factors:
+
+   - *thread bloat*: leaked threads add scheduler and lock-contention
+     overhead, linear in the thread count;
+   - *swap thrashing*: as swap pressure ``s`` grows, page faults inflate
+     compute (polynomial term) and, near exhaustion, the ``1/(1 - s)``
+     term makes the service time blow up — producing the super-linear
+     end-of-life behaviour the paper's slope features exist to catch.
+
+3. Demand enters a shared backlog drained at ``n_cpus`` CPU-seconds per
+   second; a request's response time is its own (inflated) demand plus
+   the backlog drain time ahead of it plus paging I/O stalls.
+4. CPU accounting decomposes the tick into user/sys/iowait/steal/nice and
+   idle, which is what the FMC samples.
+
+Because EBs are closed-loop, throughput falls as response times grow, so
+the anomaly arrival rate *also* falls near the crash — exactly the
+mechanism the paper cites for models under-predicting RTTF far from the
+failure point (Sec. IV-B).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.system.anomalies import AnomalyProfile
+from repro.system.resources import MachineState
+from repro.system.tpcw import SERVICE_DEMANDS, EmulatedBrowserPool, Interaction
+from repro.utils.rng import as_rng
+
+
+@dataclass(frozen=True)
+class ServerConfig:
+    """Degradation and accounting coefficients of the app-server model."""
+
+    #: Scheduler/contention overhead per 1000 leaked threads (fractional).
+    thread_overhead_per_1k: float = 0.35
+    #: Quadratic thrash coefficient on swap pressure.
+    swap_thrash_coef: float = 3.0
+    #: Weight of the 1/(1-s) blow-up term near swap exhaustion.
+    swap_blowup_coef: float = 0.03
+    #: Paging I/O stall seconds per request at full swap pressure.
+    io_stall_coef: float = 1.5
+    #: Kernel share of compute work on a healthy system.
+    base_sys_share: float = 0.18
+    #: iowait fraction at full swap pressure.
+    iowait_coef: float = 0.55
+    #: Mean hypervisor steal fraction (virtualized testbed).
+    steal_mean: float = 0.004
+    #: Service-demand lognormal noise sigma (per-request variability).
+    demand_noise_sigma: float = 0.15
+    #: Service inflation per permanently held application lock.
+    lock_contention_per_lock: float = 0.05
+
+    def __post_init__(self) -> None:
+        if self.swap_blowup_coef < 0 or self.swap_thrash_coef < 0:
+            raise ValueError("degradation coefficients must be non-negative")
+
+
+@dataclass
+class TickStats:
+    """Aggregate statistics of one server tick (for the monitor)."""
+
+    n_completed: int = 0
+    sum_response_time: float = 0.0
+    utilization: float = 0.0
+
+    @property
+    def mean_response_time(self) -> float:
+        if self.n_completed == 0:
+            return 0.0
+        return self.sum_response_time / self.n_completed
+
+
+class AppServer:
+    """Closed-loop fluid application server over a :class:`MachineState`."""
+
+    def __init__(
+        self,
+        config: ServerConfig,
+        state: MachineState,
+        pool: EmulatedBrowserPool,
+        profile: AnomalyProfile,
+        seed: "int | None | np.random.Generator" = None,
+    ) -> None:
+        self.config = config
+        self.state = state
+        self.pool = pool
+        self.profile = profile
+        self.rng = as_rng(seed)
+        self.backlog_cpu_s: float = 0.0
+        self.last_rt: float = 0.0
+        self.total_completed: int = 0
+        self.total_leaked_kb: float = 0.0
+        self.total_threads_spawned: int = 0
+        self.n_stuck_locks: int = 0
+
+    def add_stuck_locks(self, count: int) -> None:
+        """Account permanently held locks (serialize part of the mix)."""
+        if count < 0:
+            raise ValueError(f"lock count must be non-negative, got {count}")
+        self.n_stuck_locks += count
+
+    # -- degradation model ---------------------------------------------------
+
+    def service_multiplier(self) -> float:
+        """Combined service-time inflation from threads and thrashing."""
+        cfg = self.config
+        thread_factor = 1.0 + cfg.thread_overhead_per_1k * (
+            self.state.n_leaked_threads / 1000.0
+        )
+        lock_factor = 1.0 + cfg.lock_contention_per_lock * self.n_stuck_locks
+        s = self.state.swap_pressure
+        swap_factor = 1.0 + cfg.swap_thrash_coef * s * s
+        if s < 1.0:
+            swap_factor += cfg.swap_blowup_coef * s / (1.0 - s)
+        else:
+            swap_factor += cfg.swap_blowup_coef * 1e3
+        return thread_factor * lock_factor * swap_factor
+
+    def _io_stall(self, n: int) -> np.ndarray:
+        """Per-request paging stalls (seconds) at current swap pressure."""
+        s = self.state.swap_pressure
+        if s <= 0.0 or n == 0:
+            return np.zeros(n)
+        base = self.config.io_stall_coef * s * s
+        return base * (1.0 + self.rng.exponential(0.5, size=n))
+
+    # -- tick advance -----------------------------------------------------------
+
+    def tick(self, now: float, dt: float, active_fraction: float = 1.0) -> TickStats:
+        """Advance the server by one tick ending at ``now + dt``.
+
+        ``active_fraction`` is forwarded to the browser pool (load
+        schedule support); 1.0 reproduces the paper's constant load.
+        """
+        if dt <= 0:
+            raise ValueError(f"dt must be positive, got {dt}")
+        state = self.state
+        cfg = self.config
+        stats = TickStats()
+
+        indices, interactions = self.pool.due_requests(now, active_fraction)
+        n_arrivals = indices.size
+
+        # Request-coupled anomaly injection on Home interactions.
+        n_home = int((interactions == Interaction.HOME).sum())
+        if n_home > 0:
+            leaked, spawned = self.profile.apply_home_visits(state, n_home, self.rng)
+            self.total_leaked_kb += leaked
+            self.total_threads_spawned += spawned
+        state.update_swap()
+
+        multiplier = self.service_multiplier()
+        capacity = state.config.n_cpus * dt
+
+        if n_arrivals > 0:
+            noise = self.rng.lognormal(
+                mean=0.0, sigma=cfg.demand_noise_sigma, size=n_arrivals
+            )
+            demands = SERVICE_DEMANDS[interactions] * multiplier * noise
+            # FIFO latency estimate: own demand + drain time of the backlog
+            # ahead (including earlier arrivals this tick) + paging stalls.
+            queue_ahead = self.backlog_cpu_s + np.concatenate(
+                ([0.0], np.cumsum(demands[:-1]))
+            )
+            waits = queue_ahead / state.config.n_cpus
+            rts = demands + waits + self._io_stall(n_arrivals)
+            self.backlog_cpu_s += float(demands.sum())
+            self.pool.complete(indices, now + rts)
+            stats.n_completed = n_arrivals
+            stats.sum_response_time = float(rts.sum())
+            self.last_rt = float(rts.mean())
+            self.total_completed += n_arrivals
+
+        processed = min(self.backlog_cpu_s, capacity)
+        self.backlog_cpu_s -= processed
+        utilization = processed / capacity
+        stats.utilization = utilization
+
+        # CPU accounting for this tick.
+        s = state.swap_pressure
+        sched_overhead = min(0.10, state.n_leaked_threads / 20_000.0)
+        sys_share = min(0.9, cfg.base_sys_share + sched_overhead)
+        iowait = cfg.iowait_coef * s * s * (0.3 + 0.7 * min(1.0, utilization + s))
+        steal = max(0.0, self.rng.normal(cfg.steal_mean, cfg.steal_mean / 2.0))
+        nice = max(0.0, self.rng.normal(0.001, 0.001))
+        state.account_cpu(
+            busy_frac=min(1.0, utilization + sched_overhead),
+            sys_share=sys_share,
+            iowait_frac=iowait,
+            steal_frac=steal,
+            nice_frac=nice,
+        )
+        return stats

@@ -1,0 +1,211 @@
+"""Run-until-crash campaign simulator (paper Sec. IV experimental setup).
+
+Mirrors the paper's controlled experiment: the TPC-W VM serves emulated
+browsers while request-coupled anomalies accumulate; the FMC samples
+features; when the user-defined failure condition fires, the fail event
+is logged and the VM restarts with *fresh anomaly rates* (the modified
+servlet redraws them at startup) — producing runs of varied length, which
+is what gives the RTTF training data its coverage.
+
+The paper ran for one wall-clock week; here a campaign of tens of runs
+simulates in seconds. The loop advances in fixed ticks:
+
+    tick -> server.tick()        (arrivals, anomalies, degradation, CPU)
+         -> FMC sample if due    (load-stretched interval)
+         -> failure check        (fail event -> RunRecord, restart)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.history import DataHistory, RunRecord
+from repro.system.anomalies import (
+    AnomalyProfile,
+    LockContentionInjector,
+    MemoryLeakInjector,
+    ThreadLeakInjector,
+)
+from repro.system.failure import FailureCondition, MemoryExhaustion, SystemView
+from repro.system.monitor import FeatureMonitorClient, FeatureMonitorServer, MonitorConfig
+from repro.system.resources import MachineConfig, MachineState
+from repro.system.schedule import ConstantLoad, LoadSchedule
+from repro.system.server import AppServer, ServerConfig
+from repro.system.tpcw import SHOPPING_MIX, EmulatedBrowserPool, TPCWMix
+from repro.utils.rng import as_rng
+
+
+@dataclass(frozen=True)
+class CampaignConfig:
+    """Everything needed to reproduce a monitoring campaign."""
+
+    n_runs: int = 10
+    seed: int | None = 0
+    machine: MachineConfig = field(default_factory=MachineConfig)
+    server: ServerConfig = field(default_factory=ServerConfig)
+    monitor: MonitorConfig = field(default_factory=MonitorConfig)
+    mix: TPCWMix = field(default_factory=lambda: SHOPPING_MIX)
+    n_browsers: int = 80
+    #: Workload-intensity schedule (the paper uses constant full load).
+    load_schedule: LoadSchedule = field(default_factory=ConstantLoad)
+    #: Drive browsers through the session Markov chain instead of
+    #: stationary i.i.d. sampling (off by default for reproducibility of
+    #: earlier campaigns; long-run frequencies stay near the mix targets).
+    use_session_chain: bool = False
+    #: Simulation tick (seconds).
+    dt: float = 0.5
+    #: Hard cap per run; a run that never fails is truncated and flagged.
+    max_run_seconds: float = 20_000.0
+    #: Per-run anomaly-profile draw ranges (paper: redrawn at startup).
+    p_leak_range: tuple[float, float] = (0.15, 0.32)
+    leak_kb_range: tuple[float, float] = (256.0, 4096.0)
+    p_thread_range: tuple[float, float] = (0.02, 0.10)
+    #: Optional time-based injectors (paper Sec. III-E utilities).
+    use_time_injectors: bool = False
+    leak_injector_interval_range: tuple[float, float] = (2.0, 20.0)
+    thread_injector_interval_range: tuple[float, float] = (5.0, 60.0)
+    #: Optional stuck-lock injector (extension; no memory footprint —
+    #: degrades response times directly).
+    use_lock_injector: bool = False
+    lock_injector_interval_range: tuple[float, float] = (30.0, 300.0)
+
+    def __post_init__(self) -> None:
+        if self.n_runs < 1:
+            raise ValueError(f"n_runs must be >= 1, got {self.n_runs}")
+        if self.dt <= 0:
+            raise ValueError(f"dt must be positive, got {self.dt}")
+        if self.max_run_seconds <= 0:
+            raise ValueError(
+                f"max_run_seconds must be positive, got {self.max_run_seconds}"
+            )
+
+
+class TestbedSimulator:
+    """Simulates monitoring campaigns, producing a :class:`DataHistory`."""
+
+    __test__ = False  # starts with "Test" but is not a pytest class
+
+    def __init__(
+        self,
+        config: CampaignConfig | None = None,
+        failure_condition: FailureCondition | None = None,
+    ) -> None:
+        self.config = config or CampaignConfig()
+        self.failure_condition = failure_condition or MemoryExhaustion()
+
+    def run_once(self, seed: "int | None | np.random.Generator" = None) -> RunRecord:
+        """Simulate one run from VM start to fail event (or truncation)."""
+        cfg = self.config
+        rng = as_rng(seed)
+        # Independent streams per component (paper: uncorrelated draws).
+        r_profile, r_pool, r_server, r_monitor, r_inject = rng.spawn(5)
+
+        profile = AnomalyProfile.draw(
+            r_profile,
+            p_leak_range=cfg.p_leak_range,
+            leak_kb_range=cfg.leak_kb_range,
+            p_thread_range=cfg.p_thread_range,
+        )
+        state = MachineState(cfg.machine)
+        pool = EmulatedBrowserPool(
+            cfg.n_browsers,
+            cfg.mix,
+            seed=r_pool,
+            use_sessions=cfg.use_session_chain,
+        )
+        server = AppServer(cfg.server, state, pool, profile, seed=r_server)
+        fmc = FeatureMonitorClient(cfg.monitor, seed=r_monitor)
+        fms = FeatureMonitorServer()
+        fmc.reset(0.0)
+
+        injectors: list = []
+        if cfg.use_time_injectors:
+            r_leak, r_thread = r_inject.spawn(2)
+            injectors = [
+                MemoryLeakInjector(
+                    mean_interval_range=cfg.leak_injector_interval_range, seed=r_leak
+                ),
+                ThreadLeakInjector(
+                    mean_interval_range=cfg.thread_injector_interval_range,
+                    seed=r_thread,
+                ),
+            ]
+        lock_injector = None
+        if cfg.use_lock_injector:
+            # spawned after the memory injectors so enabling locks never
+            # perturbs the other components' streams
+            (r_lock,) = r_inject.spawn(1)
+            lock_injector = LockContentionInjector(
+                mean_interval_range=cfg.lock_injector_interval_range, seed=r_lock
+            )
+
+        now = 0.0
+        # Exponentially-weighted mean RT: the "mean client response time"
+        # a failure condition may inspect.
+        ewma_rt = 0.0
+        utilization = 0.0
+        crashed = False
+        fail_time = cfg.max_run_seconds
+
+        while now < cfg.max_run_seconds:
+            stats = server.tick(
+                now, cfg.dt, cfg.load_schedule.active_fraction(now)
+            )
+            now += cfg.dt
+            utilization = stats.utilization
+            if stats.n_completed > 0:
+                alpha = 0.2
+                ewma_rt += alpha * (stats.mean_response_time - ewma_rt)
+            for injector in injectors:
+                injector.advance(state, now)
+            if injectors:
+                state.update_swap()
+            if lock_injector is not None:
+                lock_injector.advance(server, now)
+
+            if fmc.due(now):
+                queue_delay = server.backlog_cpu_s / cfg.machine.n_cpus
+                dp = fmc.sample(now, state, utilization, queue_delay)
+                fms.receive(dp, ewma_rt)
+
+            view = SystemView(
+                state=state,
+                mean_response_time=ewma_rt,
+                last_generation_interval=fmc.last_interval,
+            )
+            if self.failure_condition.is_failed(view):
+                crashed = True
+                fail_time = now
+                break
+
+        features, response_times = fms.as_arrays()
+        if features.shape[0] == 0:
+            raise RuntimeError(
+                "run produced no datapoints before failing; "
+                "lower anomaly rates or the monitor interval"
+            )
+        return RunRecord(
+            features=features,
+            fail_time=fail_time,
+            response_times=response_times,
+            metadata={
+                "crashed": float(crashed),
+                "p_leak": profile.p_leak,
+                "leak_min_kb": profile.leak_min_kb,
+                "leak_max_kb": profile.leak_max_kb,
+                "p_thread": profile.p_thread,
+                "total_leaked_kb": server.total_leaked_kb,
+                "total_threads_spawned": float(server.total_threads_spawned),
+                "total_requests": float(server.total_completed),
+            },
+        )
+
+    def run_campaign(self) -> DataHistory:
+        """Simulate ``n_runs`` restart cycles (the week-long experiment)."""
+        rngs = as_rng(self.config.seed).spawn(self.config.n_runs)
+        history = DataHistory()
+        for run_rng in rngs:
+            history.add_run(self.run_once(run_rng))
+        return history

@@ -1,0 +1,319 @@
+"""TPC-W workload model: interaction mix and emulated browsers.
+
+TPC-W models an on-line bookstore exercised by *emulated browsers* (EBs).
+Each EB is a closed loop: issue a web interaction, wait for the response,
+think (exponential time, mean 7 s, capped at 70 s per the spec), repeat.
+
+The benchmark defines 14 web interactions and three workload mixes
+(browsing / shopping / ordering) with target interaction frequencies; the
+paper runs the standard configuration — the **shopping mix**. We sample
+each EB's next interaction from the mix's stationary frequencies (the
+spec's session transition matrix exists only to realize these frequencies;
+the pipeline consumes nothing session-local, so the stationary
+approximation preserves the relevant behaviour: the Home-interaction rate
+that drives anomaly injection and the aggregate service demand).
+
+Each interaction carries a base CPU service demand (servlet + database
+work, in CPU-seconds on one core of a healthy machine); heavyweight
+interactions (Best Sellers, Buy Confirm) cost several times a Home hit,
+as in characterizations of the Java TPC-W implementation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import IntEnum
+
+import numpy as np
+
+from repro.utils.rng import as_rng
+
+
+class Interaction(IntEnum):
+    """The 14 TPC-W web interactions."""
+
+    HOME = 0
+    NEW_PRODUCTS = 1
+    BEST_SELLERS = 2
+    PRODUCT_DETAIL = 3
+    SEARCH_REQUEST = 4
+    SEARCH_RESULTS = 5
+    SHOPPING_CART = 6
+    CUSTOMER_REGISTRATION = 7
+    BUY_REQUEST = 8
+    BUY_CONFIRM = 9
+    ORDER_INQUIRY = 10
+    ORDER_DISPLAY = 11
+    ADMIN_REQUEST = 12
+    ADMIN_CONFIRM = 13
+
+
+#: Base CPU demand per interaction (seconds on one core, healthy system).
+SERVICE_DEMANDS: np.ndarray = np.array(
+    [
+        0.060,  # HOME (session setup + promotional query)
+        0.110,  # NEW_PRODUCTS
+        0.180,  # BEST_SELLERS (top-N join, the classic TPC-W hot spot)
+        0.050,  # PRODUCT_DETAIL
+        0.035,  # SEARCH_REQUEST (form render)
+        0.130,  # SEARCH_RESULTS (LIKE query)
+        0.070,  # SHOPPING_CART
+        0.045,  # CUSTOMER_REGISTRATION
+        0.085,  # BUY_REQUEST
+        0.150,  # BUY_CONFIRM (transactional writes)
+        0.040,  # ORDER_INQUIRY
+        0.080,  # ORDER_DISPLAY
+        0.050,  # ADMIN_REQUEST
+        0.120,  # ADMIN_CONFIRM
+    ]
+)
+
+
+@dataclass(frozen=True)
+class TPCWMix:
+    """A TPC-W workload mix: name + target interaction frequencies."""
+
+    name: str
+    frequencies: tuple[float, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.frequencies) != len(Interaction):
+            raise ValueError(
+                f"need {len(Interaction)} frequencies, got {len(self.frequencies)}"
+            )
+        total = sum(self.frequencies)
+        if not np.isclose(total, 1.0, atol=1e-6):
+            raise ValueError(f"frequencies must sum to 1, got {total}")
+        if any(f < 0 for f in self.frequencies):
+            raise ValueError("frequencies must be non-negative")
+
+    @property
+    def probabilities(self) -> np.ndarray:
+        p = np.asarray(self.frequencies, dtype=np.float64)
+        return p / p.sum()
+
+    @property
+    def home_fraction(self) -> float:
+        """Fraction of interactions hitting Home — the anomaly driver."""
+        return float(self.probabilities[Interaction.HOME])
+
+    @property
+    def mean_service_demand(self) -> float:
+        """Expected CPU demand per interaction (seconds)."""
+        return float(self.probabilities @ SERVICE_DEMANDS)
+
+    def sample(self, n: int, rng: np.random.Generator) -> np.ndarray:
+        """Sample *n* interaction codes from the mix frequencies."""
+        return rng.choice(len(Interaction), size=n, p=self.probabilities)
+
+
+def _normalized(freqs: list[float]) -> tuple[float, ...]:
+    total = sum(freqs)
+    return tuple(f / total for f in freqs)
+
+
+#: WIPSb — 95% browse / 5% order.
+BROWSING_MIX = TPCWMix(
+    "browsing",
+    _normalized(
+        [29.00, 11.00, 11.00, 21.00, 12.00, 11.00, 2.00, 0.82, 0.75, 0.69,
+         0.30, 0.25, 0.10, 0.09]
+    ),
+)
+
+#: WIPS — the standard shopping mix (80/20) used by the paper.
+SHOPPING_MIX = TPCWMix(
+    "shopping",
+    _normalized(
+        [16.00, 5.00, 5.00, 17.00, 20.00, 17.00, 11.60, 3.00, 2.60, 1.20,
+         0.75, 0.66, 0.10, 0.09]
+    ),
+)
+
+#: WIPSo — 50% browse / 50% order.
+ORDERING_MIX = TPCWMix(
+    "ordering",
+    _normalized(
+        [9.12, 0.46, 0.46, 12.35, 14.53, 13.08, 13.53, 12.86, 12.73, 10.18,
+         0.25, 0.22, 0.12, 0.11]
+    ),
+)
+
+MIXES: dict[str, TPCWMix] = {
+    m.name: m for m in (BROWSING_MIX, SHOPPING_MIX, ORDERING_MIX)
+}
+
+
+# -- session Markov chain ---------------------------------------------------------
+
+#: Structural session logic: hard-wired flows of the TPC-W state diagram
+#: (a search form leads to results, a buy request to its confirmation, ...).
+#: Each entry fixes part of a row's probability mass; the remainder is
+#: filled proportionally to the mix frequencies.
+_STRUCTURAL_FLOWS: dict[Interaction, dict[Interaction, float]] = {
+    Interaction.SEARCH_REQUEST: {Interaction.SEARCH_RESULTS: 0.90},
+    Interaction.BUY_REQUEST: {Interaction.BUY_CONFIRM: 0.70},
+    Interaction.CUSTOMER_REGISTRATION: {Interaction.BUY_REQUEST: 0.80},
+    Interaction.SHOPPING_CART: {
+        Interaction.CUSTOMER_REGISTRATION: 0.25,
+        Interaction.BUY_REQUEST: 0.10,
+    },
+    Interaction.ORDER_INQUIRY: {Interaction.ORDER_DISPLAY: 0.80},
+    Interaction.ADMIN_REQUEST: {Interaction.ADMIN_CONFIRM: 0.80},
+    Interaction.BUY_CONFIRM: {Interaction.HOME: 0.60},
+    Interaction.ADMIN_CONFIRM: {Interaction.HOME: 0.60},
+}
+
+
+def build_transition_matrix(mix: TPCWMix, structure_weight: float = 0.5) -> np.ndarray:
+    """A row-stochastic 14x14 session transition matrix for *mix*.
+
+    Each row blends two components: the hard-wired session flows above
+    (weight ``structure_weight``) and the mix's stationary frequencies
+    (the remainder), so that long-run interaction frequencies stay close
+    to the mix targets while sessions exhibit the benchmark's
+    characteristic sequences (search -> results, buy -> confirm, ...).
+    """
+    if not 0.0 <= structure_weight <= 1.0:
+        raise ValueError(
+            f"structure_weight must be in [0,1], got {structure_weight}"
+        )
+    base = mix.probabilities
+    n = len(Interaction)
+    matrix = np.empty((n, n))
+    for state in Interaction:
+        flows = _STRUCTURAL_FLOWS.get(state, {})
+        row = np.zeros(n)
+        fixed = 0.0
+        for target, p in flows.items():
+            row[target] = structure_weight * p
+            fixed += structure_weight * p
+        row += (1.0 - fixed) * base
+        matrix[state] = row / row.sum()
+    return matrix
+
+
+class SessionChain:
+    """Per-browser session state advancing through a transition matrix."""
+
+    def __init__(self, matrix: np.ndarray) -> None:
+        matrix = np.asarray(matrix, dtype=np.float64)
+        n = len(Interaction)
+        if matrix.shape != (n, n):
+            raise ValueError(f"matrix must be ({n},{n}), got {matrix.shape}")
+        if (matrix < 0).any() or not np.allclose(matrix.sum(axis=1), 1.0):
+            raise ValueError("matrix must be row-stochastic")
+        self._cdf = np.cumsum(matrix, axis=1)
+        # guard against cumulative rounding at the row ends
+        self._cdf[:, -1] = 1.0
+
+    def next_states(
+        self, states: np.ndarray, rng: np.random.Generator
+    ) -> np.ndarray:
+        """Sample each browser's next interaction given its current one."""
+        states = np.asarray(states, dtype=np.int64)
+        draws = rng.random(states.shape[0])
+        # one searchsorted per row via fancy-indexed CDF rows
+        rows = self._cdf[states]
+        return (draws[:, None] > rows).sum(axis=1).astype(np.int64)
+
+
+class EmulatedBrowserPool:
+    """A vectorized pool of closed-loop emulated browsers.
+
+    State per EB is a single timestamp: when it will issue its next
+    request (think timer expiry). After the server computes a response
+    completion time, :meth:`complete` re-arms the EB with a fresh think
+    time. The paper instruments EBs with software probes to record
+    response times; :attr:`last_response_times` plays that role.
+    """
+
+    #: TPC-W think time: exponential, mean 7 s, truncated at 70 s.
+    THINK_MEAN = 7.0
+    THINK_CAP = 70.0
+
+    def __init__(
+        self,
+        n_browsers: int,
+        mix: TPCWMix,
+        seed: "int | None | np.random.Generator" = None,
+        use_sessions: bool = False,
+        structure_weight: float = 0.5,
+    ) -> None:
+        """``use_sessions=True`` drives each EB through the session
+        Markov chain instead of i.i.d. mix sampling (default off: the
+        stationary approximation, which keeps earlier campaigns
+        bit-reproducible)."""
+        if n_browsers < 1:
+            raise ValueError(f"n_browsers must be >= 1, got {n_browsers}")
+        self.mix = mix
+        self.rng = as_rng(seed)
+        # Stagger session starts over one think period to avoid a thundering herd.
+        self.next_request_time = self.rng.uniform(0.0, self.THINK_MEAN, size=n_browsers)
+        self._in_flight = np.zeros(n_browsers, dtype=bool)
+        self._chain: "SessionChain | None" = None
+        self._states: "np.ndarray | None" = None
+        if use_sessions:
+            self._chain = SessionChain(build_transition_matrix(mix, structure_weight))
+            # every session begins at Home, as in the benchmark
+            self._states = np.full(n_browsers, int(Interaction.HOME), dtype=np.int64)
+
+    @property
+    def n_browsers(self) -> int:
+        return self.next_request_time.shape[0]
+
+    def _think_times(self, n: int) -> np.ndarray:
+        return np.minimum(
+            self.rng.exponential(self.THINK_MEAN, size=n), self.THINK_CAP
+        )
+
+    def due_requests(
+        self, now: float, active_fraction: float = 1.0
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """EBs whose think timer expired: returns (indices, interactions).
+
+        ``active_fraction`` gates the pool for time-varying load
+        schedules: only the first ``round(fraction * n)`` browsers may
+        issue (a deterministic prefix, so reducing load never reshuffles
+        which sessions exist). The returned EBs are marked in-flight
+        until :meth:`complete`.
+        """
+        if not 0.0 <= active_fraction <= 1.0:
+            raise ValueError(
+                f"active_fraction must be in [0,1], got {active_fraction}"
+            )
+        n_active = int(round(active_fraction * self.n_browsers))
+        eligible = ~self._in_flight & (self.next_request_time <= now)
+        if n_active < self.n_browsers:
+            eligible[n_active:] = False
+        ready = np.flatnonzero(eligible)
+        if ready.size == 0:
+            return ready, np.empty(0, dtype=np.int64)
+        self._in_flight[ready] = True
+        if self._chain is not None:
+            nxt = self._chain.next_states(self._states[ready], self.rng)
+            self._states[ready] = nxt
+            return ready, nxt
+        return ready, self.mix.sample(ready.size, self.rng)
+
+    def complete(self, indices: np.ndarray, completion_times: np.ndarray) -> None:
+        """Deliver responses: EBs think, then become due again."""
+        indices = np.asarray(indices, dtype=np.intp)
+        if indices.size == 0:
+            return
+        if not self._in_flight[indices].all():
+            raise ValueError("completing a request that was never issued")
+        self._in_flight[indices] = False
+        self.next_request_time[indices] = (
+            np.asarray(completion_times, dtype=np.float64)
+            + self._think_times(indices.size)
+        )
+
+    def reset(self, now: float = 0.0) -> None:
+        """Fresh sessions after a VM restart."""
+        self._in_flight[:] = False
+        self.next_request_time = now + self.rng.uniform(
+            0.0, self.THINK_MEAN, size=self.n_browsers
+        )
+        if self._states is not None:
+            self._states[:] = int(Interaction.HOME)

@@ -1,0 +1,40 @@
+"""Reproducible random-number-generator plumbing.
+
+Every stochastic component in the package accepts either an integer seed,
+``None`` (fresh OS entropy) or an existing :class:`numpy.random.Generator`.
+``as_rng`` normalizes all three to a ``Generator``; ``spawn_rng`` derives
+statistically independent child streams so that, e.g., the memory-leak
+injector and the workload generator never share a stream (independent
+draws are an explicit requirement of the paper's anomaly utilities,
+Sec. III-E: "according to uncorrelated distribution functions").
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+RngLike = "int | None | np.random.Generator"
+
+
+def as_rng(seed: "int | None | np.random.Generator") -> np.random.Generator:
+    """Return a :class:`numpy.random.Generator` for *seed*.
+
+    Passing an existing generator returns it unchanged (shared stream);
+    passing an int gives a deterministic fresh stream; ``None`` gives a
+    nondeterministic one.
+    """
+    if isinstance(seed, np.random.Generator):
+        return seed
+    return np.random.default_rng(seed)
+
+
+def spawn_rng(parent: "int | None | np.random.Generator", n: int = 1) -> list[np.random.Generator]:
+    """Derive *n* independent child generators from *parent*.
+
+    Children are produced with :meth:`numpy.random.Generator.spawn`, which
+    uses the SeedSequence spawning protocol, guaranteeing independence
+    between siblings and from the parent's future output.
+    """
+    if n < 0:
+        raise ValueError(f"n must be non-negative, got {n}")
+    return as_rng(parent).spawn(n)

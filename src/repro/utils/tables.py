@@ -1,0 +1,58 @@
+"""Plain-text table rendering for experiment reports.
+
+The experiment drivers print tables shaped like the paper's Tables I–IV.
+``render_table`` produces a fixed-width ASCII table; no third-party
+dependency is used so reports render anywhere.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+
+def _fmt_cell(value: object, float_fmt: str) -> str:
+    if isinstance(value, float):
+        return format(value, float_fmt)
+    return str(value)
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    *,
+    title: str | None = None,
+    float_fmt: str = ".3f",
+) -> str:
+    """Render *rows* under *headers* as an aligned ASCII table.
+
+    Floats are formatted with *float_fmt*; all other values via ``str``.
+    Column widths adapt to content. Returns the table as a single string
+    (no trailing newline).
+    """
+    str_rows = [[_fmt_cell(c, float_fmt) for c in row] for row in rows]
+    for row in str_rows:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row has {len(row)} cells but there are {len(headers)} headers"
+            )
+    widths = [
+        max(len(h), *(len(r[i]) for r in str_rows)) if str_rows else len(h)
+        for i, h in enumerate(headers)
+    ]
+    sep = "+".join("-" * (w + 2) for w in widths)
+    sep = f"+{sep}+"
+
+    def line(cells: Sequence[str]) -> str:
+        inner = " | ".join(c.ljust(w) for c, w in zip(cells, widths))
+        return f"| {inner} |"
+
+    out: list[str] = []
+    if title:
+        out.append(title)
+    out.append(sep)
+    out.append(line(list(headers)))
+    out.append(sep)
+    for row in str_rows:
+        out.append(line(row))
+    out.append(sep)
+    return "\n".join(out)

@@ -1,0 +1,51 @@
+"""Wall-clock timing used for the paper's Training/Validation Time metrics.
+
+Tables III and IV of the paper report the wall-clock cost of building and
+validating each model. :class:`Timer` is a tiny context manager around
+:func:`time.perf_counter` that records elapsed seconds.
+"""
+
+from __future__ import annotations
+
+import time
+
+
+class Timer:
+    """Context manager measuring elapsed wall-clock seconds.
+
+    Example::
+
+        with Timer() as t:
+            model.fit(X, y)
+        print(t.elapsed)
+
+    ``elapsed`` reads as the live duration while the block is running and
+    freezes at exit, so a Timer can also be polled mid-flight.
+    """
+
+    def __init__(self) -> None:
+        self._start: float | None = None
+        self._elapsed: float | None = None
+
+    def __enter__(self) -> "Timer":
+        self._elapsed = None
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        assert self._start is not None
+        self._elapsed = time.perf_counter() - self._start
+
+    @property
+    def running(self) -> bool:
+        """True while inside the ``with`` block."""
+        return self._start is not None and self._elapsed is None
+
+    @property
+    def elapsed(self) -> float:
+        """Elapsed seconds (live while running, frozen after exit)."""
+        if self._start is None:
+            raise RuntimeError("Timer was never started")
+        if self._elapsed is None:
+            return time.perf_counter() - self._start
+        return self._elapsed

@@ -1,0 +1,75 @@
+"""Input-validation helpers shared by all estimators.
+
+These mirror the small subset of scikit-learn's ``check_array`` family the
+estimators need: coercion to 2-D float64 arrays, finite-value checks, and
+consistent-length checks between feature matrices and targets. Centralizing
+them keeps the estimator ``fit`` methods small and the error messages
+uniform.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+import numpy as np
+
+
+def check_array(
+    X: Any,
+    *,
+    ndim: int = 2,
+    dtype: type = np.float64,
+    allow_empty: bool = False,
+    name: str = "X",
+) -> np.ndarray:
+    """Coerce *X* to a contiguous float array and validate it.
+
+    Parameters
+    ----------
+    X : array-like
+        Input data.
+    ndim : int
+        Required dimensionality (1 or 2). A 1-D input with ``ndim=2`` is
+        rejected rather than silently reshaped — callers decide the shape.
+    dtype : numpy dtype
+        Target dtype (default float64).
+    allow_empty : bool
+        Whether zero-sample inputs are accepted.
+    name : str
+        Name used in error messages.
+    """
+    arr = np.ascontiguousarray(X, dtype=dtype)
+    if arr.ndim != ndim:
+        raise ValueError(f"{name} must be {ndim}-D, got shape {arr.shape}")
+    if not allow_empty and arr.shape[0] == 0:
+        raise ValueError(f"{name} has no samples")
+    if np.issubdtype(arr.dtype, np.floating) and not np.isfinite(arr).all():
+        raise ValueError(f"{name} contains NaN or infinite values")
+    return arr
+
+
+def check_consistent_length(*arrays: np.ndarray) -> None:
+    """Raise if the first dimensions of the given arrays differ."""
+    lengths = {a.shape[0] for a in arrays}
+    if len(lengths) > 1:
+        raise ValueError(f"inconsistent numbers of samples: {sorted(lengths)}")
+
+
+def check_X_y(X: Any, y: Any, *, min_samples: int = 1) -> tuple[np.ndarray, np.ndarray]:
+    """Validate a feature matrix / target vector pair for regression."""
+    X = check_array(X, ndim=2, name="X")
+    y = check_array(y, ndim=1, name="y")
+    check_consistent_length(X, y)
+    if X.shape[0] < min_samples:
+        raise ValueError(
+            f"at least {min_samples} samples required, got {X.shape[0]}"
+        )
+    return X, y
+
+
+def check_is_fitted(estimator: Any, attribute: str) -> None:
+    """Raise ``RuntimeError`` if *estimator* lacks the fitted *attribute*."""
+    if getattr(estimator, attribute, None) is None:
+        raise RuntimeError(
+            f"{type(estimator).__name__} is not fitted; call fit() first"
+        )

@@ -1,0 +1,139 @@
+"""Tests for datapoint aggregation (repro.core.aggregation, paper Sec. III-B)."""
+
+import numpy as np
+import pytest
+
+from repro.core.aggregation import AggregationConfig, aggregate_history, aggregate_run
+from repro.core.datapoint import AGGREGATED_FEATURES, FEATURES
+from repro.core.history import DataHistory, RunRecord
+
+
+def run_with(tgen, fail_time=1000.0, meta=None, **columns):
+    """Build a run with explicit tgen and optional named feature columns."""
+    tgen = np.asarray(tgen, dtype=np.float64)
+    feats = np.zeros((tgen.size, len(FEATURES)))
+    feats[:, 0] = tgen
+    for name, vals in columns.items():
+        feats[:, FEATURES.index(name)] = vals
+    return RunRecord(
+        features=feats, fail_time=fail_time, metadata=meta or {"crashed": 1.0}
+    )
+
+
+class TestAggregateRun:
+    def test_output_schema(self):
+        run = run_with(np.arange(1.0, 100.0))
+        X, rttf = aggregate_run(run, AggregationConfig(window_seconds=10.0))
+        assert X.shape[1] == len(AGGREGATED_FEATURES)
+        assert X.shape[0] == rttf.shape[0] == 10
+
+    def test_window_means(self):
+        # two datapoints in one window: the mean must land in the X row
+        run = run_with([1.0, 2.0], mem_used=[100.0, 300.0])
+        X, _ = aggregate_run(run, AggregationConfig(window_seconds=10.0))
+        col = AGGREGATED_FEATURES.index("mem_used")
+        assert X[0, col] == pytest.approx(200.0)
+
+    def test_eq1_slope_divides_by_count(self):
+        # Eq. (1): slope = (x_end - x_start) / n, n = raw points in window
+        run = run_with([1.0, 2.0, 3.0, 4.0], mem_used=[0.0, 5.0, 7.0, 12.0])
+        X, _ = aggregate_run(run, AggregationConfig(window_seconds=10.0))
+        col = AGGREGATED_FEATURES.index("mem_used_slope")
+        assert X[0, col] == pytest.approx((12.0 - 0.0) / 4.0)
+
+    def test_slope_zero_for_single_point_window(self):
+        run = run_with([1.0], mem_used=[42.0], fail_time=100.0)
+        X, _ = aggregate_run(run, AggregationConfig(window_seconds=10.0))
+        col = AGGREGATED_FEATURES.index("mem_used_slope")
+        assert X[0, col] == 0.0
+
+    def test_gen_time_is_mean_interval(self):
+        # intervals: first point carries its own tgen (2.0), then 3.0, 4.0
+        run = run_with([2.0, 5.0, 9.0])
+        X, _ = aggregate_run(run, AggregationConfig(window_seconds=20.0))
+        col = AGGREGATED_FEATURES.index("gen_time")
+        assert X[0, col] == pytest.approx((2.0 + 3.0 + 4.0) / 3.0)
+
+    def test_gen_time_spans_window_boundary(self):
+        # the interval preceding a point counts even across windows
+        run = run_with([9.0, 11.0])
+        X, _ = aggregate_run(run, AggregationConfig(window_seconds=10.0))
+        col = AGGREGATED_FEATURES.index("gen_time")
+        assert X.shape[0] == 2
+        assert X[1, col] == pytest.approx(2.0)
+
+    def test_rttf_label(self):
+        run = run_with([5.0, 15.0, 25.0], fail_time=100.0)
+        _, rttf = aggregate_run(run, AggregationConfig(window_seconds=10.0))
+        assert np.allclose(rttf, [95.0, 85.0, 75.0])
+
+    def test_rttf_decreases_within_run(self, history):
+        for run in history:
+            _, rttf = aggregate_run(run, AggregationConfig(window_seconds=30.0))
+            assert (np.diff(rttf) < 0).all()
+            assert (rttf > 0).all()
+
+    def test_min_points_filter(self):
+        run = run_with([1.0, 2.0, 3.0, 15.0], fail_time=100.0)
+        cfg = AggregationConfig(window_seconds=10.0, min_points=2)
+        X, _ = aggregate_run(run, cfg)
+        assert X.shape[0] == 1  # the single-point window [10, 20) dropped
+
+    def test_empty_result_when_all_filtered(self):
+        run = run_with([1.0, 15.0], fail_time=100.0)
+        cfg = AggregationConfig(window_seconds=10.0, min_points=5)
+        X, rttf = aggregate_run(run, cfg)
+        assert X.shape == (0, len(AGGREGATED_FEATURES))
+        assert rttf.shape == (0,)
+
+    def test_invalid_config(self):
+        with pytest.raises(ValueError):
+            AggregationConfig(window_seconds=0.0)
+        with pytest.raises(ValueError):
+            AggregationConfig(min_points=0)
+
+    def test_mean_tgen_is_first_column(self):
+        run = run_with([2.0, 4.0], fail_time=50.0)
+        X, rttf = aggregate_run(run, AggregationConfig(window_seconds=10.0))
+        assert X[0, 0] == pytest.approx(3.0)
+        assert rttf[0] == pytest.approx(47.0)
+
+
+class TestAggregateHistory:
+    def test_stacks_runs_with_ids(self, history):
+        ts = aggregate_history(history, AggregationConfig(window_seconds=30.0))
+        assert ts.feature_names == AGGREGATED_FEATURES
+        assert set(np.unique(ts.run_ids)) == set(range(len(history)))
+        assert ts.n_samples == ts.y.shape[0]
+
+    def test_non_crashed_excluded_by_default(self):
+        crashed = run_with(np.arange(1.0, 50.0), fail_time=50.0)
+        truncated = run_with(
+            np.arange(1.0, 50.0), fail_time=50.0, meta={"crashed": 0.0}
+        )
+        h = DataHistory([crashed, truncated])
+        ts = aggregate_history(h, AggregationConfig(window_seconds=10.0))
+        assert set(np.unique(ts.run_ids)) == {0}
+
+    def test_non_crashed_included_on_request(self):
+        truncated = run_with(
+            np.arange(1.0, 50.0), fail_time=50.0, meta={"crashed": 0.0}
+        )
+        h = DataHistory([truncated])
+        cfg = AggregationConfig(window_seconds=10.0, include_non_crashed=True)
+        ts = aggregate_history(h, cfg)
+        assert ts.n_samples > 0
+
+    def test_all_filtered_raises(self):
+        truncated = run_with([1.0], fail_time=10.0, meta={"crashed": 0.0})
+        with pytest.raises(ValueError, match="no datapoints"):
+            aggregate_history(DataHistory([truncated]))
+
+    def test_smaller_window_more_rows(self, history):
+        small = aggregate_history(history, AggregationConfig(window_seconds=15.0))
+        large = aggregate_history(history, AggregationConfig(window_seconds=60.0))
+        assert small.n_samples > large.n_samples
+
+    def test_no_nans(self, dataset):
+        assert np.isfinite(dataset.X).all()
+        assert np.isfinite(dataset.y).all()

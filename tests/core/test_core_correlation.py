@@ -1,0 +1,81 @@
+"""Tests for the RT correlation utility (repro.core.correlation, Fig. 3)."""
+
+import numpy as np
+import pytest
+
+from repro.core.correlation import (
+    CorrelationSeries,
+    ResponseTimeCorrelator,
+    generation_intervals,
+)
+from repro.core.datapoint import FEATURES
+from repro.core.history import RunRecord
+
+
+def run_with_rt(tgen, rt, fail_time=1000.0):
+    feats = np.zeros((len(tgen), len(FEATURES)))
+    feats[:, 0] = tgen
+    return RunRecord(
+        features=feats,
+        fail_time=fail_time,
+        response_times=np.asarray(rt, dtype=np.float64),
+    )
+
+
+class TestGenerationIntervals:
+    def test_first_point_carries_own_tgen(self):
+        run = run_with_rt([2.0, 5.0, 9.0], [0.1, 0.2, 0.3])
+        assert generation_intervals(run).tolist() == [2.0, 3.0, 4.0]
+
+
+class TestCorrelator:
+    def test_recovers_linear_relation(self):
+        rng = np.random.default_rng(0)
+        gen = rng.uniform(1.0, 10.0, size=200)
+        rt = 0.8 * gen - 0.5 + rng.normal(scale=0.01, size=200)
+        corr = ResponseTimeCorrelator().fit(gen, rt)
+        assert corr.slope == pytest.approx(0.8, abs=0.01)
+        assert corr.intercept == pytest.approx(-0.5, abs=0.02)
+
+    def test_predict_applies_model(self):
+        corr = ResponseTimeCorrelator().fit(
+            np.array([1.0, 2.0, 3.0]), np.array([2.0, 4.0, 6.0])
+        )
+        pred = corr.predict(np.array([5.0]))
+        assert pred[0] == pytest.approx(10.0)
+
+    def test_unfitted_raises(self):
+        with pytest.raises(RuntimeError):
+            ResponseTimeCorrelator().predict(np.array([1.0]))
+        with pytest.raises(RuntimeError):
+            ResponseTimeCorrelator().slope
+
+    def test_fit_run_series(self):
+        tgen = np.cumsum(np.linspace(1.0, 5.0, 50))
+        gen = np.empty(50)
+        gen[0] = tgen[0]
+        gen[1:] = np.diff(tgen)
+        rt = 0.5 * gen + 0.1
+        run = run_with_rt(tgen, rt, fail_time=float(tgen[-1] + 1))
+        series = ResponseTimeCorrelator().fit_run(run)
+        assert isinstance(series, CorrelationSeries)
+        assert series.r2 > 0.999
+        assert series.mae < 1e-9
+        assert np.array_equal(series.time, tgen)
+
+    def test_fit_run_without_rt_raises(self):
+        feats = np.zeros((5, len(FEATURES)))
+        feats[:, 0] = np.arange(5.0)
+        run = RunRecord(features=feats, fail_time=10.0)
+        with pytest.raises(ValueError, match="ground truth"):
+            ResponseTimeCorrelator().fit_run(run)
+
+    def test_on_simulated_run_paper_shape(self, history):
+        """The paper's Fig. 3 claims, on our simulated testbed."""
+        series = ResponseTimeCorrelator().fit_run(history[0])
+        # both curves grow toward the failure point
+        third = series.time.size // 3
+        assert series.generation_time[-third:].mean() > series.generation_time[:third].mean()
+        assert series.response_time[-third:].mean() > series.response_time[:third].mean()
+        # and the linear correlation explains most of the RT variance
+        assert series.r2 > 0.5

@@ -1,0 +1,85 @@
+"""Tests for the datapoint schema (repro.core.datapoint)."""
+
+import numpy as np
+import pytest
+
+from repro.core.datapoint import (
+    AGGREGATED_FEATURES,
+    BASE_FEATURES,
+    FEATURES,
+    FEATURE_INDEX,
+    GEN_TIME,
+    SLOPE_FEATURES,
+    TGEN,
+    Datapoint,
+)
+
+
+class TestSchema:
+    def test_fifteen_raw_features(self):
+        assert len(FEATURES) == 15
+        assert FEATURES[0] == TGEN
+
+    def test_paper_features_present(self):
+        for expected in (
+            "n_threads",
+            "mem_used",
+            "mem_free",
+            "mem_shared",
+            "mem_buffers",
+            "mem_cached",
+            "swap_used",
+            "swap_free",
+            "cpu_user",
+            "cpu_nice",
+            "cpu_sys",
+            "cpu_iowait",
+            "cpu_steal",
+            "cpu_idle",
+        ):
+            assert expected in FEATURES
+
+    def test_slope_per_non_time_feature(self):
+        assert len(SLOPE_FEATURES) == 14
+        assert len(BASE_FEATURES) == 14
+        assert TGEN not in BASE_FEATURES
+        assert all(name.endswith("_slope") for name in SLOPE_FEATURES)
+
+    def test_aggregated_schema_size(self):
+        # 15 means + 14 slopes + gen_time = 30 (Fig. 4's parameter count)
+        assert len(AGGREGATED_FEATURES) == 30
+        assert GEN_TIME in AGGREGATED_FEATURES
+
+    def test_index_mapping(self):
+        for i, name in enumerate(FEATURES):
+            assert FEATURE_INDEX[name] == i
+
+    def test_no_duplicate_names(self):
+        assert len(set(AGGREGATED_FEATURES)) == len(AGGREGATED_FEATURES)
+
+
+class TestDatapoint:
+    def make(self, **over):
+        values = {name: float(i) for i, name in enumerate(FEATURES)}
+        values.update(over)
+        return Datapoint(**values)
+
+    def test_roundtrip(self):
+        dp = self.make()
+        arr = dp.to_array()
+        assert Datapoint.from_array(arr) == dp
+
+    def test_array_order_matches_schema(self):
+        dp = self.make(tgen=99.0, cpu_idle=42.0)
+        arr = dp.to_array()
+        assert arr[FEATURE_INDEX["tgen"]] == 99.0
+        assert arr[FEATURE_INDEX["cpu_idle"]] == 42.0
+
+    def test_from_array_wrong_shape(self):
+        with pytest.raises(ValueError):
+            Datapoint.from_array(np.zeros(5))
+
+    def test_frozen(self):
+        dp = self.make()
+        with pytest.raises(AttributeError):
+            dp.tgen = 1.0

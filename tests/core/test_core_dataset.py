@@ -1,0 +1,107 @@
+"""Tests for the TrainingSet container (repro.core.dataset)."""
+
+import numpy as np
+import pytest
+
+from repro.core.dataset import TrainingSet
+
+
+@pytest.fixture
+def ts():
+    rng = np.random.default_rng(0)
+    X = rng.normal(size=(30, 3))
+    y = rng.normal(size=30)
+    run_ids = np.repeat([0, 1, 2], 10)
+    return TrainingSet(X=X, y=y, feature_names=("a", "b", "c"), run_ids=run_ids)
+
+
+class TestConstruction:
+    def test_basic(self, ts):
+        assert ts.n_samples == 30
+        assert ts.n_features == 3
+
+    def test_names_width_mismatch(self):
+        with pytest.raises(ValueError, match="names"):
+            TrainingSet(np.zeros((5, 2)), np.zeros(5), ("a",))
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            TrainingSet(np.zeros((5, 2)), np.zeros(4), ("a", "b"))
+
+    def test_default_run_ids(self):
+        ts = TrainingSet(np.zeros((4, 1)), np.zeros(4), ("a",))
+        assert np.array_equal(ts.run_ids, np.zeros(4, dtype=np.int64))
+
+
+class TestColumnAndSelect:
+    def test_column(self, ts):
+        assert np.array_equal(ts.column("b"), ts.X[:, 1])
+
+    def test_unknown_column(self, ts):
+        with pytest.raises(KeyError):
+            ts.column("zzz")
+
+    def test_select_features(self, ts):
+        sub = ts.select_features(["c", "a"])
+        assert sub.feature_names == ("c", "a")
+        assert np.array_equal(sub.X[:, 0], ts.X[:, 2])
+        assert np.array_equal(sub.y, ts.y)
+
+    def test_select_unknown_raises(self, ts):
+        with pytest.raises(KeyError):
+            ts.select_features(["a", "nope"])
+
+    def test_select_empty_raises(self, ts):
+        with pytest.raises(ValueError):
+            ts.select_features([])
+
+
+class TestSubsetAndSplit:
+    def test_subset_by_mask(self, ts):
+        mask = ts.run_ids == 1
+        sub = ts.subset(mask)
+        assert sub.n_samples == 10
+        assert (sub.run_ids == 1).all()
+
+    def test_row_split_sizes(self, ts):
+        train, val = ts.split(0.3, seed=0)
+        assert val.n_samples == 9
+        assert train.n_samples == 21
+
+    def test_row_split_partition(self, ts):
+        train, val = ts.split(0.3, seed=1)
+        all_y = np.sort(np.concatenate([train.y, val.y]))
+        assert np.array_equal(all_y, np.sort(ts.y))
+
+    def test_row_split_deterministic(self, ts):
+        t1, v1 = ts.split(0.3, seed=5)
+        t2, v2 = ts.split(0.3, seed=5)
+        assert np.array_equal(v1.X, v2.X)
+
+    def test_run_split_keeps_runs_whole(self, ts):
+        train, val = ts.split(0.34, by_run=True, seed=0)
+        assert not set(np.unique(train.run_ids)) & set(np.unique(val.run_ids))
+        assert train.n_samples + val.n_samples == 30
+
+    def test_run_split_needs_two_runs(self):
+        ts = TrainingSet(np.zeros((5, 1)), np.zeros(5), ("a",))
+        with pytest.raises(ValueError, match="2 runs"):
+            ts.split(0.5, by_run=True)
+
+    def test_invalid_fraction(self, ts):
+        for bad in (0.0, 1.0, -0.1):
+            with pytest.raises(ValueError):
+                ts.split(bad)
+
+    def test_rows_stay_aligned(self, ts):
+        # y and run_ids must be permuted together with X
+        marked = TrainingSet(
+            X=np.arange(30.0)[:, None],
+            y=np.arange(30.0) * 10.0,
+            feature_names=("idx",),
+            run_ids=np.arange(30),
+        )
+        train, val = marked.split(0.3, seed=2)
+        for part in (train, val):
+            assert np.allclose(part.y, part.X[:, 0] * 10.0)
+            assert np.array_equal(part.run_ids, part.X[:, 0].astype(int))

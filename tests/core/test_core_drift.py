@@ -1,0 +1,134 @@
+"""Tests for model-staleness detection (repro.core.drift)."""
+
+import numpy as np
+import pytest
+
+from repro.core.drift import (
+    DriftStatus,
+    ResidualDriftDetector,
+    TrajectoryConsistencyMonitor,
+)
+
+
+class TestTrajectoryConsistencyMonitor:
+    def feed(self, monitor, times, preds):
+        status = None
+        for t, p in zip(times, preds):
+            status = monitor.add(t, p)
+        return status
+
+    def test_healthy_trajectory_not_drifting(self):
+        monitor = TrajectoryConsistencyMonitor(window=8, tolerance=0.3)
+        times = np.arange(0.0, 200.0, 20.0)
+        preds = 1000.0 - times  # perfect -1 slope
+        status = self.feed(monitor, times, preds)
+        assert status.slope == pytest.approx(-1.0)
+        assert not status.drifting
+
+    def test_flat_predictions_flagged(self):
+        # a stale model predicting a constant RTTF has slope 0
+        monitor = TrajectoryConsistencyMonitor(window=8, tolerance=0.3)
+        times = np.arange(0.0, 200.0, 20.0)
+        status = self.feed(monitor, times, np.full(times.size, 800.0))
+        assert status.slope == pytest.approx(0.0)
+        assert status.drifting
+
+    def test_noise_within_tolerance_ok(self):
+        rng = np.random.default_rng(0)
+        monitor = TrajectoryConsistencyMonitor(window=10, tolerance=0.5)
+        times = np.arange(0.0, 300.0, 30.0)
+        preds = 2000.0 - times + rng.normal(scale=10.0, size=times.size)
+        status = self.feed(monitor, times, preds)
+        assert not status.drifting
+
+    def test_warmup_not_drifting(self):
+        monitor = TrajectoryConsistencyMonitor(window=10, min_points=4)
+        status = monitor.add(0.0, 500.0)
+        assert not status.drifting
+        assert status.n_points == 1
+        assert np.isnan(status.slope)
+
+    def test_sliding_window_forgets(self):
+        # stale early, healthy late: after the window slides, no drift
+        monitor = TrajectoryConsistencyMonitor(window=5, tolerance=0.3)
+        t = 0.0
+        for _ in range(5):  # flat segment
+            monitor.add(t, 900.0)
+            t += 10.0
+        for _ in range(5):  # perfect segment replaces it entirely
+            status = monitor.add(t, 900.0 - t)
+            t += 10.0
+        assert status.slope == pytest.approx(-1.0, abs=0.05)
+        assert not status.drifting
+
+    def test_reset(self):
+        monitor = TrajectoryConsistencyMonitor(window=5)
+        monitor.add(0.0, 100.0)
+        monitor.reset()
+        status = monitor.add(0.0, 100.0)  # same time ok after reset
+        assert status.n_points == 1
+
+    def test_out_of_order_rejected(self):
+        monitor = TrajectoryConsistencyMonitor()
+        monitor.add(10.0, 100.0)
+        with pytest.raises(ValueError, match="increasing"):
+            monitor.add(10.0, 90.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TrajectoryConsistencyMonitor(window=1)
+        with pytest.raises(ValueError):
+            TrajectoryConsistencyMonitor(tolerance=0.0)
+        with pytest.raises(ValueError):
+            TrajectoryConsistencyMonitor(window=5, min_points=6)
+
+    def test_on_real_model_trajectory(self, history, dataset):
+        """A model applied to its own training campaign tracks -1 near
+        the failure region."""
+        from repro.core import AggregationConfig, aggregate_run
+        from repro.core.model_zoo import make_model
+
+        model = make_model("m5p").fit(dataset.X, dataset.y)
+        run = history[0]
+        X, rttf = aggregate_run(run, AggregationConfig(window_seconds=30.0))
+        preds = model.predict(X)
+        monitor = TrajectoryConsistencyMonitor(window=6, tolerance=0.6)
+        status = None
+        for t, p in zip(X[:, 0], preds):  # X[:,0] is mean tgen
+            status = monitor.add(float(t), float(p))
+        assert status is not None
+        assert not status.drifting  # in-distribution model is healthy
+
+
+class TestResidualDriftDetector:
+    def test_healthy_errors_pass(self):
+        det = ResidualDriftDetector(baseline_smae=50.0, smae_threshold=30.0)
+        true = np.linspace(1000.0, 10.0, 40)
+        pred = true + np.random.default_rng(0).normal(scale=20.0, size=40)
+        realized, stale = det.evaluate_run(pred, true)
+        assert not stale
+        assert realized < 100.0
+
+    def test_inflated_errors_flagged(self):
+        det = ResidualDriftDetector(baseline_smae=50.0, smae_threshold=30.0)
+        true = np.linspace(1000.0, 10.0, 40)
+        pred = true + 500.0  # systematically wrong
+        realized, stale = det.evaluate_run(pred, true)
+        assert stale
+        assert realized > 100.0
+
+    def test_factor_controls_sensitivity(self):
+        true = np.linspace(1000.0, 10.0, 40)
+        pred = true + 120.0
+        loose = ResidualDriftDetector(50.0, 30.0, inflation_factor=5.0)
+        tight = ResidualDriftDetector(50.0, 30.0, inflation_factor=1.5)
+        assert not loose.evaluate_run(pred, true)[1]
+        assert tight.evaluate_run(pred, true)[1]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ResidualDriftDetector(-1.0, 30.0)
+        with pytest.raises(ValueError):
+            ResidualDriftDetector(50.0, -1.0)
+        with pytest.raises(ValueError):
+            ResidualDriftDetector(50.0, 30.0, inflation_factor=1.0)

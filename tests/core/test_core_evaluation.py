@@ -1,0 +1,95 @@
+"""Tests for model evaluation (repro.core.evaluation)."""
+
+import numpy as np
+import pytest
+
+from repro.core.dataset import TrainingSet
+from repro.core.evaluation import (
+    ModelReport,
+    evaluate_model,
+    resolve_smae_threshold,
+)
+from repro.ml.linear import LinearRegression
+
+
+@pytest.fixture
+def train_val():
+    rng = np.random.default_rng(0)
+    X = rng.normal(size=(120, 3))
+    y = 10.0 * X[:, 0] + rng.normal(scale=0.5, size=120)
+    names = ("a", "b", "c")
+    return (
+        TrainingSet(X[:90], y[:90], names),
+        TrainingSet(X[90:], y[90:], names),
+    )
+
+
+class TestResolveThreshold:
+    def test_absolute_wins(self):
+        assert resolve_smae_threshold(25.0, 0.1, 1000.0) == 25.0
+
+    def test_fractional(self):
+        assert resolve_smae_threshold(None, 0.1, 2000.0) == 200.0
+
+    def test_neither_raises(self):
+        with pytest.raises(ValueError):
+            resolve_smae_threshold(None, None, 1000.0)
+
+    def test_invalid_values(self):
+        with pytest.raises(ValueError):
+            resolve_smae_threshold(-1.0, None, 1000.0)
+        with pytest.raises(ValueError):
+            resolve_smae_threshold(None, 1.5, 1000.0)
+
+
+class TestEvaluateModel:
+    def test_report_contents(self, train_val):
+        train, val = train_val
+        report, fitted, pred = evaluate_model(
+            "linear", LinearRegression(), train, val, smae_threshold=1.0
+        )
+        assert report.name == "linear"
+        assert report.n_features == 3
+        assert report.mae < 1.0  # near-noiseless linear fit
+        assert report.s_mae <= report.mae
+        assert report.max_ae >= report.mae
+        assert report.rae < 0.2
+        assert report.train_time >= 0.0
+        assert report.validation_time >= 0.0
+        assert pred.shape == (val.n_samples,)
+
+    def test_fitted_model_returned(self, train_val):
+        train, val = train_val
+        model = LinearRegression()
+        _, fitted, _ = evaluate_model(
+            "linear", model, train, val, smae_threshold=1.0
+        )
+        assert fitted is model
+        assert fitted.coef_ is not None
+
+    def test_feature_set_label(self, train_val):
+        train, val = train_val
+        report, _, _ = evaluate_model(
+            "linear",
+            LinearRegression(),
+            train,
+            val,
+            smae_threshold=1.0,
+            feature_set="selected",
+        )
+        assert report.feature_set == "selected"
+
+    def test_mismatched_feature_sets_rejected(self, train_val):
+        train, val = train_val
+        bad_val = TrainingSet(val.X[:, :2], val.y, ("a", "b"))
+        with pytest.raises(ValueError, match="differ"):
+            evaluate_model(
+                "linear", LinearRegression(), train, bad_val, smae_threshold=1.0
+            )
+
+    def test_report_row_matches_headers(self, train_val):
+        train, val = train_val
+        report, _, _ = evaluate_model(
+            "linear", LinearRegression(), train, val, smae_threshold=1.0
+        )
+        assert len(report.row()) == len(ModelReport.HEADERS)

@@ -1,0 +1,108 @@
+"""Tests for Lasso feature selection (repro.core.feature_selection)."""
+
+import numpy as np
+import pytest
+
+from repro.core.dataset import TrainingSet
+from repro.core.feature_selection import (
+    LassoFeatureSelector,
+    SelectionResult,
+    default_lambda_grid,
+)
+
+
+@pytest.fixture
+def synthetic_ts():
+    """Only features f0 and f2 matter; f1/f3 are noise."""
+    rng = np.random.default_rng(0)
+    X = rng.normal(size=(300, 4))
+    y = 50.0 * X[:, 0] + 20.0 * X[:, 2] + rng.normal(scale=0.1, size=300)
+    return TrainingSet(X=X, y=y, feature_names=("f0", "f1", "f2", "f3"))
+
+
+class TestDefaultGrid:
+    def test_paper_grid(self):
+        grid = default_lambda_grid()
+        assert grid.shape == (10,)
+        assert grid[0] == 1.0
+        assert grid[-1] == 1e9
+
+
+class TestSelector:
+    def test_counts_non_increasing(self, dataset):
+        sel = LassoFeatureSelector().fit(dataset)
+        counts = [c for _, c in sel.selection_counts()]
+        assert (np.diff(counts) <= 0).all()
+
+    def test_relevant_features_survive(self, synthetic_ts):
+        sel = LassoFeatureSelector(np.logspace(-2, 2, 5)).fit(synthetic_ts)
+        strongest = sel.strongest_nonempty()
+        assert "f0" in strongest.selected
+
+    def test_noise_features_dropped_first(self, synthetic_ts):
+        sel = LassoFeatureSelector(np.logspace(-2, 3, 6)).fit(synthetic_ts)
+        for result in sel.results_:
+            if 0 < result.n_selected < 4:
+                assert "f1" not in result.selected
+                assert "f3" not in result.selected
+
+    def test_result_at_closest_lambda(self, synthetic_ts):
+        sel = LassoFeatureSelector(np.array([1.0, 100.0])).fit(synthetic_ts)
+        assert sel.result_at(2.0).lam == 1.0
+        assert sel.result_at(50.0).lam == 100.0
+
+    def test_strongest_with_at_least(self, synthetic_ts):
+        sel = LassoFeatureSelector(np.logspace(-2, 6, 9)).fit(synthetic_ts)
+        result = sel.strongest_with_at_least(2)
+        assert result.n_selected >= 2
+        # it must be the largest such lambda
+        larger = [r for r in sel.results_ if r.lam > result.lam]
+        assert all(r.n_selected < 2 for r in larger)
+
+    def test_strongest_with_at_least_fallback(self, synthetic_ts):
+        sel = LassoFeatureSelector(np.array([1e9, 1e12])).fit(synthetic_ts)
+        # nothing survives these lambdas at all -> ValueError
+        if all(r.n_selected == 0 for r in sel.results_):
+            with pytest.raises(ValueError):
+                sel.strongest_with_at_least(1)
+
+    def test_unfitted_raises(self):
+        with pytest.raises(RuntimeError):
+            LassoFeatureSelector().selection_counts()
+
+    def test_invalid_grid(self):
+        with pytest.raises(ValueError):
+            LassoFeatureSelector(np.empty(0))
+        with pytest.raises(ValueError):
+            LassoFeatureSelector(np.zeros((2, 2)))
+
+    def test_min_features_validation(self, synthetic_ts):
+        sel = LassoFeatureSelector(np.array([1.0])).fit(synthetic_ts)
+        with pytest.raises(ValueError):
+            sel.strongest_with_at_least(0)
+
+
+class TestSelectionResult:
+    def test_selected_names(self):
+        r = SelectionResult(
+            lam=1.0,
+            feature_names=("a", "b", "c"),
+            weights=np.array([0.5, 0.0, -0.1]),
+        )
+        assert r.selected == ("a", "c")
+        assert r.n_selected == 2
+
+    def test_weight_table_sorted_by_magnitude(self):
+        r = SelectionResult(
+            lam=1.0,
+            feature_names=("a", "b", "c"),
+            weights=np.array([0.1, -5.0, 2.0]),
+        )
+        names = [name for name, _ in r.weight_table()]
+        assert names == ["b", "c", "a"]
+
+    def test_selection_feeds_training_set(self, synthetic_ts):
+        sel = LassoFeatureSelector(np.array([1.0])).fit(synthetic_ts)
+        result = sel.results_[0]
+        reduced = synthetic_ts.select_features(result.selected)
+        assert reduced.n_features == result.n_selected

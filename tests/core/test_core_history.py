@@ -1,0 +1,118 @@
+"""Tests for RunRecord / DataHistory (repro.core.history)."""
+
+import numpy as np
+import pytest
+
+from repro.core.datapoint import FEATURES
+from repro.core.history import DataHistory, RunRecord
+
+
+def make_run(n=10, fail_time=100.0, with_rt=True, meta=None):
+    feats = np.zeros((n, len(FEATURES)))
+    feats[:, 0] = np.linspace(1.0, fail_time - 1.0, n)  # tgen
+    feats[:, 2] = np.linspace(1e5, 5e5, n)  # mem_used grows
+    rt = np.linspace(0.1, 2.0, n) if with_rt else None
+    return RunRecord(
+        features=feats,
+        fail_time=fail_time,
+        response_times=rt,
+        metadata=meta or {"crashed": 1.0},
+    )
+
+
+class TestRunRecord:
+    def test_basic_properties(self):
+        run = make_run(n=7, fail_time=50.0)
+        assert run.n_datapoints == 7
+        assert run.duration == 50.0
+
+    def test_column_access(self):
+        run = make_run()
+        assert np.array_equal(run.column("tgen"), run.features[:, 0])
+        assert np.array_equal(run.column("mem_used"), run.features[:, 2])
+
+    def test_unknown_column(self):
+        with pytest.raises(KeyError):
+            make_run().column("bogus")
+
+    def test_wrong_width_rejected(self):
+        with pytest.raises(ValueError):
+            RunRecord(features=np.zeros((5, 3)), fail_time=10.0)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            RunRecord(features=np.zeros((0, len(FEATURES))), fail_time=10.0)
+
+    def test_unsorted_tgen_rejected(self):
+        feats = np.zeros((3, len(FEATURES)))
+        feats[:, 0] = [1.0, 3.0, 2.0]
+        with pytest.raises(ValueError, match="sorted"):
+            RunRecord(features=feats, fail_time=10.0)
+
+    def test_fail_before_last_datapoint_rejected(self):
+        feats = np.zeros((3, len(FEATURES)))
+        feats[:, 0] = [1.0, 2.0, 30.0]
+        with pytest.raises(ValueError, match="precedes"):
+            RunRecord(features=feats, fail_time=10.0)
+
+    def test_misaligned_rt_rejected(self):
+        feats = np.zeros((3, len(FEATURES)))
+        feats[:, 0] = [1.0, 2.0, 3.0]
+        with pytest.raises(ValueError, match="align"):
+            RunRecord(features=feats, fail_time=10.0, response_times=np.zeros(5))
+
+
+class TestDataHistory:
+    def test_container_protocol(self):
+        h = DataHistory()
+        h.add_run(make_run(fail_time=100.0))
+        h.add_run(make_run(fail_time=200.0))
+        assert len(h) == 2
+        assert h[1].fail_time == 200.0
+        assert [r.fail_time for r in h] == [100.0, 200.0]
+
+    def test_n_datapoints(self):
+        h = DataHistory([make_run(n=5), make_run(n=7)])
+        assert h.n_datapoints == 12
+
+    def test_mean_run_length(self):
+        h = DataHistory([make_run(fail_time=100.0), make_run(fail_time=300.0)])
+        assert h.mean_run_length == 200.0
+
+    def test_mean_of_empty_raises(self):
+        with pytest.raises(ValueError):
+            DataHistory().mean_run_length
+
+    def test_extend_merges(self):
+        a = DataHistory([make_run()])
+        b = DataHistory([make_run(), make_run()])
+        a.extend(b)
+        assert len(a) == 3
+
+
+class TestSerialization:
+    def test_roundtrip(self, tmp_path):
+        h = DataHistory(
+            [
+                make_run(n=5, fail_time=80.0, meta={"crashed": 1.0, "p_leak": 0.2}),
+                make_run(n=9, fail_time=120.0, with_rt=False),
+            ]
+        )
+        path = tmp_path / "hist.npz"
+        h.save(path)
+        loaded = DataHistory.load(path)
+        assert len(loaded) == 2
+        assert np.array_equal(loaded[0].features, h[0].features)
+        assert np.array_equal(loaded[0].response_times, h[0].response_times)
+        assert loaded[1].response_times is None
+        assert loaded[0].metadata["p_leak"] == 0.2
+        assert loaded[1].fail_time == 120.0
+
+    def test_roundtrip_on_simulated(self, history, tmp_path):
+        path = tmp_path / "sim.npz"
+        history.save(path)
+        loaded = DataHistory.load(path)
+        assert len(loaded) == len(history)
+        for a, b in zip(loaded, history):
+            assert np.array_equal(a.features, b.features)
+            assert a.fail_time == b.fail_time

@@ -1,0 +1,103 @@
+"""Tests for incremental data collection (repro.core.incremental)."""
+
+import pytest
+
+from repro.core import AggregationConfig, F2PMConfig
+from repro.core.incremental import (
+    IncrementalCollector,
+    IncrementalConfig,
+    IncrementalResult,
+)
+from repro.system import TestbedSimulator
+
+
+@pytest.fixture
+def fast_f2pm_config():
+    return F2PMConfig(
+        aggregation=AggregationConfig(window_seconds=30.0),
+        models=("linear", "reptree"),
+        lasso_predictor_lambdas=(),
+        seed=0,
+    )
+
+
+class TestIncrementalConfig:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            IncrementalConfig(batch_runs=0)
+        with pytest.raises(ValueError):
+            IncrementalConfig(batch_runs=5, max_runs=4)
+        with pytest.raises(ValueError):
+            IncrementalConfig(target_smae=-1.0)
+        with pytest.raises(ValueError):
+            IncrementalConfig(target_smae_frac=1.5)
+
+
+class TestCollector:
+    def test_stops_at_budget_when_target_unreachable(self, campaign, fast_f2pm_config):
+        collector = IncrementalCollector(
+            TestbedSimulator(campaign),
+            fast_f2pm_config,
+            IncrementalConfig(batch_runs=2, max_runs=4, target_smae=0.001),
+        )
+        result = collector.collect()
+        assert isinstance(result, IncrementalResult)
+        assert not result.target_met
+        assert result.n_runs == 4
+        assert len(result.trace) == 2  # two batches
+
+    def test_stops_early_when_target_met(self, campaign, fast_f2pm_config):
+        collector = IncrementalCollector(
+            TestbedSimulator(campaign),
+            fast_f2pm_config,
+            IncrementalConfig(batch_runs=2, max_runs=20, target_smae=1e9),
+        )
+        result = collector.collect()
+        assert result.target_met
+        assert result.n_runs == 2  # first batch already satisfies
+
+    def test_trace_records_growth(self, campaign, fast_f2pm_config):
+        collector = IncrementalCollector(
+            TestbedSimulator(campaign),
+            fast_f2pm_config,
+            IncrementalConfig(batch_runs=2, max_runs=6, target_smae=0.001),
+        )
+        result = collector.collect()
+        n_runs = [p.n_runs for p in result.trace]
+        assert n_runs == [2, 4, 6]
+        windows = [p.n_windows for p in result.trace]
+        assert windows == sorted(windows)  # dataset grows monotonically
+
+    def test_learning_curve_shape(self, campaign, fast_f2pm_config):
+        collector = IncrementalCollector(
+            TestbedSimulator(campaign),
+            fast_f2pm_config,
+            IncrementalConfig(batch_runs=2, max_runs=4, target_smae=0.001),
+        )
+        curve = collector.collect().learning_curve()
+        assert curve.shape == (2, 2)
+        assert (curve[:, 1] > 0).all()
+
+    def test_fractional_target_resolution(self, campaign, fast_f2pm_config):
+        collector = IncrementalCollector(
+            TestbedSimulator(campaign),
+            fast_f2pm_config,
+            IncrementalConfig(
+                batch_runs=2, max_runs=4, target_smae=None, target_smae_frac=0.5
+            ),
+        )
+        result = collector.collect()
+        for point in result.trace:
+            assert point.target > 0.0
+
+    def test_final_result_usable(self, campaign, fast_f2pm_config):
+        collector = IncrementalCollector(
+            TestbedSimulator(campaign),
+            fast_f2pm_config,
+            IncrementalConfig(batch_runs=2, max_runs=2, target_smae=0.001),
+        )
+        result = collector.collect()
+        best = result.final.best_by_smae("all")
+        model = result.final.models[(best.name, "all")]
+        pred = model.predict(result.final.dataset.X[:3])
+        assert pred.shape == (3,)

@@ -1,0 +1,139 @@
+"""Tests for CSV trace ingestion (repro.core.ingest)."""
+
+import numpy as np
+import pytest
+
+from repro.core.datapoint import FEATURES
+from repro.core.ingest import (
+    CSVTraceSpec,
+    read_campaign_csv,
+    read_run_csv,
+    write_run_csv,
+)
+
+
+class TestCSVTraceSpec:
+    def test_identity_covers_schema(self):
+        spec = CSVTraceSpec.identity()
+        assert set(spec.columns) == set(FEATURES)
+
+    def test_missing_feature_rejected(self):
+        cols = {name: name for name in FEATURES if name != "swap_used"}
+        with pytest.raises(ValueError, match="missing features"):
+            CSVTraceSpec(columns=cols)
+
+    def test_unknown_scale_rejected(self):
+        with pytest.raises(ValueError, match="unknown features"):
+            CSVTraceSpec.identity(scale={"bogus": 2.0})
+
+
+class TestRoundTrip:
+    def test_simulated_run_roundtrips(self, history, tmp_path):
+        run = history[0]
+        path = write_run_csv(run, tmp_path / "run0.csv")
+        loaded = read_run_csv(
+            path,
+            CSVTraceSpec.identity(response_time_column="response_time"),
+            fail_time=run.fail_time,
+        )
+        assert np.allclose(loaded.features, run.features)
+        assert np.allclose(loaded.response_times, run.response_times)
+        assert loaded.fail_time == run.fail_time
+
+    def test_roundtrip_without_rt(self, history, tmp_path):
+        run = history[0]
+        path = write_run_csv(run, tmp_path / "r.csv", include_response_time=False)
+        loaded = read_run_csv(path, CSVTraceSpec.identity())
+        assert loaded.response_times is None
+
+
+class TestReadRunCSV:
+    def _write(self, path, headers, rows):
+        path.write_text(
+            "\n".join([",".join(headers)] + [",".join(map(str, r)) for r in rows])
+            + "\n"
+        )
+
+    def test_custom_column_names_and_scaling(self, tmp_path):
+        headers = [f"col_{name}" for name in FEATURES]
+        rows = [[float(i * 100 + j) for j in range(len(FEATURES))] for i in range(1, 4)]
+        path = tmp_path / "trace.csv"
+        self._write(path, headers, rows)
+        spec = CSVTraceSpec(
+            columns={name: f"col_{name}" for name in FEATURES},
+            scale={"mem_used": 1024.0},  # trace in MB -> schema KB
+        )
+        run = read_run_csv(path, spec)
+        mem_col = FEATURES.index("mem_used")
+        assert run.features[0, mem_col] == pytest.approx(rows[0][mem_col] * 1024.0)
+        assert run.features[0, 0] == rows[0][0]  # tgen unscaled
+
+    def test_rows_sorted_by_time(self, tmp_path):
+        headers = list(FEATURES)
+        rows = [
+            [30.0] + [0.0] * 14,
+            [10.0] + [0.0] * 14,
+            [20.0] + [0.0] * 14,
+        ]
+        path = tmp_path / "unsorted.csv"
+        self._write(path, headers, rows)
+        run = read_run_csv(path, CSVTraceSpec.identity())
+        assert run.column("tgen").tolist() == [10.0, 20.0, 30.0]
+
+    def test_default_fail_time_is_last_sample(self, tmp_path):
+        headers = list(FEATURES)
+        rows = [[5.0] + [0.0] * 14, [25.0] + [0.0] * 14]
+        path = tmp_path / "t.csv"
+        self._write(path, headers, rows)
+        run = read_run_csv(path, CSVTraceSpec.identity())
+        assert run.fail_time == 25.0
+
+    def test_truncated_flag(self, tmp_path):
+        headers = list(FEATURES)
+        rows = [[5.0] + [0.0] * 14]
+        path = tmp_path / "t.csv"
+        self._write(path, headers, rows)
+        run = read_run_csv(path, CSVTraceSpec.identity(), crashed=False)
+        assert run.metadata["crashed"] == 0.0
+
+    def test_missing_column_errors(self, tmp_path):
+        headers = list(FEATURES)[:-1]
+        path = tmp_path / "m.csv"
+        self._write(path, headers, [[0.0] * len(headers)])
+        with pytest.raises(ValueError, match="missing columns"):
+            read_run_csv(path, CSVTraceSpec.identity())
+
+    def test_non_numeric_errors_with_line(self, tmp_path):
+        headers = list(FEATURES)
+        path = tmp_path / "bad.csv"
+        rows = [[1.0] + [0.0] * 14]
+        self._write(path, headers, rows)
+        text = path.read_text().replace("0.0", "oops", 1)
+        path.write_text(text)
+        with pytest.raises(ValueError, match="bad.csv:2"):
+            read_run_csv(path, CSVTraceSpec.identity())
+
+    def test_empty_file_errors(self, tmp_path):
+        path = tmp_path / "empty.csv"
+        path.write_text("")
+        with pytest.raises(ValueError):
+            read_run_csv(path, CSVTraceSpec.identity())
+
+
+class TestReadCampaign:
+    def test_directory_of_runs(self, history, tmp_path):
+        for i, run in enumerate(history):
+            write_run_csv(run, tmp_path / f"run{i}.csv")
+        loaded = read_campaign_csv(
+            tmp_path, CSVTraceSpec.identity(response_time_column="response_time")
+        )
+        assert len(loaded) == len(history)
+        # and the ingested history feeds the pipeline end to end
+        from repro.core import AggregationConfig, aggregate_history
+
+        ds = aggregate_history(loaded, AggregationConfig(window_seconds=30.0))
+        assert ds.n_samples > 0
+
+    def test_empty_directory_errors(self, tmp_path):
+        with pytest.raises(ValueError, match="no files"):
+            read_campaign_csv(tmp_path, CSVTraceSpec.identity())

@@ -1,0 +1,93 @@
+"""Tests for the model registry (repro.core.model_zoo)."""
+
+import numpy as np
+import pytest
+
+from repro.core.model_zoo import (
+    PAPER_MODELS,
+    available_models,
+    make_model,
+    register,
+)
+from repro.ml.base import Regressor, clone
+from repro.ml.pipeline import ScaledModel
+
+
+class TestRegistry:
+    def test_paper_models_all_registered(self):
+        for name in PAPER_MODELS:
+            assert name in available_models()
+
+    def test_make_unknown_raises(self):
+        with pytest.raises(ValueError, match="unknown model"):
+            make_model("gradient_boosting")
+
+    def test_register_custom(self):
+        from repro.ml.linear import RidgeRegression
+
+        register("my_ridge", lambda **kw: RidgeRegression(**kw))
+        try:
+            m = make_model("my_ridge", alpha=3.0)
+            assert m.alpha == 3.0
+        finally:
+            # keep the registry clean for other tests
+            from repro.core import model_zoo
+
+            del model_zoo._REGISTRY["my_ridge"]
+
+    def test_register_empty_name(self):
+        with pytest.raises(ValueError):
+            register("", lambda: None)
+
+    def test_every_model_is_regressor(self):
+        for name in PAPER_MODELS:
+            assert isinstance(make_model(name), Regressor)
+
+    def test_overrides_forwarded(self):
+        m = make_model("reptree", max_depth=3)
+        assert m.max_depth == 3
+
+    def test_lasso_parameterized(self):
+        m = make_model("lasso", lam=123.0)
+        assert isinstance(m, ScaledModel)
+        assert m.inner.lam == 123.0
+
+    def test_svm_models_scaled(self):
+        # SVR / LS-SVM are scale-sensitive: the zoo must wrap them
+        assert isinstance(make_model("svm"), ScaledModel)
+        assert isinstance(make_model("svm2"), ScaledModel)
+
+    def test_svm_defaults_linear_kernel(self):
+        # WEKA SMOreg's default is a degree-1 (linear) kernel — the reason
+        # the paper's SVM errors match its Linear Regression errors
+        assert make_model("svm").inner.kernel == "linear"
+        assert make_model("svm2").inner.kernel == "linear"
+
+    def test_models_cloneable(self):
+        for name in PAPER_MODELS:
+            proto = make_model(name)
+            assert clone(proto) is not proto
+
+
+class TestModelsFitOnCampaignData(object):
+    @pytest.mark.parametrize("name", ["linear", "m5p", "reptree", "svm2"])
+    def test_fit_predict(self, name, dataset):
+        model = make_model(name)
+        model.fit(dataset.X, dataset.y)
+        pred = model.predict(dataset.X)
+        assert pred.shape == dataset.y.shape
+        assert np.isfinite(pred).all()
+
+    def test_svm_fits_small_subset(self, dataset):
+        # full SMO on campaign data is exercised by the integration tests;
+        # keep the unit test snappy with a subsample and an iteration cap
+        model = make_model("svm", max_iter=20_000)
+        X, y = dataset.X[:80], dataset.y[:80]
+        model.fit(X, y)
+        assert np.isfinite(model.predict(X)).all()
+
+    def test_lasso_predictor_high_lambda_is_mean(self, dataset):
+        model = make_model("lasso", lam=1e9)
+        model.fit(dataset.X, dataset.y)
+        pred = model.predict(dataset.X)
+        assert np.allclose(pred, dataset.y.mean(), rtol=0.01)

@@ -1,0 +1,94 @@
+"""Tests for the streaming aggregator (repro.core.aggregation.OnlineAggregator)."""
+
+import numpy as np
+import pytest
+
+from repro.core.aggregation import AggregationConfig, OnlineAggregator, aggregate_run
+from repro.core.datapoint import AGGREGATED_FEATURES, FEATURES
+
+
+class TestOnlineAggregator:
+    def test_window_completion_emits_row(self):
+        agg = OnlineAggregator(10.0)
+        row = np.zeros(len(FEATURES))
+        row[0] = 1.0
+        assert agg.add(row) is None
+        row2 = row.copy()
+        row2[0] = 11.0  # next window
+        out = agg.add(row2)
+        assert out is not None
+        assert out.shape == (len(AGGREGATED_FEATURES),)
+
+    def test_batch_parity(self, history):
+        """Streaming windows must equal the batch aggregation rows."""
+        run = history[0]
+        batch_X, _ = aggregate_run(run, AggregationConfig(window_seconds=30.0))
+        agg = OnlineAggregator(30.0)
+        online_rows = []
+        for raw in run.features:
+            out = agg.add(raw)
+            if out is not None:
+                online_rows.append(out)
+        final = agg.flush()
+        if final is not None:
+            online_rows.append(final)
+        online_X = np.vstack(online_rows)
+        assert online_X.shape == batch_X.shape
+        assert np.allclose(online_X, batch_X)
+
+    def test_flush_partial_window(self):
+        agg = OnlineAggregator(100.0)
+        row = np.arange(float(len(FEATURES)))
+        row[0] = 5.0
+        agg.add(row)
+        out = agg.flush()
+        assert out is not None
+        assert out[0] == 5.0  # mean tgen of the single point
+
+    def test_flush_empty_returns_none(self):
+        assert OnlineAggregator(10.0).flush() is None
+
+    def test_reset_clears_state(self):
+        agg = OnlineAggregator(10.0)
+        row = np.zeros(len(FEATURES))
+        row[0] = 3.0
+        agg.add(row)
+        agg.reset()
+        assert agg.flush() is None
+        # after reset the first point's interval is its own tgen again
+        row2 = np.zeros(len(FEATURES))
+        row2[0] = 4.0
+        agg.add(row2)
+        out = agg.flush()
+        gen_col = AGGREGATED_FEATURES.index("gen_time")
+        assert out[gen_col] == pytest.approx(4.0)
+
+    def test_out_of_order_rejected(self):
+        agg = OnlineAggregator(10.0)
+        row = np.zeros(len(FEATURES))
+        row[0] = 5.0
+        agg.add(row)
+        earlier = row.copy()
+        earlier[0] = 2.0
+        with pytest.raises(ValueError, match="order"):
+            agg.add(earlier)
+
+    def test_wrong_shape_rejected(self):
+        with pytest.raises(ValueError):
+            OnlineAggregator(10.0).add(np.zeros(3))
+
+    def test_invalid_window(self):
+        with pytest.raises(ValueError):
+            OnlineAggregator(0.0)
+
+    def test_slope_semantics(self):
+        agg = OnlineAggregator(10.0)
+        r1 = np.zeros(len(FEATURES))
+        r1[0], r1[2] = 1.0, 100.0  # tgen, mem_used
+        r2 = np.zeros(len(FEATURES))
+        r2[0], r2[2] = 2.0, 300.0
+        agg.add(r1)
+        agg.add(r2)
+        out = agg.flush()
+        slope_col = AGGREGATED_FEATURES.index("mem_used_slope")
+        assert out[slope_col] == pytest.approx((300.0 - 100.0) / 2.0)

@@ -1,0 +1,114 @@
+"""Tests for model persistence (repro.core.persistence)."""
+
+import numpy as np
+import pytest
+
+from repro.core.persistence import FORMAT_VERSION, ModelEnvelope, load_model, save_model
+from repro.ml.linear import LinearRegression
+from repro.ml.tree import REPTreeRegressor
+
+
+@pytest.fixture
+def fitted(linear_data):
+    X, y = linear_data
+    return LinearRegression().fit(X, y), X, y
+
+
+class TestSaveLoadRoundtrip:
+    def test_predictions_identical(self, fitted, tmp_path):
+        model, X, _ = fitted
+        path = save_model(model, tmp_path / "m.pkl")
+        loaded = load_model(path)
+        assert np.array_equal(loaded.predict(X), model.predict(X))
+
+    def test_metadata_preserved(self, fitted, tmp_path):
+        model, _, _ = fitted
+        save_model(
+            model,
+            tmp_path / "m.pkl",
+            feature_names=["a", "b", "c", "d", "e"],
+            metadata={"s_mae": 12.5},
+        )
+        env = load_model(tmp_path / "m.pkl")
+        assert env.feature_names == ("a", "b", "c", "d", "e")
+        assert env.metadata == {"s_mae": 12.5}
+        assert env.format_version == FORMAT_VERSION
+        assert env.package_version
+
+    def test_tree_model_roundtrip(self, nonlinear_data, tmp_path):
+        X, y = nonlinear_data
+        model = REPTreeRegressor(seed=0).fit(X, y)
+        path = save_model(model, tmp_path / "tree.pkl")
+        loaded = load_model(path)
+        assert np.array_equal(loaded.predict(X), model.predict(X))
+
+
+class TestSchemaChecks:
+    def test_matching_schema_passes(self, fitted, tmp_path):
+        model, _, _ = fitted
+        save_model(model, tmp_path / "m.pkl", feature_names=["a", "b"])
+        load_model(tmp_path / "m.pkl").check_features(["a", "b"])
+
+    def test_mismatched_schema_raises(self, fitted, tmp_path):
+        model, _, _ = fitted
+        save_model(model, tmp_path / "m.pkl", feature_names=["a", "b"])
+        env = load_model(tmp_path / "m.pkl")
+        with pytest.raises(ValueError, match="schema mismatch"):
+            env.check_features(["a", "c"])
+
+    def test_no_schema_skips_check(self, fitted, tmp_path):
+        model, _, _ = fitted
+        save_model(model, tmp_path / "m.pkl")
+        load_model(tmp_path / "m.pkl").check_features(["anything"])
+
+
+class TestCorruptInputs:
+    def test_non_envelope_rejected(self, tmp_path):
+        import pickle
+
+        path = tmp_path / "junk.pkl"
+        path.write_bytes(pickle.dumps({"not": "an envelope"}))
+        with pytest.raises(ValueError, match="envelope"):
+            load_model(path)
+
+    def test_future_format_rejected(self, fitted, tmp_path):
+        import pickle
+
+        model, _, _ = fitted
+        env = ModelEnvelope(
+            model=model,
+            feature_names=None,
+            package_version="99.0",
+            format_version=FORMAT_VERSION + 1,
+            metadata={},
+        )
+        path = tmp_path / "future.pkl"
+        path.write_bytes(pickle.dumps(env))
+        with pytest.raises(ValueError, match="format"):
+            load_model(path)
+
+
+class TestCliSaveModel:
+    def test_train_save_model(self, history, tmp_path, capsys):
+        from repro.cli import main
+        from repro.core import DataHistory
+
+        hist_file = tmp_path / "h.npz"
+        history.save(hist_file)
+        model_file = tmp_path / "model.pkl"
+        rc = main(
+            [
+                "train",
+                str(hist_file),
+                "--window",
+                "30",
+                "--models",
+                "linear",
+                "--save-model",
+                str(model_file),
+            ]
+        )
+        assert rc == 0
+        env = load_model(model_file)
+        assert env.metadata["model"] == "linear"
+        assert len(env.feature_names) == 30

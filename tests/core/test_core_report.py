@@ -1,0 +1,89 @@
+"""Tests for the Markdown report generator (repro.core.report)."""
+
+import pytest
+
+from repro.core import AggregationConfig, F2PM, F2PMConfig
+from repro.core.report import render_markdown_report, write_markdown_report
+
+
+@pytest.fixture(scope="module")
+def result(request):
+    history = request.getfixturevalue("history")
+    cfg = F2PMConfig(
+        aggregation=AggregationConfig(window_seconds=30.0),
+        models=("linear", "reptree"),
+        lasso_predictor_lambdas=(1e9,),
+        seed=0,
+    )
+    return F2PM(cfg).run(history)
+
+
+class TestRenderMarkdownReport:
+    def test_contains_all_sections(self, result):
+        md = render_markdown_report(result)
+        for heading in (
+            "# F2PM report",
+            "## Campaign",
+            "## Feature selection",
+            "## S-MAE",
+            "## Training time",
+            "## Validation time",
+            "## Recommendation",
+            "## Error profile",
+        ):
+            assert heading in md
+
+    def test_custom_title(self, result):
+        md = render_markdown_report(result, title="Production RTTF study")
+        assert md.startswith("# Production RTTF study")
+
+    def test_every_model_listed(self, result):
+        md = render_markdown_report(result)
+        for name in ("linear", "reptree", "lasso(1e9)"):
+            assert name in md
+
+    def test_recommendation_names_best(self, result):
+        md = render_markdown_report(result)
+        best = result.best_by_smae("all")
+        assert f"**{best.name}**" in md
+
+    def test_tables_are_valid_markdown(self, result):
+        md = render_markdown_report(result)
+        header_seps = [l for l in md.splitlines() if set(l) <= {"|", "-"} and l]
+        assert len(header_seps) >= 5  # one per table
+
+    def test_selection_weights_present(self, result):
+        md = render_markdown_report(result)
+        for name in result.selection.selected:
+            assert name in md
+
+
+class TestWriteMarkdownReport:
+    def test_writes_file(self, result, tmp_path):
+        path = write_markdown_report(result, tmp_path / "report.md")
+        assert path.exists()
+        assert "## Recommendation" in path.read_text()
+
+
+class TestCliReportFlag:
+    def test_train_report(self, history, tmp_path, capsys):
+        from repro.cli import main
+
+        hist_file = tmp_path / "h.npz"
+        history.save(hist_file)
+        report_file = tmp_path / "out.md"
+        rc = main(
+            [
+                "train",
+                str(hist_file),
+                "--window",
+                "30",
+                "--models",
+                "linear",
+                "--report",
+                str(report_file),
+            ]
+        )
+        assert rc == 0
+        assert report_file.exists()
+        assert "wrote report" in capsys.readouterr().out

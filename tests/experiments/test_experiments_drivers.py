@@ -1,0 +1,182 @@
+"""Tests for the experiment drivers (repro.experiments.*).
+
+Each driver runs on the fast session campaign (not the big default one)
+by passing ``history`` explicitly — the default cached campaign is only
+exercised by the benchmark harness.
+"""
+
+import numpy as np
+import pytest
+
+from repro.experiments import (
+    fig3_rt_correlation,
+    fig4_lasso_path,
+    fig5_fitted_models,
+    table1_weights,
+    table2_smae,
+    table3_training_time,
+    table4_validation_time,
+)
+from repro.experiments import common
+
+
+@pytest.fixture(autouse=True)
+def small_f2pm_config(monkeypatch):
+    """Make the shared F2PM execution cheap for driver tests."""
+    from repro.core import AggregationConfig, F2PMConfig
+
+    def cheap():
+        return F2PMConfig(
+            aggregation=AggregationConfig(window_seconds=30.0),
+            models=("linear", "m5p", "reptree"),
+            lasso_predictor_lambdas=(1.0, 1e9),
+            seed=0,
+        )
+
+    monkeypatch.setattr(common, "default_f2pm_config", cheap)
+    common._F2PM_MEMO.clear()
+    yield
+    common._F2PM_MEMO.clear()
+
+
+class TestFig3Driver:
+    def test_run(self, history, capsys):
+        result = fig3_rt_correlation.run(history, verbose=True)
+        out = capsys.readouterr().out
+        assert "Response Time Correlation" in out
+        assert result.r2 > 0.3
+        assert np.isfinite(result.slope)
+
+    def test_table_rows(self, history):
+        result = fig3_rt_correlation.run(history, verbose=False)
+        table = result.table(n_rows=5)
+        assert table.count("\n") >= 8  # 5 rows + frame
+
+
+class TestFig4Driver:
+    def test_run(self, history, capsys):
+        result = fig4_lasso_path.run(history, verbose=True)
+        out = capsys.readouterr().out
+        assert "Parameters selected by Lasso" in out
+        assert result.lambdas.shape == (10,)
+        assert (np.diff(result.counts) <= 0).all()
+
+
+class TestTable1Driver:
+    def test_run(self, history, capsys):
+        result = table1_weights.run(history, verbose=True)
+        out = capsys.readouterr().out
+        assert "Table I" in out
+        assert result.selection.n_selected >= 1
+        assert isinstance(result.memory_dominated, bool)
+
+    def test_min_features_honored(self, history):
+        result = table1_weights.run(history, verbose=False, min_features=3)
+        assert result.selection.n_selected >= 3
+
+
+class TestTable2Driver:
+    def test_run(self, history, capsys):
+        result = table2_smae.run(history, verbose=True)
+        out = capsys.readouterr().out
+        assert "Soft Mean Absolute Error" in out
+        assert result.smae("linear") > 0.0
+        assert isinstance(result.tree_models_best, bool)
+
+
+class TestTable3Driver:
+    def test_run(self, history, capsys):
+        result = table3_training_time.run(history, verbose=True)
+        assert "Training time" in capsys.readouterr().out
+        assert result.train_time("m5p") > 0.0
+
+
+class TestTable4Driver:
+    def test_run(self, history, capsys):
+        result = table4_validation_time.run(history, verbose=True)
+        assert "Validation time" in capsys.readouterr().out
+        assert result.all_sub_second
+
+
+class TestFig5Driver:
+    def test_run(self, history, capsys):
+        result = fig5_fitted_models.run(history, verbose=True)
+        out = capsys.readouterr().out
+        assert "prediction error vs distance" in out
+        assert "m5p" in result.bins
+        bins = result.bins["m5p"]
+        assert bins.mae_near >= 0.0
+
+
+class TestRejuvenationSweepDriver:
+    def test_run(self, history, campaign, capsys):
+        from repro.experiments import ext_rejuvenation_sweep
+
+        result = ext_rejuvenation_sweep.run(
+            history, verbose=True, horizon_seconds=4000.0, campaign=campaign
+        )
+        out = capsys.readouterr().out
+        assert "availability vs RTTF margin" in out
+        assert 0.0 < result.baseline.availability <= 1.0
+        assert set(result.by_margin) == set(ext_rejuvenation_sweep.MARGIN_FACTORS)
+        assert result.best_factor in result.by_margin
+
+
+class TestIncrementalCurveDriver:
+    def test_run(self, campaign, capsys):
+        from repro.experiments import ext_incremental_curve
+
+        result = ext_incremental_curve.run(
+            campaign, verbose=True, batch_runs=2, max_runs=4, target_smae_frac=0.001
+        )
+        out = capsys.readouterr().out
+        assert "Learning curve" in out
+        assert len(result.result.trace) == 2
+
+
+class TestMixComparisonDriver:
+    def test_run(self, campaign, capsys):
+        from repro.experiments import ext_mix_comparison
+
+        result = ext_mix_comparison.run(campaign, verbose=True, n_runs=3)
+        out = capsys.readouterr().out
+        assert "workload mixes" in out
+        assert set(result.outcomes) == {"browsing", "shopping", "ordering"}
+        for outcome in result.outcomes.values():
+            assert outcome.mean_ttf > 0
+        # the anomaly coupling claim: more Home hits -> earlier crashes
+        assert result.home_rate_orders_ttf
+
+
+class TestSharedExecution:
+    def test_f2pm_memoized_across_drivers(self, history):
+        r2 = table2_smae.run(history, verbose=False)
+        r3 = table3_training_time.run(history, verbose=False)
+        assert r2.result is r3.result  # one F2PM execution shared
+
+
+class TestCommon:
+    def test_campaign_key_stable(self):
+        from repro.experiments.common import DEFAULT_CAMPAIGN, _campaign_key
+
+        assert _campaign_key(DEFAULT_CAMPAIGN) == _campaign_key(DEFAULT_CAMPAIGN)
+
+    def test_history_disk_cache_roundtrip(self, tmp_path, monkeypatch, campaign):
+        monkeypatch.setenv("F2PM_CACHE_DIR", str(tmp_path))
+        common._HISTORY_MEMO.clear()
+        h1 = common.default_history(campaign)
+        files = list(tmp_path.glob("*.npz"))
+        assert len(files) == 1
+        common._HISTORY_MEMO.clear()
+        h2 = common.default_history(campaign)  # now loaded from disk
+        assert len(h2) == len(h1)
+        assert np.array_equal(h2[0].features, h1[0].features)
+        common._HISTORY_MEMO.clear()
+
+    def test_in_process_memo_returns_same_object(self, tmp_path, monkeypatch, campaign):
+        monkeypatch.setenv("F2PM_CACHE_DIR", str(tmp_path))
+        common._HISTORY_MEMO.clear()
+        h1 = common.default_history(campaign)
+        h2 = common.default_history(campaign)
+        assert h1 is h2
+        common._HISTORY_MEMO.clear()

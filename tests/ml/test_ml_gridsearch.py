@@ -1,0 +1,68 @@
+"""Tests for GridSearchCV (repro.ml.model_selection)."""
+
+import numpy as np
+import pytest
+
+from repro.ml.lasso import Lasso
+from repro.ml.linear import RidgeRegression
+from repro.ml.model_selection import GridSearchCV, KFold
+
+
+class TestGridSearchCV:
+    def test_explores_full_grid(self, linear_data):
+        X, y = linear_data
+        search = GridSearchCV(
+            Lasso(), {"lam": [0.01, 1.0], "max_iter": [100, 500]}, cv=KFold(3)
+        )
+        result = search.fit(X, y)
+        assert len(result.params) == 4
+        assert {frozenset(p.items()) for p in result.params} == {
+            frozenset({("lam", 0.01), ("max_iter", 100)}),
+            frozenset({("lam", 0.01), ("max_iter", 500)}),
+            frozenset({("lam", 1.0), ("max_iter", 100)}),
+            frozenset({("lam", 1.0), ("max_iter", 500)}),
+        }
+
+    def test_picks_lowest_mean_score(self, linear_data):
+        X, y = linear_data
+        search = GridSearchCV(Lasso(), {"lam": [0.001, 1e6]}, cv=KFold(3))
+        result = search.fit(X, y)
+        # lam=1e6 collapses to the mean predictor: clearly worse
+        assert result.best_params == {"lam": 0.001}
+        means = [r.mean for r in result.results]
+        assert result.best_score == min(means)
+
+    def test_best_on_regularization_strength(self):
+        # noisy, collinear design: some ridge regularization must win over
+        # (near-)zero regularization on held-out folds
+        rng = np.random.default_rng(0)
+        x = rng.normal(size=80)
+        X = np.column_stack([x, x + rng.normal(scale=1e-8, size=80)])
+        y = x + rng.normal(scale=0.5, size=80)
+        search = GridSearchCV(
+            RidgeRegression(), {"alpha": [1e-12, 1.0, 10.0]}, cv=KFold(4)
+        )
+        result = search.fit(X, y)
+        assert result.best_params["alpha"] >= 1.0
+
+    def test_prototype_untouched(self, linear_data):
+        X, y = linear_data
+        proto = Lasso(lam=123.0)
+        GridSearchCV(proto, {"lam": [0.1]}).fit(X, y)
+        assert proto.lam == 123.0
+        assert proto.coef_ is None
+
+    def test_empty_grid_rejected(self):
+        with pytest.raises(ValueError):
+            GridSearchCV(Lasso(), {})
+        with pytest.raises(ValueError):
+            GridSearchCV(Lasso(), {"lam": []})
+
+    def test_custom_scorer(self, linear_data):
+        from repro.ml.metrics import root_mean_squared_error
+
+        X, y = linear_data
+        result = GridSearchCV(
+            Lasso(), {"lam": [0.01, 100.0]}, scorer=root_mean_squared_error
+        ).fit(X, y)
+        assert result.best_params == {"lam": 0.01}

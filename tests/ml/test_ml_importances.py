@@ -1,0 +1,66 @@
+"""Tests for gain-based tree feature importances."""
+
+import numpy as np
+import pytest
+
+from repro.ml.tree import M5PRegressor, REPTreeRegressor
+
+
+@pytest.fixture
+def signal_on_feature_1():
+    rng = np.random.default_rng(0)
+    X = rng.uniform(-2, 2, size=(400, 4))
+    y = np.where(X[:, 1] > 0, 10.0, -10.0) + rng.normal(scale=0.2, size=400)
+    return X, y
+
+
+class TestREPTreeImportances:
+    def test_signal_feature_dominates(self, signal_on_feature_1):
+        X, y = signal_on_feature_1
+        m = REPTreeRegressor(seed=0).fit(X, y)
+        imp = m.feature_importances_
+        assert int(np.argmax(imp)) == 1
+        assert imp[1] > 0.8
+
+    def test_normalized(self, signal_on_feature_1):
+        X, y = signal_on_feature_1
+        m = REPTreeRegressor(seed=0).fit(X, y)
+        assert m.feature_importances_.sum() == pytest.approx(1.0)
+        assert (m.feature_importances_ >= 0).all()
+
+    def test_stump_all_zero(self):
+        X = np.arange(20.0)[:, None]
+        y = np.full(20, 3.0)  # constant target -> no splits
+        m = REPTreeRegressor(seed=0).fit(X, y)
+        assert np.array_equal(m.feature_importances_, np.zeros(1))
+
+    def test_unfitted_raises(self):
+        with pytest.raises(RuntimeError):
+            REPTreeRegressor().feature_importances_
+
+    def test_pruned_nodes_excluded(self, signal_on_feature_1):
+        # pruning collapses subtrees; their gains must not leak into the
+        # importances (make_leaf resets gain)
+        X, y = signal_on_feature_1
+        rng = np.random.default_rng(1)
+        y_noisy = y + rng.normal(scale=5.0, size=y.shape)
+        m = REPTreeRegressor(prune=True, seed=0).fit(X, y_noisy)
+        n_internal = sum(1 for n in m.root_.iter_nodes() if not n.is_leaf)
+        nonzero_gains = sum(
+            1 for n in m.root_.iter_nodes() if n.gain > 0 and not n.is_leaf
+        )
+        assert nonzero_gains == n_internal
+
+
+class TestM5PImportances:
+    def test_signal_feature_dominates(self, signal_on_feature_1):
+        X, y = signal_on_feature_1
+        m = M5PRegressor().fit(X, y)
+        imp = m.feature_importances_
+        assert int(np.argmax(imp)) == 1
+
+    def test_normalized_or_zero(self, signal_on_feature_1):
+        X, y = signal_on_feature_1
+        m = M5PRegressor().fit(X, y)
+        total = m.feature_importances_.sum()
+        assert total == pytest.approx(1.0) or total == 0.0

@@ -1,0 +1,86 @@
+"""Tests for permutation importance (repro.ml.inspection)."""
+
+import numpy as np
+import pytest
+
+from repro.ml.inspection import permutation_importance
+from repro.ml.linear import LinearRegression
+from repro.ml.tree import REPTreeRegressor
+
+
+@pytest.fixture
+def fitted_problem():
+    """y depends strongly on f0, weakly on f1, not at all on f2."""
+    rng = np.random.default_rng(0)
+    X = rng.normal(size=(400, 3))
+    y = 10.0 * X[:, 0] + 1.0 * X[:, 1] + rng.normal(scale=0.05, size=400)
+    model = LinearRegression().fit(X, y)
+    return model, X, y
+
+
+class TestPermutationImportance:
+    def test_ranks_by_true_influence(self, fitted_problem):
+        model, X, y = fitted_problem
+        imp = permutation_importance(model, X, y, seed=1)
+        assert imp.importances_mean[0] > imp.importances_mean[1] > 0.0
+        assert imp.importances_mean[0] > 5.0 * imp.importances_mean[1]
+
+    def test_irrelevant_feature_near_zero(self, fitted_problem):
+        model, X, y = fitted_problem
+        imp = permutation_importance(model, X, y, seed=1)
+        assert abs(imp.importances_mean[2]) < 0.05 * imp.importances_mean[0]
+
+    def test_baseline_is_unpermuted_score(self, fitted_problem):
+        model, X, y = fitted_problem
+        imp = permutation_importance(model, X, y)
+        from repro.ml.metrics import mean_absolute_error
+
+        assert imp.baseline_score == pytest.approx(
+            mean_absolute_error(y, model.predict(X))
+        )
+
+    def test_input_not_mutated(self, fitted_problem):
+        model, X, y = fitted_problem
+        before = X.copy()
+        permutation_importance(model, X, y)
+        assert np.array_equal(X, before)
+
+    def test_ranking_and_top(self, fitted_problem):
+        model, X, y = fitted_problem
+        imp = permutation_importance(
+            model, X, y, feature_names=["a", "b", "c"], seed=1
+        )
+        assert imp.ranking()[0][0] == "a"
+        assert imp.top(2) == ("a", "b")
+
+    def test_default_names(self, fitted_problem):
+        model, X, y = fitted_problem
+        imp = permutation_importance(model, X, y, seed=1)
+        assert imp.ranking()[0][0] == "x[0]"
+
+    def test_deterministic_given_seed(self, fitted_problem):
+        model, X, y = fitted_problem
+        a = permutation_importance(model, X, y, seed=5).importances_mean
+        b = permutation_importance(model, X, y, seed=5).importances_mean
+        assert np.array_equal(a, b)
+
+    def test_repeat_std_reported(self, fitted_problem):
+        model, X, y = fitted_problem
+        imp = permutation_importance(model, X, y, n_repeats=4, seed=1)
+        assert imp.importances_std.shape == (3,)
+        assert (imp.importances_std >= 0).all()
+
+    def test_validation(self, fitted_problem):
+        model, X, y = fitted_problem
+        with pytest.raises(ValueError):
+            permutation_importance(model, X, y, n_repeats=0)
+        with pytest.raises(ValueError):
+            permutation_importance(model, X, y, feature_names=["only_one"])
+
+    def test_works_with_trees(self):
+        rng = np.random.default_rng(2)
+        X = rng.uniform(-2, 2, size=(300, 3))
+        y = np.where(X[:, 1] > 0, 5.0, -5.0)
+        model = REPTreeRegressor(seed=0).fit(X, y)
+        imp = permutation_importance(model, X, y, seed=0)
+        assert int(np.argmax(imp.importances_mean)) == 1

@@ -1,0 +1,125 @@
+"""Tests for repro.ml.kernels."""
+
+import numpy as np
+import pytest
+
+from repro.ml.kernels import (
+    linear_kernel,
+    polynomial_kernel,
+    rbf_kernel,
+    resolve_gamma,
+    resolve_kernel,
+    resolve_kernel_diag,
+)
+
+
+@pytest.fixture
+def XY():
+    rng = np.random.default_rng(0)
+    return rng.normal(size=(12, 4)), rng.normal(size=(8, 4))
+
+
+class TestLinearKernel:
+    def test_matches_dot(self, XY):
+        X, Y = XY
+        assert np.allclose(linear_kernel(X, Y), X @ Y.T)
+
+    def test_symmetric_gram(self, XY):
+        X, _ = XY
+        K = linear_kernel(X, X)
+        assert np.allclose(K, K.T)
+
+    def test_1d_promoted(self):
+        K = linear_kernel(np.array([1.0, 2.0]), np.array([3.0, 4.0]))
+        assert K.shape == (1, 1)
+        assert K[0, 0] == 11.0
+
+
+class TestPolynomialKernel:
+    def test_degree_one_affine_of_linear(self, XY):
+        X, Y = XY
+        K = polynomial_kernel(X, Y, degree=1, gamma=2.0, coef0=3.0)
+        assert np.allclose(K, 2.0 * (X @ Y.T) + 3.0)
+
+    def test_known_value(self):
+        K = polynomial_kernel(
+            np.array([[1.0, 1.0]]), np.array([[2.0, 0.0]]), degree=2, gamma=1.0, coef0=1.0
+        )
+        assert K[0, 0] == pytest.approx(9.0)  # (2 + 1)^2
+
+    def test_invalid_degree(self, XY):
+        X, Y = XY
+        with pytest.raises(ValueError):
+            polynomial_kernel(X, Y, degree=0)
+
+
+class TestRBFKernel:
+    def test_diag_is_one(self, XY):
+        X, _ = XY
+        K = rbf_kernel(X, X, gamma=0.5)
+        assert np.allclose(np.diag(K), 1.0)
+
+    def test_range(self, XY):
+        X, Y = XY
+        K = rbf_kernel(X, Y, gamma=1.0)
+        assert (K > 0).all() and (K <= 1.0).all()
+
+    def test_known_value(self):
+        K = rbf_kernel(np.array([[0.0]]), np.array([[2.0]]), gamma=0.25)
+        assert K[0, 0] == pytest.approx(np.exp(-1.0))
+
+    def test_decays_with_distance(self):
+        x = np.array([[0.0]])
+        near = rbf_kernel(x, np.array([[0.5]]), gamma=1.0)[0, 0]
+        far = rbf_kernel(x, np.array([[3.0]]), gamma=1.0)[0, 0]
+        assert near > far
+
+    def test_invalid_gamma(self, XY):
+        X, Y = XY
+        with pytest.raises(ValueError):
+            rbf_kernel(X, Y, gamma=0.0)
+
+    def test_psd_gram(self, XY):
+        X, _ = XY
+        K = rbf_kernel(X, X, gamma=0.7)
+        eig = np.linalg.eigvalsh(K)
+        assert eig.min() > -1e-10
+
+
+class TestResolvers:
+    def test_resolve_names(self, XY):
+        X, Y = XY
+        for name in ("linear", "poly", "rbf"):
+            K = resolve_kernel(name, gamma=0.5)(X, Y)
+            assert K.shape == (12, 8)
+
+    def test_unknown_kernel(self):
+        with pytest.raises(ValueError, match="unknown kernel"):
+            resolve_kernel("sigmoid")
+
+    @pytest.mark.parametrize("name", ["linear", "poly", "rbf"])
+    def test_diag_matches_gram(self, name, XY):
+        X, _ = XY
+        gram = resolve_kernel(name, gamma=0.5, degree=2)(X, X)
+        diag = resolve_kernel_diag(name, gamma=0.5, degree=2)(X)
+        assert np.allclose(diag, np.diag(gram))
+
+    def test_resolve_gamma_scale(self, XY):
+        X, _ = XY
+        g = resolve_gamma("scale", X)
+        assert g == pytest.approx(1.0 / (X.shape[1] * X.var()))
+
+    def test_resolve_gamma_numeric_passthrough(self, XY):
+        X, _ = XY
+        assert resolve_gamma(0.3, X) == 0.3
+
+    def test_resolve_gamma_invalid(self, XY):
+        X, _ = XY
+        with pytest.raises(ValueError):
+            resolve_gamma(-1.0, X)
+        with pytest.raises(ValueError):
+            resolve_gamma("auto", X)
+
+    def test_resolve_gamma_constant_X(self):
+        X = np.ones((5, 2))
+        assert np.isfinite(resolve_gamma("scale", X))

@@ -1,0 +1,94 @@
+"""Tests for repro.ml.linear."""
+
+import numpy as np
+import pytest
+
+from repro.ml.linear import LinearRegression, RidgeRegression
+from repro.ml.metrics import mean_absolute_error
+
+
+class TestLinearRegression:
+    def test_recovers_coefficients(self, linear_data):
+        X, y = linear_data
+        m = LinearRegression().fit(X, y)
+        assert m.coef_[0] == pytest.approx(3.0, abs=0.02)
+        assert m.coef_[1] == pytest.approx(-2.0, abs=0.02)
+        assert m.intercept_ == pytest.approx(1.0, abs=0.02)
+
+    def test_exact_on_noiseless(self):
+        rng = np.random.default_rng(0)
+        X = rng.normal(size=(50, 3))
+        y = X @ np.array([1.0, -2.0, 0.5]) + 4.0
+        m = LinearRegression().fit(X, y)
+        assert np.allclose(m.predict(X), y, atol=1e-10)
+
+    def test_no_intercept(self):
+        X = np.arange(1.0, 11.0)[:, None]
+        y = 2.0 * X[:, 0] + 5.0
+        m = LinearRegression(fit_intercept=False).fit(X, y)
+        assert m.intercept_ == 0.0
+        # slope absorbs what it can; prediction at 0 must be 0
+        assert m.predict(np.zeros((1, 1)))[0] == 0.0
+
+    def test_rank_deficient_handled(self):
+        # duplicated column: lstsq must not blow up
+        rng = np.random.default_rng(1)
+        x = rng.normal(size=100)
+        X = np.column_stack([x, x, rng.normal(size=100)])
+        y = 2.0 * x + X[:, 2]
+        m = LinearRegression().fit(X, y)
+        assert np.allclose(m.predict(X), y, atol=1e-8)
+
+    def test_single_feature(self):
+        X = np.arange(10.0)[:, None]
+        y = 3.0 * X[:, 0] - 1.0
+        m = LinearRegression().fit(X, y)
+        assert m.coef_[0] == pytest.approx(3.0)
+        assert m.intercept_ == pytest.approx(-1.0)
+
+
+class TestRidgeRegression:
+    def test_matches_ols_at_zero_alpha(self, linear_data):
+        X, y = linear_data
+        ols = LinearRegression().fit(X, y)
+        ridge = RidgeRegression(alpha=0.0).fit(X, y)
+        assert np.allclose(ridge.coef_, ols.coef_, atol=1e-8)
+
+    def test_shrinks_with_alpha(self, linear_data):
+        X, y = linear_data
+        small = RidgeRegression(alpha=0.1).fit(X, y)
+        large = RidgeRegression(alpha=1e5).fit(X, y)
+        assert np.linalg.norm(large.coef_) < np.linalg.norm(small.coef_)
+
+    def test_huge_alpha_approaches_mean(self, linear_data):
+        X, y = linear_data
+        m = RidgeRegression(alpha=1e12).fit(X, y)
+        assert np.allclose(m.predict(X), y.mean(), atol=0.01)
+
+    def test_negative_alpha_rejected(self):
+        with pytest.raises(ValueError):
+            RidgeRegression(alpha=-1.0)
+
+    def test_more_features_than_samples(self):
+        # the M5P leaf-model case: p > n must stay finite
+        rng = np.random.default_rng(2)
+        X = rng.normal(size=(5, 12))
+        y = rng.normal(size=5)
+        m = RidgeRegression(alpha=1e-6).fit(X, y)
+        assert np.isfinite(m.predict(X)).all()
+
+    def test_singular_design_zero_alpha(self):
+        X = np.ones((10, 2))  # rank 1 after centring: rank 0
+        y = np.arange(10.0)
+        m = RidgeRegression(alpha=0.0).fit(X, y)
+        assert np.isfinite(m.coef_).all()
+
+    def test_better_generalization_on_collinear_noise(self):
+        rng = np.random.default_rng(3)
+        x = rng.normal(size=60)
+        X = np.column_stack([x, x + rng.normal(scale=1e-6, size=60)])
+        y = x + rng.normal(scale=0.1, size=60)
+        Xte = np.column_stack([np.linspace(-2, 2, 20), np.linspace(-2, 2, 20)])
+        yte = Xte[:, 0]
+        ridge = RidgeRegression(alpha=1.0).fit(X, y)
+        assert mean_absolute_error(yte, ridge.predict(Xte)) < 0.5

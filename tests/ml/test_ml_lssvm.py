@@ -1,0 +1,79 @@
+"""Tests for repro.ml.lssvm."""
+
+import numpy as np
+import pytest
+
+from repro.ml.lssvm import LSSVMRegressor
+from repro.ml.metrics import mean_absolute_error
+
+
+class TestLSSVM:
+    def test_fits_linear_function(self):
+        rng = np.random.default_rng(0)
+        X = rng.normal(size=(100, 3))
+        y = 2.0 * X[:, 0] - X[:, 1] + 0.5
+        m = LSSVMRegressor(gam=1e4, kernel="linear").fit(X, y)
+        assert mean_absolute_error(y, m.predict(X)) < 0.01
+
+    def test_fits_nonlinear_function(self, nonlinear_data):
+        X, y = nonlinear_data
+        m = LSSVMRegressor(gam=100.0, kernel="rbf", gamma=1.0).fit(X, y)
+        assert mean_absolute_error(y, m.predict(X)) < 1.0
+
+    def test_alpha_is_dense(self):
+        # every training point is a "support vector" in LS-SVM
+        rng = np.random.default_rng(1)
+        X = rng.normal(size=(50, 2))
+        y = np.sin(X[:, 0])
+        m = LSSVMRegressor(gam=10.0).fit(X, y)
+        assert np.count_nonzero(m.alpha_) == 50
+
+    def test_equality_constraint_holds(self):
+        # the first KKT row: sum(alpha) = 0
+        rng = np.random.default_rng(2)
+        X = rng.normal(size=(40, 2))
+        y = X[:, 0] ** 2
+        m = LSSVMRegressor(gam=50.0).fit(X, y)
+        assert m.alpha_.sum() == pytest.approx(0.0, abs=1e-6)
+
+    def test_kkt_system_satisfied(self):
+        # K alpha + 1 b + alpha/gam = y must hold row-wise
+        from repro.ml.kernels import rbf_kernel, resolve_gamma
+
+        rng = np.random.default_rng(3)
+        X = rng.normal(size=(30, 2))
+        y = np.cos(X[:, 0])
+        gam = 25.0
+        m = LSSVMRegressor(gam=gam, kernel="rbf", gamma=0.5).fit(X, y)
+        K = rbf_kernel(X, X, gamma=0.5)
+        lhs = K @ m.alpha_ + m.intercept_ + m.alpha_ / gam
+        assert np.allclose(lhs, y, atol=1e-6)
+
+    def test_regularization_smooths(self):
+        rng = np.random.default_rng(4)
+        X = rng.normal(size=(80, 1))
+        y = np.sin(2 * X[:, 0]) + rng.normal(scale=0.3, size=80)
+        tight = LSSVMRegressor(gam=1e6, kernel="rbf", gamma=2.0).fit(X, y)
+        loose = LSSVMRegressor(gam=0.1, kernel="rbf", gamma=2.0).fit(X, y)
+        # the tight fit interpolates noise (lower train error)
+        assert mean_absolute_error(y, tight.predict(X)) < mean_absolute_error(
+            y, loose.predict(X)
+        )
+
+    def test_invalid_gam(self):
+        with pytest.raises(ValueError):
+            LSSVMRegressor(gam=0.0)
+
+    def test_constant_target(self):
+        X = np.arange(20.0)[:, None]
+        y = np.full(20, 7.0)
+        m = LSSVMRegressor(gam=10.0).fit(X, y)
+        assert np.allclose(m.predict(X), 7.0, atol=1e-6)
+
+    def test_deterministic(self):
+        rng = np.random.default_rng(5)
+        X = rng.normal(size=(40, 2))
+        y = X[:, 0]
+        p1 = LSSVMRegressor(gam=10.0).fit(X, y).predict(X)
+        p2 = LSSVMRegressor(gam=10.0).fit(X, y).predict(X)
+        assert np.array_equal(p1, p2)

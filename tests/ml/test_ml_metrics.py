@@ -1,0 +1,143 @@
+"""Tests for repro.ml.metrics (the paper's Sec. III-D metric set)."""
+
+import numpy as np
+import pytest
+
+from repro.ml.metrics import (
+    max_absolute_error,
+    mean_absolute_error,
+    r2_score,
+    relative_absolute_error,
+    root_mean_squared_error,
+    soft_mean_absolute_error,
+)
+
+
+class TestMAE:
+    def test_perfect(self):
+        y = np.array([1.0, 2.0, 3.0])
+        assert mean_absolute_error(y, y) == 0.0
+
+    def test_known_value(self):
+        assert mean_absolute_error(np.array([0.0, 0.0]), np.array([1.0, 3.0])) == 2.0
+
+    def test_symmetric_in_sign_of_error(self):
+        y = np.zeros(4)
+        up = mean_absolute_error(y, np.full(4, 2.0))
+        down = mean_absolute_error(y, np.full(4, -2.0))
+        assert up == down
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            mean_absolute_error(np.zeros(3), np.zeros(4))
+
+
+class TestRAE:
+    def test_mean_predictor_is_one(self):
+        # Predicting |y|'s mean everywhere gives RAE == 1 by Eq. 6/7.
+        y = np.array([1.0, 2.0, 3.0, 6.0])
+        pred = np.full(4, np.abs(y).mean())
+        assert relative_absolute_error(y, pred) == pytest.approx(1.0)
+
+    def test_perfect_is_zero(self):
+        y = np.array([1.0, 2.0, 3.0])
+        assert relative_absolute_error(y, y) == 0.0
+
+    def test_degenerate_target_inf(self):
+        y = np.full(3, 5.0)  # baseline error is zero
+        assert relative_absolute_error(y, y + 1.0) == np.inf
+
+    def test_degenerate_target_perfect(self):
+        y = np.full(3, 5.0)
+        assert relative_absolute_error(y, y) == 0.0
+
+
+class TestMaxAE:
+    def test_known_value(self):
+        y = np.array([0.0, 0.0, 0.0])
+        pred = np.array([1.0, -4.0, 2.0])
+        assert max_absolute_error(y, pred) == 4.0
+
+    def test_perfect(self):
+        y = np.arange(5.0)
+        assert max_absolute_error(y, y) == 0.0
+
+
+class TestSMAE:
+    def test_errors_below_threshold_zeroed(self):
+        y = np.zeros(4)
+        pred = np.array([0.5, 1.5, 0.9, 2.0])
+        # threshold 1.0: only 1.5 and 2.0 count.
+        assert soft_mean_absolute_error(y, pred, 1.0) == pytest.approx(3.5 / 4)
+
+    def test_threshold_zero_equals_mae(self):
+        rng = np.random.default_rng(0)
+        y = rng.normal(size=50)
+        pred = rng.normal(size=50)
+        assert soft_mean_absolute_error(y, pred, 0.0) == pytest.approx(
+            mean_absolute_error(y, pred)
+        )
+
+    def test_error_exactly_at_threshold_counts(self):
+        # "less than a given threshold" — equality is NOT forgiven.
+        y = np.zeros(1)
+        pred = np.array([1.0])
+        assert soft_mean_absolute_error(y, pred, 1.0) == 1.0
+
+    def test_all_within_threshold(self):
+        y = np.zeros(3)
+        pred = np.array([0.1, -0.2, 0.05])
+        assert soft_mean_absolute_error(y, pred, 0.5) == 0.0
+
+    def test_negative_threshold_rejected(self):
+        with pytest.raises(ValueError):
+            soft_mean_absolute_error(np.zeros(2), np.zeros(2), -1.0)
+
+    def test_smae_never_exceeds_mae(self):
+        rng = np.random.default_rng(1)
+        y = rng.normal(size=100)
+        pred = rng.normal(size=100)
+        mae = mean_absolute_error(y, pred)
+        for thr in (0.1, 0.5, 1.0, 5.0):
+            assert soft_mean_absolute_error(y, pred, thr) <= mae
+
+    def test_monotone_in_threshold(self):
+        rng = np.random.default_rng(2)
+        y = rng.normal(size=100)
+        pred = rng.normal(size=100)
+        values = [
+            soft_mean_absolute_error(y, pred, t) for t in (0.0, 0.2, 0.5, 1.0, 3.0)
+        ]
+        assert values == sorted(values, reverse=True)
+
+
+class TestRMSE:
+    def test_known_value(self):
+        y = np.zeros(2)
+        pred = np.array([3.0, 4.0])
+        assert root_mean_squared_error(y, pred) == pytest.approx(np.sqrt(12.5))
+
+    def test_rmse_at_least_mae(self):
+        rng = np.random.default_rng(3)
+        y = rng.normal(size=60)
+        pred = rng.normal(size=60)
+        assert root_mean_squared_error(y, pred) >= mean_absolute_error(y, pred)
+
+
+class TestR2:
+    def test_perfect(self):
+        y = np.arange(10.0)
+        assert r2_score(y, y) == pytest.approx(1.0)
+
+    def test_mean_predictor_zero(self):
+        y = np.arange(10.0)
+        assert r2_score(y, np.full(10, y.mean())) == pytest.approx(0.0)
+
+    def test_worse_than_mean_negative(self):
+        y = np.arange(10.0)
+        assert r2_score(y, -y) < 0.0
+
+    def test_constant_target(self):
+        y = np.full(5, 2.0)
+        assert r2_score(y, y) == 0.0
+        assert r2_score(y, y + 1.0) == float("-inf")

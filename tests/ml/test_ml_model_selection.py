@@ -1,0 +1,117 @@
+"""Tests for repro.ml.model_selection."""
+
+import numpy as np
+import pytest
+
+from repro.ml.linear import LinearRegression
+from repro.ml.model_selection import KFold, cross_validate, train_test_split
+
+
+class TestTrainTestSplit:
+    def test_sizes(self):
+        X = np.arange(40.0).reshape(20, 2)
+        y = np.arange(20.0)
+        Xtr, Xte, ytr, yte = train_test_split(X, y, test_size=0.25, seed=0)
+        assert Xte.shape[0] == 5
+        assert Xtr.shape[0] == 15
+        assert ytr.shape[0] == 15
+
+    def test_partition_is_exact(self):
+        X = np.arange(30.0).reshape(15, 2)
+        y = np.arange(15.0)
+        Xtr, Xte, ytr, yte = train_test_split(X, y, seed=1)
+        combined = np.sort(np.concatenate([ytr, yte]))
+        assert np.array_equal(combined, y)
+
+    def test_rows_stay_aligned(self):
+        X = np.arange(20.0).reshape(10, 2)
+        y = X[:, 0] * 10.0
+        Xtr, Xte, ytr, yte = train_test_split(X, y, seed=2)
+        assert np.allclose(ytr, Xtr[:, 0] * 10.0)
+        assert np.allclose(yte, Xte[:, 0] * 10.0)
+
+    def test_no_shuffle_is_temporal(self):
+        X = np.arange(10.0)[:, None]
+        y = np.arange(10.0)
+        _, Xte, _, yte = train_test_split(X, y, test_size=0.3, shuffle=False)
+        assert np.array_equal(yte, [7.0, 8.0, 9.0])
+
+    def test_deterministic_with_seed(self):
+        X = np.arange(20.0)[:, None]
+        y = np.arange(20.0)
+        _, _, _, a = train_test_split(X, y, seed=7)
+        _, _, _, b = train_test_split(X, y, seed=7)
+        assert np.array_equal(a, b)
+
+    def test_invalid_test_size(self):
+        X = np.zeros((10, 1))
+        y = np.zeros(10)
+        for bad in (0.0, 1.0, -0.5):
+            with pytest.raises(ValueError):
+                train_test_split(X, y, test_size=bad)
+
+    def test_at_least_one_each_side(self):
+        X = np.zeros((3, 1))
+        y = np.zeros(3)
+        Xtr, Xte, *_ = train_test_split(X, y, test_size=0.01)
+        assert Xte.shape[0] >= 1 and Xtr.shape[0] >= 1
+
+    def test_too_few_samples(self):
+        with pytest.raises(ValueError):
+            train_test_split(np.zeros((1, 1)), np.zeros(1))
+
+
+class TestKFold:
+    def test_covers_all_indices_once(self):
+        kf = KFold(n_splits=4)
+        seen = np.concatenate([te for _, te in kf.split(22)])
+        assert np.array_equal(np.sort(seen), np.arange(22))
+
+    def test_train_test_disjoint(self):
+        for tr, te in KFold(n_splits=3).split(10):
+            assert not set(tr) & set(te)
+
+    def test_fold_sizes_balanced(self):
+        sizes = [len(te) for _, te in KFold(n_splits=4).split(10)]
+        assert sizes == [3, 3, 2, 2]
+
+    def test_shuffle_changes_order(self):
+        plain = [te.tolist() for _, te in KFold(3).split(9)]
+        shuffled = [te.tolist() for _, te in KFold(3, shuffle=True, seed=0).split(9)]
+        assert plain != shuffled
+
+    def test_too_few_samples(self):
+        with pytest.raises(ValueError):
+            list(KFold(n_splits=5).split(3))
+
+    def test_n_splits_validation(self):
+        with pytest.raises(ValueError):
+            KFold(n_splits=1)
+
+
+class TestCrossValidate:
+    def test_scores_per_fold(self, linear_data):
+        X, y = linear_data
+        res = cross_validate(LinearRegression(), X, y, cv=KFold(5))
+        assert len(res.scores) == 5
+        assert res.mean < 0.1  # near-noiseless linear problem
+
+    def test_custom_scorer(self, linear_data):
+        X, y = linear_data
+        from repro.ml.metrics import max_absolute_error
+
+        res = cross_validate(
+            LinearRegression(), X, y, cv=KFold(3), scorer=max_absolute_error
+        )
+        assert all(s >= 0 for s in res.scores)
+
+    def test_does_not_mutate_estimator(self, linear_data):
+        X, y = linear_data
+        proto = LinearRegression()
+        cross_validate(proto, X, y, cv=KFold(3))
+        assert proto.coef_ is None  # prototype never fitted
+
+    def test_std_property(self, linear_data):
+        X, y = linear_data
+        res = cross_validate(LinearRegression(), X, y, cv=KFold(4))
+        assert res.std >= 0.0

@@ -1,0 +1,80 @@
+"""Tests for repro.ml.pipeline.ScaledModel."""
+
+import numpy as np
+import pytest
+
+from repro.ml.base import clone
+from repro.ml.lasso import Lasso
+from repro.ml.linear import LinearRegression
+from repro.ml.metrics import mean_absolute_error
+from repro.ml.pipeline import ScaledModel
+from repro.ml.svr import SVR
+
+
+@pytest.fixture
+def badly_scaled_data():
+    """Features spanning 6 orders of magnitude, target offset by 1e4."""
+    rng = np.random.default_rng(0)
+    X = np.column_stack(
+        [rng.normal(scale=1e6, size=200), rng.normal(scale=1e-2, size=200)]
+    )
+    y = 1e-4 * X[:, 0] + 300.0 * X[:, 1] + 1e4
+    return X, y
+
+
+class TestScaledModel:
+    def test_linear_invariant_to_scaling(self, badly_scaled_data):
+        # OLS is scale-equivariant: wrapping must not change predictions
+        X, y = badly_scaled_data
+        plain = LinearRegression().fit(X, y)
+        scaled = ScaledModel(LinearRegression()).fit(X, y)
+        assert np.allclose(plain.predict(X), scaled.predict(X), rtol=1e-6)
+
+    def test_svr_needs_scaling(self, badly_scaled_data):
+        X, y = badly_scaled_data
+        scaled = ScaledModel(SVR(C=10.0, epsilon=0.01, kernel="rbf")).fit(X, y)
+        # on raw features gamma='scale' collapses; scaled version must work
+        assert mean_absolute_error(y, scaled.predict(X)) < 0.1 * y.std()
+
+    def test_predictions_in_target_units(self, badly_scaled_data):
+        X, y = badly_scaled_data
+        m = ScaledModel(LinearRegression()).fit(X, y)
+        pred = m.predict(X)
+        assert abs(pred.mean() - y.mean()) < 0.1 * abs(y.mean())
+
+    def test_prototype_not_fitted(self, badly_scaled_data):
+        X, y = badly_scaled_data
+        proto = LinearRegression()
+        ScaledModel(proto).fit(X, y)
+        assert proto.coef_ is None
+
+    def test_shared_prototype_safe(self, badly_scaled_data):
+        X, y = badly_scaled_data
+        proto = Lasso(lam=0.01)
+        m1 = ScaledModel(proto).fit(X, y)
+        m2 = ScaledModel(proto).fit(X[:100], y[:100])
+        # both wrappers hold their own fitted clones
+        assert m1.inner_ is not m2.inner_
+
+    def test_clone_works(self):
+        m = ScaledModel(Lasso(lam=2.0), scale_y=False)
+        c = clone(m)
+        assert isinstance(c, ScaledModel)
+        assert c.inner.lam == 2.0
+        assert c.scale_y is False
+
+    def test_scale_y_off(self, badly_scaled_data):
+        X, y = badly_scaled_data
+        m = ScaledModel(LinearRegression(), scale_y=False).fit(X, y)
+        assert np.isfinite(m.predict(X)).all()
+
+    def test_predict_before_fit(self, badly_scaled_data):
+        X, _ = badly_scaled_data
+        with pytest.raises(RuntimeError):
+            ScaledModel(LinearRegression()).predict(X)
+
+    def test_constant_target(self):
+        X = np.arange(20.0)[:, None]
+        y = np.full(20, 5.0)
+        m = ScaledModel(LinearRegression()).fit(X, y)
+        assert np.allclose(m.predict(X), 5.0)

@@ -1,0 +1,87 @@
+"""Tests for repro.ml.preprocessing."""
+
+import numpy as np
+import pytest
+
+from repro.ml.preprocessing import MinMaxScaler, StandardScaler
+
+
+class TestStandardScaler:
+    def test_zero_mean_unit_std(self):
+        rng = np.random.default_rng(0)
+        X = rng.normal(loc=5.0, scale=3.0, size=(200, 4))
+        Z = StandardScaler().fit_transform(X)
+        assert np.allclose(Z.mean(axis=0), 0.0, atol=1e-12)
+        assert np.allclose(Z.std(axis=0), 1.0, atol=1e-12)
+
+    def test_inverse_roundtrip(self):
+        rng = np.random.default_rng(1)
+        X = rng.normal(size=(50, 3))
+        sc = StandardScaler().fit(X)
+        assert np.allclose(sc.inverse_transform(sc.transform(X)), X)
+
+    def test_constant_feature_not_divided(self):
+        X = np.column_stack([np.ones(10), np.arange(10.0)])
+        Z = StandardScaler().fit_transform(X)
+        assert np.isfinite(Z).all()
+        assert np.allclose(Z[:, 0], 0.0)
+
+    def test_without_mean(self):
+        X = np.arange(10.0)[:, None] + 100.0
+        Z = StandardScaler(with_mean=False).fit_transform(X)
+        assert Z.min() > 0  # not centred
+
+    def test_without_std(self):
+        X = np.arange(10.0)[:, None]
+        Z = StandardScaler(with_std=False).fit_transform(X)
+        assert np.allclose(Z.std(axis=0), X.std(axis=0))
+
+    def test_transform_before_fit_raises(self):
+        with pytest.raises(RuntimeError):
+            StandardScaler().transform(np.zeros((2, 2)))
+
+    def test_feature_count_mismatch(self):
+        sc = StandardScaler().fit(np.zeros((5, 3)) + np.arange(3.0))
+        with pytest.raises(ValueError, match="features"):
+            sc.transform(np.zeros((5, 2)))
+
+    def test_transform_uses_training_stats(self):
+        X_train = np.full((10, 1), 4.0) + np.arange(10.0)[:, None]
+        sc = StandardScaler().fit(X_train)
+        z = sc.transform(np.array([[X_train.mean()]]))
+        assert z[0, 0] == pytest.approx(0.0)
+
+
+class TestMinMaxScaler:
+    def test_unit_range(self):
+        rng = np.random.default_rng(2)
+        X = rng.normal(size=(100, 3)) * 7.0 + 3.0
+        Z = MinMaxScaler().fit_transform(X)
+        assert np.allclose(Z.min(axis=0), 0.0)
+        assert np.allclose(Z.max(axis=0), 1.0)
+
+    def test_custom_range(self):
+        X = np.arange(10.0)[:, None]
+        Z = MinMaxScaler(feature_range=(-1.0, 1.0)).fit_transform(X)
+        assert Z.min() == pytest.approx(-1.0)
+        assert Z.max() == pytest.approx(1.0)
+
+    def test_invalid_range(self):
+        with pytest.raises(ValueError):
+            MinMaxScaler(feature_range=(1.0, 1.0))
+
+    def test_inverse_roundtrip(self):
+        rng = np.random.default_rng(3)
+        X = rng.normal(size=(40, 2))
+        sc = MinMaxScaler().fit(X)
+        assert np.allclose(sc.inverse_transform(sc.transform(X)), X)
+
+    def test_constant_feature_maps_to_low(self):
+        X = np.column_stack([np.full(5, 9.0), np.arange(5.0)])
+        Z = MinMaxScaler().fit_transform(X)
+        assert np.allclose(Z[:, 0], 0.0)
+
+    def test_feature_count_mismatch(self):
+        sc = MinMaxScaler().fit(np.arange(6.0).reshape(3, 2))
+        with pytest.raises(ValueError):
+            sc.transform(np.zeros((3, 4)))

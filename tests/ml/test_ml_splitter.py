@@ -1,0 +1,101 @@
+"""Tests for the vectorized split search (repro.ml.tree._splitter)."""
+
+import numpy as np
+import pytest
+
+from repro.ml.tree._splitter import Split, find_best_split
+
+
+def brute_force_best(X, y, criterion, min_samples_leaf=1):
+    """Reference O(n^2 p) implementation for cross-checking."""
+    n, p = X.shape
+    total_sse = ((y - y.mean()) ** 2).sum()
+    total_sd = y.std()
+    best = None
+    for f in range(p):
+        for t in np.unique(X[:, f])[:-1]:
+            mask = X[:, f] <= t
+            nl, nr = mask.sum(), (~mask).sum()
+            if nl < min_samples_leaf or nr < min_samples_leaf:
+                continue
+            yl, yr = y[mask], y[~mask]
+            if criterion == "sse":
+                gain = total_sse - ((yl - yl.mean()) ** 2).sum() - ((yr - yr.mean()) ** 2).sum()
+            else:
+                gain = total_sd - (nl * yl.std() + nr * yr.std()) / n
+            if gain > 0 and (best is None or gain > best[0]):
+                best = (gain, f)
+    return best
+
+
+class TestFindBestSplit:
+    @pytest.mark.parametrize("criterion", ["sse", "sdr"])
+    def test_matches_brute_force_gain(self, criterion):
+        rng = np.random.default_rng(0)
+        for trial in range(5):
+            X = rng.normal(size=(40, 3))
+            y = np.where(X[:, 1] > 0.3, 5.0, -5.0) + rng.normal(scale=0.2, size=40)
+            fast = find_best_split(X, y, criterion=criterion)
+            ref = brute_force_best(X, y, criterion)
+            assert fast is not None and ref is not None
+            assert fast.feature == ref[1]
+            assert fast.gain == pytest.approx(ref[0], rel=1e-9)
+
+    def test_obvious_split_found(self):
+        X = np.arange(20.0)[:, None]
+        y = np.where(X[:, 0] < 10, 0.0, 100.0)
+        split = find_best_split(X, y)
+        assert split.feature == 0
+        assert 9.0 <= split.threshold < 10.0
+
+    def test_threshold_separates_consistently(self):
+        rng = np.random.default_rng(1)
+        X = rng.normal(size=(50, 2))
+        y = np.where(X[:, 0] > 0, 1.0, -1.0)
+        split = find_best_split(X, y)
+        mask = X[:, split.feature] <= split.threshold
+        assert 0 < mask.sum() < 50
+
+    def test_pure_node_returns_none(self):
+        X = np.arange(10.0)[:, None]
+        y = np.full(10, 3.0)
+        assert find_best_split(X, y) is None
+
+    def test_constant_features_return_none(self):
+        X = np.ones((10, 3))
+        y = np.arange(10.0)
+        assert find_best_split(X, y) is None
+
+    def test_min_samples_leaf_respected(self):
+        X = np.arange(10.0)[:, None]
+        y = np.array([0.0] * 1 + [10.0] * 9)  # best unconstrained cut at 0|1
+        split = find_best_split(X, y, min_samples_leaf=3)
+        mask = X[:, 0] <= split.threshold
+        assert mask.sum() >= 3 and (~mask).sum() >= 3
+
+    def test_too_few_samples(self):
+        X = np.array([[1.0], [2.0], [3.0]])
+        y = np.array([1.0, 2.0, 3.0])
+        assert find_best_split(X, y, min_samples_leaf=2) is None
+
+    def test_feature_subset_restriction(self):
+        rng = np.random.default_rng(2)
+        X = rng.normal(size=(60, 3))
+        y = np.where(X[:, 0] > 0, 10.0, -10.0)  # feature 0 is the signal
+        split = find_best_split(X, y, features=np.array([1, 2]))
+        assert split is None or split.feature in (1, 2)
+
+    def test_duplicate_feature_values_never_split_between(self):
+        X = np.array([[1.0], [1.0], [1.0], [2.0], [2.0]])
+        y = np.array([0.0, 5.0, 0.0, 10.0, 10.0])
+        split = find_best_split(X, y)
+        assert 1.0 <= split.threshold < 2.0
+
+    def test_unknown_criterion(self):
+        with pytest.raises(ValueError):
+            find_best_split(np.zeros((4, 1)), np.zeros(4), criterion="gini")
+
+    def test_split_is_frozen_dataclass(self):
+        s = Split(feature=0, threshold=1.0, gain=2.0)
+        with pytest.raises(AttributeError):
+            s.gain = 3.0

@@ -1,0 +1,216 @@
+"""Tests for REP-Tree and M5P (repro.ml.tree)."""
+
+import numpy as np
+import pytest
+
+from repro.ml.metrics import mean_absolute_error
+from repro.ml.tree import M5PRegressor, REPTreeRegressor
+from repro.ml.tree._node import Node, predict_means
+
+
+class TestNode:
+    def test_leaf_flag(self):
+        n = Node(value=1.0, n_samples=3)
+        assert n.is_leaf
+        n.left = Node(0.0, 1)
+        n.right = Node(2.0, 2)
+        n.feature = 0
+        assert not n.is_leaf
+
+    def test_make_leaf_collapses(self):
+        n = Node(1.0, 4)
+        n.feature, n.threshold = 0, 0.5
+        n.left, n.right = Node(0.0, 2), Node(2.0, 2)
+        n.make_leaf()
+        assert n.is_leaf
+        assert n.feature == -1
+
+    def test_route_indices(self):
+        n = Node(0.0, 4)
+        n.feature, n.threshold = 0, 2.5
+        X = np.array([[1.0], [2.0], [3.0], [4.0]])
+        left, right = n.route_indices(X, np.arange(4))
+        assert left.tolist() == [0, 1]
+        assert right.tolist() == [2, 3]
+
+    def test_counts_and_depth(self):
+        root = Node(0.0, 4)
+        root.feature, root.threshold = 0, 0.0
+        root.left = Node(-1.0, 2)
+        root.right = Node(1.0, 2)
+        assert root.n_nodes() == 3
+        assert root.n_leaves() == 2
+        assert root.depth() == 1
+        assert root.left.depth() == 0
+
+    def test_predict_means_routes_correctly(self):
+        root = Node(0.0, 4)
+        root.feature, root.threshold = 0, 0.0
+        root.left = Node(-5.0, 2)
+        root.right = Node(5.0, 2)
+        X = np.array([[-1.0], [1.0], [-0.5], [2.0]])
+        assert predict_means(root, X).tolist() == [-5.0, 5.0, -5.0, 5.0]
+
+
+class TestREPTree:
+    def test_fits_step_function_exactly_unpruned(self):
+        X = np.arange(100.0)[:, None]
+        y = np.where(X[:, 0] < 50, 1.0, 9.0)
+        m = REPTreeRegressor(prune=False, seed=0).fit(X, y)
+        assert mean_absolute_error(y, m.predict(X)) < 1e-12
+
+    def test_fits_step_function_approximately_pruned(self):
+        # with a grow/prune holdout the step edge may land one sample off
+        X = np.arange(100.0)[:, None]
+        y = np.where(X[:, 0] < 50, 1.0, 9.0)
+        m = REPTreeRegressor(prune=True, seed=0).fit(X, y)
+        assert mean_absolute_error(y, m.predict(X)) < 0.5
+
+    def test_beats_mean_on_nonlinear(self, nonlinear_data):
+        X, y = nonlinear_data
+        m = REPTreeRegressor(seed=0).fit(X, y)
+        mae = mean_absolute_error(y, m.predict(X))
+        mean_mae = np.abs(y - y.mean()).mean()
+        assert mae < 0.3 * mean_mae
+
+    def test_max_depth_enforced(self, nonlinear_data):
+        X, y = nonlinear_data
+        m = REPTreeRegressor(max_depth=2, seed=0).fit(X, y)
+        assert m.depth_ <= 2
+
+    def test_pruning_reduces_leaves(self, nonlinear_data):
+        X, y = nonlinear_data
+        rng = np.random.default_rng(0)
+        y_noisy = y + rng.normal(scale=2.0, size=y.shape)
+        pruned = REPTreeRegressor(prune=True, seed=0).fit(X, y_noisy)
+        unpruned = REPTreeRegressor(prune=False, seed=0).fit(X, y_noisy)
+        assert pruned.n_leaves_ < unpruned.n_leaves_
+
+    def test_pruning_helps_generalization_under_noise(self):
+        rng = np.random.default_rng(1)
+        X = rng.uniform(-2, 2, size=(300, 2))
+        f = np.where(X[:, 0] > 0, 3.0, -3.0)
+        y = f + rng.normal(scale=2.0, size=300)
+        X_test = rng.uniform(-2, 2, size=(200, 2))
+        f_test = np.where(X_test[:, 0] > 0, 3.0, -3.0)
+        pruned = REPTreeRegressor(prune=True, seed=0).fit(X, y)
+        unpruned = REPTreeRegressor(prune=False, seed=0).fit(X, y)
+        assert mean_absolute_error(f_test, pruned.predict(X_test)) <= mean_absolute_error(
+            f_test, unpruned.predict(X_test)
+        )
+
+    def test_constant_target_single_leaf(self):
+        X = np.arange(20.0)[:, None]
+        y = np.full(20, 4.0)
+        m = REPTreeRegressor(seed=0).fit(X, y)
+        assert m.n_leaves_ == 1
+        assert np.allclose(m.predict(X), 4.0)
+
+    def test_min_samples_leaf(self, nonlinear_data):
+        X, y = nonlinear_data
+        m = REPTreeRegressor(min_samples_leaf=30, prune=False, seed=0).fit(X, y)
+        for node in m.root_.iter_nodes():
+            if node.is_leaf:
+                assert node.n_samples >= 30
+
+    def test_deterministic_given_seed(self, nonlinear_data):
+        X, y = nonlinear_data
+        p1 = REPTreeRegressor(seed=5).fit(X, y).predict(X)
+        p2 = REPTreeRegressor(seed=5).fit(X, y).predict(X)
+        assert np.array_equal(p1, p2)
+
+    def test_backfitting_uses_all_data(self):
+        # after fit, the root value must equal the FULL data mean (grow +
+        # prune folds), proving backfitting happened
+        rng = np.random.default_rng(2)
+        X = rng.normal(size=(90, 2))
+        y = rng.normal(size=90) + 10.0
+        m = REPTreeRegressor(prune=True, seed=0).fit(X, y)
+        assert m.root_.value == pytest.approx(y.mean())
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            REPTreeRegressor(min_samples_leaf=0)
+        with pytest.raises(ValueError):
+            REPTreeRegressor(n_folds=1)
+
+    def test_tiny_dataset(self):
+        X = np.array([[1.0], [2.0]])
+        y = np.array([1.0, 2.0])
+        m = REPTreeRegressor(seed=0).fit(X, y)
+        assert np.isfinite(m.predict(X)).all()
+
+
+class TestM5P:
+    def test_fits_piecewise_linear_exactly(self):
+        # y = x for x<0, y = 3x for x>=0: two linear leaves suffice
+        rng = np.random.default_rng(0)
+        x = rng.uniform(-3, 3, size=300)
+        y = np.where(x < 0, x, 3.0 * x)
+        X = x[:, None]
+        m = M5PRegressor(smoothing=False).fit(X, y)
+        assert mean_absolute_error(y, m.predict(X)) < 0.05
+
+    def test_beats_reptree_on_smooth_function(self):
+        rng = np.random.default_rng(1)
+        X = rng.uniform(-2, 2, size=(400, 2))
+        y = 3.0 * X[:, 0] + 2.0 * X[:, 1]
+        m5p = M5PRegressor().fit(X, y)
+        rep = REPTreeRegressor(seed=0).fit(X, y)
+        assert mean_absolute_error(y, m5p.predict(X)) < mean_absolute_error(
+            y, rep.predict(X)
+        )
+
+    def test_pruned_smaller_than_unpruned(self, nonlinear_data):
+        X, y = nonlinear_data
+        rng = np.random.default_rng(2)
+        y_noisy = y + rng.normal(scale=1.0, size=y.shape)
+        pruned = M5PRegressor(prune=True).fit(X, y_noisy)
+        unpruned = M5PRegressor(prune=False).fit(X, y_noisy)
+        assert pruned.n_leaves_ <= unpruned.n_leaves_
+
+    def test_linear_function_collapses_to_single_model(self):
+        # a purely linear target should prune to (nearly) the root model;
+        # the leaf-model ridge shrinkage (alpha=1e-2 on standardized
+        # columns) leaves a small but non-zero residual
+        rng = np.random.default_rng(3)
+        X = rng.normal(size=(300, 3))
+        y = X @ np.array([1.0, 2.0, -1.0])
+        m = M5PRegressor().fit(X, y)
+        assert m.n_leaves_ <= 3
+        assert mean_absolute_error(y, m.predict(X)) < 0.005 * y.std()
+
+    def test_smoothing_changes_predictions(self, nonlinear_data):
+        X, y = nonlinear_data
+        smooth = M5PRegressor(smoothing=True).fit(X, y)
+        raw = M5PRegressor(smoothing=False).fit(X, y)
+        if smooth.n_leaves_ > 1:
+            assert not np.allclose(smooth.predict(X), raw.predict(X))
+
+    def test_constant_target(self):
+        X = np.arange(30.0)[:, None]
+        y = np.full(30, -2.0)
+        m = M5PRegressor().fit(X, y)
+        assert np.allclose(m.predict(X), -2.0, atol=1e-9)
+
+    def test_every_node_has_model(self, nonlinear_data):
+        X, y = nonlinear_data
+        m = M5PRegressor().fit(X, y)
+        for node in m.root_.iter_nodes():
+            assert node.model is not None
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            M5PRegressor(min_samples_split=1)
+
+    def test_deterministic(self, nonlinear_data):
+        X, y = nonlinear_data
+        p1 = M5PRegressor().fit(X, y).predict(X)
+        p2 = M5PRegressor().fit(X, y).predict(X)
+        assert np.array_equal(p1, p2)
+
+    def test_tiny_dataset(self):
+        X = np.array([[1.0], [2.0], [3.0]])
+        y = np.array([1.0, 2.0, 3.0])
+        m = M5PRegressor().fit(X, y)
+        assert np.isfinite(m.predict(X)).all()

@@ -1,0 +1,101 @@
+"""Property-based tests (hypothesis) for the error metrics."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.ml.metrics import (
+    max_absolute_error,
+    mean_absolute_error,
+    r2_score,
+    relative_absolute_error,
+    root_mean_squared_error,
+    soft_mean_absolute_error,
+)
+
+finite = st.floats(
+    min_value=-1e6, max_value=1e6, allow_nan=False, allow_infinity=False
+)
+
+
+def vec_pair():
+    return st.integers(min_value=1, max_value=60).flatmap(
+        lambda n: st.tuples(
+            arrays(np.float64, n, elements=finite),
+            arrays(np.float64, n, elements=finite),
+        )
+    )
+
+
+class TestMetricProperties:
+    @given(vec_pair())
+    @settings(max_examples=80)
+    def test_mae_nonnegative_and_identity(self, pair):
+        y, pred = pair
+        assert mean_absolute_error(y, pred) >= 0.0
+        assert mean_absolute_error(y, y) == 0.0
+
+    @given(vec_pair())
+    @settings(max_examples=80)
+    def test_mae_symmetry(self, pair):
+        y, pred = pair
+        assert mean_absolute_error(y, pred) == mean_absolute_error(pred, y)
+
+    @given(vec_pair())
+    @settings(max_examples=80)
+    def test_ordering_mae_rmse_maxae(self, pair):
+        y, pred = pair
+        mae = mean_absolute_error(y, pred)
+        rmse = root_mean_squared_error(y, pred)
+        mx = max_absolute_error(y, pred)
+        assert mae <= rmse + 1e-9 * max(1.0, mx)
+        assert rmse <= mx + 1e-9 * max(1.0, mx)
+
+    @given(vec_pair(), st.floats(min_value=0.0, max_value=1e6))
+    @settings(max_examples=80)
+    def test_smae_bounded_by_mae(self, pair, threshold):
+        y, pred = pair
+        assert soft_mean_absolute_error(y, pred, threshold) <= mean_absolute_error(
+            y, pred
+        )
+
+    @given(vec_pair(), st.floats(min_value=0.0, max_value=1e5), st.floats(min_value=0.0, max_value=1e5))
+    @settings(max_examples=80)
+    def test_smae_monotone_in_threshold(self, pair, t1, t2):
+        y, pred = pair
+        lo, hi = sorted((t1, t2))
+        assert soft_mean_absolute_error(y, pred, hi) <= soft_mean_absolute_error(
+            y, pred, lo
+        )
+
+    @given(vec_pair(), st.floats(min_value=-1e5, max_value=1e5))
+    @settings(max_examples=80)
+    def test_mae_translation_invariant(self, pair, shift):
+        y, pred = pair
+        shifted = mean_absolute_error(y + shift, pred + shift)
+        base = mean_absolute_error(y, pred)
+        # floating-point cancellation tolerance scales with the shift
+        assert abs(shifted - base) <= 1e-9 * (abs(shift) + base + 1.0)
+
+    @given(vec_pair(), st.floats(min_value=1e-3, max_value=1e3))
+    @settings(max_examples=80)
+    def test_mae_scale_equivariant(self, pair, scale):
+        y, pred = pair
+        scaled = mean_absolute_error(y * scale, pred * scale)
+        base = mean_absolute_error(y, pred)
+        assert abs(scaled - scale * base) <= 1e-9 * scale * (base + 1.0)
+
+    @given(vec_pair())
+    @settings(max_examples=80)
+    def test_rae_nonnegative(self, pair):
+        y, pred = pair
+        assert relative_absolute_error(y, pred) >= 0.0
+
+    @given(st.integers(min_value=2, max_value=50).flatmap(
+        lambda n: arrays(np.float64, n, elements=finite)
+    ))
+    @settings(max_examples=80)
+    def test_r2_perfect_prediction(self, y):
+        r2 = r2_score(y, y)
+        assert r2 in (0.0, 1.0)  # 0.0 for constant target, else 1.0

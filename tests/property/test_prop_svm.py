@@ -1,0 +1,91 @@
+"""Property-based tests for the SVM-family learners and ScaledModel."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ml.lssvm import LSSVMRegressor
+from repro.ml.pipeline import ScaledModel
+from repro.ml.svr import SVR
+
+
+@st.composite
+def svm_problem(draw):
+    n = draw(st.integers(min_value=12, max_value=50))
+    p = draw(st.integers(min_value=1, max_value=3))
+    seed = draw(st.integers(min_value=0, max_value=2**31 - 1))
+    rng = np.random.default_rng(seed)
+    X = rng.normal(size=(n, p))
+    y = rng.normal(size=n)
+    return X, y
+
+
+class TestSVRProperties:
+    @given(svm_problem(), st.floats(min_value=0.1, max_value=10.0))
+    @settings(max_examples=25, deadline=None)
+    def test_dual_constraints_always_hold(self, prob, C):
+        X, y = prob
+        m = SVR(C=C, epsilon=0.1, kernel="rbf", max_iter=20_000).fit(X, y)
+        if m.dual_coef_ is not None and m.dual_coef_.size:
+            assert (np.abs(m.dual_coef_) <= C + 1e-8).all()
+            assert abs(m.dual_coef_.sum()) < 1e-6 * max(1.0, C)
+
+    @given(svm_problem())
+    @settings(max_examples=25, deadline=None)
+    def test_predictions_finite(self, prob):
+        X, y = prob
+        m = SVR(C=1.0, epsilon=0.1, kernel="rbf", max_iter=20_000).fit(X, y)
+        assert np.isfinite(m.predict(X)).all()
+
+    @given(svm_problem())
+    @settings(max_examples=20, deadline=None)
+    def test_wide_tube_gives_constant_model(self, prob):
+        X, y = prob
+        # a tube wider than the target spread needs no support vectors
+        wide = 2.0 * (y.max() - y.min() + 1.0)
+        m = SVR(C=1.0, epsilon=wide, kernel="rbf").fit(X, y)
+        assert m.support_.size == 0
+        assert np.allclose(m.predict(X), m.intercept_)
+
+
+class TestLSSVMProperties:
+    @given(svm_problem(), st.floats(min_value=0.5, max_value=100.0))
+    @settings(max_examples=25, deadline=None)
+    def test_equality_constraint(self, prob, gam):
+        X, y = prob
+        m = LSSVMRegressor(gam=gam, kernel="rbf").fit(X, y)
+        assert abs(m.alpha_.sum()) < 1e-5 * max(1.0, np.abs(m.alpha_).max())
+
+    @given(svm_problem())
+    @settings(max_examples=25, deadline=None)
+    def test_train_error_decreases_with_gam(self, prob):
+        X, y = prob
+        if np.allclose(y, y[0]):
+            return
+        loose = LSSVMRegressor(gam=0.1, kernel="rbf").fit(X, y)
+        tight = LSSVMRegressor(gam=1e4, kernel="rbf").fit(X, y)
+        err_loose = np.abs(loose.predict(X) - y).mean()
+        err_tight = np.abs(tight.predict(X) - y).mean()
+        assert err_tight <= err_loose + 1e-9
+
+
+class TestScaledModelProperties:
+    @given(
+        svm_problem(),
+        st.floats(min_value=1e-3, max_value=1e3),
+        st.floats(min_value=-1e3, max_value=1e3),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_prediction_invariant_to_feature_affine_transform(
+        self, prob, scale, shift
+    ):
+        """Standardization inside ScaledModel makes the pipeline invariant
+        to per-feature affine rescaling of the inputs."""
+        X, y = prob
+        m1 = ScaledModel(LSSVMRegressor(gam=10.0, kernel="rbf")).fit(X, y)
+        m2 = ScaledModel(LSSVMRegressor(gam=10.0, kernel="rbf")).fit(
+            X * scale + shift, y
+        )
+        assert np.allclose(
+            m1.predict(X), m2.predict(X * scale + shift), atol=1e-6 * (1 + np.abs(y).max())
+        )

@@ -1,0 +1,102 @@
+"""Property-based tests for the testbed substrate invariants."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.system.resources import MachineConfig, MachineState
+from repro.utils.tables import render_table
+
+
+def small_cfg() -> MachineConfig:
+    return MachineConfig(
+        ram_kb=524_288.0,
+        swap_kb=262_144.0,
+        os_base_kb=131_072.0,
+        app_working_set_kb=65_536.0,
+        min_cache_kb=16_384.0,
+        shared_kb=8_192.0,
+        buffers_kb=4_096.0,
+    )
+
+
+class TestMachineStateInvariants:
+    @given(
+        st.lists(
+            st.tuples(
+                st.floats(min_value=0.0, max_value=50_000.0),
+                st.integers(min_value=0, max_value=50),
+            ),
+            min_size=1,
+            max_size=40,
+        )
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_memory_invariants_under_any_anomaly_sequence(self, events):
+        cfg = small_cfg()
+        state = MachineState(cfg)
+        prev_swap = 0.0
+        for leak_kb, threads in events:
+            state.leak_memory(leak_kb)
+            state.spawn_threads(threads)
+            state.update_swap()
+            # all observable quantities stay physical
+            assert state.mem_free_kb >= 0.0
+            assert state.mem_cached_kb >= cfg.min_cache_kb - 1e-9
+            assert 0.0 <= state.swap_used_kb <= cfg.swap_kb
+            assert 0.0 <= state.swap_pressure <= 1.0
+            # swap is a high-water mark: monotone
+            assert state.swap_used_kb >= prev_swap - 1e-12
+            prev_swap = state.swap_used_kb
+            # RAM conservation
+            total = (
+                state.mem_used_kb
+                + state.mem_cached_kb
+                + state.mem_free_kb
+                + cfg.buffers_kb
+                + cfg.shared_kb
+            )
+            assert total <= cfg.ram_kb + 1e-6
+
+    @given(
+        st.floats(min_value=0.0, max_value=2.0),
+        st.floats(min_value=0.0, max_value=1.0),
+        st.floats(min_value=0.0, max_value=2.0),
+        st.floats(min_value=0.0, max_value=0.5),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_cpu_always_sums_to_100(self, busy, sys_share, iowait, steal):
+        state = MachineState(small_cfg())
+        state.account_cpu(
+            busy_frac=busy, sys_share=sys_share, iowait_frac=iowait, steal_frac=steal
+        )
+        parts = state.cpu.as_tuple()
+        assert all(p >= 0.0 for p in parts)
+        assert sum(parts) == np.float64(100.0) or abs(sum(parts) - 100.0) < 1e-9
+
+
+class TestTableRendering:
+    @given(
+        st.lists(
+            st.lists(
+                st.one_of(
+                    st.integers(min_value=-10**6, max_value=10**6),
+                    st.floats(
+                        min_value=-1e6, max_value=1e6, allow_nan=False
+                    ),
+                    st.text(
+                        alphabet=st.characters(whitelist_categories=("L", "N")),
+                        max_size=12,
+                    ),
+                ),
+                min_size=2,
+                max_size=2,
+            ),
+            max_size=8,
+        )
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_any_content_renders_aligned(self, rows):
+        out = render_table(("col_a", "col_b"), rows)
+        framed = [l for l in out.splitlines() if l.startswith(("|", "+"))]
+        assert len({len(l) for l in framed}) == 1

@@ -1,0 +1,99 @@
+"""Property-based tests for the tree learners and split search."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ml.tree import M5PRegressor, REPTreeRegressor
+from repro.ml.tree._splitter import find_best_split
+
+
+@st.composite
+def tree_problem(draw):
+    n = draw(st.integers(min_value=10, max_value=80))
+    p = draw(st.integers(min_value=1, max_value=4))
+    seed = draw(st.integers(min_value=0, max_value=2**31 - 1))
+    rng = np.random.default_rng(seed)
+    X = rng.normal(size=(n, p))
+    y = rng.normal(size=n)
+    return X, y
+
+
+class TestSplitterProperties:
+    @given(tree_problem(), st.sampled_from(["sse", "sdr"]))
+    @settings(max_examples=60, deadline=None)
+    def test_split_has_positive_gain_and_valid_partition(self, prob, criterion):
+        X, y = prob
+        split = find_best_split(X, y, criterion=criterion, min_samples_leaf=2)
+        if split is None:
+            return
+        assert split.gain > 0.0
+        mask = X[:, split.feature] <= split.threshold
+        assert mask.sum() >= 2
+        assert (~mask).sum() >= 2
+
+    @given(tree_problem())
+    @settings(max_examples=60, deadline=None)
+    def test_sse_gain_bounded_by_total_sse(self, prob):
+        X, y = prob
+        split = find_best_split(X, y, criterion="sse")
+        if split is None:
+            return
+        total_sse = float(((y - y.mean()) ** 2).sum())
+        assert split.gain <= total_sse + 1e-9
+
+    @given(tree_problem())
+    @settings(max_examples=60, deadline=None)
+    def test_split_invariant_to_row_order(self, prob):
+        X, y = prob
+        perm = np.random.default_rng(0).permutation(X.shape[0])
+        a = find_best_split(X, y)
+        b = find_best_split(X[perm], y[perm])
+        assert (a is None) == (b is None)
+        if a is not None:
+            assert a.feature == b.feature
+            assert np.isclose(a.gain, b.gain)
+            assert np.isclose(a.threshold, b.threshold)
+
+
+class TestTreeProperties:
+    @given(tree_problem())
+    @settings(max_examples=25, deadline=None)
+    def test_reptree_predictions_within_target_range(self, prob):
+        X, y = prob
+        m = REPTreeRegressor(seed=0).fit(X, y)
+        pred = m.predict(X)
+        assert pred.min() >= y.min() - 1e-9
+        assert pred.max() <= y.max() + 1e-9
+
+    @given(tree_problem())
+    @settings(max_examples=25, deadline=None)
+    def test_reptree_structure_consistent(self, prob):
+        X, y = prob
+        m = REPTreeRegressor(seed=0).fit(X, y)
+        assert m.n_leaves_ == m.root_.n_leaves()
+        assert m.depth_ == m.root_.depth()
+        assert m.n_leaves_ >= 1
+
+    @given(tree_problem())
+    @settings(max_examples=25, deadline=None)
+    def test_m5p_finite_predictions(self, prob):
+        X, y = prob
+        m = M5PRegressor().fit(X, y)
+        assert np.isfinite(m.predict(X)).all()
+
+    @given(tree_problem(), st.integers(min_value=1, max_value=5))
+    @settings(max_examples=25, deadline=None)
+    def test_reptree_max_depth_respected(self, prob, depth):
+        X, y = prob
+        m = REPTreeRegressor(max_depth=depth, seed=0).fit(X, y)
+        assert m.depth_ <= depth
+
+    @given(tree_problem())
+    @settings(max_examples=25, deadline=None)
+    def test_unpruned_train_error_not_worse_than_stump(self, prob):
+        X, y = prob
+        m = REPTreeRegressor(prune=False, seed=0).fit(X, y)
+        tree_sse = float(((m.predict(X) - y) ** 2).sum())
+        stump_sse = float(((y.mean() - y) ** 2).sum())
+        assert tree_sse <= stump_sse + 1e-9

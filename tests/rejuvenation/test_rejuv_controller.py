@@ -1,0 +1,134 @@
+"""Tests for the managed-system controller (repro.rejuvenation.controller)."""
+
+import numpy as np
+import pytest
+
+from repro.rejuvenation import (
+    ManagedSystem,
+    ManagedSystemConfig,
+    NoRejuvenation,
+    PeriodicRejuvenation,
+    summarize,
+)
+from repro.rejuvenation.controller import Episode, ManagedRunLog
+
+
+@pytest.fixture
+def managed_cfg():
+    return ManagedSystemConfig(
+        horizon_seconds=3000.0,
+        rejuvenation_downtime=30.0,
+        crash_downtime=300.0,
+        window_seconds=20.0,
+    )
+
+
+class TestConfig:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ManagedSystemConfig(horizon_seconds=0.0)
+        with pytest.raises(ValueError):
+            ManagedSystemConfig(rejuvenation_downtime=-1.0)
+        with pytest.raises(ValueError):
+            ManagedSystemConfig(window_seconds=0.0)
+
+
+class TestEpisodeAndLog:
+    def test_episode_uptime(self):
+        e = Episode(start=10.0, end=60.0, outcome="crash")
+        assert e.uptime == 50.0
+
+    def test_log_counters(self):
+        log = ManagedRunLog(policy_name="x")
+        log.episodes = [
+            Episode(0.0, 10.0, "crash"),
+            Episode(10.0, 30.0, "rejuvenation"),
+            Episode(30.0, 40.0, "crash"),
+            Episode(40.0, 50.0, "horizon"),
+        ]
+        assert log.n_crashes == 2
+        assert log.n_rejuvenations == 1
+
+    def test_availability(self):
+        log = ManagedRunLog(policy_name="x", total_uptime=900.0, total_downtime=100.0)
+        assert log.availability == pytest.approx(0.9)
+
+    def test_availability_empty(self):
+        assert ManagedRunLog(policy_name="x").availability == 1.0
+
+
+class TestManagedSystem:
+    def test_crash_only_baseline(self, campaign, managed_cfg):
+        log = ManagedSystem(campaign, managed_cfg, NoRejuvenation()).run(seed=7)
+        assert log.n_rejuvenations == 0
+        assert log.n_crashes >= 1  # the horizon covers multiple crash cycles
+        assert log.total_downtime == pytest.approx(
+            log.n_crashes * managed_cfg.crash_downtime, abs=managed_cfg.crash_downtime
+        )
+
+    def test_time_accounting_sums_to_horizon(self, campaign, managed_cfg):
+        log = ManagedSystem(campaign, managed_cfg, NoRejuvenation()).run(seed=7)
+        assert log.total_uptime + log.total_downtime == pytest.approx(
+            managed_cfg.horizon_seconds, abs=1.0
+        )
+
+    def test_periodic_prevents_crashes(self, campaign, managed_cfg):
+        # restart every 120s: far below the minimum ~500s time-to-failure
+        policy = PeriodicRejuvenation(120.0)
+        log = ManagedSystem(campaign, managed_cfg, policy).run(seed=7)
+        assert log.n_crashes == 0
+        assert log.n_rejuvenations >= 5
+
+    def test_periodic_beats_crash_only_availability(self, campaign, managed_cfg):
+        crash_log = ManagedSystem(campaign, managed_cfg, NoRejuvenation()).run(seed=7)
+        peri_log = ManagedSystem(
+            campaign, managed_cfg, PeriodicRejuvenation(200.0)
+        ).run(seed=7)
+        assert peri_log.availability > crash_log.availability
+
+    def test_deterministic(self, campaign, managed_cfg):
+        a = ManagedSystem(campaign, managed_cfg, NoRejuvenation()).run(seed=3)
+        b = ManagedSystem(campaign, managed_cfg, NoRejuvenation()).run(seed=3)
+        assert a.n_crashes == b.n_crashes
+        assert a.total_uptime == pytest.approx(b.total_uptime)
+
+    def test_episodes_tile_the_horizon(self, campaign, managed_cfg):
+        log = ManagedSystem(campaign, managed_cfg, PeriodicRejuvenation(150.0)).run(
+            seed=5
+        )
+        for earlier, later in zip(log.episodes, log.episodes[1:]):
+            assert later.start >= earlier.end - 1e-9
+
+    def test_summarize(self, campaign, managed_cfg):
+        log = ManagedSystem(campaign, managed_cfg, NoRejuvenation()).run(seed=7)
+        report = summarize(log)
+        assert report.policy == "none"
+        assert 0.0 < report.availability <= 1.0
+        assert report.n_crashes == log.n_crashes
+        assert len(report.row()) == len(report.HEADERS)
+
+
+class TestPredictiveEndToEnd:
+    def test_predictive_policy_improves_availability(self, campaign, managed_cfg):
+        """The paper's headline story, end to end on the small testbed."""
+        from repro.core import AggregationConfig, F2PM, F2PMConfig
+        from repro.rejuvenation import PredictiveRejuvenation
+        from repro.system import TestbedSimulator
+
+        history = TestbedSimulator(campaign).run_campaign()
+        f2pm = F2PM(
+            F2PMConfig(
+                aggregation=AggregationConfig(window_seconds=20.0),
+                models=("m5p",),
+                lasso_predictor_lambdas=(),
+                seed=0,
+            )
+        ).run(history)
+        model = f2pm.models[("m5p", "all")]
+        policy = PredictiveRejuvenation(
+            model, rttf_margin=f2pm.smae_threshold, consecutive=2
+        )
+        predictive = ManagedSystem(campaign, managed_cfg, policy).run(seed=9)
+        crash_only = ManagedSystem(campaign, managed_cfg, NoRejuvenation()).run(seed=9)
+        assert predictive.availability > crash_only.availability
+        assert predictive.n_crashes < max(crash_only.n_crashes, 1)

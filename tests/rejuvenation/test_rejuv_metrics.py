@@ -1,0 +1,91 @@
+"""Tests for analytic availability formulas (repro.rejuvenation.metrics)."""
+
+import numpy as np
+import pytest
+
+from repro.rejuvenation import (
+    ManagedSystem,
+    ManagedSystemConfig,
+    NoRejuvenation,
+    PeriodicRejuvenation,
+)
+from repro.rejuvenation.metrics import (
+    crash_only_availability,
+    optimal_periodic_interval,
+    periodic_availability,
+)
+
+
+class TestCrashOnlyAvailability:
+    def test_known_value(self):
+        # MTTF 900, repair 100 -> A = 0.9
+        assert crash_only_availability(np.array([900.0, 900.0]), 100.0) == pytest.approx(0.9)
+
+    def test_zero_downtime_perfect(self):
+        assert crash_only_availability(np.array([100.0]), 0.0) == 1.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            crash_only_availability(np.array([]), 10.0)
+        with pytest.raises(ValueError):
+            crash_only_availability(np.array([-5.0]), 10.0)
+        with pytest.raises(ValueError):
+            crash_only_availability(np.array([100.0]), -1.0)
+
+
+class TestPeriodicAvailability:
+    def test_interval_beyond_support_equals_crash_only(self):
+        ttf = np.array([500.0, 700.0, 900.0])
+        a_per = periodic_availability(ttf, 10_000.0, 30.0, 300.0)
+        a_crash = crash_only_availability(ttf, 300.0)
+        assert a_per == pytest.approx(a_crash)
+
+    def test_tiny_interval_pays_only_rejuvenation(self):
+        ttf = np.array([500.0, 700.0])
+        a = periodic_availability(ttf, 1.0, 30.0, 300.0)
+        assert a == pytest.approx(1.0 / 31.0)
+
+    def test_cheap_restarts_make_rejuvenation_win(self):
+        rng = np.random.default_rng(0)
+        ttf = rng.uniform(400.0, 1200.0, size=500)
+        tau, a_best = optimal_periodic_interval(ttf, 10.0, 600.0)
+        assert a_best > crash_only_availability(ttf, 600.0)
+        assert tau < ttf.max()
+
+    def test_expensive_restarts_make_crash_only_optimal(self):
+        # when a planned restart costs as much as a crash, never restart
+        ttf = np.full(50, 1000.0)
+        tau, a_best = optimal_periodic_interval(ttf, 300.0, 300.0)
+        assert a_best == pytest.approx(crash_only_availability(ttf, 300.0), rel=1e-3)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            periodic_availability(np.array([100.0]), 0.0, 10.0, 100.0)
+
+
+class TestAnalyticMatchesSimulation:
+    def test_crash_only_agrees(self, campaign, history):
+        cfg = ManagedSystemConfig(
+            horizon_seconds=8000.0,
+            rejuvenation_downtime=30.0,
+            crash_downtime=300.0,
+            window_seconds=20.0,
+        )
+        log = ManagedSystem(campaign, cfg, NoRejuvenation()).run(seed=21)
+        ttf = np.array([r.fail_time for r in history])
+        analytic = crash_only_availability(ttf, 300.0)
+        # small-sample agreement: within 6 percentage points
+        assert log.availability == pytest.approx(analytic, abs=0.06)
+
+    def test_periodic_agrees(self, campaign, history):
+        ttf = np.array([r.fail_time for r in history])
+        tau = 0.4 * float(ttf.min())
+        cfg = ManagedSystemConfig(
+            horizon_seconds=8000.0,
+            rejuvenation_downtime=30.0,
+            crash_downtime=300.0,
+            window_seconds=20.0,
+        )
+        log = ManagedSystem(campaign, cfg, PeriodicRejuvenation(tau)).run(seed=22)
+        analytic = periodic_availability(ttf, tau, 30.0, 300.0)
+        assert log.availability == pytest.approx(analytic, abs=0.06)

@@ -1,0 +1,171 @@
+"""Tests for rejuvenation policies (repro.rejuvenation.policy)."""
+
+import numpy as np
+import pytest
+
+from repro.core.datapoint import AGGREGATED_FEATURES
+from repro.ml.base import Regressor
+from repro.rejuvenation.policy import (
+    NoRejuvenation,
+    PeriodicRejuvenation,
+    PredictiveRejuvenation,
+)
+
+N = len(AGGREGATED_FEATURES)
+
+
+class _ConstModel(Regressor):
+    """Predicts a fixed RTTF (test stub)."""
+
+    def __init__(self, value: float = 100.0) -> None:
+        self.value = value
+
+    def fit(self, X, y):
+        return self
+
+    def predict(self, X):
+        return np.full(np.asarray(X).shape[0], self.value)
+
+
+class _SequenceModel(Regressor):
+    """Predicts a scripted sequence of RTTF values."""
+
+    def __init__(self, values=()) -> None:
+        self.values = list(values)
+        self._i = 0
+
+    def fit(self, X, y):
+        return self
+
+    def predict(self, X):
+        v = self.values[min(self._i, len(self.values) - 1)]
+        self._i += 1
+        return np.full(np.asarray(X).shape[0], v)
+
+
+class TestNoRejuvenation:
+    def test_never_fires(self):
+        p = NoRejuvenation()
+        for age in (0.0, 1e3, 1e6):
+            assert not p.should_rejuvenate(np.zeros(N), age)
+
+    def test_name(self):
+        assert NoRejuvenation().name == "none"
+
+
+class TestPeriodicRejuvenation:
+    def test_fires_at_interval(self):
+        p = PeriodicRejuvenation(600.0)
+        assert not p.should_rejuvenate(np.zeros(N), 599.0)
+        assert p.should_rejuvenate(np.zeros(N), 600.0)
+
+    def test_invalid_interval(self):
+        with pytest.raises(ValueError):
+            PeriodicRejuvenation(0.0)
+
+    def test_name_contains_interval(self):
+        assert "600" in PeriodicRejuvenation(600.0).name
+
+
+class TestPredictiveRejuvenation:
+    def test_fires_after_consecutive_low_predictions(self):
+        p = PredictiveRejuvenation(_ConstModel(10.0), rttf_margin=50.0, consecutive=3)
+        row = np.zeros(N)
+        assert not p.should_rejuvenate(row, 1.0)
+        assert not p.should_rejuvenate(row, 2.0)
+        assert p.should_rejuvenate(row, 3.0)
+
+    def test_streak_broken_by_high_prediction(self):
+        model = _SequenceModel([10.0, 200.0, 10.0, 10.0])
+        p = PredictiveRejuvenation(model, rttf_margin=50.0, consecutive=2)
+        row = np.zeros(N)
+        assert not p.should_rejuvenate(row, 1.0)  # low: streak 1
+        assert not p.should_rejuvenate(row, 2.0)  # high: streak reset
+        assert not p.should_rejuvenate(row, 3.0)  # low: streak 1
+        assert p.should_rejuvenate(row, 4.0)  # low: streak 2 -> fire
+
+    def test_never_fires_when_rttf_high(self):
+        p = PredictiveRejuvenation(_ConstModel(1e6), rttf_margin=50.0)
+        for age in range(10):
+            assert not p.should_rejuvenate(np.zeros(N), float(age))
+
+    def test_reset_clears_streak(self):
+        p = PredictiveRejuvenation(_ConstModel(1.0), rttf_margin=50.0, consecutive=2)
+        p.should_rejuvenate(np.zeros(N), 1.0)
+        p.reset()
+        assert not p.should_rejuvenate(np.zeros(N), 2.0)  # streak restarted
+
+    def test_last_prediction_recorded(self):
+        p = PredictiveRejuvenation(_ConstModel(42.0), rttf_margin=50.0)
+        p.should_rejuvenate(np.zeros(N), 1.0)
+        assert p.last_prediction == pytest.approx(42.0)
+
+    def test_feature_indices_projection(self):
+        class _WidthSensitive(Regressor):
+            def __init__(self) -> None:
+                self.seen = None
+
+            def fit(self, X, y):
+                return self
+
+            def predict(self, X):
+                self.seen = np.asarray(X).shape[1]
+                return np.zeros(np.asarray(X).shape[0])
+
+        model = _WidthSensitive()
+        p = PredictiveRejuvenation(
+            model, rttf_margin=1.0, feature_indices=np.array([0, 5, 7])
+        )
+        p.should_rejuvenate(np.arange(float(N)), 1.0)
+        assert model.seen == 3
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            PredictiveRejuvenation(_ConstModel(), rttf_margin=0.0)
+        with pytest.raises(ValueError):
+            PredictiveRejuvenation(_ConstModel(), rttf_margin=1.0, consecutive=0)
+
+
+class TestLowerBoundMode:
+    class _IntervalModel(_ConstModel):
+        """Mean 100, lower bound 10: conservative mode changes the verdict."""
+
+        def predict_interval(self, X, quantile=0.1):
+            n = np.asarray(X).shape[0]
+            return np.full(n, 10.0), np.full(n, 100.0), np.full(n, 190.0)
+
+    def test_lower_bound_fires_earlier_than_mean(self):
+        model = self._IntervalModel(100.0)
+        mean_policy = PredictiveRejuvenation(model, rttf_margin=50.0, consecutive=1)
+        lcb_policy = PredictiveRejuvenation(
+            model, rttf_margin=50.0, consecutive=1, lower_bound_quantile=0.1
+        )
+        row = np.zeros(N)
+        assert not mean_policy.should_rejuvenate(row, 1.0)  # mean 100 > 50
+        assert lcb_policy.should_rejuvenate(row, 1.0)  # lower 10 < 50
+
+    def test_requires_interval_capable_model(self):
+        with pytest.raises(ValueError, match="predict_interval"):
+            PredictiveRejuvenation(
+                _ConstModel(), rttf_margin=1.0, lower_bound_quantile=0.1
+            )
+
+    def test_invalid_quantile(self):
+        with pytest.raises(ValueError, match="quantile"):
+            PredictiveRejuvenation(
+                self._IntervalModel(), rttf_margin=1.0, lower_bound_quantile=0.9
+            )
+
+    def test_works_with_real_bagging_model(self, nonlinear_data):
+        from repro.ml.ensemble import BaggingRegressor
+
+        X, y = nonlinear_data
+        y_pos = np.abs(y) + 100.0  # RTTF-like positive target
+        model = BaggingRegressor(n_estimators=5, seed=0).fit(X, y_pos)
+        policy = PredictiveRejuvenation(
+            model, rttf_margin=1e6, consecutive=1, lower_bound_quantile=0.2
+        )
+        # margin is astronomically high: the lower bound is always below it
+        assert policy.should_rejuvenate(X[0], 1.0)
+        assert policy.last_prediction is not None
+        assert policy.last_prediction < 1e6

@@ -1,0 +1,145 @@
+"""Tests for anomaly injection (repro.system.anomalies)."""
+
+import numpy as np
+import pytest
+
+from repro.system.anomalies import (
+    AnomalyProfile,
+    MemoryLeakInjector,
+    ThreadLeakInjector,
+)
+from repro.system.resources import MachineState
+
+
+class TestAnomalyProfile:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            AnomalyProfile(p_leak=1.5, leak_min_kb=1, leak_max_kb=2, p_thread=0.1)
+        with pytest.raises(ValueError):
+            AnomalyProfile(p_leak=0.1, leak_min_kb=5, leak_max_kb=2, p_thread=0.1)
+        with pytest.raises(ValueError):
+            AnomalyProfile(p_leak=0.1, leak_min_kb=1, leak_max_kb=2, p_thread=-0.1)
+
+    def test_draw_within_ranges(self):
+        rng = np.random.default_rng(0)
+        for _ in range(50):
+            p = AnomalyProfile.draw(
+                rng,
+                p_leak_range=(0.1, 0.2),
+                leak_kb_range=(100.0, 500.0),
+                p_thread_range=(0.01, 0.05),
+            )
+            assert 0.1 <= p.p_leak <= 0.2
+            assert 100.0 <= p.leak_min_kb <= p.leak_max_kb <= 500.0
+            assert 0.01 <= p.p_thread <= 0.05
+
+    def test_draw_deterministic(self):
+        a = AnomalyProfile.draw(np.random.default_rng(9))
+        b = AnomalyProfile.draw(np.random.default_rng(9))
+        assert a == b
+
+    def test_apply_home_visits_injects(self, machine):
+        state = MachineState(machine)
+        profile = AnomalyProfile(
+            p_leak=1.0, leak_min_kb=100.0, leak_max_kb=100.0, p_thread=1.0
+        )
+        leaked, threads = profile.apply_home_visits(
+            state, 10, np.random.default_rng(0)
+        )
+        assert leaked == pytest.approx(1000.0)
+        assert threads == 10
+        assert state.leaked_kb == pytest.approx(1000.0)
+        assert state.n_leaked_threads == 10
+
+    def test_apply_zero_visits_noop(self, machine):
+        state = MachineState(machine)
+        profile = AnomalyProfile(1.0, 10.0, 10.0, 1.0)
+        assert profile.apply_home_visits(state, 0, np.random.default_rng(0)) == (0.0, 0)
+
+    def test_zero_probability_never_injects(self, machine):
+        state = MachineState(machine)
+        profile = AnomalyProfile(0.0, 10.0, 10.0, 0.0)
+        leaked, threads = profile.apply_home_visits(
+            state, 1000, np.random.default_rng(0)
+        )
+        assert leaked == 0.0 and threads == 0
+
+    def test_expected_leak_rate(self, machine):
+        # law of large numbers: leaked ~ n * p * mean_size
+        state = MachineState(machine)
+        profile = AnomalyProfile(0.5, 100.0, 300.0, 0.0)
+        leaked, _ = profile.apply_home_visits(state, 20_000, np.random.default_rng(1))
+        assert leaked == pytest.approx(20_000 * 0.5 * 200.0, rel=0.05)
+
+
+class TestMemoryLeakInjector:
+    def test_fires_events_by_time(self, machine):
+        state = MachineState(machine)
+        inj = MemoryLeakInjector(
+            size_range_kb=(10.0, 10.0), mean_interval_range=(1.0, 1.0), seed=0
+        )
+        leaked = inj.advance(state, now=100.0)
+        assert leaked > 0.0
+        # ~100 events expected at mean interval 1s
+        assert 50 <= leaked / 10.0 <= 200
+
+    def test_no_events_before_first_arrival(self, machine):
+        state = MachineState(machine)
+        inj = MemoryLeakInjector(mean_interval_range=(1000.0, 1000.0), seed=0)
+        assert inj.advance(state, now=0.001) == 0.0
+
+    def test_clock_advances_monotonically(self, machine):
+        state = MachineState(machine)
+        inj = MemoryLeakInjector(
+            size_range_kb=(1.0, 1.0), mean_interval_range=(1.0, 2.0), seed=1
+        )
+        first = inj.advance(state, now=50.0)
+        again = inj.advance(state, now=50.0)  # same instant: nothing new
+        assert first > 0.0
+        assert again == 0.0
+
+    def test_mean_interval_drawn_from_range(self):
+        lows, highs = 5.0, 9.0
+        intervals = [
+            MemoryLeakInjector(mean_interval_range=(lows, highs), seed=s).mean_interval
+            for s in range(30)
+        ]
+        assert all(lows <= m <= highs for m in intervals)
+        assert len(set(intervals)) > 1  # actually random
+
+    def test_totals_accumulate(self, machine):
+        state = MachineState(machine)
+        inj = MemoryLeakInjector(
+            size_range_kb=(5.0, 5.0), mean_interval_range=(1.0, 1.0), seed=2
+        )
+        inj.advance(state, 10.0)
+        inj.advance(state, 20.0)
+        assert inj.total_leaked_kb == pytest.approx(state.leaked_kb)
+
+    def test_invalid_ranges(self):
+        with pytest.raises(ValueError):
+            MemoryLeakInjector(size_range_kb=(10.0, 5.0))
+        with pytest.raises(ValueError):
+            MemoryLeakInjector(mean_interval_range=(0.0, 5.0))
+
+
+class TestThreadLeakInjector:
+    def test_spawns_threads(self, machine):
+        state = MachineState(machine)
+        inj = ThreadLeakInjector(mean_interval_range=(1.0, 1.0), seed=0)
+        n = inj.advance(state, now=200.0)
+        assert n > 0
+        assert state.n_leaked_threads == n
+        assert inj.total_threads == n
+
+    def test_rate_matches_mean_interval(self, machine):
+        state = MachineState(machine)
+        inj = ThreadLeakInjector(mean_interval_range=(2.0, 2.0), seed=3)
+        n = inj.advance(state, now=10_000.0)
+        assert n == pytest.approx(5000, rel=0.1)
+
+    def test_independent_streams_differ(self, machine):
+        s1, s2 = MachineState(machine), MachineState(machine)
+        n1 = ThreadLeakInjector(mean_interval_range=(1.0, 5.0), seed=1).advance(s1, 100.0)
+        n2 = ThreadLeakInjector(mean_interval_range=(1.0, 5.0), seed=2).advance(s2, 100.0)
+        assert n1 != n2

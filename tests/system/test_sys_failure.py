@@ -1,0 +1,91 @@
+"""Tests for failure conditions (repro.system.failure)."""
+
+import pytest
+
+from repro.system.failure import (
+    AnyOf,
+    GenerationTimeLimit,
+    MemoryExhaustion,
+    ResponseTimeLimit,
+    SystemView,
+)
+from repro.system.resources import MachineState
+
+
+def view(machine, *, leak=0.0, rt=0.1, gen=1.5):
+    state = MachineState(machine)
+    if leak:
+        state.leak_memory(leak)
+        state.update_swap()
+    return SystemView(
+        state=state, mean_response_time=rt, last_generation_interval=gen
+    )
+
+
+class TestMemoryExhaustion:
+    def test_healthy_not_failed(self, machine):
+        assert not MemoryExhaustion().is_failed(view(machine))
+
+    def test_exhausted_fails(self, machine):
+        v = view(machine, leak=machine.ram_kb + machine.swap_kb + 1e5)
+        assert MemoryExhaustion().is_failed(v)
+
+    def test_headroom_fires_early(self, machine):
+        # overflow at ~95% of swap: plain condition no, 10%-headroom yes
+        state = MachineState(machine)
+        state.leak_memory(machine.ram_kb)  # deep into swap
+        state.update_swap()
+        overflow = state.overflow_kb
+        assert overflow > 0
+        frac = overflow / machine.swap_kb
+        v = SystemView(state=state, mean_response_time=0.0, last_generation_interval=0.0)
+        assert MemoryExhaustion(headroom_frac=0.0).is_failed(v) == (frac > 1.0)
+        assert MemoryExhaustion(headroom_frac=1.0 - frac * 0.5).is_failed(v)
+
+    def test_invalid_headroom(self):
+        with pytest.raises(ValueError):
+            MemoryExhaustion(headroom_frac=1.0)
+
+    def test_description(self):
+        assert "memory" in MemoryExhaustion().description
+
+
+class TestResponseTimeLimit:
+    def test_below_limit(self, machine):
+        assert not ResponseTimeLimit(2.0).is_failed(view(machine, rt=1.0))
+
+    def test_above_limit(self, machine):
+        assert ResponseTimeLimit(2.0).is_failed(view(machine, rt=3.0))
+
+    def test_invalid_limit(self):
+        with pytest.raises(ValueError):
+            ResponseTimeLimit(0.0)
+
+
+class TestGenerationTimeLimit:
+    def test_below_limit(self, machine):
+        assert not GenerationTimeLimit(5.0).is_failed(view(machine, gen=2.0))
+
+    def test_above_limit(self, machine):
+        assert GenerationTimeLimit(5.0).is_failed(view(machine, gen=6.0))
+
+
+class TestAnyOf:
+    def test_any_fires(self, machine):
+        cond = AnyOf(ResponseTimeLimit(2.0), GenerationTimeLimit(10.0))
+        assert cond.is_failed(view(machine, rt=3.0, gen=1.0))
+        assert cond.is_failed(view(machine, rt=0.1, gen=11.0))
+        assert not cond.is_failed(view(machine, rt=0.1, gen=1.0))
+
+    def test_or_operator(self, machine):
+        cond = ResponseTimeLimit(2.0) | GenerationTimeLimit(10.0)
+        assert isinstance(cond, AnyOf)
+        assert cond.is_failed(view(machine, gen=20.0))
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            AnyOf()
+
+    def test_description_joins(self):
+        cond = ResponseTimeLimit(2.0) | GenerationTimeLimit(10.0)
+        assert " OR " in cond.description

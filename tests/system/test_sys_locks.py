@@ -1,0 +1,81 @@
+"""Tests for the stuck-lock anomaly (extension)."""
+
+from dataclasses import replace
+
+import numpy as np
+import pytest
+
+from repro.system import (
+    AnomalyProfile,
+    LockContentionInjector,
+    ResponseTimeLimit,
+    TestbedSimulator,
+)
+from repro.system.resources import MachineState
+from repro.system.server import AppServer, ServerConfig
+from repro.system.tpcw import SHOPPING_MIX, EmulatedBrowserPool
+
+
+def make_server(machine, seed=0):
+    state = MachineState(machine)
+    pool = EmulatedBrowserPool(20, SHOPPING_MIX, seed=seed)
+    profile = AnomalyProfile(0.0, 1.0, 1.0, 0.0)
+    return AppServer(ServerConfig(), state, pool, profile, seed=seed)
+
+
+class TestAddStuckLocks:
+    def test_locks_inflate_service(self, machine):
+        server = make_server(machine)
+        base = server.service_multiplier()
+        server.add_stuck_locks(10)
+        assert server.service_multiplier() == pytest.approx(base * 1.5)
+
+    def test_negative_rejected(self, machine):
+        with pytest.raises(ValueError):
+            make_server(machine).add_stuck_locks(-1)
+
+    def test_no_memory_footprint(self, machine):
+        server = make_server(machine)
+        before = server.state.app_demand_kb
+        server.add_stuck_locks(100)
+        assert server.state.app_demand_kb == before
+
+
+class TestLockContentionInjector:
+    def test_fires_over_time(self, machine):
+        server = make_server(machine)
+        inj = LockContentionInjector(mean_interval_range=(1.0, 1.0), seed=0)
+        n = inj.advance(server, now=200.0)
+        assert n > 0
+        assert server.n_stuck_locks == n
+        assert inj.total_locks == n
+
+    def test_rate_matches_interval(self, machine):
+        server = make_server(machine)
+        inj = LockContentionInjector(mean_interval_range=(2.0, 2.0), seed=1)
+        n = inj.advance(server, now=10_000.0)
+        assert n == pytest.approx(5000, rel=0.1)
+
+
+class TestLockDrivenFailure:
+    def test_rt_failure_without_memory_pressure(self, campaign):
+        """Locks alone can violate an RT SLA while memory stays healthy."""
+        cfg = replace(
+            campaign,
+            p_leak_range=(0.0, 1e-12),
+            p_thread_range=(0.0, 1e-12),
+            use_lock_injector=True,
+            lock_injector_interval_range=(2.0, 5.0),
+            max_run_seconds=4000.0,
+        )
+        sim = TestbedSimulator(cfg, failure_condition=ResponseTimeLimit(2.0))
+        run = sim.run_once(seed=4)
+        assert run.metadata["crashed"] == 1.0
+        # the memory signature is absent: swap untouched at the end
+        assert run.column("swap_used")[-1] == 0.0
+
+    def test_opt_in_preserves_default_traces(self, campaign):
+        """Enabling the lock flag off (default) must not change streams."""
+        a = TestbedSimulator(campaign).run_once(seed=6)
+        b = TestbedSimulator(replace(campaign, use_lock_injector=False)).run_once(seed=6)
+        assert np.array_equal(a.features, b.features)

@@ -1,0 +1,113 @@
+"""Tests for the FMC/FMS monitoring pair (repro.system.monitor)."""
+
+import numpy as np
+import pytest
+
+from repro.core.datapoint import FEATURES
+from repro.system.monitor import (
+    FeatureMonitorClient,
+    FeatureMonitorServer,
+    MonitorConfig,
+)
+from repro.system.resources import MachineState
+
+
+class TestMonitorConfig:
+    def test_defaults(self):
+        cfg = MonitorConfig()
+        assert cfg.nominal_interval == pytest.approx(1.5)
+
+    def test_invalid_interval(self):
+        with pytest.raises(ValueError):
+            MonitorConfig(nominal_interval=0.0)
+
+
+class TestFMCInterval:
+    def test_idle_interval_near_nominal(self):
+        fmc = FeatureMonitorClient(MonitorConfig(noise_sigma=0.0), seed=0)
+        assert fmc.interval(0.0, 0.0) == pytest.approx(1.5)
+
+    def test_saturation_stretches(self):
+        fmc = FeatureMonitorClient(MonitorConfig(noise_sigma=0.0), seed=0)
+        assert fmc.interval(1.0, 0.0) > fmc.interval(0.5, 0.0)
+
+    def test_below_knee_no_effect(self):
+        cfg = MonitorConfig(noise_sigma=0.0, saturation_knee=0.7)
+        fmc = FeatureMonitorClient(cfg, seed=0)
+        assert fmc.interval(0.6, 0.0) == pytest.approx(fmc.interval(0.0, 0.0))
+
+    def test_thrash_stretches(self):
+        fmc = FeatureMonitorClient(MonitorConfig(noise_sigma=0.0), seed=0)
+        assert fmc.interval(0.0, 0.9) > 2.0 * fmc.interval(0.0, 0.0)
+
+    def test_queue_delay_stretches(self):
+        fmc = FeatureMonitorClient(MonitorConfig(noise_sigma=0.0), seed=0)
+        base = fmc.interval(0.0, 0.0, queue_delay=0.0)
+        delayed = fmc.interval(0.0, 0.0, queue_delay=10.0)
+        assert delayed == pytest.approx(base + 0.6 * 10.0)
+
+    def test_noise_multiplicative(self):
+        fmc = FeatureMonitorClient(MonitorConfig(noise_sigma=0.2), seed=0)
+        draws = {fmc.interval(0.0, 0.0) for _ in range(20)}
+        assert len(draws) == 20  # all distinct
+        assert all(d > 0 for d in draws)
+
+
+class TestFMCSampling:
+    def test_sample_schema(self, machine):
+        state = MachineState(machine)
+        state.update_swap()
+        fmc = FeatureMonitorClient(MonitorConfig(), seed=0)
+        fmc.reset(0.0)
+        dp = fmc.sample(10.0, state, utilization=0.3)
+        arr = dp.to_array()
+        assert arr.shape == (len(FEATURES),)
+        assert dp.tgen == 10.0
+        assert dp.swap_used == 0.0
+        assert dp.mem_used > 0.0
+
+    def test_due_schedule(self, machine):
+        state = MachineState(machine)
+        fmc = FeatureMonitorClient(MonitorConfig(noise_sigma=0.0), seed=0)
+        fmc.reset(0.0)
+        assert not fmc.due(1.0)
+        assert fmc.due(1.6)
+        fmc.sample(1.6, state, 0.0)
+        assert not fmc.due(2.0)
+        assert fmc.due(1.6 + 1.5)
+
+    def test_last_interval_tracked(self, machine):
+        state = MachineState(machine)
+        fmc = FeatureMonitorClient(MonitorConfig(noise_sigma=0.0), seed=0)
+        fmc.reset(0.0)
+        fmc.sample(1.5, state, 0.0, queue_delay=5.0)
+        assert fmc.last_interval > 1.5
+
+
+class TestFMS:
+    def test_collects_datapoints(self, machine):
+        state = MachineState(machine)
+        fmc = FeatureMonitorClient(MonitorConfig(), seed=0)
+        fmc.reset(0.0)
+        fms = FeatureMonitorServer()
+        for t in (1.5, 3.0, 4.5):
+            fms.receive(fmc.sample(t, state, 0.0), response_time=0.1 * t)
+        feats, rts = fms.as_arrays()
+        assert feats.shape == (3, len(FEATURES))
+        assert np.allclose(feats[:, 0], [1.5, 3.0, 4.5])
+        assert np.allclose(rts, [0.15, 0.30, 0.45])
+        assert fms.n_datapoints == 3
+
+    def test_empty(self):
+        feats, rts = FeatureMonitorServer().as_arrays()
+        assert feats.shape == (0, len(FEATURES))
+        assert rts.shape == (0,)
+
+    def test_clear(self, machine):
+        state = MachineState(machine)
+        fmc = FeatureMonitorClient(MonitorConfig(), seed=0)
+        fmc.reset(0.0)
+        fms = FeatureMonitorServer()
+        fms.receive(fmc.sample(1.5, state, 0.0), 0.1)
+        fms.clear()
+        assert fms.n_datapoints == 0

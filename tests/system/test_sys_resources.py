@@ -1,0 +1,163 @@
+"""Tests for the machine resource model (repro.system.resources)."""
+
+import numpy as np
+import pytest
+
+from repro.system.resources import CpuSample, MachineConfig, MachineState
+
+
+def _SMALL():
+    from repro.system.resources import MachineConfig
+    return MachineConfig(
+        ram_kb=524_288.0,
+        swap_kb=262_144.0,
+        os_base_kb=131_072.0,
+        app_working_set_kb=65_536.0,
+        min_cache_kb=16_384.0,
+        shared_kb=8_192.0,
+        buffers_kb=4_096.0,
+    )
+
+
+
+class TestMachineConfig:
+    def test_defaults_valid(self):
+        MachineConfig()
+
+    def test_base_demand_must_fit_ram(self):
+        with pytest.raises(ValueError, match="exceeds RAM"):
+            MachineConfig(ram_kb=1000.0, os_base_kb=900.0, app_working_set_kb=200.0)
+
+    def test_invalid_sizes(self):
+        with pytest.raises(ValueError):
+            MachineConfig(ram_kb=0.0)
+        with pytest.raises(ValueError):
+            MachineConfig(n_cpus=0)
+
+    def test_frozen(self):
+        cfg = MachineConfig()
+        with pytest.raises(AttributeError):
+            cfg.ram_kb = 1.0
+
+
+class TestMemoryAccounting:
+    def test_fresh_state_no_swap(self):
+        state = MachineState(_SMALL())
+        state.update_swap()
+        assert state.swap_used_kb == 0.0
+        assert state.swap_pressure == 0.0
+        assert not state.memory_exhausted
+
+    def test_leak_increases_used(self):
+        state = MachineState(_SMALL())
+        before = state.mem_used_kb
+        state.leak_memory(10_000.0)
+        assert state.mem_used_kb == pytest.approx(before + 10_000.0)
+
+    def test_cache_yields_before_swap(self):
+        state = MachineState(_SMALL())
+        cache_before = state.mem_cached_kb
+        state.leak_memory(50_000.0)
+        state.update_swap()
+        assert state.mem_cached_kb < cache_before
+        assert state.swap_used_kb == 0.0  # cache absorbed it
+
+    def test_cache_floor_defended(self):
+        state = MachineState(_SMALL())
+        state.leak_memory(1e9)
+        assert state.mem_cached_kb >= state.config.min_cache_kb
+
+    def test_overflow_spills_to_swap(self):
+        cfg = _SMALL()
+        state = MachineState(cfg)
+        state.leak_memory(cfg.ram_kb)  # definitely past RAM
+        state.update_swap()
+        assert state.swap_used_kb > 0.0
+        assert state.swap_free_kb == cfg.swap_kb - state.swap_used_kb
+
+    def test_swap_monotone_within_run(self):
+        state = MachineState(_SMALL())
+        state.leak_memory(state.config.ram_kb)
+        state.update_swap()
+        high = state.swap_used_kb
+        # demand never decreases in the model, but even if it did the
+        # high-water mark must hold
+        state.update_swap()
+        assert state.swap_used_kb == high
+
+    def test_exhaustion_detected(self):
+        cfg = _SMALL()
+        state = MachineState(cfg)
+        state.leak_memory(cfg.ram_kb + cfg.swap_kb + 100_000.0)
+        state.update_swap()
+        assert state.memory_exhausted
+        assert state.swap_pressure == 1.0
+
+    def test_threads_consume_stack_memory(self):
+        cfg = _SMALL()
+        state = MachineState(cfg)
+        before = state.app_demand_kb
+        state.spawn_threads(100)
+        assert state.app_demand_kb == pytest.approx(
+            before + 100 * cfg.thread_stack_kb
+        )
+        assert state.n_threads == state.base_threads + 100
+
+    def test_negative_inputs_rejected(self):
+        state = MachineState(_SMALL())
+        with pytest.raises(ValueError):
+            state.leak_memory(-1.0)
+        with pytest.raises(ValueError):
+            state.spawn_threads(-1)
+
+    def test_memory_identity(self):
+        # used + cached + free + buffers + shared <= ram (equality until swap)
+        cfg = _SMALL()
+        state = MachineState(cfg)
+        for leak in (0.0, 20_000.0, 100_000.0):
+            state.leak_memory(leak)
+            total = (
+                state.mem_used_kb
+                + state.mem_cached_kb
+                + state.mem_free_kb
+                + cfg.buffers_kb
+                + cfg.shared_kb
+            )
+            assert total <= cfg.ram_kb + 1e-6
+
+
+class TestCpuAccounting:
+    def test_sums_to_100(self):
+        state = MachineState(_SMALL())
+        state.account_cpu(
+            busy_frac=0.5, sys_share=0.2, iowait_frac=0.1, steal_frac=0.01
+        )
+        assert sum(state.cpu.as_tuple()) == pytest.approx(100.0)
+
+    def test_overcommit_normalized(self):
+        state = MachineState(_SMALL())
+        state.account_cpu(
+            busy_frac=1.0, sys_share=0.2, iowait_frac=0.9, steal_frac=0.2
+        )
+        parts = state.cpu.as_tuple()
+        assert sum(parts) == pytest.approx(100.0)
+        assert state.cpu.idle == pytest.approx(0.0)
+
+    def test_idle_when_quiet(self):
+        state = MachineState(_SMALL())
+        state.account_cpu(busy_frac=0.0, sys_share=0.0, iowait_frac=0.0, steal_frac=0.0)
+        assert state.cpu.idle == pytest.approx(100.0)
+
+    def test_busy_split_user_sys(self):
+        state = MachineState(_SMALL())
+        state.account_cpu(busy_frac=0.8, sys_share=0.25, iowait_frac=0.0, steal_frac=0.0)
+        assert state.cpu.user == pytest.approx(60.0)
+        assert state.cpu.sys == pytest.approx(20.0)
+
+    def test_clamps_out_of_range(self):
+        state = MachineState(_SMALL())
+        state.account_cpu(busy_frac=2.0, sys_share=0.0, iowait_frac=0.0, steal_frac=0.0)
+        assert state.cpu.user <= 100.0
+
+    def test_default_sample_idle(self):
+        assert CpuSample().idle == 100.0

@@ -1,0 +1,125 @@
+"""Tests for workload schedules (repro.system.schedule)."""
+
+import numpy as np
+import pytest
+
+from repro.system.schedule import ConstantLoad, DiurnalLoad, StepLoad
+from repro.system.tpcw import SHOPPING_MIX, EmulatedBrowserPool
+
+
+class TestConstantLoad:
+    def test_constant(self):
+        sched = ConstantLoad(0.5)
+        assert sched.active_fraction(0.0) == 0.5
+        assert sched.active_fraction(1e6) == 0.5
+
+    def test_default_full(self):
+        assert ConstantLoad().active_fraction(10.0) == 1.0
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            ConstantLoad(1.5)
+
+
+class TestDiurnalLoad:
+    def test_oscillates_within_bounds(self):
+        sched = DiurnalLoad(period=100.0, base=0.6, amplitude=0.3)
+        values = [sched.active_fraction(t) for t in np.linspace(0, 300, 301)]
+        assert min(values) >= 0.05
+        assert max(values) <= 1.0
+        assert max(values) - min(values) > 0.4  # actually oscillates
+
+    def test_periodicity(self):
+        sched = DiurnalLoad(period=50.0)
+        assert sched.active_fraction(10.0) == pytest.approx(
+            sched.active_fraction(60.0)
+        )
+
+    def test_floor_clipping(self):
+        sched = DiurnalLoad(period=100.0, base=0.1, amplitude=0.5, floor=0.2)
+        values = [sched.active_fraction(t) for t in np.linspace(0, 100, 101)]
+        assert min(values) >= 0.2
+
+    def test_validate_over(self):
+        DiurnalLoad(period=100.0).validate_over(1000.0)
+
+    def test_invalid_period(self):
+        with pytest.raises(ValueError):
+            DiurnalLoad(period=0.0)
+
+
+class TestStepLoad:
+    def test_levels(self):
+        sched = StepLoad(breakpoints=(10.0, 20.0), fractions=(0.2, 1.0, 0.5))
+        assert sched.active_fraction(5.0) == 0.2
+        assert sched.active_fraction(15.0) == 1.0
+        assert sched.active_fraction(25.0) == 0.5
+
+    def test_boundary_belongs_to_next_level(self):
+        sched = StepLoad(breakpoints=(10.0,), fractions=(0.2, 0.8))
+        assert sched.active_fraction(10.0) == 0.8
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            StepLoad(breakpoints=(10.0,), fractions=(0.5,))
+        with pytest.raises(ValueError):
+            StepLoad(breakpoints=(10.0, 5.0), fractions=(0.1, 0.2, 0.3))
+        with pytest.raises(ValueError):
+            StepLoad(breakpoints=(10.0,), fractions=(0.5, 1.5))
+
+
+class TestPoolGating:
+    def test_full_fraction_unchanged(self):
+        pool = EmulatedBrowserPool(10, SHOPPING_MIX, seed=0)
+        idx, _ = pool.due_requests(100.0, active_fraction=1.0)
+        assert idx.size == 10
+
+    def test_half_fraction_gates_prefix(self):
+        pool = EmulatedBrowserPool(10, SHOPPING_MIX, seed=0)
+        idx, _ = pool.due_requests(100.0, active_fraction=0.5)
+        assert idx.size == 5
+        assert idx.max() < 5  # only the deterministic prefix
+
+    def test_zero_fraction_blocks_everyone(self):
+        pool = EmulatedBrowserPool(10, SHOPPING_MIX, seed=0)
+        idx, _ = pool.due_requests(100.0, active_fraction=0.0)
+        assert idx.size == 0
+
+    def test_invalid_fraction(self):
+        pool = EmulatedBrowserPool(5, SHOPPING_MIX, seed=0)
+        with pytest.raises(ValueError):
+            pool.due_requests(1.0, active_fraction=1.5)
+
+
+class TestScheduledCampaign:
+    def test_low_load_extends_time_to_failure(self, campaign):
+        from dataclasses import replace
+
+        from repro.system import TestbedSimulator
+
+        full = TestbedSimulator(campaign).run_once(seed=3)
+        quiet_cfg = replace(campaign, load_schedule=ConstantLoad(0.3))
+        quiet = TestbedSimulator(quiet_cfg).run_once(seed=3)
+        # fewer requests -> slower anomaly accumulation -> later crash
+        assert quiet.fail_time > full.fail_time
+
+    def test_diurnal_campaign_runs(self, campaign):
+        from dataclasses import replace
+
+        from repro.system import TestbedSimulator
+
+        cfg = replace(
+            campaign,
+            load_schedule=DiurnalLoad(period=400.0, base=0.7, amplitude=0.3),
+        )
+        run = TestbedSimulator(cfg).run_once(seed=1)
+        assert run.metadata["crashed"] == 1.0
+
+    def test_default_schedule_backward_compatible(self, campaign):
+        # CampaignConfig defaults to ConstantLoad(1.0): identical traces
+        # to the pre-schedule behaviour
+        from repro.system import TestbedSimulator
+
+        a = TestbedSimulator(campaign).run_once(seed=9)
+        b = TestbedSimulator(campaign).run_once(seed=9)
+        assert np.array_equal(a.features, b.features)

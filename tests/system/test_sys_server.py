@@ -1,0 +1,158 @@
+"""Tests for the application-server model (repro.system.server)."""
+
+import numpy as np
+import pytest
+
+from repro.system.anomalies import AnomalyProfile
+from repro.system.resources import MachineState
+from repro.system.server import AppServer, ServerConfig
+from repro.system.tpcw import SHOPPING_MIX, EmulatedBrowserPool
+
+
+def make_server(machine, *, p_leak=0.0, p_thread=0.0, n_eb=20, seed=0):
+    state = MachineState(machine)
+    pool = EmulatedBrowserPool(n_eb, SHOPPING_MIX, seed=seed)
+    profile = AnomalyProfile(
+        p_leak=p_leak, leak_min_kb=500.0, leak_max_kb=1500.0, p_thread=p_thread
+    )
+    server = AppServer(ServerConfig(), state, pool, profile, seed=seed)
+    return server, state, pool
+
+
+class TestServiceMultiplier:
+    def test_healthy_is_one(self, machine):
+        server, _, _ = make_server(machine)
+        assert server.service_multiplier() == pytest.approx(1.0)
+
+    def test_threads_inflate(self, machine):
+        server, state, _ = make_server(machine)
+        state.spawn_threads(2000)
+        assert server.service_multiplier() > 1.5
+
+    def test_swap_pressure_inflates_superlinearly(self, machine):
+        server, state, _ = make_server(machine)
+        # push to ~50% then ~95% swap pressure
+        state.leak_memory(machine.ram_kb * 0.9)
+        state.update_swap()
+        mid = server.service_multiplier()
+        state.leak_memory(machine.swap_kb * 0.6)
+        state.update_swap()
+        high = server.service_multiplier()
+        assert 1.0 < mid < high
+        # super-linear growth: the second half of the pressure range costs
+        # far more than the first
+        assert (high - mid) > (mid - 1.0)
+
+    def test_full_pressure_finite(self, machine):
+        server, state, _ = make_server(machine)
+        state.leak_memory(machine.ram_kb + machine.swap_kb + 1e6)
+        state.update_swap()
+        assert np.isfinite(server.service_multiplier())
+
+
+class TestTick:
+    def test_invalid_dt(self, machine):
+        server, _, _ = make_server(machine)
+        with pytest.raises(ValueError):
+            server.tick(0.0, 0.0)
+
+    def test_requests_complete(self, machine):
+        server, _, _ = make_server(machine)
+        total = 0
+        now = 0.0
+        for _ in range(200):
+            stats = server.tick(now, 0.5)
+            total += stats.n_completed
+            now += 0.5
+        assert total > 50
+        assert server.total_completed == total
+
+    def test_response_times_positive(self, machine):
+        server, _, _ = make_server(machine)
+        now = 0.0
+        for _ in range(100):
+            stats = server.tick(now, 0.5)
+            if stats.n_completed:
+                assert stats.mean_response_time > 0.0
+            now += 0.5
+
+    def test_utilization_bounded(self, machine):
+        server, _, _ = make_server(machine)
+        now = 0.0
+        for _ in range(50):
+            stats = server.tick(now, 0.5)
+            assert 0.0 <= stats.utilization <= 1.0
+            now += 0.5
+
+    def test_anomalies_injected_on_home(self, machine):
+        server, state, _ = make_server(machine, p_leak=1.0, p_thread=1.0)
+        now = 0.0
+        for _ in range(400):
+            server.tick(now, 0.5)
+            now += 0.5
+        assert state.leaked_kb > 0.0
+        assert state.n_leaked_threads > 0
+        assert server.total_leaked_kb == pytest.approx(state.leaked_kb)
+        assert server.total_threads_spawned == state.n_leaked_threads
+
+    def test_no_anomalies_when_disabled(self, machine):
+        server, state, _ = make_server(machine, p_leak=0.0, p_thread=0.0)
+        now = 0.0
+        for _ in range(200):
+            server.tick(now, 0.5)
+            now += 0.5
+        assert state.leaked_kb == 0.0
+        assert state.n_leaked_threads == 0
+
+    def test_degradation_raises_response_time(self, machine):
+        server, state, _ = make_server(machine)
+        now = 0.0
+        healthy_rts = []
+        for _ in range(300):
+            stats = server.tick(now, 0.5)
+            if stats.n_completed:
+                healthy_rts.append(stats.mean_response_time)
+            now += 0.5
+        # cripple the machine: deep swap pressure
+        state.leak_memory(machine.ram_kb + machine.swap_kb * 0.9)
+        state.update_swap()
+        sick_rts = []
+        for _ in range(300):
+            stats = server.tick(now, 0.5)
+            if stats.n_completed:
+                sick_rts.append(stats.mean_response_time)
+            now += 0.5
+        assert np.mean(sick_rts) > 3.0 * np.mean(healthy_rts)
+
+    def test_iowait_appears_under_thrashing(self, machine):
+        server, state, _ = make_server(machine)
+        now = 0.0
+        for _ in range(50):
+            server.tick(now, 0.5)
+            now += 0.5
+        assert state.cpu.iowait < 5.0
+        state.leak_memory(machine.ram_kb + machine.swap_kb * 0.9)
+        state.update_swap()
+        for _ in range(50):
+            server.tick(now, 0.5)
+            now += 0.5
+        assert state.cpu.iowait > 5.0
+
+    def test_cpu_accounting_valid_every_tick(self, machine):
+        server, state, _ = make_server(machine)
+        now = 0.0
+        for _ in range(100):
+            server.tick(now, 0.5)
+            assert sum(state.cpu.as_tuple()) == pytest.approx(100.0)
+            now += 0.5
+
+    def test_deterministic_given_seed(self, machine):
+        a, _, _ = make_server(machine, p_leak=0.3, seed=5)
+        b, _, _ = make_server(machine, p_leak=0.3, seed=5)
+        now = 0.0
+        for _ in range(100):
+            sa = a.tick(now, 0.5)
+            sb = b.tick(now, 0.5)
+            assert sa.n_completed == sb.n_completed
+            assert sa.sum_response_time == pytest.approx(sb.sum_response_time)
+            now += 0.5

@@ -1,0 +1,132 @@
+"""Tests for the TPC-W session Markov chain (repro.system.tpcw)."""
+
+from dataclasses import replace
+
+import numpy as np
+import pytest
+
+from repro.system.tpcw import (
+    Interaction,
+    SHOPPING_MIX,
+    BROWSING_MIX,
+    EmulatedBrowserPool,
+    SessionChain,
+    build_transition_matrix,
+)
+
+
+class TestBuildTransitionMatrix:
+    @pytest.mark.parametrize("mix", [SHOPPING_MIX, BROWSING_MIX])
+    def test_row_stochastic(self, mix):
+        M = build_transition_matrix(mix)
+        assert M.shape == (14, 14)
+        assert (M >= 0).all()
+        assert np.allclose(M.sum(axis=1), 1.0)
+
+    def test_structural_flows_dominate_their_rows(self):
+        M = build_transition_matrix(SHOPPING_MIX, structure_weight=0.5)
+        # search form -> results is the modal transition
+        row = M[Interaction.SEARCH_REQUEST]
+        assert int(np.argmax(row)) == Interaction.SEARCH_RESULTS
+        assert row[Interaction.SEARCH_RESULTS] >= 0.45
+        # buy request -> buy confirm likewise
+        assert (
+            int(np.argmax(M[Interaction.BUY_REQUEST])) == Interaction.BUY_CONFIRM
+        )
+
+    def test_zero_structure_weight_is_iid(self):
+        M = build_transition_matrix(SHOPPING_MIX, structure_weight=0.0)
+        for row in M:
+            assert np.allclose(row, SHOPPING_MIX.probabilities)
+
+    def test_invalid_weight(self):
+        with pytest.raises(ValueError):
+            build_transition_matrix(SHOPPING_MIX, structure_weight=1.5)
+
+    def test_stationary_stays_near_mix(self):
+        """Blending keeps long-run frequencies in the mix's ballpark."""
+        M = build_transition_matrix(SHOPPING_MIX, structure_weight=0.5)
+        # power-iterate to the stationary distribution
+        pi = np.full(14, 1.0 / 14.0)
+        for _ in range(500):
+            pi = pi @ M
+        target = SHOPPING_MIX.probabilities
+        # Home frequency within a factor 2 of the target; heavyweight
+        # categories preserved in ordering
+        assert 0.5 * target[Interaction.HOME] <= pi[Interaction.HOME] <= 2.0 * target[Interaction.HOME]
+        assert pi[Interaction.SEARCH_RESULTS] > pi[Interaction.ADMIN_CONFIRM]
+
+
+class TestSessionChain:
+    def test_next_states_shape_and_range(self):
+        chain = SessionChain(build_transition_matrix(SHOPPING_MIX))
+        states = np.zeros(50, dtype=np.int64)
+        nxt = chain.next_states(states, np.random.default_rng(0))
+        assert nxt.shape == (50,)
+        assert ((0 <= nxt) & (nxt < 14)).all()
+
+    def test_deterministic_transition_followed(self):
+        M = np.zeros((14, 14))
+        M[:, Interaction.BEST_SELLERS] = 1.0  # everything goes to one state
+        chain = SessionChain(M)
+        nxt = chain.next_states(np.arange(14), np.random.default_rng(0))
+        assert (nxt == Interaction.BEST_SELLERS).all()
+
+    def test_invalid_matrix_rejected(self):
+        with pytest.raises(ValueError):
+            SessionChain(np.zeros((14, 14)))
+        with pytest.raises(ValueError):
+            SessionChain(np.zeros((3, 3)))
+
+
+class TestPoolSessionMode:
+    def run_pool(self, use_sessions, n_steps=3000):
+        pool = EmulatedBrowserPool(
+            30, SHOPPING_MIX, seed=5, use_sessions=use_sessions
+        )
+        counts = np.zeros(14)
+        now = 0.0
+        for _ in range(n_steps):
+            now += 0.5
+            idx, kinds = pool.due_requests(now)
+            for k in kinds:
+                counts[k] += 1
+            if idx.size:
+                pool.complete(idx, np.full(idx.size, now + 0.05))
+        return counts
+
+    def test_session_frequencies_near_mix(self):
+        counts = self.run_pool(use_sessions=True)
+        freq = counts / counts.sum()
+        target = SHOPPING_MIX.probabilities
+        # coarse agreement on the major interactions
+        for i in (Interaction.HOME, Interaction.SEARCH_RESULTS, Interaction.PRODUCT_DETAIL):
+            assert 0.4 * target[i] <= freq[i] <= 2.5 * target[i]
+
+    def test_session_mode_changes_sequences_not_totals(self):
+        iid = self.run_pool(use_sessions=False)
+        chained = self.run_pool(use_sessions=True)
+        # total throughput is think-time-bound, so it barely moves
+        assert chained.sum() == pytest.approx(iid.sum(), rel=0.05)
+
+    def test_reset_returns_sessions_to_home(self):
+        pool = EmulatedBrowserPool(5, SHOPPING_MIX, seed=0, use_sessions=True)
+        idx, _ = pool.due_requests(100.0)
+        pool.complete(idx, np.full(idx.size, 100.1))
+        pool.reset(200.0)
+        assert (pool._states == int(Interaction.HOME)).all()
+
+    def test_campaign_with_session_chain(self, campaign):
+        from repro.system import TestbedSimulator
+
+        cfg = replace(campaign, use_session_chain=True)
+        run = TestbedSimulator(cfg).run_once(seed=2)
+        assert run.metadata["crashed"] == 1.0
+
+    def test_default_mode_unchanged(self, campaign):
+        """use_session_chain=False reproduces the original streams."""
+        from repro.system import TestbedSimulator
+
+        a = TestbedSimulator(campaign).run_once(seed=8)
+        b = TestbedSimulator(replace(campaign, use_session_chain=False)).run_once(seed=8)
+        assert np.array_equal(a.features, b.features)

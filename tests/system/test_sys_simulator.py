@@ -1,0 +1,136 @@
+"""Tests for the campaign simulator (repro.system.simulator)."""
+
+import numpy as np
+import pytest
+
+from repro.core.history import DataHistory
+from repro.system.failure import ResponseTimeLimit
+from repro.system.simulator import CampaignConfig, TestbedSimulator
+
+from repro.core.datapoint import FEATURE_INDEX
+
+
+class TestCampaignConfig:
+    def test_validation(self, machine):
+        with pytest.raises(ValueError):
+            CampaignConfig(n_runs=0)
+        with pytest.raises(ValueError):
+            CampaignConfig(dt=0.0)
+        with pytest.raises(ValueError):
+            CampaignConfig(max_run_seconds=0.0)
+
+
+class TestRunOnce:
+    def test_run_crashes_and_records(self, campaign):
+        run = TestbedSimulator(campaign).run_once(seed=0)
+        assert run.metadata["crashed"] == 1.0
+        assert run.n_datapoints > 50
+        assert run.fail_time <= campaign.max_run_seconds
+
+    def test_deterministic(self, campaign):
+        a = TestbedSimulator(campaign).run_once(seed=11)
+        b = TestbedSimulator(campaign).run_once(seed=11)
+        assert a.fail_time == b.fail_time
+        assert np.array_equal(a.features, b.features)
+
+    def test_different_seeds_differ(self, campaign):
+        a = TestbedSimulator(campaign).run_once(seed=1)
+        b = TestbedSimulator(campaign).run_once(seed=2)
+        assert a.fail_time != b.fail_time
+
+    def test_metadata_records_profile(self, campaign):
+        run = TestbedSimulator(campaign).run_once(seed=0)
+        assert (
+            campaign.p_leak_range[0]
+            <= run.metadata["p_leak"]
+            <= campaign.p_leak_range[1]
+        )
+        assert run.metadata["total_requests"] > 0
+
+    def test_truncation_flagged(self, campaign):
+        from dataclasses import replace
+
+        # anomaly-free config cannot crash: run truncates at max_run_seconds
+        quiet = replace(
+            campaign,
+            p_leak_range=(0.0, 1e-12),
+            p_thread_range=(0.0, 1e-12),
+            max_run_seconds=60.0,
+        )
+        run = TestbedSimulator(quiet).run_once(seed=0)
+        assert run.metadata["crashed"] == 0.0
+        assert run.fail_time == 60.0
+
+    def test_custom_failure_condition(self, campaign):
+        sim = TestbedSimulator(campaign, failure_condition=ResponseTimeLimit(0.5))
+        run = sim.run_once(seed=0)
+        # RT-based failure fires before memory exhaustion would
+        mem_run = TestbedSimulator(campaign).run_once(seed=0)
+        assert run.fail_time <= mem_run.fail_time
+
+    def test_time_injectors_accelerate_crash(self, campaign):
+        from dataclasses import replace
+
+        with_inj = replace(
+            campaign,
+            use_time_injectors=True,
+            leak_injector_interval_range=(0.2, 0.5),
+        )
+        fast = TestbedSimulator(with_inj).run_once(seed=4)
+        slow = TestbedSimulator(campaign).run_once(seed=4)
+        assert fast.fail_time < slow.fail_time
+
+
+class TestRunTrajectories:
+    def test_memory_monotone_toward_crash(self, history):
+        for run in history:
+            swap = run.column("swap_used")
+            # monotone non-decreasing swap (the high-water-mark design)
+            assert (np.diff(swap) >= -1e-9).all()
+
+    def test_mem_free_decreases_overall(self, history):
+        for run in history:
+            free = run.column("mem_free")
+            assert free[-1] < free[0]
+
+    def test_generation_interval_stretches(self, history):
+        for run in history:
+            tgen = run.column("tgen")
+            d = np.diff(tgen)
+            assert d[-5:].mean() > d[:5].mean()
+
+    def test_response_time_grows(self, history):
+        for run in history:
+            rt = run.response_times
+            assert rt[-5:].mean() > rt[:5].mean()
+
+    def test_cpu_features_are_percentages(self, history):
+        for run in history:
+            for name in ("cpu_user", "cpu_sys", "cpu_iowait", "cpu_idle"):
+                col = run.column(name)
+                assert (col >= 0.0).all() and (col <= 100.0).all()
+
+    def test_datapoints_sorted_by_tgen(self, history):
+        for run in history:
+            tgen = run.column("tgen")
+            assert (np.diff(tgen) > 0).all()
+
+    def test_swap_exhausted_at_crash(self, history):
+        for run in history:
+            idx = FEATURE_INDEX["swap_free"]
+            assert run.features[-1, idx] < 0.05 * run.features[0, idx] + 1e4
+
+
+class TestRunCampaign:
+    def test_n_runs(self, history):
+        assert len(history) == 4
+        assert isinstance(history, DataHistory)
+
+    def test_runs_differ(self, history):
+        lengths = [run.fail_time for run in history]
+        assert len(set(lengths)) == len(lengths)
+
+    def test_campaign_deterministic(self, campaign):
+        h1 = TestbedSimulator(campaign).run_campaign()
+        h2 = TestbedSimulator(campaign).run_campaign()
+        assert [r.fail_time for r in h1] == [r.fail_time for r in h2]

@@ -1,0 +1,134 @@
+"""Tests for the TPC-W workload model (repro.system.tpcw)."""
+
+import numpy as np
+import pytest
+
+from repro.system.tpcw import (
+    BROWSING_MIX,
+    MIXES,
+    ORDERING_MIX,
+    SERVICE_DEMANDS,
+    SHOPPING_MIX,
+    EmulatedBrowserPool,
+    Interaction,
+    TPCWMix,
+)
+
+
+class TestMixes:
+    def test_fourteen_interactions(self):
+        assert len(Interaction) == 14
+        assert len(SERVICE_DEMANDS) == 14
+
+    @pytest.mark.parametrize("mix", [BROWSING_MIX, SHOPPING_MIX, ORDERING_MIX])
+    def test_frequencies_normalized(self, mix):
+        assert mix.probabilities.sum() == pytest.approx(1.0)
+
+    def test_registry(self):
+        assert set(MIXES) == {"browsing", "shopping", "ordering"}
+
+    def test_browsing_browses_more(self):
+        # browse-category share is higher in the browsing mix
+        browse = [
+            Interaction.HOME,
+            Interaction.NEW_PRODUCTS,
+            Interaction.BEST_SELLERS,
+            Interaction.PRODUCT_DETAIL,
+            Interaction.SEARCH_REQUEST,
+            Interaction.SEARCH_RESULTS,
+        ]
+        b = BROWSING_MIX.probabilities[browse].sum()
+        o = ORDERING_MIX.probabilities[browse].sum()
+        assert b > 0.9 > o
+
+    def test_ordering_orders_more(self):
+        buy = [Interaction.BUY_REQUEST, Interaction.BUY_CONFIRM]
+        assert (
+            ORDERING_MIX.probabilities[buy].sum()
+            > SHOPPING_MIX.probabilities[buy].sum()
+            > BROWSING_MIX.probabilities[buy].sum()
+        )
+
+    def test_home_fraction(self):
+        assert SHOPPING_MIX.home_fraction == pytest.approx(0.16, abs=0.01)
+
+    def test_mean_service_demand_positive(self):
+        for mix in MIXES.values():
+            assert 0.0 < mix.mean_service_demand < 1.0
+
+    def test_sampling_respects_frequencies(self):
+        rng = np.random.default_rng(0)
+        draws = SHOPPING_MIX.sample(100_000, rng)
+        home_frac = (draws == Interaction.HOME).mean()
+        assert home_frac == pytest.approx(SHOPPING_MIX.home_fraction, abs=0.01)
+
+    def test_invalid_mix_rejected(self):
+        with pytest.raises(ValueError):
+            TPCWMix("bad", (0.5, 0.5))  # wrong count
+        bad = [1.0 / 14.0] * 14
+        bad[0] = 0.9  # not normalized
+        with pytest.raises(ValueError):
+            TPCWMix("bad", tuple(bad))
+
+
+class TestEmulatedBrowserPool:
+    def test_staggered_start(self):
+        pool = EmulatedBrowserPool(20, SHOPPING_MIX, seed=0)
+        idx, kinds = pool.due_requests(now=1000.0)
+        assert idx.size == 20  # all due well past the stagger window
+        assert kinds.shape == (20,)
+
+    def test_in_flight_not_reissued(self):
+        pool = EmulatedBrowserPool(10, SHOPPING_MIX, seed=0)
+        first, _ = pool.due_requests(now=100.0)
+        second, _ = pool.due_requests(now=200.0)
+        assert second.size == 0  # everyone awaiting a response
+
+    def test_complete_rearms_after_think(self):
+        pool = EmulatedBrowserPool(5, SHOPPING_MIX, seed=0)
+        idx, _ = pool.due_requests(now=100.0)
+        pool.complete(idx, np.full(idx.size, 100.5))
+        # due again only after think time elapses
+        immediately, _ = pool.due_requests(now=100.6)
+        later, _ = pool.due_requests(now=100.5 + 71.0)  # beyond think cap
+        assert immediately.size + later.size == 5
+        assert later.size > 0 or immediately.size == 5
+
+    def test_completing_unissued_raises(self):
+        pool = EmulatedBrowserPool(3, SHOPPING_MIX, seed=0)
+        with pytest.raises(ValueError):
+            pool.complete(np.array([0]), np.array([1.0]))
+
+    def test_think_times_capped(self):
+        pool = EmulatedBrowserPool(1, SHOPPING_MIX, seed=0)
+        draws = pool._think_times(10_000)
+        assert draws.max() <= pool.THINK_CAP
+        assert draws.mean() == pytest.approx(pool.THINK_MEAN, rel=0.1)
+
+    def test_reset_restores_fresh_sessions(self):
+        pool = EmulatedBrowserPool(8, SHOPPING_MIX, seed=0)
+        idx, _ = pool.due_requests(now=50.0)
+        pool.reset(now=1000.0)
+        idx2, _ = pool.due_requests(now=1000.0 + pool.THINK_MEAN + 1.0)
+        assert idx2.size == 8
+
+    def test_invalid_size(self):
+        with pytest.raises(ValueError):
+            EmulatedBrowserPool(0, SHOPPING_MIX)
+
+    def test_closed_loop_rate_scales_with_browsers(self):
+        # twice the EBs -> roughly twice the requests over a long horizon
+        def total_requests(n_eb):
+            pool = EmulatedBrowserPool(n_eb, SHOPPING_MIX, seed=1)
+            count = 0
+            now = 0.0
+            for _ in range(2000):
+                now += 0.5
+                idx, _ = pool.due_requests(now)
+                count += idx.size
+                if idx.size:
+                    pool.complete(idx, np.full(idx.size, now + 0.1))
+            return count
+
+        r20, r40 = total_requests(20), total_requests(40)
+        assert r40 == pytest.approx(2 * r20, rel=0.15)

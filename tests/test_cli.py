@@ -1,0 +1,189 @@
+"""Tests for the command-line interface (repro.cli)."""
+
+import numpy as np
+import pytest
+
+from repro.cli import build_parser, main
+from repro.core import DataHistory
+
+
+@pytest.fixture
+def history_file(tmp_path, history):
+    path = tmp_path / "hist.npz"
+    history.save(path)
+    return str(path)
+
+
+class TestParser:
+    def test_requires_command(self, capsys):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_version(self, capsys):
+        with pytest.raises(SystemExit) as exc:
+            main(["--version"])
+        assert exc.value.code == 0
+
+    def test_unknown_command(self):
+        with pytest.raises(SystemExit):
+            main(["frobnicate"])
+
+
+class TestSimulate:
+    def test_writes_history(self, tmp_path, capsys):
+        out = tmp_path / "h.npz"
+        rc = main(["simulate", "-o", str(out), "--runs", "2", "--seed", "1"])
+        assert rc == 0
+        assert out.exists()
+        loaded = DataHistory.load(out)
+        assert len(loaded) == 2
+        assert "saved 2 runs" in capsys.readouterr().out
+
+    def test_deterministic(self, tmp_path):
+        a, b = tmp_path / "a.npz", tmp_path / "b.npz"
+        main(["simulate", "-o", str(a), "--runs", "1", "--seed", "5"])
+        main(["simulate", "-o", str(b), "--runs", "1", "--seed", "5"])
+        ha, hb = DataHistory.load(a), DataHistory.load(b)
+        assert np.array_equal(ha[0].features, hb[0].features)
+
+
+class TestAggregate:
+    def test_writes_dataset(self, tmp_path, history_file, capsys):
+        out = tmp_path / "ds.npz"
+        rc = main(["aggregate", history_file, "-o", str(out), "--window", "30"])
+        assert rc == 0
+        with np.load(out, allow_pickle=False) as data:
+            assert data["X"].shape[1] == 30
+            assert data["X"].shape[0] == data["y"].shape[0]
+            assert len(data["feature_names"]) == 30
+
+    def test_missing_history_errors(self, tmp_path):
+        with pytest.raises(SystemExit, match="not found"):
+            main(["aggregate", str(tmp_path / "nope.npz")])
+
+
+class TestSelect:
+    def test_prints_path_and_weights(self, history_file, capsys):
+        rc = main(["select", history_file, "--window", "30"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "Lasso regularization path" in out
+        assert "strongest selection" in out
+        assert "1e9" in out
+
+
+class TestTrain:
+    def test_prints_tables(self, history_file, capsys):
+        rc = main(
+            [
+                "train",
+                history_file,
+                "--window",
+                "30",
+                "--models",
+                "linear,reptree",
+            ]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "Soft Mean Absolute Error" in out
+        assert "Training time" in out
+        assert "best model:" in out
+
+    def test_lasso_predictor_flag(self, history_file, capsys):
+        rc = main(
+            [
+                "train",
+                history_file,
+                "--window",
+                "30",
+                "--models",
+                "linear",
+                "--lasso-predictors",
+            ]
+        )
+        assert rc == 0
+        assert "lasso(1e9)" in capsys.readouterr().out
+
+
+class TestIngest:
+    def test_csv_directory_to_history(self, history, tmp_path, capsys):
+        from repro.core.ingest import write_run_csv
+
+        trace_dir = tmp_path / "traces"
+        trace_dir.mkdir()
+        for i, run in enumerate(history):
+            write_run_csv(run, trace_dir / f"run{i}.csv")
+        out = tmp_path / "ingested.npz"
+        rc = main(
+            [
+                "ingest",
+                str(trace_dir),
+                "-o",
+                str(out),
+                "--rt-column",
+                "response_time",
+            ]
+        )
+        assert rc == 0
+        loaded = DataHistory.load(out)
+        assert len(loaded) == len(history)
+        assert "ingested" in capsys.readouterr().out
+
+
+class TestPredict:
+    def test_saved_model_applied(self, history, tmp_path, capsys):
+        hist_file = tmp_path / "h.npz"
+        history.save(hist_file)
+        model_file = tmp_path / "m.pkl"
+        main(
+            [
+                "train",
+                str(hist_file),
+                "--window",
+                "30",
+                "--models",
+                "linear",
+                "--save-model",
+                str(model_file),
+            ]
+        )
+        capsys.readouterr()
+        rc = main(
+            ["predict", str(model_file), str(hist_file), "--window", "30", "--limit", "3"]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "predicted RTTF for the last 3 windows" in out
+        assert out.count("t=") == 3
+
+    def test_schema_mismatch_fails(self, history, tmp_path):
+        from repro.core.persistence import save_model
+        from repro.ml.linear import LinearRegression
+
+        hist_file = tmp_path / "h.npz"
+        history.save(hist_file)
+        model_file = tmp_path / "bad.pkl"
+        model = LinearRegression().fit(np.zeros((4, 2)) + np.arange(2.0), np.zeros(4))
+        save_model(model, model_file, feature_names=["a", "b"])
+        with pytest.raises(ValueError, match="schema mismatch"):
+            main(["predict", str(model_file), str(hist_file), "--window", "30"])
+
+
+class TestRejuvenate:
+    def test_prints_policy_table(self, capsys):
+        rc = main(
+            [
+                "rejuvenate",
+                "--runs",
+                "3",
+                "--horizon",
+                "2000",
+                "--seed",
+                "2",
+            ]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "Rejuvenation policies" in out
+        assert "predictive" in out

@@ -1,0 +1,100 @@
+"""Assorted edge-case coverage across modules.
+
+Small behaviours that the per-module suites don't pin down: less-common
+constructor flags, report lookups, experiment result helpers.
+"""
+
+import numpy as np
+import pytest
+
+from repro.ml.pipeline import ScaledModel
+from repro.ml.linear import LinearRegression
+
+
+class TestScaledModelFlags:
+    def test_scale_x_off(self, linear_data):
+        X, y = linear_data
+        m = ScaledModel(LinearRegression(), scale_X=False).fit(X, y)
+        plain = LinearRegression().fit(X, y)
+        assert np.allclose(m.predict(X), plain.predict(X), rtol=1e-8)
+
+    def test_repr_mentions_inner(self):
+        m = ScaledModel(LinearRegression(), scale_X=False)
+        assert "LinearRegression" in repr(m)
+        assert "scale_X=False" in repr(m)
+
+
+class TestEvaluationLookups:
+    def test_model_report_headers_stable(self):
+        from repro.core.evaluation import ModelReport
+
+        assert ModelReport.HEADERS[0] == "model"
+        assert "S-MAE (s)" in ModelReport.HEADERS
+
+
+class TestFig5Bins:
+    def test_bin_errors_partitions_all_samples(self):
+        from repro.experiments.fig5_fitted_models import _bin_errors
+
+        rng = np.random.default_rng(0)
+        y = rng.uniform(0.0, 100.0, size=90)
+        pred = y + rng.normal(size=90)
+        bins = _bin_errors("x", y, pred)
+        # each bin MAE is finite and the overall MAE is a convex
+        # combination of the three
+        overall = np.abs(pred - y).mean()
+        lo = min(bins.mae_near, bins.mae_mid, bins.mae_far)
+        hi = max(bins.mae_near, bins.mae_mid, bins.mae_far)
+        assert lo - 1e-9 <= overall <= hi + 1e-9
+
+    def test_error_grows_property(self):
+        from repro.experiments.fig5_fitted_models import ModelBins
+
+        good = ModelBins("m", mae_near=10.0, mae_mid=20.0, mae_far=30.0, bias_far=0.0)
+        bad = ModelBins("m", mae_near=30.0, mae_mid=20.0, mae_far=10.0, bias_far=0.0)
+        assert good.error_grows_with_rttf
+        assert not bad.error_grows_with_rttf
+
+
+class TestSelectionResultEdge:
+    def test_all_zero_weights(self):
+        from repro.core.feature_selection import SelectionResult
+
+        r = SelectionResult(
+            lam=1e9, feature_names=("a", "b"), weights=np.zeros(2)
+        )
+        assert r.selected == ()
+        assert r.n_selected == 0
+        assert r.weight_table() == []
+
+
+class TestCLISelectFlags:
+    def test_min_features_flag(self, history, tmp_path, capsys):
+        from repro.cli import main
+
+        hist_file = tmp_path / "h.npz"
+        history.save(hist_file)
+        rc = main(
+            ["select", str(hist_file), "--window", "30", "--min-features", "3"]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        # at least 3 weight lines under "strongest selection"
+        tail = out.split("strongest selection")[1]
+        assert sum(1 for line in tail.splitlines() if "+" in line or "-" in line) >= 3
+
+
+class TestRunRecordColumnView:
+    def test_column_is_view_not_copy_semantics(self, history):
+        run = history[0]
+        col = run.column("mem_used")
+        assert col.shape == (run.n_datapoints,)
+        # views share memory with the features matrix
+        assert np.shares_memory(col, run.features)
+
+
+class TestDatasetColumnOrderPreserved:
+    def test_select_features_reorders(self, dataset):
+        sub = dataset.select_features(["gen_time", "tgen"])
+        assert sub.feature_names == ("gen_time", "tgen")
+        assert np.array_equal(sub.X[:, 1], dataset.column("tgen"))

@@ -1,0 +1,51 @@
+"""Tests for repro.utils.rng."""
+
+import numpy as np
+import pytest
+
+from repro.utils.rng import as_rng, spawn_rng
+
+
+class TestAsRng:
+    def test_int_seed_gives_generator(self):
+        assert isinstance(as_rng(0), np.random.Generator)
+
+    def test_none_gives_generator(self):
+        assert isinstance(as_rng(None), np.random.Generator)
+
+    def test_same_seed_same_stream(self):
+        assert as_rng(5).random() == as_rng(5).random()
+
+    def test_different_seeds_differ(self):
+        assert as_rng(1).random() != as_rng(2).random()
+
+    def test_generator_passthrough(self):
+        gen = np.random.default_rng(0)
+        assert as_rng(gen) is gen
+
+
+class TestSpawnRng:
+    def test_count(self):
+        assert len(spawn_rng(0, 5)) == 5
+
+    def test_zero_children(self):
+        assert spawn_rng(0, 0) == []
+
+    def test_negative_raises(self):
+        with pytest.raises(ValueError):
+            spawn_rng(0, -1)
+
+    def test_children_independent(self):
+        a, b = spawn_rng(0, 2)
+        draws_a = a.random(100)
+        draws_b = b.random(100)
+        assert not np.allclose(draws_a, draws_b)
+
+    def test_deterministic_given_seed(self):
+        a1, = spawn_rng(3, 1)
+        a2, = spawn_rng(3, 1)
+        assert a1.random() == a2.random()
+
+    def test_spawning_from_generator(self):
+        children = spawn_rng(np.random.default_rng(0), 3)
+        assert len(children) == 3

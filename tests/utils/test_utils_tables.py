@@ -1,0 +1,44 @@
+"""Tests for repro.utils.tables."""
+
+import pytest
+
+from repro.utils.tables import render_table
+
+
+class TestRenderTable:
+    def test_basic_structure(self):
+        out = render_table(("a", "b"), [[1, 2], [3, 4]])
+        lines = out.splitlines()
+        assert lines[0].startswith("+")
+        assert "| a" in lines[1]
+        assert len(lines) == 6  # sep, header, sep, 2 rows, sep
+
+    def test_title_prepended(self):
+        out = render_table(("a",), [[1]], title="My Table")
+        assert out.splitlines()[0] == "My Table"
+
+    def test_float_formatting(self):
+        out = render_table(("x",), [[3.14159]], float_fmt=".2f")
+        assert "3.14" in out
+        assert "3.142" not in out
+
+    def test_ints_not_float_formatted(self):
+        out = render_table(("x",), [[7]])
+        assert "| 7" in out
+
+    def test_column_count_mismatch(self):
+        with pytest.raises(ValueError, match="cells"):
+            render_table(("a", "b"), [[1]])
+
+    def test_empty_rows_ok(self):
+        out = render_table(("alpha", "beta"), [])
+        assert "alpha" in out
+
+    def test_column_alignment(self):
+        out = render_table(("name", "v"), [["x", 1], ["longer", 2]])
+        lines = [l for l in out.splitlines() if l.startswith("|")]
+        assert len({len(l) for l in lines}) == 1  # all rows equal width
+
+    def test_strings_pass_through(self):
+        out = render_table(("s",), [["hello"]])
+        assert "hello" in out

@@ -1,0 +1,57 @@
+"""Tests for repro.utils.timing."""
+
+import time
+
+import pytest
+
+from repro.utils.timing import Timer
+
+
+class TestTimer:
+    def test_measures_elapsed(self):
+        with Timer() as t:
+            time.sleep(0.01)
+        assert t.elapsed >= 0.01
+
+    def test_elapsed_frozen_after_exit(self):
+        with Timer() as t:
+            pass
+        first = t.elapsed
+        time.sleep(0.005)
+        assert t.elapsed == first
+
+    def test_elapsed_live_while_running(self):
+        t = Timer()
+        with t:
+            first = t.elapsed
+            time.sleep(0.005)
+            second = t.elapsed
+        assert second > first
+
+    def test_running_flag(self):
+        t = Timer()
+        with t:
+            assert t.running
+        assert not t.running
+
+    def test_unstarted_raises(self):
+        with pytest.raises(RuntimeError):
+            Timer().elapsed
+
+    def test_reusable(self):
+        t = Timer()
+        with t:
+            pass
+        e1 = t.elapsed
+        with t:
+            time.sleep(0.005)
+        assert t.elapsed >= 0.005
+        assert t.elapsed != e1
+
+    def test_exception_still_records(self):
+        t = Timer()
+        with pytest.raises(ValueError):
+            with t:
+                raise ValueError("boom")
+        assert t.elapsed >= 0.0
+        assert not t.running

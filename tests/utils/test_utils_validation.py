@@ -1,0 +1,94 @@
+"""Tests for repro.utils.validation."""
+
+import numpy as np
+import pytest
+
+from repro.utils.validation import (
+    check_array,
+    check_consistent_length,
+    check_is_fitted,
+    check_X_y,
+)
+
+
+class TestCheckArray:
+    def test_coerces_lists(self):
+        arr = check_array([[1, 2], [3, 4]])
+        assert arr.dtype == np.float64
+        assert arr.shape == (2, 2)
+
+    def test_contiguous(self):
+        base = np.arange(12.0).reshape(3, 4)
+        arr = check_array(base[:, ::2])
+        assert arr.flags["C_CONTIGUOUS"]
+
+    def test_wrong_ndim_rejected(self):
+        with pytest.raises(ValueError, match="must be 2-D"):
+            check_array([1.0, 2.0])
+
+    def test_1d_mode(self):
+        arr = check_array([1.0, 2.0], ndim=1)
+        assert arr.shape == (2,)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError, match="no samples"):
+            check_array(np.empty((0, 3)))
+
+    def test_empty_allowed_when_opted_in(self):
+        arr = check_array(np.empty((0, 3)), allow_empty=True)
+        assert arr.shape == (0, 3)
+
+    def test_nan_rejected(self):
+        with pytest.raises(ValueError, match="NaN or infinite"):
+            check_array([[np.nan, 1.0]])
+
+    def test_inf_rejected(self):
+        with pytest.raises(ValueError, match="NaN or infinite"):
+            check_array([[np.inf, 1.0]])
+
+    def test_name_in_error(self):
+        with pytest.raises(ValueError, match="zork"):
+            check_array(np.empty((0,)), ndim=1, name="zork")
+
+
+class TestCheckConsistentLength:
+    def test_accepts_equal(self):
+        check_consistent_length(np.zeros((3, 2)), np.zeros(3))
+
+    def test_rejects_unequal(self):
+        with pytest.raises(ValueError, match="inconsistent"):
+            check_consistent_length(np.zeros((3, 2)), np.zeros(4))
+
+
+class TestCheckXy:
+    def test_valid_pair(self):
+        X, y = check_X_y([[1.0, 2.0], [3.0, 4.0]], [1.0, 2.0])
+        assert X.shape == (2, 2)
+        assert y.shape == (2,)
+
+    def test_mismatched_rejected(self):
+        with pytest.raises(ValueError):
+            check_X_y([[1.0, 2.0]], [1.0, 2.0])
+
+    def test_min_samples(self):
+        with pytest.raises(ValueError, match="at least 5"):
+            check_X_y([[1.0], [2.0]], [1.0, 2.0], min_samples=5)
+
+    def test_y_must_be_1d(self):
+        with pytest.raises(ValueError):
+            check_X_y([[1.0], [2.0]], [[1.0], [2.0]])
+
+
+class TestCheckIsFitted:
+    def test_missing_attribute_raises(self):
+        class Foo:
+            coef_ = None
+
+        with pytest.raises(RuntimeError, match="not fitted"):
+            check_is_fitted(Foo(), "coef_")
+
+    def test_present_attribute_passes(self):
+        class Foo:
+            coef_ = np.ones(2)
+
+        check_is_fitted(Foo(), "coef_")
