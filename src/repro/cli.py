@@ -1,4 +1,4 @@
-"""Command-line interface: ``python -m repro <command>``.
+"""Command-line interface: ``f2pm <command>`` (or ``python -m repro``).
 
 Commands mirror the F2PM workflow:
 
@@ -9,21 +9,30 @@ select          print the Lasso regularization path (Fig. 4 / Table I)
 train           run the full F2PM workflow, print the comparison tables
 experiments     regenerate every paper table/figure (runall)
 rejuvenate      compare rejuvenation policies on a managed horizon
+obs             pretty-print a saved trace/metrics/manifest JSON file
 ==============  ========================================================
 
 Every command accepts ``--seed`` for reproducibility; campaign sizing
 flags default to the small demonstration VM so commands finish quickly.
+
+Observability flags (valid after any command): ``-v`` / ``-vv`` raise
+the log level of the ``repro`` logger hierarchy to INFO / DEBUG,
+``--trace-json PATH`` writes the command's span tree, ``--metrics-json
+PATH`` writes the metrics-registry snapshot, ``--no-obs`` disables
+tracing and metrics entirely (minimum-overhead runs).
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from dataclasses import replace
 from pathlib import Path
 
 import numpy as np
 
+from repro import obs
 from repro._version import __version__
 from repro.core import (
     AggregationConfig,
@@ -33,8 +42,12 @@ from repro.core import (
     LassoFeatureSelector,
     aggregate_history,
 )
+from repro.obs import configure_logging, get_logger, get_metrics, get_tracer, kv
+from repro.obs.trace import Span
 from repro.system import CampaignConfig, MachineConfig, TestbedSimulator
 from repro.utils.tables import render_table
+
+_log = get_logger("cli")
 
 
 def demo_machine() -> MachineConfig:
@@ -64,9 +77,15 @@ def demo_campaign(n_runs: int, seed: int) -> CampaignConfig:
 
 def _load_history(path: str) -> DataHistory:
     file = Path(path)
+    _log.info("loading history %s", kv(path=str(file.resolve())))
     if not file.exists():
         raise SystemExit(f"error: history file not found: {path}")
-    return DataHistory.load(file)
+    try:
+        return DataHistory.load(file)
+    except Exception as exc:
+        raise SystemExit(
+            f"error: could not load history {path}: {exc}"
+        ) from exc
 
 
 # -- commands --------------------------------------------------------------------
@@ -156,6 +175,17 @@ def cmd_train(args: argparse.Namespace) -> int:
             metadata={"model": best.name, "s_mae": best.s_mae},
         )
         print(f"saved best model ({best.name}) to {path}")
+    manifest_target = args.manifest
+    if manifest_target is None and (args.report or args.save_model):
+        # Default: provenance lands next to whichever output was written.
+        from repro.obs import manifest_path_for
+
+        manifest_target = manifest_path_for(args.report or args.save_model)
+    if manifest_target:
+        from repro.obs import write_manifest
+
+        path = write_manifest(result.manifest(), manifest_target)
+        print(f"wrote manifest to {path}")
     return 0
 
 
@@ -200,6 +230,84 @@ def cmd_experiments(args: argparse.Namespace) -> int:
     from repro.experiments.runall import main as runall_main
 
     runall_main()
+    return 0
+
+
+def cmd_obs(args: argparse.Namespace) -> int:
+    """Pretty-print a saved observability document.
+
+    Accepts any of the three JSON layouts the pipeline emits — a trace
+    (``--trace-json``), a metrics snapshot (``--metrics-json``) or a run
+    manifest — and renders the human view: the indented span tree and/or
+    the metric tables.
+    """
+    file = Path(args.file)
+    if not file.exists():
+        raise SystemExit(f"error: file not found: {args.file}")
+    try:
+        doc = json.loads(file.read_text())
+    except (OSError, ValueError) as exc:
+        raise SystemExit(f"error: could not parse {args.file}: {exc}") from exc
+    if not isinstance(doc, dict):
+        raise SystemExit(f"error: {args.file} is not an observability document")
+
+    printed = False
+    if "schema" in doc:  # manifest
+        pkg = doc.get("package", {})
+        print(
+            f"manifest: kind={doc.get('kind', '?')} "
+            f"package={pkg.get('name', '?')}-{pkg.get('version', '?')} "
+            f"python={doc.get('python', '?')}"
+        )
+        printed = True
+    trees = []
+    if "trace" in doc and doc["trace"]:
+        trees = [doc["trace"]]
+    elif "spans" in doc:
+        trees = doc["spans"]
+    if trees:
+        print("\n".join(Span.from_dict(t).render() for t in trees))
+        printed = True
+    metrics_doc = doc.get("metrics", doc if "counters" in doc else None)
+    if metrics_doc:
+        for section in ("counters", "gauges"):
+            values = metrics_doc.get(section)
+            if values:
+                print(
+                    render_table(
+                        ("name", "value"),
+                        [[k, v] for k, v in values.items()],
+                        title=section,
+                    )
+                )
+                printed = True
+        histograms = metrics_doc.get("histograms")
+        if histograms:
+            rows = [
+                [
+                    name,
+                    h.get("count", 0),
+                    h.get("mean", 0.0),
+                    h.get("min", 0.0),
+                    h.get("p50", 0.0),
+                    h.get("p99", 0.0),
+                    h.get("max", 0.0),
+                ]
+                for name, h in histograms.items()
+            ]
+            print(
+                render_table(
+                    ("histogram", "count", "mean", "min", "p50", "p99", "max"),
+                    rows,
+                    title="histograms",
+                    float_fmt=".6g",
+                )
+            )
+            printed = True
+    if not printed:
+        raise SystemExit(
+            f"error: {args.file} contains neither a trace, metrics, nor a manifest"
+        )
     return 0
 
 
@@ -260,32 +368,66 @@ def cmd_rejuvenate(args: argparse.Namespace) -> int:
 
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
-        prog="repro",
+        prog="f2pm",
         description="F2PM: failure-prediction-model framework (IPDPS-W 2015 reproduction)",
     )
     parser.add_argument("--version", action="version", version=__version__)
+
+    # Observability flags, valid after every subcommand (``f2pm train h.npz
+    # -v --trace-json t.json``); a parent parser gives each subparser the
+    # same group without repeating it.
+    obs_parent = argparse.ArgumentParser(add_help=False)
+    group = obs_parent.add_argument_group("observability")
+    group.add_argument(
+        "-v",
+        "--verbose",
+        action="count",
+        default=0,
+        help="-v: phase-level INFO events; -vv: DEBUG firehose",
+    )
+    group.add_argument(
+        "--trace-json",
+        metavar="PATH",
+        default=None,
+        help="write the command's span tree as JSON",
+    )
+    group.add_argument(
+        "--metrics-json",
+        metavar="PATH",
+        default=None,
+        help="write the metrics-registry snapshot as JSON",
+    )
+    group.add_argument(
+        "--no-obs",
+        action="store_true",
+        help="disable tracing and metrics for this command",
+    )
+
     sub = parser.add_subparsers(dest="command", required=True)
 
-    p = sub.add_parser("simulate", help="run a monitoring campaign")
+    def add_parser(name: str, **kwargs):
+        return sub.add_parser(name, parents=[obs_parent], **kwargs)
+
+    p = add_parser("simulate", help="run a monitoring campaign")
     p.add_argument("-o", "--output", default="history.npz")
     p.add_argument("--runs", type=int, default=8)
     p.add_argument("--browsers", type=int, default=None)
     p.add_argument("--seed", type=int, default=0)
     p.set_defaults(func=cmd_simulate)
 
-    p = sub.add_parser("aggregate", help="aggregate a history into a training set")
+    p = add_parser("aggregate", help="aggregate a history into a training set")
     p.add_argument("history")
     p.add_argument("-o", "--output", default="dataset.npz")
     p.add_argument("--window", type=float, default=20.0)
     p.set_defaults(func=cmd_aggregate)
 
-    p = sub.add_parser("select", help="print the Lasso regularization path")
+    p = add_parser("select", help="print the Lasso regularization path")
     p.add_argument("history")
     p.add_argument("--window", type=float, default=20.0)
     p.add_argument("--min-features", type=int, default=6)
     p.set_defaults(func=cmd_select)
 
-    p = sub.add_parser("train", help="run the full F2PM workflow")
+    p = add_parser("train", help="run the full F2PM workflow")
     p.add_argument("history")
     p.add_argument("--window", type=float, default=20.0)
     p.add_argument("--models", default="linear,m5p,reptree,svm2")
@@ -296,38 +438,66 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument(
         "--save-model", default=None, help="persist the best fitted model here"
     )
+    p.add_argument(
+        "--manifest",
+        default=None,
+        help="write the run manifest here (defaults to beside --report/--save-model)",
+    )
     p.set_defaults(func=cmd_train)
 
-    p = sub.add_parser("ingest", help="ingest a directory of CSV run traces")
+    p = add_parser("ingest", help="ingest a directory of CSV run traces")
     p.add_argument("directory")
     p.add_argument("-o", "--output", default="history.npz")
     p.add_argument("--pattern", default="*.csv")
     p.add_argument("--rt-column", default=None)
     p.set_defaults(func=cmd_ingest)
 
-    p = sub.add_parser("predict", help="apply a saved model to a history")
+    p = add_parser("predict", help="apply a saved model to a history")
     p.add_argument("model")
     p.add_argument("history")
     p.add_argument("--window", type=float, default=20.0)
     p.add_argument("--limit", type=int, default=10)
     p.set_defaults(func=cmd_predict)
 
-    p = sub.add_parser("experiments", help="regenerate all paper tables/figures")
+    p = add_parser("experiments", help="regenerate all paper tables/figures")
     p.set_defaults(func=cmd_experiments)
 
-    p = sub.add_parser("rejuvenate", help="compare rejuvenation policies")
+    p = add_parser("rejuvenate", help="compare rejuvenation policies")
     p.add_argument("--runs", type=int, default=8)
     p.add_argument("--horizon", type=float, default=10_000.0)
     p.add_argument("--window", type=float, default=20.0)
     p.add_argument("--seed", type=int, default=0)
     p.set_defaults(func=cmd_rejuvenate)
 
+    p = add_parser("obs", help="pretty-print a saved trace/metrics/manifest")
+    p.add_argument("file", help="JSON written by --trace-json/--metrics-json/--manifest")
+    p.set_defaults(func=cmd_obs)
+
     return parser
 
 
 def main(argv: "list[str] | None" = None) -> int:
     args = build_parser().parse_args(argv)
-    return args.func(args)
+    configure_logging(getattr(args, "verbose", 0))
+    was_enabled = obs.enabled()
+    # Fresh measurement window per CLI invocation, so the exported
+    # trace/metrics describe exactly this command (and nothing leaks
+    # into a --no-obs export from earlier work in this process).
+    obs.reset()
+    if getattr(args, "no_obs", False):
+        obs.disable()
+    try:
+        rc = args.func(args)
+        if getattr(args, "trace_json", None):
+            Path(args.trace_json).write_text(get_tracer().to_json() + "\n")
+            print(f"wrote trace to {args.trace_json}", file=sys.stderr)
+        if getattr(args, "metrics_json", None):
+            Path(args.metrics_json).write_text(get_metrics().to_json() + "\n")
+            print(f"wrote metrics to {args.metrics_json}", file=sys.stderr)
+    finally:
+        if getattr(args, "no_obs", False) and was_enabled:
+            obs.enable()
+    return rc
 
 
 if __name__ == "__main__":

@@ -24,7 +24,10 @@ from repro.ml.metrics import (
     relative_absolute_error,
     soft_mean_absolute_error,
 )
+from repro.obs import get_logger, get_metrics, kv, span
 from repro.utils.timing import Timer
+
+_log = get_logger("core.evaluation")
 
 
 @dataclass(frozen=True)
@@ -105,14 +108,35 @@ def evaluate_model(
     """
     if train.feature_names != validation.feature_names:
         raise ValueError("train/validation feature sets differ")
-    with Timer() as t_train:
-        model.fit(train.X, train.y)
-    with Timer() as t_val:
-        pred = model.predict(validation.X)
-        mae = mean_absolute_error(validation.y, pred)
-        rae = relative_absolute_error(validation.y, pred)
-        max_ae = max_absolute_error(validation.y, pred)
-        s_mae = soft_mean_absolute_error(validation.y, pred, smae_threshold)
+    metrics = get_metrics()
+    with span("evaluate", model=name, feature_set=feature_set) as sp:
+        with span("train"), Timer() as t_train:
+            model.fit(train.X, train.y)
+        with span("validate"), Timer() as t_val:
+            pred = model.predict(validation.X)
+            mae = mean_absolute_error(validation.y, pred)
+            rae = relative_absolute_error(validation.y, pred)
+            max_ae = max_absolute_error(validation.y, pred)
+            s_mae = soft_mean_absolute_error(validation.y, pred, smae_threshold)
+        sp.set(
+            n_train=train.n_samples,
+            n_validation=validation.n_samples,
+            n_features=train.n_features,
+            s_mae=float(s_mae),
+        )
+    metrics.observe(f"model.fit_seconds.{name}", t_train.elapsed)
+    metrics.observe(f"model.predict_seconds.{name}", t_val.elapsed)
+    _log.info(
+        "model evaluated %s",
+        kv(
+            model=name,
+            feature_set=feature_set,
+            mae=float(mae),
+            s_mae=float(s_mae),
+            train_s=t_train.elapsed,
+            validate_s=t_val.elapsed,
+        ),
+    )
     report = ModelReport(
         name=name,
         feature_set=feature_set,

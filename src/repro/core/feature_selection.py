@@ -19,6 +19,9 @@ import numpy as np
 
 from repro.core.dataset import TrainingSet
 from repro.ml.lasso import lasso_path
+from repro.obs import get_logger, kv, span
+
+_log = get_logger("core.feature_selection")
 
 
 def default_lambda_grid() -> np.ndarray:
@@ -92,22 +95,38 @@ class LassoFeatureSelector:
 
     def fit(self, dataset: TrainingSet) -> "LassoFeatureSelector":
         """Fit the full regularization path on *dataset*."""
-        coefs = lasso_path(
-            dataset.X,
-            dataset.y,
-            self.lambda_grid,
-            normalize=self.normalize,
-            max_iter=self.max_iter,
-            tol=self.tol,
-        )
-        self.results_ = [
-            SelectionResult(
-                lam=float(lam),
-                feature_names=dataset.feature_names,
-                weights=coefs[i],
+        with span(
+            "lasso_path",
+            n_lambdas=int(self.lambda_grid.size),
+            n_samples=dataset.n_samples,
+            n_features=dataset.n_features,
+        ) as sp:
+            coefs = lasso_path(
+                dataset.X,
+                dataset.y,
+                self.lambda_grid,
+                normalize=self.normalize,
+                max_iter=self.max_iter,
+                tol=self.tol,
             )
-            for i, lam in enumerate(self.lambda_grid)
-        ]
+            self.results_ = [
+                SelectionResult(
+                    lam=float(lam),
+                    feature_names=dataset.feature_names,
+                    weights=coefs[i],
+                )
+                for i, lam in enumerate(self.lambda_grid)
+            ]
+            sp.set(nonzero_max=max(r.n_selected for r in self.results_))
+        _log.info(
+            "lasso path fitted %s",
+            kv(
+                n_lambdas=int(self.lambda_grid.size),
+                n_samples=dataset.n_samples,
+                n_features=dataset.n_features,
+                counts=",".join(str(r.n_selected) for r in self.results_),
+            ),
+        )
         return self
 
     def _require_fit(self) -> list[SelectionResult]:

@@ -27,8 +27,12 @@ from repro.core.feature_selection import LassoFeatureSelector, SelectionResult
 from repro.core.history import DataHistory
 from repro.core.model_zoo import make_model
 from repro.ml.base import Regressor
+from repro.obs import get_logger, get_metrics, kv, span
+from repro.obs.trace import Span
 from repro.utils.rng import as_rng
 from repro.utils.tables import render_table
+
+_log = get_logger("core.framework")
 
 
 @dataclass(frozen=True)
@@ -73,6 +77,8 @@ class F2PMResult:
     predictions: dict[tuple[str, str], np.ndarray]
     #: validation ground truth (shared by all models)
     y_validation: np.ndarray
+    #: root span of the execution's trace (None when tracing is disabled)
+    trace: "Span | None" = None
 
     # -- lookups ---------------------------------------------------------------
 
@@ -141,6 +147,55 @@ class F2PMResult:
         """Paper Table IV analogue."""
         return self._two_column("validation_time", "Validation time (seconds)")
 
+    # -- provenance --------------------------------------------------------------
+
+    def manifest(self) -> dict:
+        """Reproducibility manifest for this execution.
+
+        Everything needed to audit (or re-run) the execution in one JSON
+        document: the full configuration and seed, the package version,
+        the span tree with per-phase durations, the current metrics
+        snapshot and every per-model validation report. Persist it next
+        to the outputs with :func:`repro.obs.write_manifest`.
+        """
+        from repro.obs import build_manifest, get_metrics
+
+        return build_manifest(
+            "f2pm.run",
+            config=self.config,
+            seeds={"f2pm": self.config.seed},
+            trace=self.trace,
+            metrics=get_metrics().snapshot(),
+            reports=[
+                {
+                    "name": r.name,
+                    "feature_set": r.feature_set,
+                    "n_features": r.n_features,
+                    "mae": r.mae,
+                    "rae": r.rae,
+                    "max_ae": r.max_ae,
+                    "s_mae": r.s_mae,
+                    "s_mae_threshold": r.s_mae_threshold,
+                    "train_time": r.train_time,
+                    "validation_time": r.validation_time,
+                }
+                for r in self.reports
+            ],
+            extra={
+                "dataset": {
+                    "n_samples": self.dataset.n_samples,
+                    "n_features": self.dataset.n_features,
+                    "feature_names": list(self.dataset.feature_names),
+                },
+                "selection": {
+                    "lambda": self.selection.lam,
+                    "selected": list(self.selection.selected),
+                },
+                "smae_threshold": self.smae_threshold,
+                "model_names": sorted({name for name, _ in self.models}),
+            },
+        )
+
 
 class F2PM:
     """End-to-end framework driver."""
@@ -151,64 +206,108 @@ class F2PM:
     def run(self, history: DataHistory) -> F2PMResult:
         """Execute the full workflow on a monitoring history."""
         cfg = self.config
-
-        # Phase B: aggregation + added metrics + RTTF labels.
-        dataset = aggregate_history(history, cfg.aggregation)
-
-        # Phase C: Lasso regularization path.
-        grid = None if cfg.lambda_grid is None else np.asarray(cfg.lambda_grid)
-        selector = LassoFeatureSelector(grid).fit(dataset)
-        if cfg.selection_lambda is None:
-            selection = selector.strongest_with_at_least(cfg.selection_min_features)
-        else:
-            selection = selector.result_at(cfg.selection_lambda)
-        dataset_selected = dataset.select_features(selection.selected)
-
-        # Shared train/validation split: identical rows for both feature
-        # sets so errors are comparable column-to-column.
-        rng = as_rng(cfg.seed)
-        train_full, val_full = dataset.split(
-            cfg.validation_fraction, by_run=cfg.split_by_run, seed=rng
-        )
-        # Re-derive the same rows on the selected columns.
-        train_sel = train_full.select_features(selection.selected)
-        val_sel = val_full.select_features(selection.selected)
-        del dataset_selected  # the split views are what we train on
-
-        smae_threshold = resolve_smae_threshold(
-            cfg.smae_threshold, cfg.smae_threshold_frac, history.mean_run_length
-        )
-
-        # Phase D: model generation + validation.
-        reports: list[ModelReport] = []
-        models: dict[tuple[str, str], Regressor] = {}
-        predictions: dict[tuple[str, str], np.ndarray] = {}
-
-        jobs: list[tuple[str, Regressor]] = [
-            (name, make_model(name)) for name in cfg.models
-        ]
-        for lam in cfg.lasso_predictor_lambdas:
-            exponent = int(round(np.log10(lam))) if lam > 0 else 0
-            jobs.append((f"lasso(1e{exponent})", make_model("lasso", lam=lam)))
-
-        for feature_set, train, val in (
-            ("all", train_full, val_full),
-            ("selected", train_sel, val_sel),
-        ):
-            for name, prototype in jobs:
-                model = _fresh(prototype)
-                report, fitted, pred = evaluate_model(
-                    name,
-                    model,
-                    train,
-                    val,
-                    smae_threshold=smae_threshold,
-                    feature_set=feature_set,
+        metrics = get_metrics()
+        root = span("f2pm.run", runs=len(history))
+        with root:
+            # Phase B: aggregation + added metrics + RTTF labels.
+            with span("aggregate") as sp:
+                dataset = aggregate_history(history, cfg.aggregation)
+                sp.set(
+                    rows_in=history.n_datapoints,
+                    rows_out=dataset.n_samples,
+                    features=dataset.n_features,
                 )
-                reports.append(report)
-                models[(name, feature_set)] = fitted
-                predictions[(name, feature_set)] = pred
+            _log.info(
+                "aggregate %s",
+                kv(
+                    rows_in=history.n_datapoints,
+                    rows_out=dataset.n_samples,
+                    features=dataset.n_features,
+                    window_s=cfg.aggregation.window_seconds,
+                ),
+            )
 
+            # Phase C: Lasso regularization path.
+            with span("select") as sp:
+                grid = (
+                    None if cfg.lambda_grid is None else np.asarray(cfg.lambda_grid)
+                )
+                selector = LassoFeatureSelector(grid).fit(dataset)
+                if cfg.selection_lambda is None:
+                    selection = selector.strongest_with_at_least(
+                        cfg.selection_min_features
+                    )
+                else:
+                    selection = selector.result_at(cfg.selection_lambda)
+                dataset_selected = dataset.select_features(selection.selected)
+                sp.set(lam=selection.lam, features_kept=selection.n_selected)
+            _log.info(
+                "select %s",
+                kv(lam=selection.lam, features_kept=selection.n_selected),
+            )
+            metrics.set_gauge("f2pm.features_selected", selection.n_selected)
+
+            # Shared train/validation split: identical rows for both feature
+            # sets so errors are comparable column-to-column.
+            with span("split") as sp:
+                rng = as_rng(cfg.seed)
+                train_full, val_full = dataset.split(
+                    cfg.validation_fraction, by_run=cfg.split_by_run, seed=rng
+                )
+                # Re-derive the same rows on the selected columns.
+                train_sel = train_full.select_features(selection.selected)
+                val_sel = val_full.select_features(selection.selected)
+                del dataset_selected  # the split views are what we train on
+                sp.set(
+                    n_train=train_full.n_samples, n_validation=val_full.n_samples
+                )
+
+            smae_threshold = resolve_smae_threshold(
+                cfg.smae_threshold, cfg.smae_threshold_frac, history.mean_run_length
+            )
+
+            # Phase D: model generation + validation.
+            reports: list[ModelReport] = []
+            models: dict[tuple[str, str], Regressor] = {}
+            predictions: dict[tuple[str, str], np.ndarray] = {}
+
+            jobs: list[tuple[str, Regressor]] = [
+                (name, make_model(name)) for name in cfg.models
+            ]
+            for lam in cfg.lasso_predictor_lambdas:
+                exponent = int(round(np.log10(lam))) if lam > 0 else 0
+                jobs.append((f"lasso(1e{exponent})", make_model("lasso", lam=lam)))
+
+            with span("train_validate", n_models=len(jobs)) as sp:
+                for feature_set, train, val in (
+                    ("all", train_full, val_full),
+                    ("selected", train_sel, val_sel),
+                ):
+                    for name, prototype in jobs:
+                        model = _fresh(prototype)
+                        report, fitted, pred = evaluate_model(
+                            name,
+                            model,
+                            train,
+                            val,
+                            smae_threshold=smae_threshold,
+                            feature_set=feature_set,
+                        )
+                        reports.append(report)
+                        models[(name, feature_set)] = fitted
+                        predictions[(name, feature_set)] = pred
+                sp.set(n_reports=len(reports))
+
+        metrics.inc("f2pm.runs_total")
+        metrics.inc("f2pm.models_trained_total", len(models))
+        _log.info(
+            "f2pm run complete %s",
+            kv(
+                models=len(models),
+                duration_s=root.duration if root else 0.0,
+                smae_threshold=smae_threshold,
+            ),
+        )
         return F2PMResult(
             config=cfg,
             dataset=dataset,
@@ -219,6 +318,7 @@ class F2PM:
             models=models,
             predictions=predictions,
             y_validation=val_full.y,
+            trace=root if isinstance(root, Span) else None,
         )
 
 

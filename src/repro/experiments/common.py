@@ -22,7 +22,10 @@ from repro.core import (
     F2PMConfig,
     F2PMResult,
 )
+from repro.obs import build_manifest, get_logger, get_metrics, kv, write_manifest
 from repro.system import CampaignConfig, TestbedSimulator
+
+_log = get_logger("experiments.common")
 
 #: The campaign every experiment shares (the "one-week trace").
 DEFAULT_CAMPAIGN = CampaignConfig(n_runs=20, seed=7)
@@ -95,3 +98,53 @@ def run_f2pm_cached(history: DataHistory | None = None) -> F2PMResult:
     if key not in _F2PM_MEMO:
         _F2PM_MEMO[key] = F2PM(default_f2pm_config()).run(history)
     return _F2PM_MEMO[key]
+
+
+# -- manifests ---------------------------------------------------------------------
+
+
+def driver_manifest(
+    driver: str,
+    f2pm_result: "F2PMResult | None" = None,
+    *,
+    extra: "dict | None" = None,
+) -> dict:
+    """Manifest for one experiment driver run.
+
+    Wraps :func:`repro.obs.build_manifest` with the experiment naming
+    convention: the F2PM execution behind the artefact (config, seed,
+    trace, per-model reports) when the driver has one, the current
+    metrics snapshot, and any driver-specific payload in *extra*.
+    """
+    kwargs: dict = {"metrics": get_metrics().snapshot(), "extra": extra}
+    if f2pm_result is not None:
+        kwargs["config"] = f2pm_result.config
+        kwargs["seeds"] = {"f2pm": f2pm_result.config.seed}
+        kwargs["trace"] = f2pm_result.trace
+        kwargs["reports"] = [
+            {
+                "name": r.name,
+                "feature_set": r.feature_set,
+                "s_mae": r.s_mae,
+                "mae": r.mae,
+                "train_time": r.train_time,
+                "validation_time": r.validation_time,
+            }
+            for r in f2pm_result.reports
+        ]
+    return build_manifest(f"experiment.{driver}", **kwargs)
+
+
+def write_driver_manifest(
+    driver: str, manifest: dict, directory: "Path | str | None" = None
+) -> Path:
+    """Persist a driver manifest next to the campaign outputs.
+
+    Defaults to the experiment cache directory (where the shared
+    campaign ``.npz`` lives), so every artefact's provenance sits beside
+    the data it was derived from.
+    """
+    target = Path(directory) if directory is not None else cache_dir()
+    path = write_manifest(manifest, target / f"{driver}.manifest.json")
+    _log.info("manifest written %s", kv(driver=driver, path=str(path)))
+    return path

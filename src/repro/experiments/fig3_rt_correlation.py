@@ -58,6 +58,21 @@ class Fig3Result:
             float_fmt=".3f",
         )
 
+    def manifest(self) -> dict:
+        """Provenance manifest for the Fig. 3 artefact."""
+        from repro.experiments.common import driver_manifest
+
+        return driver_manifest(
+            "fig3_rt_correlation",
+            extra={
+                "slope": self.slope,
+                "intercept": self.intercept,
+                "r2": self.r2,
+                "mae": self.mae,
+                "n_points": int(self.series.time.size),
+            },
+        )
+
 
 def run(history: DataHistory | None = None, verbose: bool = True) -> Fig3Result:
     """Fit the correlation on the campaign's first run and report it."""

@@ -36,6 +36,18 @@ class Fig4Result:
             title="Fig. 4 — Parameters selected by Lasso",
         )
 
+    def manifest(self) -> dict:
+        """Provenance manifest for the Fig. 4 artefact."""
+        from repro.experiments.common import driver_manifest
+
+        return driver_manifest(
+            "fig4_lasso_path",
+            extra={
+                "lambdas": [float(lam) for lam in self.lambdas],
+                "counts": [int(c) for c in self.counts],
+            },
+        )
+
 
 def run(history: DataHistory | None = None, verbose: bool = True) -> Fig4Result:
     if history is None:

@@ -67,6 +67,26 @@ class Fig5Result:
             title="Fig. 5 — prediction error vs distance from failure",
         )
 
+    def manifest(self) -> dict:
+        """Provenance manifest for the Fig. 5 artefact."""
+        from repro.experiments.common import driver_manifest
+
+        return driver_manifest(
+            "fig5_fitted_models",
+            self.result,
+            extra={
+                "bins": {
+                    name: {
+                        "mae_near": b.mae_near,
+                        "mae_mid": b.mae_mid,
+                        "mae_far": b.mae_far,
+                        "bias_far": b.bias_far,
+                    }
+                    for name, b in self.bins.items()
+                }
+            },
+        )
+
 
 def _bin_errors(name: str, y_true: np.ndarray, y_pred: np.ndarray) -> ModelBins:
     edges = np.quantile(y_true, [1.0 / 3.0, 2.0 / 3.0])

@@ -3,9 +3,18 @@
 Usage::
 
     python -m repro.experiments.runall
+
+Besides the tables/figures, a full reproduction emits one consolidated
+telemetry bundle — a manifest with the span tree of the whole session
+(one child per driver), the final metrics snapshot and the per-driver
+manifests — written next to the cached campaign (``runall.telemetry.json``
+under the experiment cache directory, see
+:func:`repro.experiments.common.cache_dir`).
 """
 
 from __future__ import annotations
+
+from pathlib import Path
 
 from repro.experiments import common
 from repro.experiments import (
@@ -20,35 +29,61 @@ from repro.experiments import (
     table3_training_time,
     table4_validation_time,
 )
+from repro.obs import build_manifest, get_metrics, get_tracer, span, write_manifest
 
 
-def main() -> None:
-    history = common.default_history()
-    print(
-        f"campaign: {len(history)} runs, {history.n_datapoints} datapoints, "
-        f"mean run length {history.mean_run_length:.0f}s\n"
-    )
-    for driver in (
-        fig3_rt_correlation,
-        fig4_lasso_path,
-        table1_weights,
-        table2_smae,
-        table3_training_time,
-        table4_validation_time,
-        fig5_fitted_models,
-        ext_rejuvenation_sweep,
-    ):
-        print(f"==== {driver.__name__.rsplit('.', 1)[-1]} ====")
-        driver.run(history)
+def main(telemetry_dir: "Path | str | None" = None) -> Path:
+    """Run every driver; returns the telemetry-bundle path."""
+    tracer = get_tracer()
+    metrics = get_metrics()
+    driver_manifests: dict[str, dict] = {}
+
+    root = span("experiments.runall")
+    with root:
+        with span("campaign"):
+            history = common.default_history()
+        print(
+            f"campaign: {len(history)} runs, {history.n_datapoints} datapoints, "
+            f"mean run length {history.mean_run_length:.0f}s\n"
+        )
+        for driver in (
+            fig3_rt_correlation,
+            fig4_lasso_path,
+            table1_weights,
+            table2_smae,
+            table3_training_time,
+            table4_validation_time,
+            fig5_fitted_models,
+            ext_rejuvenation_sweep,
+        ):
+            name = driver.__name__.rsplit(".", 1)[-1]
+            print(f"==== {name} ====")
+            with span(name):
+                result = driver.run(history)
+            if hasattr(result, "manifest"):
+                driver_manifests[name] = result.manifest()
+            print()
+
+        # These extensions own their simulations (campaign config, not history).
+        print("==== ext_incremental_curve ====")
+        with span("ext_incremental_curve"):
+            ext_incremental_curve.run(batch_runs=4, max_runs=12)
+        print()
+        print("==== ext_mix_comparison ====")
+        with span("ext_mix_comparison"):
+            ext_mix_comparison.run(n_runs=6)
         print()
 
-    # These extensions own their simulations (campaign config, not history).
-    print("==== ext_incremental_curve ====")
-    ext_incremental_curve.run(batch_runs=4, max_runs=12)
-    print()
-    print("==== ext_mix_comparison ====")
-    ext_mix_comparison.run(n_runs=6)
-    print()
+    bundle = build_manifest(
+        "experiments.runall",
+        trace=root if tracer.enabled else None,
+        metrics=metrics.snapshot(),
+        extra={"drivers": driver_manifests},
+    )
+    target = Path(telemetry_dir) if telemetry_dir is not None else common.cache_dir()
+    path = write_manifest(bundle, target / "runall.telemetry.json")
+    print(f"telemetry bundle -> {path}")
+    return path
 
 
 if __name__ == "__main__":

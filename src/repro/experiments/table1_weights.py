@@ -41,6 +41,21 @@ class Table1Result:
             title=f"Table I — weights at lambda = {self.selection.lam:.0e}",
         )
 
+    def manifest(self) -> dict:
+        """Provenance manifest for the Table I artefact."""
+        from repro.experiments.common import driver_manifest
+
+        return driver_manifest(
+            "table1_weights",
+            extra={
+                "lambda": self.selection.lam,
+                "weights": {
+                    name: w for name, w in self.selection.weight_table()
+                },
+                "memory_dominated": self.memory_dominated,
+            },
+        )
+
 
 def run(
     history: DataHistory | None = None,

@@ -40,6 +40,16 @@ class Table2Result:
     def table(self) -> str:
         return self.result.smae_table()
 
+    def manifest(self) -> dict:
+        """Provenance manifest for the Table II artefact."""
+        from repro.experiments.common import driver_manifest
+
+        return driver_manifest(
+            "table2_smae",
+            self.result,
+            extra={"tree_models_best": self.tree_models_best},
+        )
+
 
 def run(history: DataHistory | None = None, verbose: bool = True) -> Table2Result:
     if history is None:

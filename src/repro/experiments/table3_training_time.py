@@ -42,6 +42,12 @@ class Table3Result:
     def table(self) -> str:
         return self.result.training_time_table()
 
+    def manifest(self) -> dict:
+        """Provenance manifest for the Table III artefact."""
+        from repro.experiments.common import driver_manifest
+
+        return driver_manifest("table3_training_time", self.result)
+
 
 def run(history: DataHistory | None = None, verbose: bool = True) -> Table3Result:
     if history is None:

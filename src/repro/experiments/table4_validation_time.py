@@ -28,6 +28,12 @@ class Table4Result:
     def table(self) -> str:
         return self.result.validation_time_table()
 
+    def manifest(self) -> dict:
+        """Provenance manifest for the Table IV artefact."""
+        from repro.experiments.common import driver_manifest
+
+        return driver_manifest("table4_validation_time", self.result)
+
 
 def run(history: DataHistory | None = None, verbose: bool = True) -> Table4Result:
     if history is None:

@@ -1,0 +1,105 @@
+"""``repro.obs`` — observability for the F2PM pipeline.
+
+Three cooperating primitives plus a packaging layer:
+
+:mod:`repro.obs.trace`
+    Nestable :func:`span` context managers building a per-run span tree
+    (durations, counters, attributes), exportable as JSON or text.
+:mod:`repro.obs.metrics`
+    Process-wide named counters / gauges / histograms with
+    ``snapshot()`` and JSON export; one-branch overhead when disabled.
+:mod:`repro.obs.logs`
+    The ``repro`` logger hierarchy, ``configure_logging(verbosity)``
+    and ``key=value`` event formatting.
+:mod:`repro.obs.manifest`
+    Run manifests — config + seeds + version + trace + metrics in one
+    JSON document persisted next to every output.
+
+The global switch
+-----------------
+
+:func:`enable` / :func:`disable` flip tracing and metrics together;
+both default to **on** (the instruments are cheap: a handful of spans
+per pipeline phase, one counter bump per datapoint). Set the
+environment variable ``F2PM_OBS=0`` to start the process with
+observability off; the instrumented code then pays a single attribute
+check per call site.
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.obs.logs import (
+    KVFormatter,
+    configure_logging,
+    get_logger,
+    kv,
+    verbosity_to_level,
+)
+from repro.obs.manifest import (
+    MANIFEST_SCHEMA,
+    build_manifest,
+    jsonable,
+    manifest_path_for,
+    read_manifest,
+    write_manifest,
+)
+from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry, get_metrics
+from repro.obs.trace import NULL_SPAN, NullSpan, Span, Tracer, get_tracer, span
+
+__all__ = [
+    "Span",
+    "NullSpan",
+    "NULL_SPAN",
+    "Tracer",
+    "get_tracer",
+    "span",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "get_metrics",
+    "configure_logging",
+    "get_logger",
+    "kv",
+    "KVFormatter",
+    "verbosity_to_level",
+    "MANIFEST_SCHEMA",
+    "build_manifest",
+    "jsonable",
+    "manifest_path_for",
+    "read_manifest",
+    "write_manifest",
+    "enable",
+    "disable",
+    "enabled",
+    "reset",
+]
+
+
+def enable() -> None:
+    """Turn tracing and metrics collection on (the default)."""
+    get_tracer().enable()
+    get_metrics().enable()
+
+
+def disable() -> None:
+    """Turn tracing and metrics off; instrumented code becomes no-ops."""
+    get_tracer().disable()
+    get_metrics().disable()
+
+
+def enabled() -> bool:
+    """True when either tracing or metrics collection is on."""
+    return get_tracer().enabled or get_metrics().enabled
+
+
+def reset() -> None:
+    """Clear all recorded spans and metrics (a fresh measurement window)."""
+    get_tracer().reset()
+    get_metrics().reset()
+
+
+if os.environ.get("F2PM_OBS", "").strip().lower() in {"0", "off", "false", "no"}:
+    disable()

@@ -1,0 +1,131 @@
+"""Run manifests: one JSON document that reproduces a result.
+
+The paper's tables and figures are only as trustworthy as the run that
+produced them. A manifest freezes everything that run depended on —
+configuration, seeds, package version — together with everything it
+measured — the span tree and the metrics snapshot — so any artefact can
+be traced back to (and re-executed from) its manifest::
+
+    {
+      "schema": "f2pm.manifest/1",
+      "kind": "f2pm.run",
+      "package": {"name": "repro", "version": "1.0.0"},
+      "python": "3.11.7",
+      "created_unix": 1754550000.0,
+      "config": {...},          # full F2PMConfig / driver parameters
+      "seeds": {"f2pm": 0},
+      "trace": {...},           # span tree (repro.obs.trace schema)
+      "metrics": {...},         # registry snapshot
+      "reports": [...]          # per-model validation reports
+    }
+
+:func:`build_manifest` assembles the document (running every value
+through :func:`jsonable`, which flattens dataclasses, numpy scalars and
+arrays), :func:`write_manifest` persists it next to the outputs it
+describes, :func:`read_manifest` loads it back.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import sys
+import time
+from pathlib import Path
+from typing import Any
+
+from repro._version import __version__
+from repro.obs.trace import NullSpan, Span
+
+#: Manifest document schema identifier (bump on breaking layout change).
+MANIFEST_SCHEMA = "f2pm.manifest/1"
+
+
+def jsonable(obj: Any) -> Any:
+    """Recursively convert *obj* into JSON-serializable plain types.
+
+    Handles dataclasses, mappings, sequences, numpy scalars/arrays,
+    paths and spans; anything else falls back to ``str``.
+    """
+    if obj is None or isinstance(obj, (bool, int, str)):
+        return obj
+    if isinstance(obj, float):
+        # NaN/Inf are not valid JSON; represent them as strings.
+        if obj != obj or obj in (float("inf"), float("-inf")):
+            return str(obj)
+        return obj
+    if isinstance(obj, (Span, NullSpan)):
+        return obj.to_dict()
+    if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
+        return {
+            f.name: jsonable(getattr(obj, f.name))
+            for f in dataclasses.fields(obj)
+        }
+    if isinstance(obj, dict):
+        return {str(k): jsonable(v) for k, v in obj.items()}
+    if isinstance(obj, (list, tuple, set, frozenset)):
+        return [jsonable(v) for v in obj]
+    if isinstance(obj, Path):
+        return str(obj)
+    # numpy scalars and arrays (avoid importing numpy here for the
+    # zero-dependency modules; duck-type on the standard conversions).
+    item = getattr(obj, "item", None)
+    if callable(item) and getattr(obj, "shape", None) == ():
+        return jsonable(obj.item())
+    tolist = getattr(obj, "tolist", None)
+    if callable(tolist):
+        return jsonable(tolist())
+    return str(obj)
+
+
+def build_manifest(
+    kind: str,
+    *,
+    config: Any = None,
+    seeds: "dict[str, Any] | None" = None,
+    trace: "Span | NullSpan | dict | None" = None,
+    metrics: "dict[str, Any] | None" = None,
+    reports: "list | None" = None,
+    extra: "dict[str, Any] | None" = None,
+) -> dict[str, Any]:
+    """Assemble a manifest document for one run of *kind*."""
+    manifest: dict[str, Any] = {
+        "schema": MANIFEST_SCHEMA,
+        "kind": kind,
+        "package": {"name": "repro", "version": __version__},
+        "python": sys.version.split()[0],
+        "created_unix": time.time(),
+    }
+    if config is not None:
+        manifest["config"] = jsonable(config)
+    if seeds is not None:
+        manifest["seeds"] = jsonable(seeds)
+    if trace is not None:
+        manifest["trace"] = jsonable(trace)
+    if metrics is not None:
+        manifest["metrics"] = jsonable(metrics)
+    if reports is not None:
+        manifest["reports"] = jsonable(reports)
+    if extra:
+        manifest.update(jsonable(extra))
+    return manifest
+
+
+def write_manifest(manifest: dict[str, Any], path: "str | Path") -> Path:
+    """Write a manifest as indented JSON; returns the resolved path."""
+    file = Path(path)
+    file.parent.mkdir(parents=True, exist_ok=True)
+    file.write_text(json.dumps(manifest, indent=2) + "\n")
+    return file
+
+
+def read_manifest(path: "str | Path") -> dict[str, Any]:
+    """Load a manifest (or any obs JSON document) from disk."""
+    return json.loads(Path(path).read_text())
+
+
+def manifest_path_for(output: "str | Path") -> Path:
+    """Conventional manifest location next to an output artefact:
+    ``report.md`` → ``report.manifest.json``."""
+    out = Path(output)
+    return out.with_name(out.stem + ".manifest.json")

@@ -1,0 +1,204 @@
+"""Process-wide metrics registry: named counters, gauges, histograms.
+
+The pipeline's long-lived quantities — datapoints sampled, runs
+simulated, fail events, predictions served, per-model fit/predict
+latencies — accumulate here. The registry is append-cheap by design:
+
+- instruments are created lazily on first use and kept in dicts;
+- every recording call (``inc`` / ``set_gauge`` / ``observe``) starts
+  with one ``enabled`` check and returns immediately when the registry
+  is disabled, so instrumented hot paths (one counter bump per FMC
+  datapoint) cost a single attribute read when observability is off;
+- ``snapshot()`` produces a plain-dict view (JSON-ready) without
+  stopping collection, and ``reset()`` starts a fresh window.
+
+The process-wide default registry is reached via :func:`get_metrics`;
+:class:`MetricsRegistry` instances can also be created standalone for
+tests or isolated components.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from typing import Any
+
+
+class Counter:
+    """Monotonically-increasing count (events, rows, failures)."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0.0
+
+    def inc(self, n: float = 1.0) -> None:
+        if n < 0:
+            raise ValueError(f"counters only increase, got {n}")
+        self.value += n
+
+
+class Gauge:
+    """Last-write-wins instantaneous value (sizes, thresholds)."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+
+class Histogram:
+    """Distribution of observed values (latencies, durations).
+
+    Keeps exact summary statistics (count/total/min/max) plus a bounded
+    sample buffer for quantiles; past ``max_samples`` observations the
+    buffer stops growing but the summary stays exact.
+    """
+
+    __slots__ = ("count", "total", "min", "max", "_samples", "_max_samples")
+
+    def __init__(self, max_samples: int = 2048) -> None:
+        self.count = 0
+        self.total = 0.0
+        self.min = float("inf")
+        self.max = float("-inf")
+        self._samples: list[float] = []
+        self._max_samples = max_samples
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        self.count += 1
+        self.total += value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+        if len(self._samples) < self._max_samples:
+            self._samples.append(value)
+
+    def quantile(self, q: float) -> float:
+        """Empirical quantile over the retained samples."""
+        if not self._samples:
+            raise ValueError("empty histogram")
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"q must be in [0,1], got {q}")
+        ordered = sorted(self._samples)
+        idx = min(len(ordered) - 1, int(round(q * (len(ordered) - 1))))
+        return ordered[idx]
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def summary(self) -> dict[str, float]:
+        """JSON-ready summary (the snapshot representation)."""
+        if self.count == 0:
+            return {"count": 0, "total": 0.0, "mean": 0.0}
+        return {
+            "count": self.count,
+            "total": self.total,
+            "mean": self.mean,
+            "min": self.min,
+            "max": self.max,
+            "p50": self.quantile(0.50),
+            "p90": self.quantile(0.90),
+            "p99": self.quantile(0.99),
+        }
+
+
+class MetricsRegistry:
+    """Named instruments with a disabled mode that costs one branch."""
+
+    def __init__(self, enabled: bool = True) -> None:
+        self._enabled = enabled
+        self._lock = threading.Lock()
+        self._counters: dict[str, Counter] = {}
+        self._gauges: dict[str, Gauge] = {}
+        self._histograms: dict[str, Histogram] = {}
+
+    # -- switch ----------------------------------------------------------------
+
+    @property
+    def enabled(self) -> bool:
+        return self._enabled
+
+    def enable(self) -> None:
+        self._enabled = True
+
+    def disable(self) -> None:
+        self._enabled = False
+
+    # -- instrument access (creates on demand) ---------------------------------
+
+    def counter(self, name: str) -> Counter:
+        c = self._counters.get(name)
+        if c is None:
+            with self._lock:
+                c = self._counters.setdefault(name, Counter())
+        return c
+
+    def gauge(self, name: str) -> Gauge:
+        g = self._gauges.get(name)
+        if g is None:
+            with self._lock:
+                g = self._gauges.setdefault(name, Gauge())
+        return g
+
+    def histogram(self, name: str) -> Histogram:
+        h = self._histograms.get(name)
+        if h is None:
+            with self._lock:
+                h = self._histograms.setdefault(name, Histogram())
+        return h
+
+    # -- recording (no-ops when disabled) --------------------------------------
+
+    def inc(self, name: str, n: float = 1.0) -> None:
+        if not self._enabled:
+            return
+        self.counter(name).inc(n)
+
+    def set_gauge(self, name: str, value: float) -> None:
+        if not self._enabled:
+            return
+        self.gauge(name).set(value)
+
+    def observe(self, name: str, value: float) -> None:
+        if not self._enabled:
+            return
+        self.histogram(name).observe(value)
+
+    # -- views -----------------------------------------------------------------
+
+    def snapshot(self) -> dict[str, Any]:
+        """Point-in-time plain-dict view of every instrument."""
+        with self._lock:
+            return {
+                "counters": {k: c.value for k, c in sorted(self._counters.items())},
+                "gauges": {k: g.value for k, g in sorted(self._gauges.items())},
+                "histograms": {
+                    k: h.summary() for k, h in sorted(self._histograms.items())
+                },
+            }
+
+    def to_json(self, indent: int = 2) -> str:
+        return json.dumps(self.snapshot(), indent=indent)
+
+    def reset(self) -> None:
+        """Drop every instrument (a fresh measurement window)."""
+        with self._lock:
+            self._counters.clear()
+            self._gauges.clear()
+            self._histograms.clear()
+
+
+#: Process-wide default registry used by all repro instrumentation.
+_DEFAULT = MetricsRegistry(enabled=True)
+
+
+def get_metrics() -> MetricsRegistry:
+    """The process-wide metrics registry."""
+    return _DEFAULT

@@ -17,7 +17,10 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.core.aggregation import OnlineAggregator
+from repro.obs import get_logger, get_metrics, kv, span
 from repro.rejuvenation.policy import RejuvenationPolicy
+
+_log = get_logger("rejuvenation.controller")
 from repro.system.anomalies import AnomalyProfile
 from repro.system.failure import FailureCondition, MemoryExhaustion, SystemView
 from repro.system.monitor import FeatureMonitorClient
@@ -109,7 +112,26 @@ class ManagedSystem:
         rng = as_rng(seed if seed is not None else cfg.seed)
         log = ManagedRunLog(policy_name=self.policy.name)
         aggregator = OnlineAggregator(mcfg.window_seconds)
+        metrics = get_metrics()
+        # Entered manually so the long episode loop below keeps its
+        # indentation; the finally block guarantees the span closes.
+        run_span = span(
+            "rejuvenation.run",
+            policy=self.policy.name,
+            horizon_s=mcfg.horizon_seconds,
+        ).__enter__()
+        try:
+            return self._run_episodes(cfg, mcfg, rng, log, aggregator, metrics)
+        finally:
+            run_span.set(
+                episodes=len(log.episodes),
+                crashes=log.n_crashes,
+                rejuvenations=log.n_rejuvenations,
+                availability=log.availability,
+            ).__exit__()
 
+    def _run_episodes(self, cfg, mcfg, rng, log, aggregator, metrics) -> ManagedRunLog:
+        """Episode loop of :meth:`run` (split out for span bookkeeping)."""
         wall = 0.0  # global wall clock (uptime + downtime)
         while wall < mcfg.horizon_seconds:
             # -- boot a fresh episode ---------------------------------------
@@ -173,6 +195,17 @@ class ManagedSystem:
                     outcome=outcome,
                     predicted_rttf=predicted,
                 )
+            )
+            metrics.inc(f"rejuvenation.episodes_total.{outcome}")
+            metrics.observe("rejuvenation.episode_uptime_seconds", uptime)
+            _log.info(
+                "episode complete %s",
+                kv(
+                    policy=self.policy.name,
+                    outcome=outcome,
+                    uptime_s=uptime,
+                    predicted_rttf=-1.0 if predicted is None else predicted,
+                ),
             )
 
             if outcome == "horizon":

@@ -17,13 +17,17 @@ scheduling noise.
 
 from __future__ import annotations
 
+import logging
 from dataclasses import dataclass, field
 
 import numpy as np
 
 from repro.core.datapoint import FEATURES, Datapoint
+from repro.obs import get_logger, get_metrics, kv
 from repro.system.resources import MachineState
 from repro.utils.rng import as_rng
+
+_log = get_logger("system.monitor")
 
 
 @dataclass(frozen=True)
@@ -124,6 +128,17 @@ class FeatureMonitorClient:
         step = self.interval(utilization, state.swap_pressure, queue_delay)
         self.last_interval = step
         self.next_sample_time = now + step
+        get_metrics().inc("monitor.samples_total")
+        if _log.isEnabledFor(logging.DEBUG):
+            _log.debug(
+                "fmc sample %s",
+                kv(
+                    t=now,
+                    interval=step,
+                    utilization=utilization,
+                    swap_used_kb=state.swap_used_kb,
+                ),
+            )
         return dp
 
 
@@ -143,6 +158,7 @@ class FeatureMonitorServer:
         """Ingest one datapoint (+ the probe-measured RT ground truth)."""
         self._rows.append(datapoint.to_array())
         self._response_times.append(response_time)
+        get_metrics().inc("monitor.datapoints_total")
 
     @property
     def n_datapoints(self) -> int:

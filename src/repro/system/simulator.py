@@ -34,7 +34,10 @@ from repro.system.resources import MachineConfig, MachineState
 from repro.system.schedule import ConstantLoad, LoadSchedule
 from repro.system.server import AppServer, ServerConfig
 from repro.system.tpcw import SHOPPING_MIX, EmulatedBrowserPool, TPCWMix
+from repro.obs import get_logger, get_metrics, kv, span
 from repro.utils.rng import as_rng
+
+_log = get_logger("system.simulator")
 
 
 @dataclass(frozen=True)
@@ -186,6 +189,14 @@ class TestbedSimulator:
                 "run produced no datapoints before failing; "
                 "lower anomaly rates or the monitor interval"
             )
+        metrics = get_metrics()
+        metrics.inc("sim.runs_total")
+        metrics.inc("sim.datapoints_total", features.shape[0])
+        if crashed:
+            metrics.inc("sim.fail_events_total")
+        else:
+            metrics.inc("sim.truncated_runs_total")
+        metrics.observe("sim.run_seconds", fail_time)
         return RunRecord(
             features=features,
             fail_time=fail_time,
@@ -206,6 +217,37 @@ class TestbedSimulator:
         """Simulate ``n_runs`` restart cycles (the week-long experiment)."""
         rngs = as_rng(self.config.seed).spawn(self.config.n_runs)
         history = DataHistory()
-        for run_rng in rngs:
-            history.add_run(self.run_once(run_rng))
+        with span(
+            "simulate.campaign", runs=self.config.n_runs, seed=self.config.seed
+        ) as sp:
+            for i, run_rng in enumerate(rngs):
+                with span("simulate.run", index=i) as run_sp:
+                    record = self.run_once(run_rng)
+                    run_sp.set(
+                        datapoints=record.n_datapoints,
+                        fail_time=record.fail_time,
+                        crashed=bool(record.metadata.get("crashed", 0.0)),
+                    )
+                history.add_run(record)
+                _log.info(
+                    "run complete %s",
+                    kv(
+                        run=i,
+                        datapoints=record.n_datapoints,
+                        fail_time=record.fail_time,
+                        crashed=bool(record.metadata.get("crashed", 0.0)),
+                    ),
+                )
+            sp.set(
+                datapoints=history.n_datapoints,
+                mean_run_length=history.mean_run_length,
+            )
+        _log.info(
+            "campaign complete %s",
+            kv(
+                runs=len(history),
+                datapoints=history.n_datapoints,
+                mean_run_length=history.mean_run_length,
+            ),
+        )
         return history

@@ -1,13 +1,16 @@
 """Wall-clock timing used for the paper's Training/Validation Time metrics.
 
 Tables III and IV of the paper report the wall-clock cost of building and
-validating each model. :class:`Timer` is a tiny context manager around
-:func:`time.perf_counter` that records elapsed seconds.
+validating each model. :class:`Timer` is a tiny context manager recording
+elapsed seconds; since the observability layer landed it is a thin veneer
+over a detached :class:`repro.obs.trace.Span`, so the repository has one
+timing code path (``span`` for traced operations, ``Timer`` for bare
+measurements — both share the same clock semantics).
 """
 
 from __future__ import annotations
 
-import time
+from repro.obs.trace import Span
 
 
 class Timer:
@@ -20,32 +23,30 @@ class Timer:
         print(t.elapsed)
 
     ``elapsed`` reads as the live duration while the block is running and
-    freezes at exit, so a Timer can also be polled mid-flight.
+    freezes at exit, so a Timer can also be polled mid-flight. Re-entering
+    the context restarts the clock: the previous measurement is discarded
+    at ``__enter__`` and ``elapsed`` always refers to the most recent
+    (possibly still running) interval.
     """
 
+    __slots__ = ("_span",)
+
     def __init__(self) -> None:
-        self._start: float | None = None
-        self._elapsed: float | None = None
+        self._span = Span("timer")
 
     def __enter__(self) -> "Timer":
-        self._elapsed = None
-        self._start = time.perf_counter()
+        self._span.start()
         return self
 
     def __exit__(self, *exc_info: object) -> None:
-        assert self._start is not None
-        self._elapsed = time.perf_counter() - self._start
+        self._span.finish()
 
     @property
     def running(self) -> bool:
         """True while inside the ``with`` block."""
-        return self._start is not None and self._elapsed is None
+        return self._span.running
 
     @property
     def elapsed(self) -> float:
         """Elapsed seconds (live while running, frozen after exit)."""
-        if self._start is None:
-            raise RuntimeError("Timer was never started")
-        if self._elapsed is None:
-            return time.perf_counter() - self._start
-        return self._elapsed
+        return self._span.duration

@@ -1,0 +1,81 @@
+"""configure_logging / kv: verbosity mapping, handler hygiene, formatting."""
+
+from __future__ import annotations
+
+import io
+import logging
+
+from repro.obs.logs import (
+    ROOT_LOGGER,
+    configure_logging,
+    get_logger,
+    kv,
+    verbosity_to_level,
+)
+
+
+def _obs_handlers() -> list[logging.Handler]:
+    return [
+        h
+        for h in logging.getLogger(ROOT_LOGGER).handlers
+        if getattr(h, "_f2pm_obs_handler", False)
+    ]
+
+
+class TestKv:
+    def test_basic_pairs(self):
+        assert kv(a=1, b="x") == "a=1 b=x"
+
+    def test_float_compact(self):
+        assert kv(v=0.123456789) == "v=0.123457"
+        assert kv(v=1e6) == "v=1e+06"
+
+    def test_quoting_spaces_and_empty(self):
+        assert kv(msg="two words") == 'msg="two words"'
+        assert kv(msg="") == 'msg=""'
+
+
+class TestVerbosity:
+    def test_mapping(self):
+        assert verbosity_to_level(0) == logging.WARNING
+        assert verbosity_to_level(-3) == logging.WARNING
+        assert verbosity_to_level(1) == logging.INFO
+        assert verbosity_to_level(2) == logging.DEBUG
+        assert verbosity_to_level(7) == logging.DEBUG
+
+
+class TestConfigureLogging:
+    def test_levels_filter_events(self):
+        buf = io.StringIO()
+        configure_logging(0, stream=buf)
+        log = get_logger("core.test")
+        log.info("hidden %s", kv(a=1))
+        log.warning("shown %s", kv(b=2))
+        out = buf.getvalue()
+        assert "hidden" not in out
+        assert "WARNING repro.core.test shown b=2" in out
+
+    def test_verbose_shows_info(self):
+        buf = io.StringIO()
+        configure_logging(1, stream=buf)
+        get_logger("cli").info("event %s", kv(path="h.npz"))
+        assert "INFO repro.cli event path=h.npz" in buf.getvalue()
+
+    def test_reconfigure_replaces_handler(self):
+        configure_logging(1, stream=io.StringIO())
+        configure_logging(2, stream=io.StringIO())
+        configure_logging(0, stream=io.StringIO())
+        assert len(_obs_handlers()) == 1
+
+    def test_no_double_logging_after_reconfigure(self):
+        first = io.StringIO()
+        second = io.StringIO()
+        configure_logging(1, stream=first)
+        configure_logging(1, stream=second)
+        get_logger("x").info("once")
+        assert first.getvalue() == ""
+        assert second.getvalue().count("once") == 1
+
+    def test_get_logger_names(self):
+        assert get_logger().name == "repro"
+        assert get_logger("system.simulator").name == "repro.system.simulator"

@@ -1,0 +1,128 @@
+"""Manifests: jsonable sanitizer, build/write/read, F2PM.run integration."""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import math
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.core import F2PM, F2PMConfig
+from repro.core.aggregation import AggregationConfig
+from repro.obs import (
+    MANIFEST_SCHEMA,
+    Span,
+    build_manifest,
+    jsonable,
+    manifest_path_for,
+    read_manifest,
+    write_manifest,
+)
+
+
+class TestJsonable:
+    def test_plain_types_pass_through(self):
+        assert jsonable({"a": [1, 2.5, "x", None, True]}) == {
+            "a": [1, 2.5, "x", None, True]
+        }
+
+    def test_nan_inf_become_strings(self):
+        assert jsonable(float("nan")) == "nan"
+        assert jsonable(float("inf")) == "inf"
+        assert jsonable(math.inf * -1) == "-inf"
+
+    def test_numpy_scalars_and_arrays(self):
+        assert jsonable(np.float64(1.5)) == 1.5
+        assert jsonable(np.int32(3)) == 3
+        assert jsonable(np.array([1.0, 2.0])) == [1.0, 2.0]
+
+    def test_dataclass_and_tuple_and_path(self):
+        @dataclasses.dataclass
+        class Cfg:
+            n: int
+            names: tuple
+
+        out = jsonable({"cfg": Cfg(3, ("a", "b")), "p": Path("/tmp/x")})
+        assert out == {"cfg": {"n": 3, "names": ["a", "b"]}, "p": "/tmp/x"}
+
+    def test_span_flattens_to_dict(self):
+        with Span("s") as s:
+            pass
+        out = jsonable(s)
+        assert out["name"] == "s"
+        assert out["duration_s"] > 0
+
+    def test_fallback_to_str(self):
+        assert jsonable(object()).startswith("<object object")
+
+
+class TestBuildWriteRead:
+    def test_sections_and_round_trip(self, tmp_path):
+        doc = build_manifest(
+            "test.kind",
+            config={"seed": 1},
+            seeds={"f2pm": 1},
+            metrics={"counters": {}},
+            extra={"note": "x"},
+        )
+        assert doc["schema"] == MANIFEST_SCHEMA
+        assert doc["kind"] == "test.kind"
+        assert doc["package"]["name"] == "repro"
+        assert doc["note"] == "x"
+        path = write_manifest(doc, tmp_path / "sub" / "run.manifest.json")
+        assert path.exists()
+        assert read_manifest(path) == json.loads(json.dumps(doc))
+
+    def test_manifest_path_for(self):
+        assert manifest_path_for("out/report.md") == Path("out/report.manifest.json")
+        assert manifest_path_for("model.pkl").name == "model.manifest.json"
+
+
+class TestF2PMManifestIntegration:
+    @pytest.fixture(scope="class")
+    def result(self, history):
+        cfg = F2PMConfig(
+            aggregation=AggregationConfig(window_seconds=30.0),
+            models=("linear", "reptree"),
+            lasso_predictor_lambdas=(1e9,),
+            seed=0,
+        )
+        return F2PM(cfg).run(history)
+
+    def test_manifest_structure(self, result):
+        doc = result.manifest()
+        assert doc["schema"] == MANIFEST_SCHEMA
+        assert doc["kind"] == "f2pm.run"
+        assert doc["seeds"] == {"f2pm": 0}
+        assert doc["config"]["models"] == ["linear", "reptree"]
+        # the trained model list matches the configuration
+        assert doc["model_names"] == ["lasso(1e9)", "linear", "reptree"]
+        names = {r["name"] for r in doc["reports"]}
+        assert names == {"linear", "reptree", "lasso(1e9)"}
+        assert json.loads(json.dumps(doc))  # fully JSON-serializable
+
+    def test_span_tree_covers_phases_with_positive_durations(self, result):
+        assert result.trace is not None
+        tree = result.trace
+        assert tree.name == "f2pm.run"
+        for phase in ("aggregate", "select", "split", "train_validate"):
+            node = tree.find(phase)
+            assert node is not None, phase
+            assert node.duration > 0
+        # per-model evaluate spans nest under train_validate
+        evaluates = [n for n in tree.walk() if n.name == "evaluate"]
+        assert len(evaluates) == len(result.reports)
+        for ev in evaluates:
+            assert ev.find("train").duration > 0
+            assert ev.find("validate").duration > 0
+
+    def test_manifest_embeds_trace_and_metrics(self, result):
+        doc = result.manifest()
+        assert doc["trace"]["name"] == "f2pm.run"
+        assert doc["trace"]["duration_s"] > 0
+        hists = doc["metrics"]["histograms"]
+        assert any(k.startswith("model.fit_seconds.") for k in hists)
+        assert any(k.startswith("model.predict_seconds.") for k in hists)

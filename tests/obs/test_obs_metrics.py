@@ -1,0 +1,115 @@
+"""MetricsRegistry: instruments, snapshot, reset, disabled fast path."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
+
+
+class TestInstruments:
+    def test_counter_increments(self):
+        c = Counter()
+        c.inc()
+        c.inc(2.5)
+        assert c.value == 3.5
+
+    def test_counter_rejects_negative(self):
+        with pytest.raises(ValueError, match="only increase"):
+            Counter().inc(-1)
+
+    def test_gauge_last_write_wins(self):
+        g = Gauge()
+        g.set(3)
+        g.set(1.5)
+        assert g.value == 1.5
+
+    def test_histogram_summary(self):
+        h = Histogram()
+        for v in (1.0, 2.0, 3.0, 4.0):
+            h.observe(v)
+        s = h.summary()
+        assert s["count"] == 4
+        assert s["total"] == 10.0
+        assert s["mean"] == 2.5
+        assert s["min"] == 1.0
+        assert s["max"] == 4.0
+        assert s["p50"] == pytest.approx(3.0)
+        assert s["p99"] == 4.0
+
+    def test_histogram_empty_summary_and_quantile(self):
+        h = Histogram()
+        assert h.summary() == {"count": 0, "total": 0.0, "mean": 0.0}
+        with pytest.raises(ValueError, match="empty"):
+            h.quantile(0.5)
+
+    def test_histogram_quantile_bounds(self):
+        h = Histogram()
+        h.observe(1.0)
+        with pytest.raises(ValueError, match="q must be"):
+            h.quantile(1.5)
+
+    def test_histogram_sample_cap_keeps_summary_exact(self):
+        h = Histogram(max_samples=8)
+        for v in range(100):
+            h.observe(float(v))
+        assert h.count == 100
+        assert h.total == sum(range(100))
+        assert h.max == 99.0
+        assert len(h._samples) == 8  # buffer bounded
+
+
+class TestRegistry:
+    def test_recording_and_snapshot(self):
+        reg = MetricsRegistry()
+        reg.inc("runs", 2)
+        reg.inc("runs")
+        reg.set_gauge("features", 6)
+        reg.observe("fit_seconds", 0.5)
+        reg.observe("fit_seconds", 1.5)
+        snap = reg.snapshot()
+        assert snap["counters"] == {"runs": 3.0}
+        assert snap["gauges"] == {"features": 6.0}
+        assert snap["histograms"]["fit_seconds"]["count"] == 2
+        assert snap["histograms"]["fit_seconds"]["mean"] == 1.0
+
+    def test_snapshot_is_sorted_and_json_ready(self):
+        reg = MetricsRegistry()
+        reg.inc("z")
+        reg.inc("a")
+        snap = reg.snapshot()
+        assert list(snap["counters"]) == ["a", "z"]
+        parsed = json.loads(reg.to_json())
+        assert parsed == snap
+
+    def test_instruments_are_lazily_cached(self):
+        reg = MetricsRegistry()
+        assert reg.counter("c") is reg.counter("c")
+        assert reg.gauge("g") is reg.gauge("g")
+        assert reg.histogram("h") is reg.histogram("h")
+
+    def test_reset_clears_everything(self):
+        reg = MetricsRegistry()
+        reg.inc("c")
+        reg.set_gauge("g", 1)
+        reg.observe("h", 1)
+        reg.reset()
+        assert reg.snapshot() == {"counters": {}, "gauges": {}, "histograms": {}}
+
+    def test_disabled_mode_records_nothing(self):
+        reg = MetricsRegistry(enabled=False)
+        reg.inc("c", 10)
+        reg.set_gauge("g", 5)
+        reg.observe("h", 0.1)
+        assert reg.snapshot() == {"counters": {}, "gauges": {}, "histograms": {}}
+
+    def test_enable_disable_toggle(self):
+        reg = MetricsRegistry()
+        assert reg.enabled
+        reg.disable()
+        reg.inc("off")
+        reg.enable()
+        reg.inc("on")
+        assert reg.snapshot()["counters"] == {"on": 1.0}

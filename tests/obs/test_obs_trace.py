@@ -1,0 +1,160 @@
+"""Span/Tracer: nesting, attributes, JSON round-trip, disabled mode."""
+
+from __future__ import annotations
+
+import json
+import time
+
+import pytest
+
+from repro.obs.trace import NULL_SPAN, NullSpan, Span, Tracer
+
+
+class TestSpan:
+    def test_duration_requires_start(self):
+        s = Span("s")
+        with pytest.raises(RuntimeError, match="never started"):
+            _ = s.duration
+
+    def test_finish_requires_start(self):
+        with pytest.raises(RuntimeError, match="never started"):
+            Span("s").finish()
+
+    def test_duration_live_then_frozen(self):
+        s = Span("s").start()
+        assert s.running
+        time.sleep(0.003)
+        live = s.duration
+        assert live > 0
+        s.finish()
+        assert not s.running
+        frozen = s.duration
+        assert frozen >= live
+        time.sleep(0.002)
+        assert s.duration == frozen
+
+    def test_restart_resets_clock(self):
+        s = Span("s").start()
+        time.sleep(0.01)
+        s.finish()
+        first = s.duration
+        s.start()
+        s.finish()
+        assert s.duration < first
+
+    def test_set_chains_and_merges(self):
+        s = Span("s", {"a": 1}).set(b=2).set(a=3)
+        assert s.attributes == {"a": 3, "b": 2}
+
+    def test_child_walk_find(self):
+        root = Span("root")
+        a = root.child("a")
+        b = root.child("b")
+        leaf = a.child("leaf")
+        assert [n.name for n in root.walk()] == ["root", "a", "leaf", "b"]
+        assert root.find("leaf") is leaf
+        assert root.find("missing") is None
+        assert b.find("b") is b
+
+    def test_json_round_trip(self):
+        with Span("root", {"k": 1.5}) as root:
+            with Span("inner") as inner:
+                inner.set(rows=10)
+            root.children.append(inner)
+        data = json.loads(json.dumps(root.to_dict()))
+        back = Span.from_dict(data)
+        assert back.name == "root"
+        assert back.attributes == {"k": 1.5}
+        assert back.duration == pytest.approx(root.duration)
+        assert [c.name for c in back.children] == ["inner"]
+        assert back.children[0].attributes == {"rows": 10}
+        assert not back.running  # rebuilt trees are frozen
+
+    def test_from_dict_unstarted(self):
+        back = Span.from_dict({"name": "s", "duration_s": None})
+        with pytest.raises(RuntimeError):
+            _ = back.duration
+
+    def test_render_indents_children(self):
+        with Span("root") as root:
+            root.child("phase").start().finish().set(rows=7)
+        text = root.render()
+        lines = text.splitlines()
+        assert lines[0].startswith("root")
+        assert lines[1].startswith("  phase")
+        assert "rows=7" in lines[1]
+
+
+class TestTracer:
+    def test_nesting_builds_tree(self):
+        tracer = Tracer()
+        with tracer.span("outer") as outer:
+            assert tracer.current() is outer
+            with tracer.span("inner", step=1):
+                with tracer.span("leaf"):
+                    pass
+            with tracer.span("sibling"):
+                pass
+        assert tracer.current() is None
+        roots = tracer.roots
+        assert [s.name for s in roots] == ["outer"]
+        assert [c.name for c in roots[0].children] == ["inner", "sibling"]
+        assert roots[0].children[0].children[0].name == "leaf"
+        assert roots[0].children[0].attributes == {"step": 1}
+
+    def test_two_top_level_spans_two_roots(self):
+        tracer = Tracer()
+        with tracer.span("first"):
+            pass
+        with tracer.span("second"):
+            pass
+        assert [s.name for s in tracer.roots] == ["first", "second"]
+
+    def test_to_json_parses(self):
+        tracer = Tracer()
+        with tracer.span("run", n=3):
+            with tracer.span("phase"):
+                pass
+        doc = json.loads(tracer.to_json())
+        assert doc["spans"][0]["name"] == "run"
+        assert doc["spans"][0]["attributes"] == {"n": 3}
+        assert doc["spans"][0]["duration_s"] > 0
+        assert doc["spans"][0]["children"][0]["name"] == "phase"
+
+    def test_reset_clears_roots(self):
+        tracer = Tracer()
+        with tracer.span("run"):
+            pass
+        assert tracer.roots
+        tracer.reset()
+        assert tracer.roots == []
+
+    def test_disabled_returns_null_span(self):
+        tracer = Tracer(enabled=False)
+        s = tracer.span("anything", k=1)
+        assert s is NULL_SPAN
+        with s as inner:
+            inner.set(more=2).child("x")
+        assert tracer.roots == []
+        assert tracer.to_dict() == {"spans": []}
+
+    def test_enable_disable_toggle(self):
+        tracer = Tracer(enabled=False)
+        tracer.enable()
+        assert isinstance(tracer.span("s"), Span)
+        tracer.disable()
+        assert isinstance(tracer.span("s"), NullSpan)
+
+
+class TestNullSpan:
+    def test_is_falsy_and_inert(self):
+        assert not NULL_SPAN
+        assert NULL_SPAN.set(a=1) is NULL_SPAN
+        assert NULL_SPAN.child("c") is NULL_SPAN
+        assert NULL_SPAN.start().finish() is NULL_SPAN
+        assert NULL_SPAN.duration == 0.0
+        assert not NULL_SPAN.running
+        assert list(NULL_SPAN.walk()) == []
+        assert NULL_SPAN.find("x") is None
+        assert NULL_SPAN.render() == ""
+        assert NULL_SPAN.to_dict() == {}

@@ -1,5 +1,7 @@
 """Tests for the command-line interface (repro.cli)."""
 
+import json
+
 import numpy as np
 import pytest
 
@@ -60,6 +62,12 @@ class TestAggregate:
     def test_missing_history_errors(self, tmp_path):
         with pytest.raises(SystemExit, match="not found"):
             main(["aggregate", str(tmp_path / "nope.npz")])
+
+    def test_corrupt_history_one_line_error(self, tmp_path):
+        bad = tmp_path / "bad.npz"
+        bad.write_text("this is not an npz archive")
+        with pytest.raises(SystemExit, match="could not load history"):
+            main(["aggregate", str(bad)])
 
 
 class TestSelect:
@@ -168,6 +176,152 @@ class TestPredict:
         save_model(model, model_file, feature_names=["a", "b"])
         with pytest.raises(ValueError, match="schema mismatch"):
             main(["predict", str(model_file), str(hist_file), "--window", "30"])
+
+
+class TestObservability:
+    def test_train_writes_trace_and_metrics_json(self, tmp_path, history_file, capsys):
+        trace_file = tmp_path / "t.json"
+        metrics_file = tmp_path / "m.json"
+        rc = main(
+            [
+                "train",
+                history_file,
+                "--window",
+                "30",
+                "--models",
+                "linear",
+                "--trace-json",
+                str(trace_file),
+                "--metrics-json",
+                str(metrics_file),
+            ]
+        )
+        assert rc == 0
+        trace = json.loads(trace_file.read_text())
+        root = trace["spans"][0]
+        assert root["name"] == "f2pm.run"
+        names = set()
+
+        def collect(node):
+            names.add(node["name"])
+            assert node["duration_s"] > 0
+            for child in node["children"]:
+                collect(child)
+
+        collect(root)
+        assert {"aggregate", "select", "train", "validate"} <= names
+        metrics = json.loads(metrics_file.read_text())
+        assert metrics["counters"]["f2pm.runs_total"] >= 1
+        assert any(
+            k.startswith("model.fit_seconds.") for k in metrics["histograms"]
+        )
+        assert any(
+            k.startswith("model.predict_seconds.") for k in metrics["histograms"]
+        )
+
+    def test_train_writes_manifest(self, tmp_path, history_file, capsys):
+        manifest_file = tmp_path / "run.manifest.json"
+        rc = main(
+            [
+                "train",
+                history_file,
+                "--window",
+                "30",
+                "--models",
+                "linear",
+                "--manifest",
+                str(manifest_file),
+            ]
+        )
+        assert rc == 0
+        doc = json.loads(manifest_file.read_text())
+        assert doc["schema"] == "f2pm.manifest/1"
+        assert doc["kind"] == "f2pm.run"
+        assert doc["trace"]["name"] == "f2pm.run"
+        assert {r["name"] for r in doc["reports"]} >= {"linear"}
+
+    def test_no_obs_leaves_trace_empty(self, tmp_path, history_file, capsys):
+        trace_file = tmp_path / "t.json"
+        rc = main(
+            [
+                "train",
+                history_file,
+                "--window",
+                "30",
+                "--models",
+                "linear",
+                "--no-obs",
+                "--trace-json",
+                str(trace_file),
+            ]
+        )
+        assert rc == 0
+        assert json.loads(trace_file.read_text()) == {"spans": []}
+        # the switch is restored for later invocations in this process
+        from repro import obs
+
+        assert obs.enabled()
+
+    def test_verbose_logs_phases_to_stderr(self, history_file, capsys):
+        rc = main(
+            ["train", history_file, "--window", "30", "--models", "linear", "-v"]
+        )
+        assert rc == 0
+        err = capsys.readouterr().err
+        assert "INFO repro.core.framework" in err
+        assert "aggregate rows_in=" in err
+
+    def test_obs_renders_trace_file(self, tmp_path, history_file, capsys):
+        trace_file = tmp_path / "t.json"
+        main(
+            [
+                "train",
+                history_file,
+                "--window",
+                "30",
+                "--models",
+                "linear",
+                "--trace-json",
+                str(trace_file),
+            ]
+        )
+        capsys.readouterr()
+        rc = main(["obs", str(trace_file)])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "f2pm.run" in out
+        assert "aggregate" in out
+
+    def test_obs_renders_metrics_file(self, tmp_path, history_file, capsys):
+        metrics_file = tmp_path / "m.json"
+        main(
+            [
+                "train",
+                history_file,
+                "--window",
+                "30",
+                "--models",
+                "linear",
+                "--metrics-json",
+                str(metrics_file),
+            ]
+        )
+        capsys.readouterr()
+        rc = main(["obs", str(metrics_file)])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "counters" in out
+        assert "f2pm.runs_total" in out
+
+    def test_obs_missing_file_errors(self, tmp_path):
+        with pytest.raises(SystemExit, match="not found"):
+            main(["obs", str(tmp_path / "nope.json")])
+
+    def test_obs_unparseable_file_errors(self, tmp_path):
+        bad = tmp_path / "bad.json"
+        bad.write_text("{not json")
+        with pytest.raises(SystemExit, match="could not parse"):
+            main(["obs", str(bad)])
 
 
 class TestRejuvenate:
