@@ -14,6 +14,10 @@ obs             pretty-print a saved trace/metrics/manifest JSON file
 
 Every command accepts ``--seed`` for reproducibility; campaign sizing
 flags default to the small demonstration VM so commands finish quickly.
+The commands that simulate campaigns or train model grids (simulate,
+train, experiments, rejuvenate) accept ``--jobs N`` (default: all
+cores) to fan the work out to worker processes — outputs are identical
+for any worker count (see ``docs/PARALLELISM.md``).
 
 Observability flags (valid after any command): ``-v`` / ``-vv`` raise
 the log level of the ``repro`` logger hierarchy to INFO / DEBUG,
@@ -44,6 +48,7 @@ from repro.core import (
 )
 from repro.obs import configure_logging, get_logger, get_metrics, get_tracer, kv
 from repro.obs.trace import Span
+from repro.parallel import resolve_jobs
 from repro.system import CampaignConfig, MachineConfig, TestbedSimulator
 from repro.utils.tables import render_table
 
@@ -95,7 +100,7 @@ def cmd_simulate(args: argparse.Namespace) -> int:
     config = demo_campaign(args.runs, args.seed)
     if args.browsers is not None:
         config = replace(config, n_browsers=args.browsers)
-    history = TestbedSimulator(config).run_campaign()
+    history = TestbedSimulator(config).run_campaign(jobs=resolve_jobs(args.jobs))
     history.save(args.output)
     print(
         f"saved {len(history)} runs ({history.n_datapoints} datapoints, "
@@ -152,7 +157,7 @@ def cmd_train(args: argparse.Namespace) -> int:
         smae_threshold_frac=args.smae_frac,
         seed=args.seed,
     )
-    result = F2PM(config).run(history)
+    result = F2PM(config).run(history, jobs=resolve_jobs(args.jobs))
     print(result.smae_table())
     print()
     print(result.training_time_table())
@@ -229,7 +234,7 @@ def cmd_predict(args: argparse.Namespace) -> int:
 def cmd_experiments(args: argparse.Namespace) -> int:
     from repro.experiments.runall import main as runall_main
 
-    runall_main()
+    runall_main(jobs=resolve_jobs(args.jobs))
     return 0
 
 
@@ -323,8 +328,9 @@ def cmd_rejuvenate(args: argparse.Namespace) -> int:
     )
     from repro.rejuvenation.metrics import AvailabilityReport
 
+    jobs = resolve_jobs(args.jobs)
     campaign = demo_campaign(args.runs, args.seed)
-    history = TestbedSimulator(campaign).run_campaign()
+    history = TestbedSimulator(campaign).run_campaign(jobs=jobs)
     f2pm = F2PM(
         F2PMConfig(
             aggregation=AggregationConfig(window_seconds=args.window),
@@ -332,7 +338,7 @@ def cmd_rejuvenate(args: argparse.Namespace) -> int:
             lasso_predictor_lambdas=(),
             seed=args.seed,
         )
-    ).run(history)
+    ).run(history, jobs=jobs)
     best = f2pm.best_by_smae("all")
     model = f2pm.models[(best.name, "all")]
 
@@ -403,12 +409,26 @@ def build_parser() -> argparse.ArgumentParser:
         help="disable tracing and metrics for this command",
     )
 
+    # Execution flags for the commands that simulate campaigns or train
+    # model grids; results are identical for any --jobs value (the
+    # determinism guarantee of docs/PARALLELISM.md).
+    exec_parent = argparse.ArgumentParser(add_help=False)
+    exec_parent.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        metavar="N",
+        help="worker processes for simulation runs and model fits "
+        "(default: all cores)",
+    )
+
     sub = parser.add_subparsers(dest="command", required=True)
 
-    def add_parser(name: str, **kwargs):
-        return sub.add_parser(name, parents=[obs_parent], **kwargs)
+    def add_parser(name: str, parallel: bool = False, **kwargs):
+        parents = [obs_parent, exec_parent] if parallel else [obs_parent]
+        return sub.add_parser(name, parents=parents, **kwargs)
 
-    p = add_parser("simulate", help="run a monitoring campaign")
+    p = add_parser("simulate", parallel=True, help="run a monitoring campaign")
     p.add_argument("-o", "--output", default="history.npz")
     p.add_argument("--runs", type=int, default=8)
     p.add_argument("--browsers", type=int, default=None)
@@ -427,7 +447,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--min-features", type=int, default=6)
     p.set_defaults(func=cmd_select)
 
-    p = add_parser("train", help="run the full F2PM workflow")
+    p = add_parser("train", parallel=True, help="run the full F2PM workflow")
     p.add_argument("history")
     p.add_argument("--window", type=float, default=20.0)
     p.add_argument("--models", default="linear,m5p,reptree,svm2")
@@ -459,10 +479,12 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--limit", type=int, default=10)
     p.set_defaults(func=cmd_predict)
 
-    p = add_parser("experiments", help="regenerate all paper tables/figures")
+    p = add_parser(
+        "experiments", parallel=True, help="regenerate all paper tables/figures"
+    )
     p.set_defaults(func=cmd_experiments)
 
-    p = add_parser("rejuvenate", help="compare rejuvenation policies")
+    p = add_parser("rejuvenate", parallel=True, help="compare rejuvenation policies")
     p.add_argument("--runs", type=int, default=8)
     p.add_argument("--horizon", type=float, default=10_000.0)
     p.add_argument("--window", type=float, default=20.0)

@@ -203,11 +203,20 @@ class F2PM:
     def __init__(self, config: F2PMConfig | None = None) -> None:
         self.config = config or F2PMConfig()
 
-    def run(self, history: DataHistory) -> F2PMResult:
-        """Execute the full workflow on a monitoring history."""
+    def run(self, history: DataHistory, jobs: int = 1) -> F2PMResult:
+        """Execute the full workflow on a monitoring history.
+
+        ``jobs`` worker processes fit the (model x feature-set) grid
+        concurrently. Error metrics and predictions are identical for
+        any worker count (every estimator fits deterministically); the
+        per-model training/validation wall-clocks are measured inside
+        whichever process ran the fit, exactly as in a serial run.
+        """
+        if jobs < 1:
+            raise ValueError(f"jobs must be >= 1, got {jobs}")
         cfg = self.config
         metrics = get_metrics()
-        root = span("f2pm.run", runs=len(history))
+        root = span("f2pm.run", runs=len(history), jobs=jobs)
         with root:
             # Phase B: aggregation + added metrics + RTTF labels.
             with span("aggregate") as sp:
@@ -271,21 +280,37 @@ class F2PM:
             models: dict[tuple[str, str], Regressor] = {}
             predictions: dict[tuple[str, str], np.ndarray] = {}
 
-            jobs: list[tuple[str, Regressor]] = [
+            candidates: list[tuple[str, Regressor]] = [
                 (name, make_model(name)) for name in cfg.models
             ]
             for lam in cfg.lasso_predictor_lambdas:
                 exponent = int(round(np.log10(lam))) if lam > 0 else 0
-                jobs.append((f"lasso(1e{exponent})", make_model("lasso", lam=lam)))
+                candidates.append(
+                    (f"lasso(1e{exponent})", make_model("lasso", lam=lam))
+                )
 
-            with span("train_validate", n_models=len(jobs)) as sp:
+            # Deterministic grid order: feature set major, model minor —
+            # the parallel path returns (and merges telemetry) in this
+            # exact order, so reports/tables never depend on scheduling.
+            grid: list[tuple[str, str, Regressor, TrainingSet, TrainingSet]] = [
+                (feature_set, name, _fresh(prototype), train, val)
                 for feature_set, train, val in (
                     ("all", train_full, val_full),
                     ("selected", train_sel, val_sel),
-                ):
-                    for name, prototype in jobs:
-                        model = _fresh(prototype)
-                        report, fitted, pred = evaluate_model(
+                )
+                for name, prototype in candidates
+            ]
+
+            with span("train_validate", n_models=len(grid), jobs=jobs) as sp:
+                if jobs > 1 and len(grid) > 1:
+                    from repro.parallel.training import evaluate_grid_parallel
+
+                    outcomes = evaluate_grid_parallel(
+                        grid, smae_threshold=smae_threshold, jobs=jobs
+                    )
+                else:
+                    outcomes = [
+                        evaluate_model(
                             name,
                             model,
                             train,
@@ -293,9 +318,14 @@ class F2PM:
                             smae_threshold=smae_threshold,
                             feature_set=feature_set,
                         )
-                        reports.append(report)
-                        models[(name, feature_set)] = fitted
-                        predictions[(name, feature_set)] = pred
+                        for feature_set, name, model, train, val in grid
+                    ]
+                for (feature_set, name, *_), (report, fitted, pred) in zip(
+                    grid, outcomes
+                ):
+                    reports.append(report)
+                    models[(name, feature_set)] = fitted
+                    predictions[(name, feature_set)] = pred
                 sp.set(n_reports=len(reports))
 
         metrics.inc("f2pm.runs_total")

@@ -17,13 +17,16 @@ diagnostic.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 import numpy as np
 
 from repro.core.framework import F2PM, F2PMConfig, F2PMResult
 from repro.core.history import DataHistory
-from repro.system.simulator import TestbedSimulator
 from repro.utils.rng import as_rng
+
+if TYPE_CHECKING:  # import kept lazy: repro.system imports repro.core
+    from repro.system.simulator import TestbedSimulator
 
 
 @dataclass(frozen=True)
@@ -85,7 +88,7 @@ class IncrementalCollector:
 
     def __init__(
         self,
-        simulator: TestbedSimulator,
+        simulator: "TestbedSimulator",
         f2pm_config: F2PMConfig,
         config: IncrementalConfig | None = None,
     ) -> None:
@@ -98,8 +101,13 @@ class IncrementalCollector:
             return self.config.target_smae
         return self.config.target_smae_frac * history.mean_run_length
 
-    def collect(self) -> IncrementalResult:
-        """Run the incremental loop; always returns a final model set."""
+    def collect(self, jobs: int = 1) -> IncrementalResult:
+        """Run the incremental loop; always returns a final model set.
+
+        ``jobs`` parallelizes each batch of runs and each model grid;
+        the collected history and the learning curve are identical for
+        any worker count (the batch generators are spawned up front).
+        """
         cfg = self.config
         rng = as_rng(cfg.seed)
         history = DataHistory()
@@ -109,9 +117,11 @@ class IncrementalCollector:
         target_met = False
 
         while len(history) < cfg.max_runs:
-            for run_rng in rng.spawn(cfg.batch_runs):
-                history.add_run(self.simulator.run_once(run_rng))
-            result = framework.run(history)
+            for record in self.simulator.run_many(
+                rng.spawn(cfg.batch_runs), jobs=jobs
+            ):
+                history.add_run(record)
+            result = framework.run(history, jobs=jobs)
             best = result.best_by_smae("all")
             target = self._resolve_target(history)
             trace.append(

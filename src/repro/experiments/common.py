@@ -52,13 +52,16 @@ _HISTORY_MEMO: dict[str, DataHistory] = {}
 
 
 def default_history(
-    config: CampaignConfig | None = None, *, use_cache: bool = True
+    config: CampaignConfig | None = None, *, use_cache: bool = True, jobs: int = 1
 ) -> DataHistory:
     """The shared monitoring campaign (simulate once, then load).
 
     With ``use_cache`` the result is memoized both in-process and on disk,
     so every driver in one process sees the *same object* (which also lets
     :func:`run_f2pm_cached` share one F2PM execution across tables).
+    ``jobs`` parallelizes a cache-miss simulation; the campaign is
+    deterministic for any worker count, so the cache key needs no
+    ``jobs`` component.
     """
     config = config or DEFAULT_CAMPAIGN
     key = _campaign_key(config)
@@ -69,7 +72,7 @@ def default_history(
         history = DataHistory.load(path)
         _HISTORY_MEMO[key] = history
         return history
-    history = TestbedSimulator(config).run_campaign()
+    history = TestbedSimulator(config).run_campaign(jobs=jobs)
     if use_cache:
         history.save(path)
         _HISTORY_MEMO[key] = history
@@ -89,14 +92,18 @@ def default_f2pm_config() -> F2PMConfig:
 _F2PM_MEMO: dict[int, F2PMResult] = {}
 
 
-def run_f2pm_cached(history: DataHistory | None = None) -> F2PMResult:
+def run_f2pm_cached(history: DataHistory | None = None, jobs: int = 1) -> F2PMResult:
     """Run F2PM once per process per history object (Tables II-IV and
-    Fig. 5 all read the same execution, as in the paper)."""
+    Fig. 5 all read the same execution, as in the paper).
+
+    ``jobs`` parallelizes the model grid on a memo miss; error metrics
+    are worker-count-invariant, so the memo stays valid either way.
+    """
     if history is None:
-        history = default_history()
+        history = default_history(jobs=jobs)
     key = id(history)
     if key not in _F2PM_MEMO:
-        _F2PM_MEMO[key] = F2PM(default_f2pm_config()).run(history)
+        _F2PM_MEMO[key] = F2PM(default_f2pm_config()).run(history, jobs=jobs)
     return _F2PM_MEMO[key]
 
 

@@ -54,6 +54,7 @@ def run(
     max_runs: int = 20,
     target_smae_frac: float = 0.03,
     seed: int = 11,
+    jobs: int = 1,
 ) -> IncrementalCurveResult:
     """Run the incremental loop on a fresh campaign configuration.
 
@@ -79,7 +80,7 @@ def run(
             seed=seed,
         ),
     )
-    result = IncrementalCurveResult(result=collector.collect())
+    result = IncrementalCurveResult(result=collector.collect(jobs=jobs))
     if verbose:
         print(result.table())
         inner = result.result

@@ -68,13 +68,15 @@ class MixComparisonResult:
         return browsing < ordering
 
 
-def run(campaign=None, verbose: bool = True, n_runs: int = 8) -> MixComparisonResult:
+def run(
+    campaign=None, verbose: bool = True, n_runs: int = 8, jobs: int = 1
+) -> MixComparisonResult:
     if campaign is None:
         campaign = DEFAULT_CAMPAIGN
     outcomes: dict[str, MixOutcome] = {}
     for name, mix in MIXES.items():
         cfg = replace(campaign, mix=mix, n_runs=n_runs)
-        history = TestbedSimulator(cfg).run_campaign()
+        history = TestbedSimulator(cfg).run_campaign(jobs=jobs)
         result = F2PM(
             F2PMConfig(
                 aggregation=AggregationConfig(window_seconds=EXPERIMENT_WINDOW),
@@ -82,7 +84,7 @@ def run(campaign=None, verbose: bool = True, n_runs: int = 8) -> MixComparisonRe
                 lasso_predictor_lambdas=(),
                 seed=0,
             )
-        ).run(history)
+        ).run(history, jobs=jobs)
         best = result.best_by_smae("all")
         outcomes[name] = MixOutcome(
             mix=name,

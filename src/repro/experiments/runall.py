@@ -32,20 +32,28 @@ from repro.experiments import (
 from repro.obs import build_manifest, get_metrics, get_tracer, span, write_manifest
 
 
-def main(telemetry_dir: "Path | str | None" = None) -> Path:
-    """Run every driver; returns the telemetry-bundle path."""
+def main(telemetry_dir: "Path | str | None" = None, jobs: int = 1) -> Path:
+    """Run every driver; returns the telemetry-bundle path.
+
+    ``jobs`` parallelizes the shared campaign, the shared F2PM model
+    grid, and the extension drivers' own simulations; every table and
+    figure is identical for any worker count.
+    """
     tracer = get_tracer()
     metrics = get_metrics()
     driver_manifests: dict[str, dict] = {}
 
-    root = span("experiments.runall")
+    root = span("experiments.runall", jobs=jobs)
     with root:
         with span("campaign"):
-            history = common.default_history()
+            history = common.default_history(jobs=jobs)
         print(
             f"campaign: {len(history)} runs, {history.n_datapoints} datapoints, "
             f"mean run length {history.mean_run_length:.0f}s\n"
         )
+        # Prewarm the shared F2PM execution with the requested
+        # parallelism; the table/figure drivers below hit the memo.
+        common.run_f2pm_cached(history, jobs=jobs)
         for driver in (
             fig3_rt_correlation,
             fig4_lasso_path,
@@ -67,11 +75,11 @@ def main(telemetry_dir: "Path | str | None" = None) -> Path:
         # These extensions own their simulations (campaign config, not history).
         print("==== ext_incremental_curve ====")
         with span("ext_incremental_curve"):
-            ext_incremental_curve.run(batch_runs=4, max_runs=12)
+            ext_incremental_curve.run(batch_runs=4, max_runs=12, jobs=jobs)
         print()
         print("==== ext_mix_comparison ====")
         with span("ext_mix_comparison"):
-            ext_mix_comparison.run(n_runs=6)
+            ext_mix_comparison.run(n_runs=6, jobs=jobs)
         print()
 
     bundle = build_manifest(
@@ -87,4 +95,16 @@ def main(telemetry_dir: "Path | str | None" = None) -> Path:
 
 
 if __name__ == "__main__":
-    main()
+    import argparse
+
+    from repro.parallel import resolve_jobs
+
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        metavar="N",
+        help="worker processes for campaigns and model grids (default: all cores)",
+    )
+    main(jobs=resolve_jobs(parser.parse_args().jobs))

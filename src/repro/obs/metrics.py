@@ -93,6 +93,42 @@ class Histogram:
     def mean(self) -> float:
         return self.total / self.count if self.count else 0.0
 
+    def state(self) -> dict[str, Any]:
+        """Mergeable full state (summary plus the retained samples).
+
+        Unlike :meth:`summary`, the output can be folded into another
+        histogram with :meth:`merge_state` without losing the sample
+        buffer — the transport used to ship worker-process metrics back
+        to the parent registry.
+        """
+        return {
+            "count": self.count,
+            "total": self.total,
+            "min": self.min,
+            "max": self.max,
+            "samples": list(self._samples),
+        }
+
+    def merge_state(self, state: dict[str, Any]) -> None:
+        """Fold another histogram's :meth:`state` into this one.
+
+        Summary statistics stay exact; the sample buffer absorbs the
+        other's samples until ``max_samples`` is reached (quantiles
+        become approximate past that point, as with a single histogram).
+        """
+        count = int(state.get("count", 0))
+        if count <= 0:
+            return
+        self.count += count
+        self.total += float(state.get("total", 0.0))
+        self.min = min(self.min, float(state.get("min", float("inf"))))
+        self.max = max(self.max, float(state.get("max", float("-inf"))))
+        room = self._max_samples - len(self._samples)
+        if room > 0:
+            self._samples.extend(
+                float(v) for v in list(state.get("samples", ()))[:room]
+            )
+
     def summary(self) -> dict[str, float]:
         """JSON-ready summary (the snapshot representation)."""
         if self.count == 0:
@@ -186,6 +222,40 @@ class MetricsRegistry:
 
     def to_json(self, indent: int = 2) -> str:
         return json.dumps(self.snapshot(), indent=indent)
+
+    # -- cross-process transport -----------------------------------------------
+
+    def dump_state(self) -> dict[str, Any]:
+        """Full mergeable state (picklable / JSON-ready).
+
+        The counterpart of :meth:`merge_state`: a worker process calls
+        ``dump_state()`` on its (fresh) registry and ships the dict back
+        with its results; the parent folds it in, so campaign metrics
+        stay complete regardless of where each run executed.
+        """
+        with self._lock:
+            return {
+                "counters": {k: c.value for k, c in sorted(self._counters.items())},
+                "gauges": {k: g.value for k, g in sorted(self._gauges.items())},
+                "histograms": {
+                    k: h.state() for k, h in sorted(self._histograms.items())
+                },
+            }
+
+    def merge_state(self, state: dict[str, Any]) -> None:
+        """Fold a :meth:`dump_state` dict (e.g. from a worker) into this
+        registry: counters add, gauges last-write-wins, histograms pool.
+
+        No-op while disabled, mirroring the recording methods.
+        """
+        if not self._enabled:
+            return
+        for name, value in state.get("counters", {}).items():
+            self.counter(name).inc(float(value))
+        for name, value in state.get("gauges", {}).items():
+            self.gauge(name).set(float(value))
+        for name, hist_state in state.get("histograms", {}).items():
+            self.histogram(name).merge_state(hist_state)
 
     def reset(self) -> None:
         """Drop every instrument (a fresh measurement window)."""

@@ -293,6 +293,23 @@ class Tracer:
         if stack and stack[-1] is span:
             stack.pop()
 
+    def attach(self, span: Span) -> None:
+        """Adopt an externally-built (finished) span tree.
+
+        Used to graft a worker process's exported spans (rebuilt with
+        :meth:`Span.from_dict`) into this tracer's tree: the subtree
+        becomes a child of the innermost open span on this thread, or a
+        new root when none is open. No-op while tracing is disabled.
+        """
+        if not self._enabled:
+            return
+        stack = self._stack()
+        if stack:
+            stack[-1].children.append(span)
+        else:
+            with self._lock:
+                self._roots.append(span)
+
     # -- inspection / export ---------------------------------------------------
 
     @property

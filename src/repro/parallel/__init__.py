@@ -1,0 +1,34 @@
+"""``repro.parallel`` — deterministic multi-process execution.
+
+The F2PM pipeline is embarrassingly parallel at two layers:
+
+campaign (:func:`repro.parallel.campaign.run_campaign_parallel`)
+    Independent simulation runs, dispatched one-per-task to a
+    ``ProcessPoolExecutor``. Per-run generators are spawned in the
+    parent via the SeedSequence protocol **before** dispatch, so the
+    merged :class:`~repro.core.history.DataHistory` is bit-identical
+    for any worker count (including the serial path).
+training (:func:`repro.parallel.training.evaluate_grid_parallel`)
+    The (model x feature-set) grid, one fit+validate per task, with
+    per-model wall-clocks measured inside the worker.
+
+Both layers capture the worker's metrics/spans deltas and merge them
+back into the parent registry in task-index order
+(:mod:`repro.parallel.telemetry`), so traces, metric snapshots and run
+manifests are complete and deterministic regardless of where the work
+ran. Shared dispatch/error semantics live in
+:mod:`repro.parallel.pool`; the guarantees are documented in
+``docs/PARALLELISM.md`` and exercised by ``tests/parallel/``.
+"""
+
+from __future__ import annotations
+
+from repro.parallel.pool import WorkerError, resolve_jobs, run_tasks
+from repro.parallel.telemetry import WorkerTelemetry
+
+__all__ = [
+    "WorkerError",
+    "WorkerTelemetry",
+    "resolve_jobs",
+    "run_tasks",
+]

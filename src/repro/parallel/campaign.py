@@ -1,0 +1,97 @@
+"""Parallel campaign execution: fan simulation runs out to a pool.
+
+The parent spawns **all** per-run generators before dispatch (the
+SeedSequence spawning protocol, exactly as the serial loop does), so a
+run's random stream depends only on the campaign seed and the run
+index — never on which worker executes it or in what order. Merged
+histories are therefore bit-identical for any worker count; see
+``tests/parallel/test_determinism.py``.
+
+Workers return ``(RunRecord, WorkerTelemetry)``; the parent reassembles
+both in run-index order, so the campaign's metrics/spans/manifests are
+byte-for-byte what the serial path would have produced (modulo wall
+clocks).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any
+
+import numpy as np
+
+from repro.parallel import telemetry
+from repro.parallel.pool import run_tasks
+from repro.obs import kv, span
+from repro.obs.logs import get_logger
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (simulator imports us)
+    from repro.core.history import RunRecord
+    from repro.system.simulator import TestbedSimulator
+
+_log = get_logger("parallel.campaign")
+
+
+def _campaign_task(payload: dict[str, Any]) -> tuple:
+    """Worker entry point: simulate one run, capture its telemetry."""
+    from repro.system.simulator import TestbedSimulator
+
+    telemetry.configure_worker(payload["trace_on"], payload["metrics_on"])
+    telemetry.begin_capture()
+    simulator = TestbedSimulator(payload["config"], payload["failure_condition"])
+    index = payload["index"]
+    with span("simulate.run", index=index) as sp:
+        record = simulator.run_once(payload["rng"])
+        sp.set(
+            datapoints=record.n_datapoints,
+            fail_time=record.fail_time,
+            crashed=bool(record.metadata.get("crashed", 0.0)),
+        )
+    return record, telemetry.collect()
+
+
+def run_campaign_parallel(
+    simulator: "TestbedSimulator",
+    rngs: "list[np.random.Generator]",
+    *,
+    jobs: int,
+) -> "list[RunRecord]":
+    """Execute one pre-seeded run per generator on ``jobs`` processes.
+
+    Called by :meth:`TestbedSimulator.run_many` with the campaign span
+    already open, so the merged per-run spans land under it.
+    """
+    from repro.obs import get_metrics, get_tracer
+
+    tracer = get_tracer()
+    registry = get_metrics()
+    payloads = [
+        {
+            "index": i,
+            "config": simulator.config,
+            "failure_condition": simulator.failure_condition,
+            "rng": rng,
+            "trace_on": tracer.enabled,
+            "metrics_on": registry.enabled,
+        }
+        for i, rng in enumerate(rngs)
+    ]
+    outcomes = run_tasks(
+        _campaign_task,
+        payloads,
+        jobs=jobs,
+        labels=[f"campaign run {i}" for i in range(len(payloads))],
+    )
+    records: "list[RunRecord]" = []
+    for i, (record, task_telemetry) in enumerate(outcomes):
+        telemetry.merge(task_telemetry)
+        records.append(record)
+        _log.info(
+            "run complete %s",
+            kv(
+                run=i,
+                datapoints=record.n_datapoints,
+                fail_time=record.fail_time,
+                crashed=bool(record.metadata.get("crashed", 0.0)),
+            ),
+        )
+    return records

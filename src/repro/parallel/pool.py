@@ -1,0 +1,101 @@
+"""Process-pool plumbing shared by the campaign and training layers.
+
+The dispatch contract is deliberately narrow so that every parallel
+entry point in the package behaves identically:
+
+- tasks are submitted with their payload index and results are returned
+  **in payload order**, never in completion order — merged artefacts
+  (histories, report tables, telemetry) are therefore independent of
+  worker scheduling;
+- the first failing task cancels everything still queued, shuts the
+  pool down, and surfaces one :class:`WorkerError` naming the task —
+  no hang, no orphaned pool, no half-merged results;
+- ``jobs=1`` never touches :mod:`concurrent.futures` at all (callers
+  keep their in-process serial path), so the legacy single-process
+  behavior — including its exception types — is always reachable.
+
+Processes (not threads) are the right default here: the simulator and
+the model fits are CPU-bound numpy + pure-Python work that holds the
+GIL. See ``docs/PARALLELISM.md`` for the full discussion.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import FIRST_EXCEPTION, ProcessPoolExecutor, wait
+from typing import Any, Callable, Sequence
+
+
+class WorkerError(RuntimeError):
+    """One task of a parallel batch failed.
+
+    Carries the human label of the failing task and the original
+    exception (also chained as ``__cause__``), so a crashed campaign
+    reports *which run* died and *why* in a single line.
+    """
+
+    def __init__(self, label: str, cause: BaseException) -> None:
+        super().__init__(
+            f"{label} failed in a worker process: "
+            f"{type(cause).__name__}: {cause}"
+        )
+        self.label = label
+        self.cause = cause
+
+
+def resolve_jobs(jobs: "int | None") -> int:
+    """Normalize a ``--jobs`` value: ``None`` means all cores, else >= 1."""
+    if jobs is None:
+        return os.cpu_count() or 1
+    jobs = int(jobs)
+    if jobs < 1:
+        raise ValueError(f"jobs must be >= 1, got {jobs}")
+    return jobs
+
+
+def run_tasks(
+    worker: Callable[[Any], Any],
+    payloads: Sequence[Any],
+    *,
+    jobs: int,
+    labels: "Sequence[str] | None" = None,
+) -> list[Any]:
+    """Run ``worker(payload)`` for every payload on ``jobs`` processes.
+
+    Returns the results **ordered by payload index** regardless of
+    completion order. On the first task failure the remaining queued
+    tasks are cancelled, the pool is shut down, and a
+    :class:`WorkerError` naming the failing task is raised.
+
+    ``worker`` must be a module-level callable and every payload must be
+    picklable (the usual :mod:`multiprocessing` constraints).
+    """
+    payloads = list(payloads)
+    if jobs < 1:
+        raise ValueError(f"jobs must be >= 1, got {jobs}")
+    if not payloads:
+        return []
+    if labels is not None and len(labels) != len(payloads):
+        raise ValueError("labels must align with payloads")
+
+    results: list[Any] = [None] * len(payloads)
+    with ProcessPoolExecutor(max_workers=min(jobs, len(payloads))) as pool:
+        futures = {pool.submit(worker, p): i for i, p in enumerate(payloads)}
+        done, not_done = wait(futures, return_when=FIRST_EXCEPTION)
+        failed: "tuple[int, BaseException] | None" = None
+        for fut in done:
+            exc = fut.exception()
+            if exc is not None:
+                idx = futures[fut]
+                if failed is None or idx < failed[0]:
+                    failed = (idx, exc)
+        if failed is not None:
+            pool.shutdown(wait=True, cancel_futures=True)
+            idx, exc = failed
+            label = labels[idx] if labels is not None else f"task {idx}"
+            raise WorkerError(label, exc) from exc
+        # FIRST_EXCEPTION with no exception == ALL_COMPLETED.
+        assert not not_done
+        for fut, idx in futures.items():
+            results[idx] = fut.result()
+    return results

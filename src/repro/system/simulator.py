@@ -213,31 +213,61 @@ class TestbedSimulator:
             },
         )
 
-    def run_campaign(self) -> DataHistory:
-        """Simulate ``n_runs`` restart cycles (the week-long experiment)."""
+    def run_many(
+        self, rngs: "list[np.random.Generator]", *, jobs: int = 1
+    ) -> list[RunRecord]:
+        """Simulate one run per (pre-spawned) generator.
+
+        With ``jobs > 1`` the runs fan out to a process pool; results
+        come back in generator order either way, and since every
+        generator was spawned before dispatch the records are
+        bit-identical for any worker count. ``jobs=1`` is the in-process
+        serial path (no :mod:`concurrent.futures` involvement at all).
+        """
+        if jobs < 1:
+            raise ValueError(f"jobs must be >= 1, got {jobs}")
+        if jobs > 1 and len(rngs) > 1:
+            from repro.parallel.campaign import run_campaign_parallel
+
+            return run_campaign_parallel(self, list(rngs), jobs=jobs)
+        records: list[RunRecord] = []
+        for i, run_rng in enumerate(rngs):
+            with span("simulate.run", index=i) as run_sp:
+                record = self.run_once(run_rng)
+                run_sp.set(
+                    datapoints=record.n_datapoints,
+                    fail_time=record.fail_time,
+                    crashed=bool(record.metadata.get("crashed", 0.0)),
+                )
+            records.append(record)
+            _log.info(
+                "run complete %s",
+                kv(
+                    run=i,
+                    datapoints=record.n_datapoints,
+                    fail_time=record.fail_time,
+                    crashed=bool(record.metadata.get("crashed", 0.0)),
+                ),
+            )
+        return records
+
+    def run_campaign(self, jobs: int = 1) -> DataHistory:
+        """Simulate ``n_runs`` restart cycles (the week-long experiment).
+
+        ``jobs`` workers execute the runs concurrently; the returned
+        history (and the merged metrics/spans) is identical for any
+        worker count — see ``docs/PARALLELISM.md``.
+        """
         rngs = as_rng(self.config.seed).spawn(self.config.n_runs)
         history = DataHistory()
         with span(
-            "simulate.campaign", runs=self.config.n_runs, seed=self.config.seed
+            "simulate.campaign",
+            runs=self.config.n_runs,
+            seed=self.config.seed,
+            jobs=jobs,
         ) as sp:
-            for i, run_rng in enumerate(rngs):
-                with span("simulate.run", index=i) as run_sp:
-                    record = self.run_once(run_rng)
-                    run_sp.set(
-                        datapoints=record.n_datapoints,
-                        fail_time=record.fail_time,
-                        crashed=bool(record.metadata.get("crashed", 0.0)),
-                    )
+            for record in self.run_many(rngs, jobs=jobs):
                 history.add_run(record)
-                _log.info(
-                    "run complete %s",
-                    kv(
-                        run=i,
-                        datapoints=record.n_datapoints,
-                        fail_time=record.fail_time,
-                        crashed=bool(record.metadata.get("crashed", 0.0)),
-                    ),
-                )
             sp.set(
                 datapoints=history.n_datapoints,
                 mean_run_length=history.mean_run_length,

@@ -1,0 +1,27 @@
+"""Shared campaign construction for the parallel/determinism suite."""
+
+from __future__ import annotations
+
+from repro.system import CampaignConfig, MachineConfig
+
+
+def parallel_campaign(n_runs: int = 5, seed: int = 3) -> CampaignConfig:
+    """The fast test VM campaign (512 MB RAM / 256 MB swap)."""
+    machine = MachineConfig(
+        ram_kb=524_288.0,
+        swap_kb=262_144.0,
+        os_base_kb=131_072.0,
+        app_working_set_kb=65_536.0,
+        min_cache_kb=16_384.0,
+        shared_kb=8_192.0,
+        buffers_kb=4_096.0,
+    )
+    return CampaignConfig(
+        n_runs=n_runs,
+        seed=seed,
+        machine=machine,
+        n_browsers=40,
+        p_leak_range=(0.3, 0.5),
+        leak_kb_range=(1024.0, 4096.0),
+        max_run_seconds=3000.0,
+    )

@@ -1,0 +1,25 @@
+"""Fixtures for the parallel/determinism suite.
+
+The campaign mirrors the fast test VM of the top-level conftest but is
+rebuilt here (``campaign_util``) so this suite stays runnable in
+isolation — the CI job runs ``pytest tests/parallel`` alone, with a
+deadlock timeout.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from campaign_util import parallel_campaign
+from repro.system import TestbedSimulator
+
+
+@pytest.fixture(scope="session")
+def campaign_config():
+    return parallel_campaign()
+
+
+@pytest.fixture(scope="session")
+def serial_history(campaign_config):
+    """The reference: the legacy single-process campaign path."""
+    return TestbedSimulator(campaign_config).run_campaign()

@@ -1,0 +1,107 @@
+"""Failure semantics of the parallel layer: clean errors, no orphans.
+
+A worker dying mid-campaign must surface as **one** clear exception in
+the parent — naming the failing task and carrying the original error —
+with the pool fully shut down afterwards (no hang, no orphaned worker
+processes). The ``jobs=1`` path must keep the legacy behavior: the
+original exception propagates untouched, with no pool involvement.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import time
+
+import pytest
+
+from repro.core import F2PM
+from repro.parallel import WorkerError, resolve_jobs, run_tasks
+from repro.system import TestbedSimulator
+from repro.system.failure import FailureCondition
+
+from campaign_util import parallel_campaign
+
+
+class ExplodingCondition(FailureCondition):
+    """Failure condition that blows up on its first evaluation.
+
+    Module-level so it pickles into worker processes.
+    """
+
+    def is_failed(self, view) -> bool:
+        raise RuntimeError("boom: injected mid-campaign fault")
+
+
+def _assert_no_orphaned_workers(deadline_s: float = 10.0) -> None:
+    """All pool workers must be joined shortly after the error."""
+    deadline = time.monotonic() + deadline_s
+    while time.monotonic() < deadline:
+        if not multiprocessing.active_children():
+            return
+        time.sleep(0.05)
+    raise AssertionError(
+        f"orphaned worker processes: {multiprocessing.active_children()}"
+    )
+
+
+def test_worker_crash_surfaces_one_clear_error():
+    simulator = TestbedSimulator(
+        parallel_campaign(n_runs=4), failure_condition=ExplodingCondition()
+    )
+    with pytest.raises(WorkerError, match=r"campaign run \d+ failed"):
+        simulator.run_campaign(jobs=2)
+    _assert_no_orphaned_workers()
+
+
+def test_worker_crash_preserves_original_cause():
+    simulator = TestbedSimulator(
+        parallel_campaign(n_runs=2), failure_condition=ExplodingCondition()
+    )
+    with pytest.raises(WorkerError) as excinfo:
+        simulator.run_campaign(jobs=2)
+    assert "boom: injected mid-campaign fault" in str(excinfo.value)
+    assert isinstance(excinfo.value.cause, RuntimeError)
+    assert isinstance(excinfo.value.__cause__, RuntimeError)
+
+
+def test_jobs_1_fallback_raises_directly():
+    """The serial path surfaces the raw exception — no pool, no wrapper."""
+    simulator = TestbedSimulator(
+        parallel_campaign(n_runs=2), failure_condition=ExplodingCondition()
+    )
+    with pytest.raises(RuntimeError, match="boom") as excinfo:
+        simulator.run_campaign(jobs=1)
+    assert not isinstance(excinfo.value, WorkerError)
+    _assert_no_orphaned_workers()
+
+
+def _half_fail(index: int) -> int:
+    if index % 2:
+        raise ValueError(f"task {index} exploded")
+    return index * 10
+
+
+def test_run_tasks_reports_lowest_failing_index_seen():
+    with pytest.raises(WorkerError, match=r"task \d+ failed"):
+        run_tasks(_half_fail, list(range(6)), jobs=2)
+
+
+def test_run_tasks_orders_results_by_payload_index():
+    results = run_tasks(_identity, list(range(7)), jobs=3)
+    assert results == list(range(7))
+
+
+def _identity(x: int) -> int:
+    return x
+
+
+def test_jobs_validation():
+    simulator = TestbedSimulator(parallel_campaign(n_runs=2))
+    with pytest.raises(ValueError, match="jobs"):
+        simulator.run_campaign(jobs=0)
+    with pytest.raises(ValueError, match="jobs"):
+        F2PM().run(None, jobs=0)  # validated before the history is touched
+    with pytest.raises(ValueError, match="jobs"):
+        resolve_jobs(-1)
+    assert resolve_jobs(None) >= 1
+    assert resolve_jobs(3) == 3

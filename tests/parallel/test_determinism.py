@@ -1,0 +1,146 @@
+"""Determinism guarantees of the parallel execution layer.
+
+The contract (docs/PARALLELISM.md): for a fixed seed, the campaign's
+``DataHistory`` and the F2PM metric tables are **identical for any
+worker count** — serial legacy path, ``jobs=1`` and any ``jobs=N``
+produce the same bytes. Only wall-clock measurements may differ.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import F2PM, AggregationConfig, F2PMConfig
+from repro.system import TestbedSimulator
+
+#: Worker counts exercised against the serial reference. 4 > cpu_count
+#: on small CI boxes, which is deliberate: oversubscription must not
+#: change results either.
+WORKER_COUNTS = (1, 2, 4)
+
+
+def assert_histories_bit_identical(reference, other) -> None:
+    """Byte-level equality of two DataHistory objects."""
+    assert len(reference) == len(other)
+    for a, b in zip(reference, other):
+        assert a.features.dtype == b.features.dtype
+        assert a.features.shape == b.features.shape
+        assert a.features.tobytes() == b.features.tobytes()
+        assert a.fail_time == b.fail_time
+        if a.response_times is None:
+            assert b.response_times is None
+        else:
+            assert a.response_times.tobytes() == b.response_times.tobytes()
+        assert dict(a.metadata) == dict(b.metadata)
+
+
+@pytest.mark.parametrize("jobs", WORKER_COUNTS)
+def test_campaign_bit_identical_for_any_worker_count(
+    campaign_config, serial_history, jobs
+):
+    history = TestbedSimulator(campaign_config).run_campaign(jobs=jobs)
+    assert_histories_bit_identical(serial_history, history)
+
+
+def test_run_many_matches_campaign_partitioning(campaign_config, serial_history):
+    """run_many on pre-spawned generators reproduces the campaign runs."""
+    from repro.utils.rng import as_rng
+
+    rngs = as_rng(campaign_config.seed).spawn(campaign_config.n_runs)
+    records = TestbedSimulator(campaign_config).run_many(rngs, jobs=2)
+    assert len(records) == len(serial_history)
+    for a, b in zip(serial_history, records):
+        assert a.features.tobytes() == b.features.tobytes()
+        assert a.fail_time == b.fail_time
+
+
+def _f2pm_config() -> F2PMConfig:
+    return F2PMConfig(
+        aggregation=AggregationConfig(window_seconds=30.0),
+        models=("linear", "m5p", "reptree"),
+        lasso_predictor_lambdas=(1e0, 1e4),
+        seed=0,
+    )
+
+
+@pytest.fixture(scope="module")
+def serial_result(serial_history):
+    return F2PM(_f2pm_config()).run(serial_history)
+
+
+def _metric_key(report):
+    """Everything in a ModelReport except the wall-clock columns."""
+    return (
+        report.name,
+        report.feature_set,
+        report.n_features,
+        report.mae,
+        report.rae,
+        report.max_ae,
+        report.s_mae,
+        report.s_mae_threshold,
+    )
+
+
+@pytest.mark.parametrize("jobs", WORKER_COUNTS)
+def test_f2pm_metric_tables_identical_for_any_worker_count(
+    serial_history, serial_result, jobs
+):
+    result = F2PM(_f2pm_config()).run(serial_history, jobs=jobs)
+
+    # Same grid, same order, bit-equal error metrics.
+    assert [_metric_key(r) for r in result.reports] == [
+        _metric_key(r) for r in serial_result.reports
+    ]
+    # The rendered paper tables that carry no wall clocks match byte
+    # for byte (training/validation-time tables are wall-clock by
+    # definition and are exempt from the guarantee).
+    assert result.smae_table() == serial_result.smae_table()
+
+    # Predictions and ground truth are bit-equal per grid cell.
+    assert set(result.predictions) == set(serial_result.predictions)
+    for key, pred in serial_result.predictions.items():
+        assert result.predictions[key].tobytes() == pred.tobytes()
+    assert result.y_validation.tobytes() == serial_result.y_validation.tobytes()
+
+    # Feature selection (computed in-process) is untouched by jobs.
+    assert result.selection.lam == serial_result.selection.lam
+    assert result.selection.selected == serial_result.selection.selected
+    assert result.smae_threshold == serial_result.smae_threshold
+
+
+def test_fitted_models_predict_identically(serial_history, serial_result):
+    """Models fitted in workers ship back and predict like serial ones."""
+    parallel_result = F2PM(_f2pm_config()).run(serial_history, jobs=2)
+    X = serial_result.dataset.X
+    for key, serial_model in serial_result.models.items():
+        if key[1] != "all":
+            continue
+        a = serial_model.predict(X)
+        b = parallel_result.models[key].predict(X)
+        assert np.array_equal(a, b)
+
+
+def test_incremental_collection_identical(campaign_config):
+    """The batched collection loop honors the same guarantee."""
+    from repro.core.incremental import IncrementalCollector, IncrementalConfig
+
+    def collect(jobs):
+        return IncrementalCollector(
+            TestbedSimulator(campaign_config),
+            F2PMConfig(
+                aggregation=AggregationConfig(window_seconds=30.0),
+                models=("linear",),
+                lasso_predictor_lambdas=(),
+                seed=0,
+            ),
+            IncrementalConfig(batch_runs=2, max_runs=4, target_smae=1e-9, seed=5),
+        ).collect(jobs=jobs)
+
+    serial = collect(jobs=1)
+    parallel = collect(jobs=2)
+    assert_histories_bit_identical(serial.history, parallel.history)
+    assert [p.best_smae for p in serial.trace] == [
+        p.best_smae for p in parallel.trace
+    ]

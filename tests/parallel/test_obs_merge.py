@@ -1,0 +1,99 @@
+"""Observability completeness under parallel execution.
+
+Worker metrics/spans are captured in the child, shipped back with the
+results, and merged into the parent registry in run order — so traces,
+metric snapshots and manifests from a parallel execution are as
+complete as serial ones (tentpole claim 3).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import obs
+from repro.core import F2PM, AggregationConfig, F2PMConfig
+from repro.obs import get_metrics, get_tracer
+from repro.system import TestbedSimulator
+
+
+@pytest.fixture(autouse=True)
+def fresh_obs_window():
+    """Isolate each test's spans/metrics; leave obs enabled as found."""
+    obs.reset()
+    yield
+    obs.reset()
+
+
+def _campaign_counters(campaign_config, jobs):
+    obs.reset()
+    history = TestbedSimulator(campaign_config).run_campaign(jobs=jobs)
+    return history, get_metrics().snapshot()
+
+
+def test_parallel_campaign_metrics_match_serial(campaign_config):
+    h_serial, serial = _campaign_counters(campaign_config, jobs=1)
+    h_parallel, parallel = _campaign_counters(campaign_config, jobs=2)
+    assert serial["counters"] == parallel["counters"]
+    assert serial["counters"]["sim.runs_total"] == campaign_config.n_runs
+    assert (
+        parallel["counters"]["sim.datapoints_total"] == h_parallel.n_datapoints
+    )
+    # Histograms merge too: one observation per run either way.
+    assert (
+        parallel["histograms"]["sim.run_seconds"]["count"]
+        == serial["histograms"]["sim.run_seconds"]["count"]
+        == campaign_config.n_runs
+    )
+
+
+def test_parallel_campaign_spans_merge_in_run_order(campaign_config):
+    TestbedSimulator(campaign_config).run_campaign(jobs=2)
+    roots = get_tracer().roots
+    campaign_spans = [s for s in roots if s.name == "simulate.campaign"]
+    assert len(campaign_spans) == 1
+    runs = [c for c in campaign_spans[0].children if c.name == "simulate.run"]
+    assert [r.attributes["index"] for r in runs] == list(
+        range(campaign_config.n_runs)
+    )
+    for run_span in runs:
+        assert run_span.attributes["datapoints"] > 0
+        assert run_span.duration > 0.0
+
+
+def test_parallel_f2pm_manifest_is_complete(serial_history):
+    config = F2PMConfig(
+        aggregation=AggregationConfig(window_seconds=30.0),
+        models=("linear", "reptree"),
+        lasso_predictor_lambdas=(),
+        seed=0,
+    )
+    result = F2PM(config).run(serial_history, jobs=2)
+    manifest = result.manifest()
+
+    grid_size = 2 * len(config.models)  # two feature sets, no lasso predictors
+    assert len(manifest["reports"]) == grid_size
+    # Every report carries a real (in-worker) wall-clock measurement.
+    assert all(r["train_time"] > 0.0 for r in manifest["reports"])
+
+    # The span tree contains one evaluate span per grid cell, grafted
+    # under train_validate in grid order.
+    trace = result.trace
+    assert trace is not None
+    train_validate = trace.find("train_validate")
+    assert train_validate is not None
+    evaluates = [c for c in train_validate.children if c.name == "evaluate"]
+    assert len(evaluates) == grid_size
+    assert [e.attributes["model"] for e in evaluates] == list(
+        config.models
+    ) * 2
+
+
+def test_disabled_obs_stays_disabled_across_workers(campaign_config):
+    obs.disable()
+    try:
+        history = TestbedSimulator(campaign_config).run_campaign(jobs=2)
+        assert len(history) == campaign_config.n_runs
+        assert get_metrics().snapshot()["counters"] == {}
+        assert get_tracer().roots == []
+    finally:
+        obs.enable()

@@ -1,0 +1,123 @@
+"""Property-based tests (hypothesis) for the core aggregation math.
+
+Three invariants of paper Sec. III-B, checked over generated inputs:
+
+1. **Eq. (1) slopes on linear series.** For a feature that grows
+   linearly per datapoint (``x_k = a*k + b``), the window slope
+   ``(x_end - x_start) / n`` equals ``a * (n-1) / n`` exactly — the
+   paper's discrete derivative recovers the per-sample coefficient
+   ``a`` up to the endpoint factor ``(n-1)/n``, for **any** window
+   size, sampling interval and window population.
+2. **Window means are permutation-invariant.** Shuffling the non-time
+   feature values among the datapoints of one window leaves every
+   window mean (and the gen-time metric and RTTF labels) unchanged —
+   means depend on the window's population, not its internal order.
+3. **RTTF labels decrease monotonically to the fail event.** Within a
+   run, later windows are strictly closer to the failure, and every
+   label is positive (the fail event postdates all datapoints).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.aggregation import AggregationConfig, aggregate_run
+from repro.core.datapoint import FEATURES
+from repro.core.history import RunRecord
+
+N_F = len(FEATURES)
+TGEN_COL = 0
+
+
+def _linear_run(a: float, b: float, dt: float, n: int) -> RunRecord:
+    """A run whose every non-time feature is ``x_k = a*k + b``."""
+    k = np.arange(n, dtype=np.float64)
+    feats = np.tile(a * k + b, (N_F, 1)).T
+    feats[:, TGEN_COL] = (k + 1) * dt
+    return RunRecord(
+        features=feats,
+        fail_time=float(feats[-1, TGEN_COL] + 1.0),
+        metadata={"crashed": 1.0},
+    )
+
+
+@settings(deadline=None, max_examples=60)
+@given(
+    a=st.floats(min_value=-100.0, max_value=100.0, allow_nan=False),
+    b=st.floats(min_value=-1e3, max_value=1e3, allow_nan=False),
+    dt=st.floats(min_value=0.25, max_value=10.0),
+    n=st.integers(min_value=2, max_value=200),
+    window=st.floats(min_value=0.5, max_value=500.0),
+)
+def test_eq1_slope_of_linear_series_matches_coefficient(a, b, dt, n, window):
+    run = _linear_run(a, b, dt, n)
+    X, _ = aggregate_run(run, AggregationConfig(window_seconds=window))
+
+    # Recover each window's datapoint count exactly as the aggregator
+    # bins them, to compute Eq. (1)'s closed form per window.
+    bins = np.floor_divide(run.features[:, TGEN_COL], window).astype(np.int64)
+    _, counts = np.unique(bins, return_counts=True)
+    expected = a * (counts - 1) / counts
+
+    # Slope columns sit after the 15 window means; every non-time
+    # feature is the same linear series, so every slope column agrees.
+    slopes = X[:, N_F : 2 * N_F - 1]
+    assert slopes.shape == (counts.size, N_F - 1)
+    np.testing.assert_allclose(
+        slopes, np.tile(expected, (N_F - 1, 1)).T, rtol=1e-9, atol=1e-9
+    )
+
+
+@st.composite
+def random_run(draw):
+    n = draw(st.integers(min_value=2, max_value=120))
+    seed = draw(st.integers(min_value=0, max_value=2**31 - 1))
+    rng = np.random.default_rng(seed)
+    tgen = np.cumsum(rng.uniform(0.5, 5.0, size=n))
+    feats = rng.uniform(0.0, 1e6, size=(n, N_F))
+    feats[:, TGEN_COL] = tgen
+    fail_time = float(tgen[-1] + rng.uniform(0.1, 100.0))
+    return RunRecord(features=feats, fail_time=fail_time, metadata={"crashed": 1.0})
+
+
+@settings(deadline=None, max_examples=60)
+@given(
+    run=random_run(),
+    window=st.floats(min_value=1.0, max_value=200.0),
+    perm_seed=st.integers(min_value=0, max_value=2**31 - 1),
+)
+def test_window_means_are_permutation_invariant(run, window, perm_seed):
+    config = AggregationConfig(window_seconds=window)
+    X, rttf = aggregate_run(run, config)
+
+    # Permute the non-time features among the datapoints of one window
+    # (tgen must stay sorted, so the time column stays put).
+    bins = np.floor_divide(run.features[:, TGEN_COL], window).astype(np.int64)
+    rng = np.random.default_rng(perm_seed)
+    target = rng.choice(np.unique(bins))
+    rows = np.flatnonzero(bins == target)
+    perm = rng.permutation(rows)
+    shuffled = run.features.copy()
+    shuffled[rows, 1:] = shuffled[perm, 1:]
+    shuffled_run = RunRecord(
+        features=shuffled, fail_time=run.fail_time, metadata=dict(run.metadata)
+    )
+    X2, rttf2 = aggregate_run(shuffled_run, config)
+
+    means, means2 = X[:, :N_F], X2[:, :N_F]
+    np.testing.assert_allclose(means2, means, rtol=1e-9)
+    # gen-time (last column) depends only on tgen spacing: bit-equal.
+    assert np.array_equal(X2[:, -1], X[:, -1])
+    # RTTF labels depend only on window-mean tgen: bit-equal.
+    assert np.array_equal(rttf2, rttf)
+
+
+@settings(deadline=None, max_examples=60)
+@given(run=random_run(), window=st.floats(min_value=1.0, max_value=200.0))
+def test_rttf_labels_decrease_monotonically_to_fail_event(run, window):
+    _, rttf = aggregate_run(run, AggregationConfig(window_seconds=window))
+    assert rttf.size >= 1
+    assert np.all(rttf > 0.0)
+    assert np.all(np.diff(rttf) < 0.0)
