@@ -10,6 +10,7 @@ train           run the full F2PM workflow, print the comparison tables
 experiments     regenerate every paper table/figure (runall)
 rejuvenate      compare rejuvenation policies on a managed horizon
 obs             pretty-print a saved trace/metrics/manifest JSON file
+cache           inspect/maintain the artifact store (ls, info, gc, clear)
 ==============  ========================================================
 
 Every command accepts ``--seed`` for reproducibility; campaign sizing
@@ -110,17 +111,21 @@ def cmd_simulate(args: argparse.Namespace) -> int:
 
 
 def cmd_aggregate(args: argparse.Namespace) -> int:
+    from repro.store import atomic_writer
+
     history = _load_history(args.history)
     dataset = aggregate_history(
         history, AggregationConfig(window_seconds=args.window)
     )
-    np.savez_compressed(
-        args.output,
-        X=dataset.X,
-        y=dataset.y,
-        feature_names=np.array(dataset.feature_names),
-        run_ids=dataset.run_ids,
-    )
+    with atomic_writer(args.output) as tmp:
+        with tmp.open("wb") as fh:
+            np.savez_compressed(
+                fh,
+                X=dataset.X,
+                y=dataset.y,
+                feature_names=np.array(dataset.feature_names),
+                run_ids=dataset.run_ids,
+            )
     print(
         f"aggregated {history.n_datapoints} datapoints into "
         f"{dataset.n_samples} windows x {dataset.n_features} features "
@@ -316,6 +321,80 @@ def cmd_obs(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_cache(args: argparse.Namespace) -> int:
+    """Inspect and maintain the experiment artifact store (``repro.store``)."""
+    import datetime
+
+    from repro.store import ArtifactStore, StoreCorruption
+
+    store = ArtifactStore(args.dir)  # None -> F2PM_CACHE_DIR / default
+
+    if args.cache_command == "ls":
+        entries = store.entries()
+        if not entries:
+            print(f"cache {store.root}: empty")
+            return 0
+        rows = []
+        for e in entries:
+            created = (
+                datetime.datetime.fromtimestamp(e.created_unix).isoformat(
+                    sep=" ", timespec="seconds"
+                )
+                if e.created_unix
+                else "?"
+            )
+            rows.append(
+                [
+                    e.name,
+                    e.kind,
+                    f"{e.size_bytes / 1024:.1f}",
+                    "ok" if e.ok else "CORRUPT",
+                    created,
+                ]
+            )
+        print(
+            render_table(
+                ("entry", "kind", "KiB", "status", "created"),
+                rows,
+                title=f"artifact store: {store.root}",
+            )
+        )
+        bad = [e for e in entries if not e.ok]
+        if bad:
+            print(f"\n{len(bad)} corrupt entr{'y' if len(bad) == 1 else 'ies'} "
+                  "(run `f2pm cache gc` to sweep):")
+            for e in bad:
+                print(f"  {e.name}: {e.detail}")
+        return 0
+
+    if args.cache_command == "info":
+        try:
+            meta = store.verify(args.name)
+        except FileNotFoundError:
+            raise SystemExit(f"error: no cache entry named {args.name}")
+        except StoreCorruption as exc:
+            raise SystemExit(f"error: entry is corrupt: {exc}")
+        print(json.dumps({"name": args.name, **meta}, indent=2))
+        return 0
+
+    if args.cache_command == "gc":
+        report = store.gc()
+        print(
+            f"removed {len(report.removed)} file(s), "
+            f"freed {report.freed_bytes / 1024:.1f} KiB"
+        )
+        for name in report.removed:
+            print(f"  {name}")
+        return 0
+
+    if args.cache_command == "clear":
+        count = store.clear()
+        print(f"cleared {count} file(s) from {store.root}")
+        return 0
+
+    raise SystemExit(f"error: unknown cache command {args.cache_command!r}")
+
+
 def cmd_rejuvenate(args: argparse.Namespace) -> int:
     from repro.core import F2PM, F2PMConfig
     from repro.rejuvenation import (
@@ -494,6 +573,23 @@ def build_parser() -> argparse.ArgumentParser:
     p = add_parser("obs", help="pretty-print a saved trace/metrics/manifest")
     p.add_argument("file", help="JSON written by --trace-json/--metrics-json/--manifest")
     p.set_defaults(func=cmd_obs)
+
+    p = add_parser("cache", help="inspect/maintain the experiment artifact store")
+    p.add_argument(
+        "--dir",
+        default=None,
+        metavar="PATH",
+        help="store directory (default: $F2PM_CACHE_DIR or ~/.cache/f2pm-repro)",
+    )
+    cache_sub = p.add_subparsers(dest="cache_command", required=True)
+    cache_sub.add_parser("ls", help="list entries with verification status")
+    sp = cache_sub.add_parser("info", help="print one entry's verified metadata")
+    sp.add_argument("name", help="entry name as shown by `cache ls`")
+    cache_sub.add_parser(
+        "gc", help="sweep unpublished temporaries and corrupt entries"
+    )
+    cache_sub.add_parser("clear", help="remove every cached artifact")
+    p.set_defaults(func=cmd_cache)
 
     return parser
 

@@ -80,24 +80,24 @@ def aggregate_run(
 
     bins = np.floor_divide(tgen, config.window_seconds).astype(np.int64)
     # tgen is sorted, so bins are non-decreasing: segment boundaries are
-    # the positions where the bin id changes.
-    _, starts, counts = np.unique(bins, return_index=True, return_counts=True)
-    keep = counts >= config.min_points
-    starts, counts = starts[keep], counts[keep]
+    # the positions where the bin id changes. Computed once and shared by
+    # every reduction below (this used to run np.unique three times).
+    _, all_starts, all_counts = np.unique(bins, return_index=True, return_counts=True)
+    keep = all_counts >= config.min_points
+    starts, counts = all_starts[keep], all_counts[keep]
     if starts.size == 0:
         return np.empty((0, len(AGGREGATED_FEATURES))), np.empty(0)
     ends = starts + counts - 1
 
     # Window means of all 15 raw features (segment sums / counts).
-    sums = np.add.reduceat(feats, np.unique(bins, return_index=True)[1], axis=0)
-    sums = sums[keep]
+    sums = np.add.reduceat(feats, all_starts, axis=0)[keep]
     means = sums / counts[:, None]
 
     # Eq. (1) slopes for all features except tgen.
     slopes = (feats[ends, 1:] - feats[starts, 1:]) / counts[:, None]
 
     # Mean inter-generation time per window.
-    gen_sums = np.add.reduceat(intervals, np.unique(bins, return_index=True)[1])
+    gen_sums = np.add.reduceat(intervals, all_starts)
     gen_time = (gen_sums[keep] / counts)[:, None]
 
     X = np.hstack([means, slopes, gen_time])

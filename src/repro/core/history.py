@@ -15,6 +15,8 @@ to collect new data into the training set").
 
 from __future__ import annotations
 
+import hashlib
+import struct
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Iterator, Mapping
@@ -22,6 +24,7 @@ from typing import Iterator, Mapping
 import numpy as np
 
 from repro.core.datapoint import FEATURES
+from repro.store.atomic import atomic_writer
 
 
 @dataclass
@@ -125,10 +128,44 @@ class DataHistory:
         """Merge another campaign in (incremental data collection)."""
         self.runs.extend(other.runs)
 
+    # -- content identity ------------------------------------------------------
+
+    def content_fingerprint(self) -> str:
+        """sha256 over the history's *content* (runs, in order).
+
+        Two histories with identical runs fingerprint identically no
+        matter where the objects live — unlike ``id()``, a fingerprint
+        can never alias a garbage-collected history's address to a
+        different campaign. Used as the F2PM memoization key and as the
+        artifact-store identity of a saved campaign.
+        """
+        digest = hashlib.sha256(b"f2pm-history-v1")
+        digest.update(struct.pack("<q", len(self.runs)))
+        for run in self.runs:
+            features = np.ascontiguousarray(run.features, dtype=np.float64)
+            digest.update(struct.pack("<qq", *features.shape))
+            digest.update(features.tobytes())
+            digest.update(struct.pack("<d", float(run.fail_time)))
+            if run.response_times is None:
+                digest.update(b"rt:none")
+            else:
+                rt = np.ascontiguousarray(run.response_times, dtype=np.float64)
+                digest.update(b"rt:")
+                digest.update(rt.tobytes())
+            for key in sorted(run.metadata):
+                digest.update(key.encode())
+                digest.update(struct.pack("<d", float(run.metadata[key])))
+        return digest.hexdigest()
+
     # -- serialization --------------------------------------------------------
 
     def save(self, path: "str | Path") -> None:
-        """Write the history to a ``.npz`` archive."""
+        """Write the history to a ``.npz`` archive.
+
+        The write is atomic (temp file + ``os.replace``): a crash mid-save
+        leaves either the previous complete file or none — never a
+        truncated archive that :meth:`load` would choke on.
+        """
         payload: dict[str, np.ndarray] = {"n_runs": np.array(len(self.runs))}
         for i, run in enumerate(self.runs):
             payload[f"run{i}_features"] = run.features
@@ -141,7 +178,11 @@ class DataHistory:
                 payload[f"run{i}_meta_vals"] = np.array(
                     [float(run.metadata[k]) for k in keys]
                 )
-        np.savez_compressed(path, **payload)
+        with atomic_writer(path) as tmp:
+            # Write through a file object so numpy cannot re-suffix the
+            # temporary name and break the atomic replace.
+            with tmp.open("wb") as fh:
+                np.savez_compressed(fh, **payload)
 
     @classmethod
     def load(cls, path: "str | Path") -> "DataHistory":

@@ -16,7 +16,7 @@ diagnostic.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import asdict, dataclass, field
 from typing import TYPE_CHECKING
 
 import numpy as np
@@ -26,6 +26,7 @@ from repro.core.history import DataHistory
 from repro.utils.rng import as_rng
 
 if TYPE_CHECKING:  # import kept lazy: repro.system imports repro.core
+    from repro.store.checkpoint import CampaignCheckpoint
     from repro.system.simulator import TestbedSimulator
 
 
@@ -101,12 +102,21 @@ class IncrementalCollector:
             return self.config.target_smae
         return self.config.target_smae_frac * history.mean_run_length
 
-    def collect(self, jobs: int = 1) -> IncrementalResult:
+    def collect(
+        self, jobs: int = 1, checkpoint: "CampaignCheckpoint | None" = None
+    ) -> IncrementalResult:
         """Run the incremental loop; always returns a final model set.
 
         ``jobs`` parallelizes each batch of runs and each model grid;
         the collected history and the learning curve are identical for
         any worker count (the batch generators are spawned up front).
+
+        With a :class:`~repro.store.CampaignCheckpoint`, the accumulated
+        history and learning-curve trace are persisted after every batch
+        and a killed collection resumes where it stopped: already-spawned
+        batch generators are skipped, so the resumed loop continues the
+        exact random streams an uninterrupted loop would have used. The
+        checkpoint is discarded on completion.
         """
         cfg = self.config
         rng = as_rng(cfg.seed)
@@ -116,9 +126,22 @@ class IncrementalCollector:
         result: F2PMResult | None = None
         target_met = False
 
-        while len(history) < cfg.max_runs:
+        if checkpoint is not None:
+            records, extra = checkpoint.load()
+            if records and len(records) % cfg.batch_runs == 0 and len(records) <= cfg.max_runs:
+                for record in records:
+                    history.add_run(record)
+                trace = [TracePoint(**point) for point in extra.get("trace", [])]
+                for _ in range(len(records) // cfg.batch_runs):
+                    rng.spawn(cfg.batch_runs)  # consume the resumed batches' spawns
+                if trace and trace[-1].best_smae <= trace[-1].target:
+                    target_met = True
+            elif records:
+                checkpoint.discard()  # batch-misaligned prefix: start clean
+
+        while not target_met and len(history) < cfg.max_runs:
             for record in self.simulator.run_many(
-                rng.spawn(cfg.batch_runs), jobs=jobs
+                rng.spawn(cfg.batch_runs), jobs=jobs, start_index=len(history)
             ):
                 history.add_run(record)
             result = framework.run(history, jobs=jobs)
@@ -133,11 +156,20 @@ class IncrementalCollector:
                     target=target,
                 )
             )
+            if checkpoint is not None:
+                checkpoint.save(
+                    list(history.runs),
+                    extra={"trace": [asdict(point) for point in trace]},
+                )
             if best.s_mae <= target:
                 target_met = True
-                break
 
-        assert result is not None  # max_runs >= batch_runs guarantees a pass
+        if result is None:
+            # Resumed at (or past) the stopping point: the restored trace
+            # already ends the loop, so rebuild only the final model set.
+            result = framework.run(history, jobs=jobs)
+        if checkpoint is not None:
+            checkpoint.discard()
         return IncrementalResult(
             history=history, final=result, trace=trace, target_met=target_met
         )

@@ -9,10 +9,21 @@ mismatched deployment fails loudly instead of predicting garbage.
 
 Pickle is the serialization (models are plain Python/numpy objects);
 the usual caveat applies — only load files you trust.
+
+On disk, an envelope is a small framed container::
+
+    F2PMENV1 | sha256(payload) | payload (pickle)
+
+written atomically (temp file + ``os.replace``), so a crash mid-save
+never publishes a torn file and :func:`load_model` verifies the
+checksum before unpickling — a truncated or bit-rotted envelope fails
+loudly instead of deserializing garbage. Headerless files from older
+package versions still load (a plain pickle fallback).
 """
 
 from __future__ import annotations
 
+import hashlib
 import pickle
 from dataclasses import dataclass
 from pathlib import Path
@@ -22,9 +33,15 @@ import numpy as np
 
 from repro._version import __version__
 from repro.ml.base import Regressor
+from repro.store.atomic import atomic_writer
 
 #: Envelope format version (bump on incompatible layout changes).
 FORMAT_VERSION = 1
+
+#: Container frame magic; the trailing digit versions the frame itself.
+MAGIC = b"F2PMENV1"
+
+_DIGEST_LEN = hashlib.sha256().digest_size
 
 
 @dataclass(frozen=True)
@@ -69,16 +86,33 @@ def save_model(
         metadata=dict(metadata or {}),
     )
     path = Path(path)
-    with path.open("wb") as fh:
-        pickle.dump(envelope, fh, protocol=pickle.HIGHEST_PROTOCOL)
+    payload = pickle.dumps(envelope, protocol=pickle.HIGHEST_PROTOCOL)
+    digest = hashlib.sha256(payload).digest()
+    with atomic_writer(path) as tmp:
+        tmp.write_bytes(MAGIC + digest + payload)
     return path
 
 
 def load_model(path: "str | Path") -> ModelEnvelope:
-    """Load a model envelope written by :func:`save_model`."""
+    """Load (and checksum-verify) an envelope written by :func:`save_model`."""
     path = Path(path)
-    with path.open("rb") as fh:
-        envelope = pickle.load(fh)
+    blob = path.read_bytes()
+    if blob.startswith(MAGIC):
+        digest = blob[len(MAGIC) : len(MAGIC) + _DIGEST_LEN]
+        payload = blob[len(MAGIC) + _DIGEST_LEN :]
+        if hashlib.sha256(payload).digest() != digest:
+            raise ValueError(
+                f"{path} is corrupt: checksum mismatch (truncated or damaged "
+                "model envelope)"
+            )
+    else:
+        payload = blob  # pre-frame envelope from an older package version
+    try:
+        envelope = pickle.loads(payload)
+    except Exception as exc:
+        raise ValueError(
+            f"{path} does not contain an F2PM model envelope: {exc}"
+        ) from exc
     if not isinstance(envelope, ModelEnvelope):
         raise ValueError(f"{path} does not contain an F2PM model envelope")
     if envelope.format_version > FORMAT_VERSION:

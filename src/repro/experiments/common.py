@@ -3,15 +3,22 @@
 The paper collected one week of monitoring data and derived every table
 and figure from it. Analogously, all drivers here share a single default
 campaign: 20 simulated runs of the TPC-W testbed under the shopping mix
-with request-coupled anomalies. The campaign is cached as ``.npz`` under
-``~/.cache/f2pm-repro`` (override with ``F2PM_CACHE_DIR``), keyed by the
-campaign parameters, so the first experiment pays the simulation cost and
-the rest load it in milliseconds.
+with request-coupled anomalies. The campaign persists through the
+content-addressed artifact store (:mod:`repro.store`) under
+``~/.cache/f2pm-repro`` (override with ``F2PM_CACHE_DIR``), keyed by a
+canonical fingerprint of the campaign parameters — so the first
+experiment pays the simulation cost (checkpointing every few runs in
+case it is killed) and the rest load the verified artifact in
+milliseconds. Concurrent cold-cache drivers cooperate on a file lock:
+one simulates, the others wait and load.
+
+``F2PM_DEFAULT_RUNS`` shrinks the shared campaign (CI uses a small one
+to exercise the cache cheaply); the cache key follows the config, so
+differently-sized campaigns never alias.
 """
 
 from __future__ import annotations
 
-import hashlib
 import os
 from pathlib import Path
 
@@ -23,29 +30,49 @@ from repro.core import (
     F2PMResult,
 )
 from repro.obs import build_manifest, get_logger, get_metrics, kv, write_manifest
+from repro.store import ArtifactStore, CampaignCheckpoint, fingerprint
 from repro.system import CampaignConfig, TestbedSimulator
 
 _log = get_logger("experiments.common")
 
 #: The campaign every experiment shares (the "one-week trace").
-DEFAULT_CAMPAIGN = CampaignConfig(n_runs=20, seed=7)
+DEFAULT_CAMPAIGN = CampaignConfig(
+    n_runs=int(os.environ.get("F2PM_DEFAULT_RUNS", "20") or "20"), seed=7
+)
 
 #: Aggregation window used by the experiments (seconds).
 EXPERIMENT_WINDOW = 30.0
 
+#: Cold-cache campaigns checkpoint their completed prefix this often.
+CHECKPOINT_EVERY = 5
+
 
 def cache_dir() -> Path:
     """Resolve (and create) the on-disk cache directory."""
-    root = os.environ.get("F2PM_CACHE_DIR")
-    path = Path(root) if root else Path.home() / ".cache" / "f2pm-repro"
-    path.mkdir(parents=True, exist_ok=True)
+    path = ArtifactStore().root  # honors F2PM_CACHE_DIR
     return path
 
 
+def get_store() -> ArtifactStore:
+    """The experiment artifact store (re-resolved per call, so tests can
+    repoint ``F2PM_CACHE_DIR`` freely)."""
+    return ArtifactStore()
+
+
+def _campaign_fingerprint(config: CampaignConfig) -> str:
+    """Full canonical fingerprint of the campaign parameters.
+
+    Derived from the explicitly enumerated, canonically encoded config
+    fields (:mod:`repro.store.keys`) — never from ``repr()``, so float
+    repr changes and dataclass field additions alter the key only when
+    they alter the *content* of the config.
+    """
+    return fingerprint("campaign", config)
+
+
 def _campaign_key(config: CampaignConfig) -> str:
-    """Deterministic cache key from the campaign parameters."""
-    digest = hashlib.sha256(repr(config).encode()).hexdigest()[:16]
-    return f"history_{digest}"
+    """Deterministic artifact name for a campaign's history."""
+    return f"history_{_campaign_fingerprint(config)[:16]}"
 
 
 _HISTORY_MEMO: dict[str, DataHistory] = {}
@@ -56,26 +83,45 @@ def default_history(
 ) -> DataHistory:
     """The shared monitoring campaign (simulate once, then load).
 
-    With ``use_cache`` the result is memoized both in-process and on disk,
-    so every driver in one process sees the *same object* (which also lets
-    :func:`run_f2pm_cached` share one F2PM execution across tables).
-    ``jobs`` parallelizes a cache-miss simulation; the campaign is
-    deterministic for any worker count, so the cache key needs no
-    ``jobs`` component.
+    With ``use_cache`` the result is memoized both in-process and in the
+    artifact store, so every driver in one process sees the *same
+    object* (which also lets :func:`run_f2pm_cached` share one F2PM
+    execution across tables). ``jobs`` parallelizes a cache-miss
+    simulation; the campaign is deterministic for any worker count, so
+    the cache key needs no ``jobs`` component.
     """
     config = config or DEFAULT_CAMPAIGN
     key = _campaign_key(config)
     if use_cache and key in _HISTORY_MEMO:
         return _HISTORY_MEMO[key]
-    path = cache_dir() / f"{key}.npz"
-    if use_cache and path.exists():
-        history = DataHistory.load(path)
-        _HISTORY_MEMO[key] = history
-        return history
-    history = TestbedSimulator(config).run_campaign(jobs=jobs)
-    if use_cache:
-        history.save(path)
-        _HISTORY_MEMO[key] = history
+    if not use_cache:
+        return TestbedSimulator(config).run_campaign(jobs=jobs)
+
+    store = get_store()
+    full_fp = _campaign_fingerprint(config)
+    checkpoint = CampaignCheckpoint(
+        store.path(f"{key}.ckpt.npz"), key=full_fp, total_runs=config.n_runs
+    )
+
+    def produce() -> DataHistory:
+        return TestbedSimulator(config).run_campaign(
+            jobs=jobs, checkpoint=checkpoint, checkpoint_every=CHECKPOINT_EVERY
+        )
+
+    history, produced = store.get_or_produce(
+        f"{key}.npz",
+        produce,
+        save=lambda h, path: h.save(path),
+        load=DataHistory.load,
+        kind="history",
+        fingerprint=full_fp,
+    )
+    _log.info(
+        "campaign %s %s",
+        "simulated" if produced else "loaded",
+        kv(key=key, runs=len(history)),
+    )
+    _HISTORY_MEMO[key] = history
     return history
 
 
@@ -89,21 +135,30 @@ def default_f2pm_config() -> F2PMConfig:
     )
 
 
-_F2PM_MEMO: dict[int, F2PMResult] = {}
+_F2PM_MEMO: dict[tuple[str, str], F2PMResult] = {}
 
 
 def run_f2pm_cached(history: DataHistory | None = None, jobs: int = 1) -> F2PMResult:
-    """Run F2PM once per process per history object (Tables II-IV and
-    Fig. 5 all read the same execution, as in the paper).
+    """Run F2PM once per process per (history content, config) pair
+    (Tables II-IV and Fig. 5 all read the same execution, as in the
+    paper).
 
-    ``jobs`` parallelizes the model grid on a memo miss; error metrics
-    are worker-count-invariant, so the memo stays valid either way.
+    The memo is keyed by the history's content fingerprint plus the
+    F2PM config fingerprint — never by ``id()``, which a garbage
+    collector could alias to a different campaign occupying the same
+    address. ``jobs`` parallelizes the model grid on a memo miss; error
+    metrics are worker-count-invariant, so the memo stays valid either
+    way.
     """
     if history is None:
         history = default_history(jobs=jobs)
-    key = id(history)
+    config = default_f2pm_config()
+    key = (history.content_fingerprint(), fingerprint("f2pm-config", config))
     if key not in _F2PM_MEMO:
-        _F2PM_MEMO[key] = F2PM(default_f2pm_config()).run(history, jobs=jobs)
+        get_metrics().inc("experiments.f2pm_memo_misses_total")
+        _F2PM_MEMO[key] = F2PM(config).run(history, jobs=jobs)
+    else:
+        get_metrics().inc("experiments.f2pm_memo_hits_total")
     return _F2PM_MEMO[key]
 
 
@@ -148,7 +203,7 @@ def write_driver_manifest(
     """Persist a driver manifest next to the campaign outputs.
 
     Defaults to the experiment cache directory (where the shared
-    campaign ``.npz`` lives), so every artefact's provenance sits beside
+    campaign artifact lives), so every artefact's provenance sits beside
     the data it was derived from.
     """
     target = Path(directory) if directory is not None else cache_dir()

@@ -26,6 +26,7 @@ from repro.obs.logs import get_logger
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (simulator imports us)
     from repro.core.history import RunRecord
+    from repro.store.checkpoint import CampaignCheckpoint
     from repro.system.simulator import TestbedSimulator
 
 _log = get_logger("parallel.campaign")
@@ -54,11 +55,14 @@ def run_campaign_parallel(
     rngs: "list[np.random.Generator]",
     *,
     jobs: int,
+    start_index: int = 0,
 ) -> "list[RunRecord]":
     """Execute one pre-seeded run per generator on ``jobs`` processes.
 
     Called by :meth:`TestbedSimulator.run_many` with the campaign span
     already open, so the merged per-run spans land under it.
+    ``start_index`` offsets the telemetry run indices when the batch is
+    a resumed or checkpointed slice of a larger campaign.
     """
     from repro.obs import get_metrics, get_tracer
 
@@ -66,7 +70,7 @@ def run_campaign_parallel(
     registry = get_metrics()
     payloads = [
         {
-            "index": i,
+            "index": start_index + i,
             "config": simulator.config,
             "failure_condition": simulator.failure_condition,
             "rng": rng,
@@ -79,7 +83,7 @@ def run_campaign_parallel(
         _campaign_task,
         payloads,
         jobs=jobs,
-        labels=[f"campaign run {i}" for i in range(len(payloads))],
+        labels=[f"campaign run {start_index + i}" for i in range(len(payloads))],
     )
     records: "list[RunRecord]" = []
     for i, (record, task_telemetry) in enumerate(outcomes):
@@ -88,10 +92,42 @@ def run_campaign_parallel(
         _log.info(
             "run complete %s",
             kv(
-                run=i,
+                run=start_index + i,
                 datapoints=record.n_datapoints,
                 fail_time=record.fail_time,
                 crashed=bool(record.metadata.get("crashed", 0.0)),
             ),
         )
+    return records
+
+
+def run_campaign_checkpointed(
+    simulator: "TestbedSimulator",
+    rngs: "list[np.random.Generator]",
+    *,
+    done: "list[RunRecord]",
+    checkpoint: "CampaignCheckpoint",
+    every: int,
+    jobs: int,
+) -> "list[RunRecord]":
+    """Execute the remaining runs in chunks of ``every``, persisting the
+    completed prefix after each chunk.
+
+    ``done`` is the already-resumed prefix (its generators were spawned
+    and skipped by the caller). Chunking does not perturb determinism:
+    each run's stream comes from its own pre-spawned generator, so the
+    concatenation of prefix + chunks is bit-identical to one
+    uninterrupted dispatch. A killed process loses at most ``every - 1``
+    completed runs of work.
+    """
+    if every < 1:
+        raise ValueError(f"checkpoint interval must be >= 1, got {every}")
+    records: "list[RunRecord]" = []
+    for start in range(0, len(rngs), every):
+        chunk = rngs[start : start + every]
+        records.extend(
+            simulator.run_many(chunk, jobs=jobs, start_index=len(done) + start)
+        )
+        if start + every < len(rngs):  # final chunk completes the campaign
+            checkpoint.save(done + records)
     return records

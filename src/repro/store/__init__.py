@@ -1,0 +1,71 @@
+"""``repro.store`` — content-addressed, crash-safe artifact persistence.
+
+The single persistence path for everything the reproduction caches:
+campaign histories, aggregated datasets, fitted-model envelopes, and
+in-flight campaign checkpoints. Four cooperating pieces:
+
+:mod:`repro.store.keys`
+    Canonical, versioned config fingerprints (no ``repr()``, no ``id()``):
+    float-hex encoding, dataclass default elision, an explicit
+    :data:`~repro.store.keys.KEY_SCHEMA_VERSION`.
+:mod:`repro.store.atomic`
+    ``tmp + fsync + os.replace`` atomic writes and streaming sha256 —
+    a ``kill -9`` can never publish a torn file.
+:mod:`repro.store.lock`
+    Advisory per-entry file locks so concurrent cold-cache drivers
+    cooperate (one produces, the rest wait and load).
+:mod:`repro.store.store`
+    :class:`ArtifactStore`: verified reads (checksum + store version),
+    corrupt-entry eviction and re-production, ``ls``/``info``/``gc``/
+    ``clear`` maintenance surfaced as ``f2pm cache`` subcommands.
+:mod:`repro.store.checkpoint`
+    :class:`CampaignCheckpoint`: every-K-runs campaign persistence so a
+    killed driver resumes bit-identically instead of restarting.
+
+See ``docs/CACHING.md`` for the key scheme and the on-disk layout.
+"""
+
+from repro.store.atomic import (
+    atomic_write_bytes,
+    atomic_write_text,
+    atomic_writer,
+    sha256_file,
+)
+from repro.store.checkpoint import CampaignCheckpoint
+from repro.store.keys import (
+    KEY_SCHEMA_VERSION,
+    canonical,
+    canonical_json,
+    fingerprint,
+    short_fingerprint,
+)
+from repro.store.lock import FileLock, LockTimeout
+from repro.store.store import (
+    STORE_VERSION,
+    ArtifactStore,
+    EntryInfo,
+    GCReport,
+    StoreCorruption,
+    default_store_root,
+)
+
+__all__ = [
+    "ArtifactStore",
+    "CampaignCheckpoint",
+    "EntryInfo",
+    "FileLock",
+    "GCReport",
+    "KEY_SCHEMA_VERSION",
+    "LockTimeout",
+    "STORE_VERSION",
+    "StoreCorruption",
+    "atomic_write_bytes",
+    "atomic_write_text",
+    "atomic_writer",
+    "canonical",
+    "canonical_json",
+    "default_store_root",
+    "fingerprint",
+    "sha256_file",
+    "short_fingerprint",
+]

@@ -1,0 +1,104 @@
+"""Atomic file writes and checksums — the crash-safety primitives.
+
+Every persistence path in the package (histories, model envelopes,
+aggregated datasets, checkpoints, store metadata) funnels through
+:func:`atomic_writer`: content is written to a uniquely-named temporary
+file in the *same directory* as the target, fsynced, and published with
+``os.replace`` — which is atomic on POSIX and Windows. A crash (or
+``kill -9``) at any instant therefore leaves either the old file, no
+file, or the complete new file — never a torn one. Leftover temporaries
+carry a ``.tmp`` marker in their name so the store's ``gc`` can sweep
+them.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import uuid
+from contextlib import contextmanager
+from pathlib import Path
+from typing import Iterator
+
+
+def _tmp_path_for(path: Path) -> Path:
+    # Keep the final suffix so extension-sniffing writers (np.savez
+    # appends ``.npz`` to names lacking it) write exactly where asked.
+    token = f"{os.getpid():x}-{uuid.uuid4().hex[:8]}"
+    return path.with_name(f"{path.stem}.{token}.tmp{path.suffix}")
+
+
+def is_tmp_file(path: "Path | str") -> bool:
+    """Whether *path* is an unpublished temporary from :func:`atomic_writer`."""
+    name = Path(path).name
+    return ".tmp" in Path(name).suffixes or name.endswith(".tmp")
+
+
+def _fsync_path(path: Path) -> None:
+    fd = os.open(path, os.O_RDONLY)
+    try:
+        os.fsync(fd)
+    finally:
+        os.close(fd)
+
+
+def _fsync_dir(path: Path) -> None:
+    try:
+        fd = os.open(path, os.O_RDONLY)
+    except OSError:  # pragma: no cover - platform without dir fds
+        return
+    try:
+        os.fsync(fd)
+    except OSError:  # pragma: no cover - fs without dir fsync
+        pass
+    finally:
+        os.close(fd)
+
+
+@contextmanager
+def atomic_writer(path: "str | Path") -> Iterator[Path]:
+    """Yield a temporary path; publish it to *path* atomically on success.
+
+    The body writes the complete content to the yielded path. If it
+    raises (or the process dies), the target is untouched and the
+    temporary is removed (or swept later by ``gc``). On success the
+    content is fsynced and ``os.replace``d into place.
+    """
+    path = Path(path)
+    tmp = _tmp_path_for(path)
+    try:
+        yield tmp
+        if not tmp.exists():
+            raise FileNotFoundError(
+                f"atomic_writer body did not write the temporary file {tmp}"
+            )
+        _fsync_path(tmp)
+        os.replace(tmp, path)
+        _fsync_dir(path.parent)
+    finally:
+        tmp.unlink(missing_ok=True)
+
+
+def atomic_write_bytes(path: "str | Path", data: bytes) -> Path:
+    """Atomically write *data* to *path*; returns the written path."""
+    path = Path(path)
+    with atomic_writer(path) as tmp:
+        tmp.write_bytes(data)
+    return path
+
+
+def atomic_write_text(path: "str | Path", text: str) -> Path:
+    """Atomically write *text* (UTF-8) to *path*; returns the written path."""
+    return atomic_write_bytes(path, text.encode())
+
+
+def sha256_file(path: "str | Path", chunk_size: int = 1 << 20) -> str:
+    """Streaming sha256 of a file's content (hex digest)."""
+    digest = hashlib.sha256()
+    with Path(path).open("rb") as fh:
+        while True:
+            block = fh.read(chunk_size)
+            if not block:
+                break
+            digest.update(block)
+    return digest.hexdigest()

@@ -1,0 +1,116 @@
+"""Advisory file locking for cooperative cold-cache production.
+
+Two drivers racing a cold cache used to both simulate the campaign and
+both write the artifact — last-writer-wins, with a torn file if the
+writes interleaved. :class:`FileLock` serializes producers: the first
+process takes an exclusive ``flock`` on a sidecar lock file, simulates,
+and publishes; the others block on the lock, then find the artifact
+present and simply load it.
+
+``flock`` locks die with their holder, so a crashed producer never
+wedges the cache — the next acquirer just wins the lock. On platforms
+without :mod:`fcntl` a create-exclusive spin lock with stale-file
+breaking is used instead.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from pathlib import Path
+
+try:  # POSIX
+    import fcntl
+except ImportError:  # pragma: no cover - non-POSIX fallback
+    fcntl = None  # type: ignore[assignment]
+
+
+class LockTimeout(TimeoutError):
+    """Could not acquire the lock within the configured timeout."""
+
+
+class FileLock:
+    """Advisory, blocking, inter-process file lock (context manager).
+
+    Attributes ``waited`` / ``wait_seconds`` report (after acquisition)
+    whether the lock was contended and for how long — the store feeds
+    them into the ``store.lock_waits_total`` / ``store.lock_wait_seconds``
+    metrics.
+    """
+
+    def __init__(
+        self,
+        path: "str | Path",
+        *,
+        timeout: float = 600.0,
+        poll_interval: float = 0.05,
+    ) -> None:
+        self.path = Path(path)
+        self.timeout = timeout
+        self.poll_interval = poll_interval
+        self.waited = False
+        self.wait_seconds = 0.0
+        self._fd: "int | None" = None
+
+    # -- acquisition ----------------------------------------------------------
+
+    def _try_acquire(self) -> bool:
+        if fcntl is not None:
+            fd = os.open(self.path, os.O_RDWR | os.O_CREAT, 0o644)
+            try:
+                fcntl.flock(fd, fcntl.LOCK_EX | fcntl.LOCK_NB)
+            except OSError:
+                os.close(fd)
+                return False
+            self._fd = fd
+            return True
+        return self._try_acquire_exclusive_create()
+
+    def _try_acquire_exclusive_create(self) -> bool:  # pragma: no cover - fallback
+        try:
+            fd = os.open(self.path, os.O_WRONLY | os.O_CREAT | os.O_EXCL, 0o644)
+        except FileExistsError:
+            # Break locks whose holder died without fcntl cleanup.
+            try:
+                age = time.time() - self.path.stat().st_mtime
+                if age > max(2 * self.timeout, 60.0):
+                    self.path.unlink(missing_ok=True)
+            except OSError:
+                pass
+            return False
+        os.write(fd, str(os.getpid()).encode())
+        self._fd = fd
+        return True
+
+    def acquire(self) -> "FileLock":
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        start = time.monotonic()
+        while True:
+            if self._try_acquire():
+                self.wait_seconds = time.monotonic() - start
+                self.waited = self.wait_seconds >= self.poll_interval
+                return self
+            if time.monotonic() - start > self.timeout:
+                raise LockTimeout(
+                    f"could not acquire {self.path} within {self.timeout:.0f}s"
+                )
+            time.sleep(self.poll_interval)
+
+    def release(self) -> None:
+        if self._fd is None:
+            return
+        if fcntl is not None:
+            try:
+                fcntl.flock(self._fd, fcntl.LOCK_UN)
+            except OSError:  # pragma: no cover - already gone
+                pass
+        else:  # pragma: no cover - fallback
+            self.path.unlink(missing_ok=True)
+        os.close(self._fd)
+        self._fd = None
+
+    def __enter__(self) -> "FileLock":
+        return self.acquire()
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.release()

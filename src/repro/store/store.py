@@ -1,0 +1,362 @@
+"""The content-addressed artifact store (``repro.store``).
+
+One directory of named artifacts, each a payload file published
+atomically (:mod:`repro.store.atomic`) plus a ``.meta.json`` sidecar
+recording the store version, the producing config's fingerprint
+(:mod:`repro.store.keys`) and the payload's sha256. Loads verify the
+checksum; anything that fails verification — truncated payload, missing
+sidecar, version from the future, checksum mismatch — surfaces as
+:class:`StoreCorruption` and, on the :meth:`ArtifactStore.get_or_produce`
+path, turns into a logged re-production instead of silent garbage.
+
+Concurrency: producers serialize on an advisory per-entry file lock
+(:mod:`repro.store.lock`), so two cold-cache drivers cooperate — one
+simulates, the other waits and loads the published artifact.
+
+Metrics (via :mod:`repro.obs`): ``store.hits_total``,
+``store.misses_total``, ``store.corrupt_total``, ``store.lock_waits_total``
+counters and a ``store.lock_wait_seconds`` histogram.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Callable, TypeVar
+
+from repro._version import __version__
+from repro.obs import get_logger, get_metrics, kv
+from repro.store.atomic import (
+    atomic_write_text,
+    atomic_writer,
+    is_tmp_file,
+    sha256_file,
+)
+from repro.store.lock import FileLock
+
+_log = get_logger("store")
+
+T = TypeVar("T")
+
+#: On-disk layout version; entries written by a newer store are refused.
+STORE_VERSION = 1
+
+META_SUFFIX = ".meta.json"
+LOCK_DIR = "locks"
+
+
+class StoreCorruption(RuntimeError):
+    """An artifact failed verification (torn write, bit rot, bad meta)."""
+
+
+def default_store_root() -> Path:
+    """Resolve the store root: ``$F2PM_CACHE_DIR`` or ``~/.cache/f2pm-repro``."""
+    root = os.environ.get("F2PM_CACHE_DIR")
+    return Path(root) if root else Path.home() / ".cache" / "f2pm-repro"
+
+
+@dataclass(frozen=True)
+class EntryInfo:
+    """One artifact as seen by ``ls``/``info``."""
+
+    name: str
+    path: Path
+    kind: str
+    size_bytes: int
+    sha256: str
+    fingerprint: "str | None"
+    store_version: int
+    created_unix: float
+    ok: bool
+    detail: str = ""
+
+
+@dataclass(frozen=True)
+class GCReport:
+    """What a :meth:`ArtifactStore.gc` pass removed."""
+
+    removed: tuple[str, ...]
+    freed_bytes: int
+
+
+class ArtifactStore:
+    """Content-addressed, crash-safe artifact persistence."""
+
+    def __init__(self, root: "str | Path | None" = None) -> None:
+        self.root = Path(root) if root is not None else default_store_root()
+        self.root.mkdir(parents=True, exist_ok=True)
+
+    # -- paths ----------------------------------------------------------------
+
+    def path(self, name: str) -> Path:
+        """Payload path of entry *name* (existing or not)."""
+        if "/" in name or name.startswith("."):
+            raise ValueError(f"invalid artifact name {name!r}")
+        return self.root / name
+
+    def _meta_path(self, name: str) -> Path:
+        return self.root / f"{name}{META_SUFFIX}"
+
+    def _lock_path(self, name: str) -> Path:
+        return self.root / LOCK_DIR / f"{name}.lock"
+
+    # -- writing --------------------------------------------------------------
+
+    def write(
+        self,
+        name: str,
+        writer: Callable[[Path], None],
+        *,
+        kind: str,
+        fingerprint: "str | None" = None,
+        extra: "dict | None" = None,
+    ) -> Path:
+        """Publish an entry: *writer* fills a temp path, then the payload is
+        checksummed and atomically replaced, then the meta sidecar follows.
+
+        A crash between payload and sidecar leaves a payload without
+        meta — which verification treats as corrupt, so readers re-produce.
+        """
+        payload = self.path(name)
+        with atomic_writer(payload) as tmp:
+            writer(tmp)
+            digest = sha256_file(tmp)
+            size = tmp.stat().st_size
+        meta = {
+            "store_version": STORE_VERSION,
+            "kind": kind,
+            "sha256": digest,
+            "size_bytes": size,
+            "fingerprint": fingerprint,
+            "created_unix": time.time(),
+            "package_version": __version__,
+            "extra": extra or {},
+        }
+        atomic_write_text(self._meta_path(name), json.dumps(meta, indent=2) + "\n")
+        _log.info("store write %s", kv(name=name, kind=kind, bytes=size))
+        return payload
+
+    # -- verification and reading ---------------------------------------------
+
+    def read_meta(self, name: str) -> dict:
+        """Parse the meta sidecar; :class:`StoreCorruption` if unusable."""
+        meta_path = self._meta_path(name)
+        if not meta_path.exists():
+            raise StoreCorruption(f"{name}: payload present but meta sidecar missing")
+        try:
+            meta = json.loads(meta_path.read_text())
+        except (OSError, ValueError) as exc:
+            raise StoreCorruption(f"{name}: unreadable meta sidecar: {exc}") from exc
+        if not isinstance(meta, dict) or "sha256" not in meta:
+            raise StoreCorruption(f"{name}: malformed meta sidecar")
+        version = int(meta.get("store_version", -1))
+        if version > STORE_VERSION:
+            raise StoreCorruption(
+                f"{name}: written by store version {version}, "
+                f"this package supports up to {STORE_VERSION}"
+            )
+        return meta
+
+    def verify(self, name: str) -> dict:
+        """Verify entry *name* end to end; returns its meta.
+
+        Raises :class:`FileNotFoundError` for a clean miss and
+        :class:`StoreCorruption` for anything present but untrustworthy.
+        """
+        payload = self.path(name)
+        if not payload.exists():
+            if self._meta_path(name).exists():
+                raise StoreCorruption(f"{name}: meta sidecar without payload")
+            raise FileNotFoundError(name)
+        meta = self.read_meta(name)
+        digest = sha256_file(payload)
+        if digest != meta["sha256"]:
+            raise StoreCorruption(
+                f"{name}: checksum mismatch (expected {meta['sha256'][:12]}…, "
+                f"found {digest[:12]}…) — torn write or bit rot"
+            )
+        return meta
+
+    def fetch(self, name: str, loader: Callable[[Path], T]) -> T:
+        """Verify then load entry *name*; loader failures count as corruption."""
+        self.verify(name)
+        try:
+            return loader(self.path(name))
+        except Exception as exc:
+            raise StoreCorruption(f"{name}: payload failed to load: {exc}") from exc
+
+    def contains(self, name: str) -> bool:
+        """Whether a *verified* entry named *name* exists."""
+        try:
+            self.verify(name)
+            return True
+        except (FileNotFoundError, StoreCorruption):
+            return False
+
+    # -- the cache protocol ----------------------------------------------------
+
+    def get_or_produce(
+        self,
+        name: str,
+        produce: Callable[[], T],
+        save: Callable[[T, Path], None],
+        load: Callable[[Path], T],
+        *,
+        kind: str,
+        fingerprint: "str | None" = None,
+        lock_timeout: float = 600.0,
+    ) -> tuple[T, bool]:
+        """Load entry *name*, or produce-and-publish it exactly once.
+
+        Returns ``(value, produced)``. Cold-cache races cooperate via the
+        per-entry advisory lock: the first acquirer produces, the rest
+        block and then load the published artifact. A corrupt entry is
+        evicted and re-produced (logged, counted) rather than raised.
+        """
+        metrics = get_metrics()
+        try:
+            value = self.fetch(name, load)
+            metrics.inc("store.hits_total")
+            return value, False
+        except FileNotFoundError:
+            metrics.inc("store.misses_total")
+        except StoreCorruption as exc:
+            metrics.inc("store.corrupt_total")
+            _log.warning("store corrupt entry, re-producing %s", kv(name=name, error=str(exc)))
+            self.evict(name)
+            metrics.inc("store.misses_total")
+
+        lock = FileLock(self._lock_path(name), timeout=lock_timeout)
+        with lock:
+            if lock.waited:
+                metrics.inc("store.lock_waits_total")
+                metrics.observe("store.lock_wait_seconds", lock.wait_seconds)
+                _log.info(
+                    "store lock wait %s",
+                    kv(name=name, seconds=round(lock.wait_seconds, 3)),
+                )
+            # Another producer may have published while we waited.
+            try:
+                value = self.fetch(name, load)
+                metrics.inc("store.hits_total")
+                return value, False
+            except FileNotFoundError:
+                pass
+            except StoreCorruption as exc:
+                metrics.inc("store.corrupt_total")
+                _log.warning(
+                    "store corrupt entry under lock, re-producing %s",
+                    kv(name=name, error=str(exc)),
+                )
+                self.evict(name)
+            value = produce()
+            self.write(name, lambda p: save(value, p), kind=kind, fingerprint=fingerprint)
+            return value, True
+
+    # -- maintenance -----------------------------------------------------------
+
+    def _entry_names(self) -> list[str]:
+        # Entries are defined by their meta sidecars: the store never
+        # claims (or garbage-collects) foreign files that happen to live
+        # in the cache directory, e.g. driver manifests. A payload whose
+        # sidecar was lost to a crash is simply re-produced on next use.
+        return [
+            p.name[: -len(META_SUFFIX)]
+            for p in sorted(self.root.glob(f"*{META_SUFFIX}"))
+        ]
+
+    def entries(self) -> list[EntryInfo]:
+        """Inventory every store entry, verifying each."""
+        rows: list[EntryInfo] = []
+        for name in self._entry_names():
+            payload = self.path(name)
+            size = payload.stat().st_size if payload.exists() else 0
+            try:
+                meta = self.verify(name)
+                rows.append(
+                    EntryInfo(
+                        name=name,
+                        path=payload,
+                        kind=str(meta.get("kind", "?")),
+                        size_bytes=size,
+                        sha256=str(meta["sha256"]),
+                        fingerprint=meta.get("fingerprint"),
+                        store_version=int(meta.get("store_version", -1)),
+                        created_unix=float(meta.get("created_unix", 0.0)),
+                        ok=True,
+                    )
+                )
+            except StoreCorruption as exc:
+                rows.append(
+                    EntryInfo(
+                        name=name,
+                        path=payload,
+                        kind="?",
+                        size_bytes=size,
+                        sha256="",
+                        fingerprint=None,
+                        store_version=-1,
+                        created_unix=0.0,
+                        ok=False,
+                        detail=str(exc),
+                    )
+                )
+        return rows
+
+    def info(self, name: str) -> EntryInfo:
+        """Verified :class:`EntryInfo` for one entry (corrupt entries too)."""
+        for entry in self.entries():
+            if entry.name == name:
+                return entry
+        raise FileNotFoundError(name)
+
+    def evict(self, name: str) -> None:
+        """Remove one entry (payload + sidecar), tolerating partial state."""
+        self.path(name).unlink(missing_ok=True)
+        self._meta_path(name).unlink(missing_ok=True)
+
+    def gc(self) -> GCReport:
+        """Sweep unpublished temporaries, corrupt entries, orphan sidecars."""
+        removed: list[str] = []
+        freed = 0
+
+        def _rm(path: Path) -> None:
+            nonlocal freed
+            try:
+                freed += path.stat().st_size
+                path.unlink()
+                removed.append(path.name)
+            except OSError:  # pragma: no cover - raced by another gc
+                pass
+
+        for p in sorted(self.root.iterdir()):
+            if p.is_file() and is_tmp_file(p):
+                _rm(p)
+        for entry in self.entries():
+            if not entry.ok:
+                meta = self._meta_path(entry.name)
+                _rm(entry.path)
+                if meta.exists():
+                    _rm(meta)
+        if removed:
+            _log.info("store gc %s", kv(removed=len(removed), bytes=freed))
+        return GCReport(removed=tuple(removed), freed_bytes=freed)
+
+    def clear(self) -> int:
+        """Remove every entry, sidecar, temporary, and lock; returns count."""
+        count = 0
+        for p in sorted(self.root.iterdir()):
+            if p.is_file():
+                p.unlink(missing_ok=True)
+                count += 1
+        lock_dir = self.root / LOCK_DIR
+        if lock_dir.is_dir():
+            for p in sorted(lock_dir.iterdir()):
+                p.unlink(missing_ok=True)
+                count += 1
+            lock_dir.rmdir()
+        _log.info("store cleared %s", kv(root=str(self.root), files=count))
+        return count

@@ -18,6 +18,7 @@ simulates in seconds. The loop advances in fixed ticks:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 import numpy as np
 
@@ -36,6 +37,9 @@ from repro.system.server import AppServer, ServerConfig
 from repro.system.tpcw import SHOPPING_MIX, EmulatedBrowserPool, TPCWMix
 from repro.obs import get_logger, get_metrics, kv, span
 from repro.utils.rng import as_rng
+
+if TYPE_CHECKING:  # pragma: no cover - checkpointing is optional plumbing
+    from repro.store.checkpoint import CampaignCheckpoint
 
 _log = get_logger("system.simulator")
 
@@ -214,7 +218,7 @@ class TestbedSimulator:
         )
 
     def run_many(
-        self, rngs: "list[np.random.Generator]", *, jobs: int = 1
+        self, rngs: "list[np.random.Generator]", *, jobs: int = 1, start_index: int = 0
     ) -> list[RunRecord]:
         """Simulate one run per (pre-spawned) generator.
 
@@ -223,15 +227,19 @@ class TestbedSimulator:
         generator was spawned before dispatch the records are
         bit-identical for any worker count. ``jobs=1`` is the in-process
         serial path (no :mod:`concurrent.futures` involvement at all).
+        ``start_index`` only offsets telemetry run indices (resumed or
+        chunked campaigns).
         """
         if jobs < 1:
             raise ValueError(f"jobs must be >= 1, got {jobs}")
         if jobs > 1 and len(rngs) > 1:
             from repro.parallel.campaign import run_campaign_parallel
 
-            return run_campaign_parallel(self, list(rngs), jobs=jobs)
+            return run_campaign_parallel(
+                self, list(rngs), jobs=jobs, start_index=start_index
+            )
         records: list[RunRecord] = []
-        for i, run_rng in enumerate(rngs):
+        for i, run_rng in enumerate(rngs, start=start_index):
             with span("simulate.run", index=i) as run_sp:
                 record = self.run_once(run_rng)
                 run_sp.set(
@@ -251,27 +259,61 @@ class TestbedSimulator:
             )
         return records
 
-    def run_campaign(self, jobs: int = 1) -> DataHistory:
+    def run_campaign(
+        self,
+        jobs: int = 1,
+        *,
+        checkpoint: "CampaignCheckpoint | None" = None,
+        checkpoint_every: int = 8,
+    ) -> DataHistory:
         """Simulate ``n_runs`` restart cycles (the week-long experiment).
 
         ``jobs`` workers execute the runs concurrently; the returned
         history (and the merged metrics/spans) is identical for any
         worker count — see ``docs/PARALLELISM.md``.
+
+        With a :class:`~repro.store.CampaignCheckpoint`, the completed
+        prefix is persisted every ``checkpoint_every`` runs and a killed
+        campaign resumes from it — bit-identically, because every run's
+        stream is pre-spawned from the campaign seed regardless of where
+        the resume happened. The checkpoint is discarded on completion.
         """
         rngs = as_rng(self.config.seed).spawn(self.config.n_runs)
+        done: list[RunRecord] = []
+        if checkpoint is not None:
+            done, _ = checkpoint.load()
         history = DataHistory()
         with span(
             "simulate.campaign",
             runs=self.config.n_runs,
             seed=self.config.seed,
             jobs=jobs,
+            resumed_runs=len(done),
         ) as sp:
-            for record in self.run_many(rngs, jobs=jobs):
+            for record in done:
+                history.add_run(record)
+            remaining = rngs[len(done) :]
+            if checkpoint is None:
+                new = self.run_many(remaining, jobs=jobs)
+            else:
+                from repro.parallel.campaign import run_campaign_checkpointed
+
+                new = run_campaign_checkpointed(
+                    self,
+                    remaining,
+                    done=done,
+                    checkpoint=checkpoint,
+                    every=checkpoint_every,
+                    jobs=jobs,
+                )
+            for record in new:
                 history.add_run(record)
             sp.set(
                 datapoints=history.n_datapoints,
                 mean_run_length=history.mean_run_length,
             )
+        if checkpoint is not None:
+            checkpoint.discard()
         _log.info(
             "campaign complete %s",
             kv(

@@ -137,3 +137,59 @@ class TestAggregateHistory:
     def test_no_nans(self, dataset):
         assert np.isfinite(dataset.X).all()
         assert np.isfinite(dataset.y).all()
+
+
+class TestSingleUniqueRegression:
+    """The segment boundaries are now computed by ONE ``np.unique`` call
+    and shared across every reduction; the output must stay bit-identical
+    to the original formulation that re-derived them three times."""
+
+    @staticmethod
+    def reference_aggregate_run(run, config):
+        # The pre-optimization implementation, kept verbatim as an oracle.
+        feats = run.features
+        tgen = feats[:, 0]
+        n_raw = feats.shape[0]
+        intervals = np.empty(n_raw)
+        intervals[0] = tgen[0]
+        np.subtract(tgen[1:], tgen[:-1], out=intervals[1:])
+
+        bins = np.floor_divide(tgen, config.window_seconds).astype(np.int64)
+        _, starts0, counts0 = np.unique(bins, return_index=True, return_counts=True)
+        keep = counts0 >= config.min_points
+        starts, counts = starts0[keep], counts0[keep]
+        if starts.size == 0:
+            return np.empty((0, len(AGGREGATED_FEATURES))), np.empty(0)
+        ends = starts + counts - 1
+
+        _, starts1 = np.unique(bins, return_index=True)
+        sums = np.add.reduceat(feats, starts1, axis=0)[keep]
+        means = sums / counts[:, None]
+        slopes = (feats[ends, 1:] - feats[starts, 1:]) / counts[:, None]
+        _, starts2 = np.unique(bins, return_index=True)
+        gen_sums = np.add.reduceat(intervals, starts2)
+        gen_time = (gen_sums[keep] / counts)[:, None]
+
+        X = np.hstack([means, slopes, gen_time])
+        rttf = run.fail_time - means[:, 0]
+        return X, rttf
+
+    @pytest.mark.parametrize("window,min_points", [(30.0, 1), (60.0, 2), (7.5, 3)])
+    def test_bit_identical_to_reference(self, history, window, min_points):
+        config = AggregationConfig(window_seconds=window, min_points=min_points)
+        for run in history:
+            X, rttf = aggregate_run(run, config)
+            X_ref, rttf_ref = self.reference_aggregate_run(run, config)
+            # Bit-identical, not merely allclose: same reduction order.
+            assert np.array_equal(X, X_ref)
+            assert np.array_equal(rttf, rttf_ref)
+
+    def test_bit_identical_on_irregular_spacing(self):
+        rng = np.random.default_rng(0)
+        tgen = np.sort(rng.uniform(0.0, 500.0, size=200))
+        run = run_with(tgen, fail_time=600.0)
+        config = AggregationConfig(window_seconds=20.0, min_points=2)
+        X, rttf = aggregate_run(run, config)
+        X_ref, rttf_ref = self.reference_aggregate_run(run, config)
+        assert np.array_equal(X, X_ref)
+        assert np.array_equal(rttf, rttf_ref)

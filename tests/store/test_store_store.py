@@ -1,0 +1,197 @@
+"""Tests for ArtifactStore: verification, cache protocol, maintenance."""
+
+import json
+
+import pytest
+
+from repro.obs import get_metrics
+from repro.store import ArtifactStore, StoreCorruption
+from repro.store.store import META_SUFFIX, STORE_VERSION
+
+
+def write_entry(store, name="a.bin", payload=b"payload bytes", **kw):
+    kw.setdefault("kind", "test")
+    kw.setdefault("fingerprint", "f" * 64)
+    return store.write(name, lambda p: p.write_bytes(payload), **kw)
+
+
+def counters():
+    return dict(get_metrics().snapshot()["counters"])
+
+
+class TestWriteVerify:
+    def test_write_publishes_payload_and_sidecar(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        write_entry(store, "a.bin")
+        assert (tmp_path / "a.bin").read_bytes() == b"payload bytes"
+        meta = json.loads((tmp_path / f"a.bin{META_SUFFIX}").read_text())
+        assert meta["store_version"] == STORE_VERSION
+        assert meta["kind"] == "test"
+        assert store.verify("a.bin")["sha256"] == meta["sha256"]
+
+    def test_clean_miss_is_file_not_found(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            ArtifactStore(tmp_path).verify("nothing.bin")
+
+    def test_payload_bitflip_detected(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        write_entry(store, "a.bin")
+        (tmp_path / "a.bin").write_bytes(b"payload bytEs")
+        with pytest.raises(StoreCorruption, match="checksum mismatch"):
+            store.verify("a.bin")
+
+    def test_truncated_payload_detected(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        write_entry(store, "a.bin")
+        (tmp_path / "a.bin").write_bytes(b"payload")
+        with pytest.raises(StoreCorruption, match="checksum mismatch"):
+            store.verify("a.bin")
+
+    def test_missing_sidecar_detected(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        write_entry(store, "a.bin")
+        (tmp_path / f"a.bin{META_SUFFIX}").unlink()
+        with pytest.raises(StoreCorruption, match="sidecar missing"):
+            store.verify("a.bin")
+
+    def test_sidecar_without_payload_detected(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        write_entry(store, "a.bin")
+        (tmp_path / "a.bin").unlink()
+        with pytest.raises(StoreCorruption, match="without payload"):
+            store.verify("a.bin")
+
+    def test_future_store_version_refused(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        write_entry(store, "a.bin")
+        meta_path = tmp_path / f"a.bin{META_SUFFIX}"
+        meta = json.loads(meta_path.read_text())
+        meta["store_version"] = STORE_VERSION + 1
+        meta_path.write_text(json.dumps(meta))
+        with pytest.raises(StoreCorruption, match="store version"):
+            store.verify("a.bin")
+
+    def test_loader_failure_is_corruption(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        write_entry(store, "a.bin")
+
+        def bad_loader(path):
+            raise ValueError("cannot parse")
+
+        with pytest.raises(StoreCorruption, match="failed to load"):
+            store.fetch("a.bin", bad_loader)
+
+    def test_invalid_names_rejected(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        with pytest.raises(ValueError):
+            store.path("../escape")
+        with pytest.raises(ValueError):
+            store.path(".hidden")
+
+
+class TestGetOrProduce:
+    @staticmethod
+    def _cached(store, name="e.txt", value="v1"):
+        calls = []
+
+        def produce():
+            calls.append(1)
+            return value
+
+        result, produced = store.get_or_produce(
+            name,
+            produce,
+            save=lambda v, p: p.write_text(v),
+            load=lambda p: p.read_text(),
+            kind="text",
+        )
+        return result, produced, len(calls)
+
+    def test_miss_produces_then_hit_loads(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        v1, produced1, calls1 = self._cached(store)
+        assert (v1, produced1, calls1) == ("v1", True, 1)
+        v2, produced2, calls2 = self._cached(store)
+        assert (v2, produced2, calls2) == ("v1", False, 0)
+
+    def test_metrics_hit_miss(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        before = counters()
+        self._cached(store)
+        self._cached(store)
+        after = counters()
+        assert after.get("store.misses_total", 0) == before.get("store.misses_total", 0) + 1
+        assert after.get("store.hits_total", 0) == before.get("store.hits_total", 0) + 1
+
+    def test_corrupt_entry_evicted_and_reproduced(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        self._cached(store)
+        (tmp_path / "e.txt").write_text("tampered")
+        before = counters()
+        value, produced, calls = self._cached(store, value="v2")
+        assert (value, produced, calls) == ("v2", True, 1)
+        after = counters()
+        assert after.get("store.corrupt_total", 0) == before.get("store.corrupt_total", 0) + 1
+        # the rebuilt entry verifies clean again
+        assert store.verify("e.txt")["sha256"]
+
+    def test_crash_between_payload_and_sidecar_recovers(self, tmp_path):
+        # Simulate the documented torn state: payload published, sidecar
+        # never written (the write order guarantees this is the only
+        # possible in-between state).
+        store = ArtifactStore(tmp_path)
+        self._cached(store)
+        (tmp_path / f"e.txt{META_SUFFIX}").unlink()
+        value, produced, calls = self._cached(store, value="v3")
+        assert (value, produced, calls) == ("v3", True, 1)
+
+
+class TestMaintenance:
+    def test_entries_and_info(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        write_entry(store, "a.bin")
+        write_entry(store, "b.bin", payload=b"other")
+        names = [e.name for e in store.entries()]
+        assert names == ["a.bin", "b.bin"]
+        info = store.info("a.bin")
+        assert info.ok and info.kind == "test" and info.size_bytes == 13
+
+    def test_gc_ignores_foreign_files(self, tmp_path):
+        # Driver manifests live in the same directory; the store must
+        # never claim or collect them.
+        store = ArtifactStore(tmp_path)
+        write_entry(store, "a.bin")
+        foreign = tmp_path / "table2.manifest.json"
+        foreign.write_text("{}")
+        assert [e.name for e in store.entries()] == ["a.bin"]
+        report = store.gc()
+        assert report.removed == ()
+        assert foreign.exists()
+
+    def test_gc_sweeps_corrupt_entries_and_temps(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        write_entry(store, "a.bin")
+        write_entry(store, "bad.bin")
+        (tmp_path / "bad.bin").write_bytes(b"rot")
+        orphan_tmp = tmp_path / "x.deadbeef-cafe0123.tmp.npz"
+        orphan_tmp.write_bytes(b"partial")
+        report = store.gc()
+        assert not orphan_tmp.exists()
+        assert not (tmp_path / "bad.bin").exists()
+        assert not (tmp_path / f"bad.bin{META_SUFFIX}").exists()
+        assert store.contains("a.bin")
+        assert report.freed_bytes > 0
+
+    def test_clear_removes_everything(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        write_entry(store, "a.bin")
+        store.get_or_produce(  # creates a lock file under locks/
+            "b.txt",
+            lambda: "v",
+            save=lambda v, p: p.write_text(v),
+            load=lambda p: p.read_text(),
+            kind="text",
+        )
+        count = store.clear()
+        assert count >= 3
+        assert list(tmp_path.iterdir()) == []

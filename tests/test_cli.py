@@ -341,3 +341,64 @@ class TestRejuvenate:
         out = capsys.readouterr().out
         assert "Rejuvenation policies" in out
         assert "predictive" in out
+
+
+class TestCache:
+    @pytest.fixture
+    def store_dir(self, tmp_path):
+        from repro.store import ArtifactStore
+
+        store = ArtifactStore(tmp_path / "cache")
+        store.write(
+            "a.bin", lambda p: p.write_bytes(b"data"), kind="test", fingerprint="ab" * 32
+        )
+        return str(store.root)
+
+    def test_ls_empty(self, tmp_path, capsys):
+        rc = main(["cache", "--dir", str(tmp_path / "empty"), "ls"])
+        assert rc == 0
+        assert "empty" in capsys.readouterr().out
+
+    def test_ls_lists_entries(self, store_dir, capsys):
+        rc = main(["cache", "--dir", store_dir, "ls"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "a.bin" in out and "ok" in out
+
+    def test_ls_flags_corruption(self, store_dir, capsys):
+        from pathlib import Path
+
+        (Path(store_dir) / "a.bin").write_bytes(b"tampered")
+        main(["cache", "--dir", store_dir, "ls"])
+        out = capsys.readouterr().out
+        assert "CORRUPT" in out and "checksum mismatch" in out
+
+    def test_info(self, store_dir, capsys):
+        rc = main(["cache", "--dir", store_dir, "info", "a.bin"])
+        assert rc == 0
+        meta = json.loads(capsys.readouterr().out)
+        assert meta["name"] == "a.bin"
+        assert meta["kind"] == "test"
+        assert meta["fingerprint"] == "ab" * 32
+
+    def test_info_missing_entry_errors(self, store_dir):
+        with pytest.raises(SystemExit, match="no cache entry"):
+            main(["cache", "--dir", store_dir, "info", "nope.bin"])
+
+    def test_gc_sweeps_corrupt(self, store_dir, capsys):
+        from pathlib import Path
+
+        (Path(store_dir) / "a.bin").write_bytes(b"tampered")
+        rc = main(["cache", "--dir", store_dir, "gc"])
+        assert rc == 0
+        assert "removed 2 file(s)" in capsys.readouterr().out
+        main(["cache", "--dir", store_dir, "ls"])
+        assert "empty" in capsys.readouterr().out
+
+    def test_clear(self, store_dir, capsys):
+        rc = main(["cache", "--dir", store_dir, "clear"])
+        assert rc == 0
+        assert "cleared" in capsys.readouterr().out
+        from pathlib import Path
+
+        assert list(Path(store_dir).iterdir()) == []
