@@ -101,6 +101,7 @@ def cmd_simulate(args: argparse.Namespace) -> int:
     config = demo_campaign(args.runs, args.seed)
     if args.browsers is not None:
         config = replace(config, n_browsers=args.browsers)
+    config = replace(config, substrate=args.substrate)
     history = TestbedSimulator(config).run_campaign(jobs=resolve_jobs(args.jobs))
     history.save(args.output)
     print(
@@ -409,6 +410,7 @@ def cmd_rejuvenate(args: argparse.Namespace) -> int:
 
     jobs = resolve_jobs(args.jobs)
     campaign = demo_campaign(args.runs, args.seed)
+    campaign = replace(campaign, substrate=args.substrate)
     history = TestbedSimulator(campaign).run_campaign(jobs=jobs)
     f2pm = F2PM(
         F2PMConfig(
@@ -512,6 +514,13 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--runs", type=int, default=8)
     p.add_argument("--browsers", type=int, default=None)
     p.add_argument("--seed", type=int, default=0)
+    p.add_argument(
+        "--substrate",
+        choices=("fused", "loop"),
+        default="fused",
+        help="simulation engine: event-fused fast path or the legacy "
+        "per-tick loop (bit-identical output; see docs/PERFORMANCE.md)",
+    )
     p.set_defaults(func=cmd_simulate)
 
     p = add_parser("aggregate", help="aggregate a history into a training set")
@@ -568,6 +577,13 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--horizon", type=float, default=10_000.0)
     p.add_argument("--window", type=float, default=20.0)
     p.add_argument("--seed", type=int, default=0)
+    p.add_argument(
+        "--substrate",
+        choices=("fused", "loop"),
+        default="fused",
+        help="simulation engine for the training campaign "
+        "(bit-identical output; see docs/PERFORMANCE.md)",
+    )
     p.set_defaults(func=cmd_rejuvenate)
 
     p = add_parser("obs", help="pretty-print a saved trace/metrics/manifest")

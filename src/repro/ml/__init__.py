@@ -32,7 +32,12 @@ from repro.ml.model_selection import (
 )
 from repro.ml.linear import LinearRegression, RidgeRegression
 from repro.ml.lasso import Lasso, lasso_path
-from repro.ml.kernels import linear_kernel, polynomial_kernel, rbf_kernel
+from repro.ml.kernels import (
+    linear_kernel,
+    polynomial_kernel,
+    rbf_kernel,
+    squared_norms,
+)
 from repro.ml.svr import SVR
 from repro.ml.lssvm import LSSVMRegressor
 from repro.ml.tree import REPTreeRegressor, M5PRegressor
@@ -61,6 +66,7 @@ __all__ = [
     "linear_kernel",
     "polynomial_kernel",
     "rbf_kernel",
+    "squared_norms",
     "SVR",
     "LSSVMRegressor",
     "REPTreeRegressor",

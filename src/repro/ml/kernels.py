@@ -40,13 +40,40 @@ def polynomial_kernel(
     return (gamma * (X @ Y.T) + coef0) ** degree
 
 
-def rbf_kernel(X: np.ndarray, Y: np.ndarray, *, gamma: float = 1.0) -> np.ndarray:
-    """K(x, y) = exp(-gamma * ||x - y||^2)."""
+def squared_norms(X: np.ndarray) -> np.ndarray:
+    """Row-wise ``||x||^2`` — the precomputable half of the RBF expansion.
+
+    Kernel predictors whose reference rows are fixed (the support
+    vectors) compute this once at fit time and pass it to
+    :func:`rbf_kernel` as ``sq_y`` on every predict call.
+    """
+    X = _as_2d(X)
+    return np.einsum("ij,ij->i", X, X)
+
+
+def rbf_kernel(
+    X: np.ndarray,
+    Y: np.ndarray,
+    *,
+    gamma: float = 1.0,
+    sq_y: "np.ndarray | None" = None,
+) -> np.ndarray:
+    """K(x, y) = exp(-gamma * ||x - y||^2).
+
+    ``sq_y``, if given, must be ``squared_norms(Y)``; it skips the
+    row-norm pass over ``Y`` (identical result — the same einsum either
+    way).
+    """
     if gamma <= 0:
         raise ValueError(f"gamma must be positive, got {gamma}")
     X, Y = _as_2d(X), _as_2d(Y)
     sq_x = np.einsum("ij,ij->i", X, X)
-    sq_y = np.einsum("ij,ij->i", Y, Y)
+    if sq_y is None:
+        sq_y = np.einsum("ij,ij->i", Y, Y)
+    elif sq_y.shape != (Y.shape[0],):
+        raise ValueError(
+            f"sq_y must have shape ({Y.shape[0]},), got {sq_y.shape}"
+        )
     d2 = sq_x[:, None] + sq_y[None, :] - 2.0 * (X @ Y.T)
     np.maximum(d2, 0.0, out=d2)  # clamp tiny negatives from cancellation
     return np.exp(-gamma * d2)

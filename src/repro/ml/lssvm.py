@@ -22,7 +22,7 @@ import numpy as np
 import scipy.linalg
 
 from repro.ml.base import Regressor
-from repro.ml.kernels import resolve_gamma, resolve_kernel
+from repro.ml.kernels import rbf_kernel, resolve_gamma, resolve_kernel, squared_norms
 from repro.utils.validation import check_array, check_is_fitted, check_X_y
 
 
@@ -90,6 +90,12 @@ class LSSVMRegressor(Regressor):
         self.intercept_ = float(sol[0])
         self.alpha_ = sol[1:]
         self._X_train = X
+        self._gamma_ = gamma
+        # LS-SVM keeps every training row as a "support vector"; cache
+        # their squared norms for the RBF predict fast path.
+        self._train_sq_norms_ = (
+            squared_norms(X) if self.kernel == "rbf" else None
+        )
         return self
 
     def predict(self, X: np.ndarray) -> np.ndarray:
@@ -100,5 +106,10 @@ class LSSVMRegressor(Regressor):
                 f"X has {X.shape[1]} features, model was fitted on "
                 f"{self._X_train.shape[1]}"
             )
-        K = self._kernel(X, self._X_train)
+        # getattr: models pickled before norm caching lack the attribute
+        train_sq = getattr(self, "_train_sq_norms_", None)
+        if self.kernel == "rbf" and train_sq is not None:
+            K = rbf_kernel(X, self._X_train, gamma=self._gamma_, sq_y=train_sq)
+        else:
+            K = self._kernel(X, self._X_train)
         return K @ self.alpha_ + self.intercept_

@@ -33,7 +33,13 @@ from __future__ import annotations
 import numpy as np
 
 from repro.ml.base import Regressor
-from repro.ml.kernels import resolve_gamma, resolve_kernel, resolve_kernel_diag
+from repro.ml.kernels import (
+    rbf_kernel,
+    resolve_gamma,
+    resolve_kernel,
+    resolve_kernel_diag,
+    squared_norms,
+)
 from repro.utils.validation import check_array, check_is_fitted, check_X_y
 
 _TAU = 1e-12
@@ -367,6 +373,12 @@ class SVR(Regressor):
         self.dual_coef_ = beta[support]
         self.intercept_ = -rho
         self._n_features = X.shape[1]
+        self._gamma_ = gamma
+        # Support vectors are frozen at fit time, so their squared norms
+        # (half of the RBF distance expansion) are too.
+        self._sv_sq_norms_ = (
+            squared_norms(self.support_vectors_) if self.kernel == "rbf" else None
+        )
         return self
 
     def predict(self, X: np.ndarray) -> np.ndarray:
@@ -378,5 +390,12 @@ class SVR(Regressor):
             )
         if self.support_.size == 0:
             return np.full(X.shape[0], self.intercept_)
-        K = self._kernel(X, self.support_vectors_)
+        # getattr: models pickled before norm caching lack the attribute
+        sv_sq = getattr(self, "_sv_sq_norms_", None)
+        if self.kernel == "rbf" and sv_sq is not None:
+            K = rbf_kernel(
+                X, self.support_vectors_, gamma=self._gamma_, sq_y=sv_sq
+            )
+        else:
+            K = self._kernel(X, self.support_vectors_)
         return K @ self.dual_coef_ + self.intercept_

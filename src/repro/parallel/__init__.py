@@ -23,7 +23,7 @@ ran. Shared dispatch/error semantics live in
 
 from __future__ import annotations
 
-from repro.parallel.pool import WorkerError, resolve_jobs, run_tasks
+from repro.parallel.pool import WorkerError, resolve_jobs, run_tasks, worker_context
 from repro.parallel.telemetry import WorkerTelemetry
 
 __all__ = [
@@ -31,4 +31,5 @@ __all__ = [
     "WorkerTelemetry",
     "resolve_jobs",
     "run_tasks",
+    "worker_context",
 ]

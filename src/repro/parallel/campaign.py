@@ -11,6 +11,12 @@ Workers return ``(RunRecord, WorkerTelemetry)``; the parent reassembles
 both in run-index order, so the campaign's metrics/spans/manifests are
 byte-for-byte what the serial path would have produced (modulo wall
 clocks).
+
+The execution substrate (``CampaignConfig.substrate``) rides along in
+the pickled config: each worker dispatches through
+``TestbedSimulator.run_once`` and hence runs the same fused/loop engine
+the serial path would, so ``jobs=N`` x fused stays bit-identical to
+``jobs=1`` x loop (``tests/system/test_substrate_equivalence.py``).
 """
 
 from __future__ import annotations

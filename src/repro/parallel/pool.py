@@ -12,7 +12,11 @@ entry point in the package behaves identically:
   no hang, no orphaned pool, no half-merged results;
 - ``jobs=1`` never touches :mod:`concurrent.futures` at all (callers
   keep their in-process serial path), so the legacy single-process
-  behavior — including its exception types — is always reachable.
+  behavior — including its exception types — is always reachable;
+- payload data shared by many tasks can ship **once per worker** via
+  ``run_tasks(..., context=...)`` instead of once per task: the context
+  object is pickled into each worker at pool start (an initializer) and
+  read back with :func:`worker_context` inside the task.
 
 Processes (not threads) are the right default here: the simulator and
 the model fits are CPU-bound numpy + pure-Python work that holds the
@@ -43,6 +47,25 @@ class WorkerError(RuntimeError):
         self.cause = cause
 
 
+#: Per-worker shared payload installed by the pool initializer.
+_worker_context: Any = None
+
+
+def _set_worker_context(context: Any) -> None:
+    """Pool initializer: runs once in each worker process."""
+    global _worker_context
+    _worker_context = context
+
+
+def worker_context() -> Any:
+    """The ``context`` object this worker's pool was started with.
+
+    ``None`` when the pool was started without one (or when called in
+    the parent process).
+    """
+    return _worker_context
+
+
 def resolve_jobs(jobs: "int | None") -> int:
     """Normalize a ``--jobs`` value: ``None`` means all cores, else >= 1."""
     if jobs is None:
@@ -59,6 +82,7 @@ def run_tasks(
     *,
     jobs: int,
     labels: "Sequence[str] | None" = None,
+    context: Any = None,
 ) -> list[Any]:
     """Run ``worker(payload)`` for every payload on ``jobs`` processes.
 
@@ -68,7 +92,11 @@ def run_tasks(
     :class:`WorkerError` naming the failing task is raised.
 
     ``worker`` must be a module-level callable and every payload must be
-    picklable (the usual :mod:`multiprocessing` constraints).
+    picklable (the usual :mod:`multiprocessing` constraints). A non-None
+    ``context`` is shipped once to each worker at pool start and is
+    available inside ``worker`` via :func:`worker_context` — use it for
+    bulky data shared by many payloads (e.g. a training split fitted by
+    every model in a grid) instead of repeating it per payload.
     """
     payloads = list(payloads)
     if jobs < 1:
@@ -79,7 +107,11 @@ def run_tasks(
         raise ValueError("labels must align with payloads")
 
     results: list[Any] = [None] * len(payloads)
-    with ProcessPoolExecutor(max_workers=min(jobs, len(payloads))) as pool:
+    with ProcessPoolExecutor(
+        max_workers=min(jobs, len(payloads)),
+        initializer=_set_worker_context if context is not None else None,
+        initargs=(context,) if context is not None else (),
+    ) as pool:
         futures = {pool.submit(worker, p): i for i, p in enumerate(payloads)}
         done, not_done = wait(futures, return_when=FIRST_EXCEPTION)
         failed: "tuple[int, BaseException] | None" = None

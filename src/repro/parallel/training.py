@@ -30,16 +30,28 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard (framework imports us
 
 
 def _fit_task(payload: dict[str, Any]) -> tuple:
-    """Worker entry point: fit + validate one grid cell."""
+    """Worker entry point: fit + validate one grid cell.
+
+    The train/validation split normally arrives via the pool's worker
+    context (shipped once per worker, keyed by feature set); a payload
+    may still carry it inline (``"train"``/``"validation"`` keys), the
+    fallback for the rare grid whose cells disagree on the split.
+    """
     from repro.core.evaluation import evaluate_model
+    from repro.parallel.pool import worker_context
 
     telemetry.configure_worker(payload["trace_on"], payload["metrics_on"])
     telemetry.begin_capture()
+    train = payload.get("train")
+    if train is None:
+        train, validation = worker_context()[payload["feature_set"]]
+    else:
+        validation = payload["validation"]
     report, fitted, pred = evaluate_model(
         payload["name"],
         payload["model"],
-        payload["train"],
-        payload["validation"],
+        train,
+        validation,
         smae_threshold=payload["smae_threshold"],
         feature_set=payload["feature_set"],
     )
@@ -57,29 +69,40 @@ def evaluate_grid_parallel(
     Returns ``(report, fitted_model, predictions)`` per cell **in grid
     order**, with each cell's telemetry merged into the parent registry
     (in the same order) before returning.
+
+    Every model in a feature set fits the same train/validation split,
+    so the splits ship **once per worker** (pool context keyed by
+    feature set) instead of being re-pickled into all ~len(grid)
+    payloads. A cell whose split unexpectedly differs from its feature
+    set's first cell ships inline, preserving correctness for arbitrary
+    grids.
     """
     from repro.obs import get_metrics, get_tracer
 
     tracer = get_tracer()
     registry = get_metrics()
-    payloads = [
-        {
+    splits: dict[str, tuple] = {}
+    payloads = []
+    for feature_set, name, model, train, validation in grid:
+        payload = {
             "feature_set": feature_set,
             "name": name,
             "model": model,
-            "train": train,
-            "validation": validation,
             "smae_threshold": smae_threshold,
             "trace_on": tracer.enabled,
             "metrics_on": registry.enabled,
         }
-        for feature_set, name, model, train, validation in grid
-    ]
+        prev = splits.setdefault(feature_set, (train, validation))
+        if prev[0] is not train or prev[1] is not validation:
+            payload["train"] = train  # divergent split: ship inline
+            payload["validation"] = validation
+        payloads.append(payload)
     outcomes = run_tasks(
         _fit_task,
         payloads,
         jobs=jobs,
         labels=[f"fit {name}/{feature_set}" for feature_set, name, *_ in grid],
+        context=splits,
     )
     results = []
     for report, fitted, pred, task_telemetry in outcomes:

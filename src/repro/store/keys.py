@@ -13,6 +13,11 @@ here are derived from an explicit canonical encoding instead:
   defaulted field to a config therefore *preserves* existing cache keys
   (old artifacts stay valid), while setting it to a non-default value
   changes the key — invalidation is always a deliberate act;
+- a dataclass may declare ``__key_exclude__`` (a collection of field
+  names) for fields that select *how* a result is computed but never
+  what it contains — e.g. ``CampaignConfig.substrate``, whose fused and
+  loop values produce bit-identical histories. Excluded fields are
+  skipped entirely, so artifacts cache-hit across them;
 - the encoding embeds :data:`KEY_SCHEMA_VERSION`; bumping it retires
   every existing key at once when the scheme itself changes.
 
@@ -48,8 +53,11 @@ def _encode_float(value: float) -> str:
 
 
 def _encode_dataclass(value: Any) -> dict[str, Any]:
+    exclude = getattr(type(value), "__key_exclude__", ())
     fields: dict[str, Any] = {}
     for f in dataclasses.fields(value):
+        if f.name in exclude:
+            continue  # execution-strategy field: see module docstring
         current = getattr(value, f.name)
         if f.default is not dataclasses.MISSING:
             default: Any = f.default

@@ -15,7 +15,10 @@ discrete-time simulation with the same observable surface:
 - :mod:`~repro.system.monitor` — FMC/FMS with load-dependent sampling
   jitter (the source of the Fig. 3 inter-generation-time signal);
 - :mod:`~repro.system.simulator` — run-until-crash campaigns producing
-  :class:`~repro.core.history.DataHistory`.
+  :class:`~repro.core.history.DataHistory`;
+- :mod:`~repro.system.fused` — the event-fused execution substrate, a
+  bit-identical fast path for the campaign hot loop (see
+  ``docs/PERFORMANCE.md``).
 """
 
 from repro.system.resources import MachineConfig, MachineState
@@ -44,6 +47,7 @@ from repro.system.failure import (
 from repro.system.schedule import LoadSchedule, ConstantLoad, DiurnalLoad, StepLoad
 from repro.system.monitor import MonitorConfig, FeatureMonitorClient, FeatureMonitorServer
 from repro.system.simulator import CampaignConfig, TestbedSimulator
+from repro.system.fused import run_once_fused
 
 __all__ = [
     "MachineConfig",
@@ -74,4 +78,5 @@ __all__ = [
     "FeatureMonitorServer",
     "CampaignConfig",
     "TestbedSimulator",
+    "run_once_fused",
 ]

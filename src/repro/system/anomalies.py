@@ -117,6 +117,11 @@ class _ExponentialArrivals:
         self.mean_interval = float(self.rng.uniform(lo, hi))
         self._next_time = float(self.rng.exponential(self.mean_interval))
 
+    @property
+    def next_time(self) -> float:
+        """Scheduled time of the next event (no draw; event scheduling)."""
+        return self._next_time
+
     def events_until(self, now: float) -> int:
         """Number of events with firing time <= now; advances the clock."""
         count = 0
@@ -150,6 +155,12 @@ class MemoryLeakInjector:
     @property
     def mean_interval(self) -> float:
         return self._timing.mean_interval
+
+    @property
+    def next_fire_time(self) -> float:
+        """When the next leak fires — lets event-driven callers skip
+        :meth:`advance` calls that would be no-ops."""
+        return self._timing.next_time
 
     def advance(self, state: MachineState, now: float) -> float:
         """Fire all leaks due by *now*; returns KB leaked this call."""
@@ -190,6 +201,11 @@ class LockContentionInjector:
     def mean_interval(self) -> float:
         return self._timing.mean_interval
 
+    @property
+    def next_fire_time(self) -> float:
+        """When the next lock gets stuck (see :class:`MemoryLeakInjector`)."""
+        return self._timing.next_time
+
     def advance(self, server, now: float) -> int:
         """Leave all locks due by *now* stuck; returns the count."""
         n = self._timing.events_until(now)
@@ -213,6 +229,11 @@ class ThreadLeakInjector:
     @property
     def mean_interval(self) -> float:
         return self._timing.mean_interval
+
+    @property
+    def next_fire_time(self) -> float:
+        """When the next thread spawns (see :class:`MemoryLeakInjector`)."""
+        return self._timing.next_time
 
     def advance(self, state: MachineState, now: float) -> int:
         """Spawn all threads due by *now*; returns the count."""

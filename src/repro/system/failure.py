@@ -25,7 +25,10 @@ from __future__ import annotations
 from abc import ABC, abstractmethod
 from dataclasses import dataclass
 
-from repro.system.resources import MachineState
+from repro.system.resources import MachineConfig, MachineState
+
+#: Sentinel limit for an unused threshold channel (never crossed).
+NO_LIMIT = float("inf")
 
 
 @dataclass
@@ -47,6 +50,25 @@ class FailureCondition(ABC):
     @property
     def description(self) -> str:
         return type(self).__name__
+
+    def fused_limits(
+        self, machine: MachineConfig
+    ) -> "tuple[float, float, float] | None":
+        """Compile this condition to scalar thresholds, if possible.
+
+        Returns ``(overflow_kb_limit, mean_rt_limit, generation_limit)``
+        such that the condition fires exactly when **any** channel's
+        observable strictly exceeds its limit (:data:`NO_LIMIT` marks an
+        unused channel), or ``None`` when the condition has no such
+        threshold form. The fused substrate uses the compiled form to
+        check failure with three float compares per tick instead of
+        building a :class:`SystemView`; ``None`` makes the simulator fall
+        back to the legacy loop, so user-defined conditions always stay
+        correct. Subclasses of the built-in conditions deliberately do
+        not inherit compilation (an overridden ``is_failed`` would be
+        miscompiled): each built-in guards on its exact type.
+        """
+        return None
 
     def __or__(self, other: "FailureCondition") -> "AnyOf":
         return AnyOf(self, other)
@@ -74,6 +96,13 @@ class MemoryExhaustion(FailureCondition):
     def description(self) -> str:
         return f"memory exhaustion (headroom {self.headroom_frac:.0%})"
 
+    def fused_limits(
+        self, machine: MachineConfig
+    ) -> "tuple[float, float, float] | None":
+        if type(self) is not MemoryExhaustion:
+            return None
+        return (machine.swap_kb * (1.0 - self.headroom_frac), NO_LIMIT, NO_LIMIT)
+
 
 class ResponseTimeLimit(FailureCondition):
     """System failed when the mean client response time exceeds a limit."""
@@ -89,6 +118,13 @@ class ResponseTimeLimit(FailureCondition):
     @property
     def description(self) -> str:
         return f"response time > {self.limit_seconds}s"
+
+    def fused_limits(
+        self, machine: MachineConfig
+    ) -> "tuple[float, float, float] | None":
+        if type(self) is not ResponseTimeLimit:
+            return None
+        return (NO_LIMIT, self.limit_seconds, NO_LIMIT)
 
 
 class GenerationTimeLimit(FailureCondition):
@@ -108,6 +144,13 @@ class GenerationTimeLimit(FailureCondition):
     def description(self) -> str:
         return f"inter-generation time > {self.limit_seconds}s"
 
+    def fused_limits(
+        self, machine: MachineConfig
+    ) -> "tuple[float, float, float] | None":
+        if type(self) is not GenerationTimeLimit:
+            return None
+        return (NO_LIMIT, NO_LIMIT, self.limit_seconds)
+
 
 class AnyOf(FailureCondition):
     """Disjunction: failed when any sub-condition fires."""
@@ -123,3 +166,19 @@ class AnyOf(FailureCondition):
     @property
     def description(self) -> str:
         return " OR ".join(c.description for c in self.conditions)
+
+    def fused_limits(
+        self, machine: MachineConfig
+    ) -> "tuple[float, float, float] | None":
+        if type(self) is not AnyOf:
+            return None
+        mem = rt = gen = NO_LIMIT
+        for c in self.conditions:
+            limits = c.fused_limits(machine)
+            if limits is None:
+                return None
+            # x > min(a, b) iff (x > a or x > b): disjunction = per-channel min
+            mem = min(mem, limits[0])
+            rt = min(rt, limits[1])
+            gen = min(gen, limits[2])
+        return (mem, rt, gen)

@@ -55,6 +55,33 @@ class MonitorConfig:
             )
 
 
+def stretched_interval(
+    config: MonitorConfig,
+    utilization: float,
+    swap_pressure: float,
+    queue_delay: float,
+    noise: float,
+) -> float:
+    """Effective sampling interval under load, given a drawn noise factor.
+
+    The deterministic part of :meth:`FeatureMonitorClient.interval`
+    (which delegates here after drawing ``noise`` from its own stream);
+    the fused substrate calls it directly with an identically drawn
+    noise factor, keeping both substrates bit-identical.
+    """
+    saturation = max(0.0, utilization - config.saturation_knee) / max(
+        1e-9, 1.0 - config.saturation_knee
+    )
+    inflation = (
+        1.0
+        + config.saturation_coef * saturation**2
+        + config.thrash_coef * swap_pressure**2
+    )
+    return (
+        config.nominal_interval * inflation + config.queue_coef * queue_delay
+    ) * noise
+
+
 class FeatureMonitorClient:
     """Samples the 15-feature tuple with load-dependent timing."""
 
@@ -82,20 +109,10 @@ class FeatureMonitorClient:
         its interval stretches with it.
         """
         cfg = self.config
-        saturation = max(0.0, utilization - cfg.saturation_knee) / max(
-            1e-9, 1.0 - cfg.saturation_knee
-        )
-        inflation = (
-            1.0
-            + cfg.saturation_coef * saturation**2
-            + cfg.thrash_coef * swap_pressure**2
-        )
         noise = float(
             np.exp(self.rng.normal(0.0, cfg.noise_sigma))
         )
-        return (
-            cfg.nominal_interval * inflation + cfg.queue_coef * queue_delay
-        ) * noise
+        return stretched_interval(cfg, utilization, swap_pressure, queue_delay, noise)
 
     def due(self, now: float) -> bool:
         return now >= self.next_sample_time

@@ -63,6 +63,71 @@ class MachineConfig:
             )
 
 
+def memory_layout(
+    config: MachineConfig, demand_kb: float
+) -> tuple[float, float, float, float]:
+    """Return ``(resident_kb, cached_kb, free_kb, overflow_kb)`` for a demand.
+
+    The single source of truth for the memory model's arithmetic: both
+    :meth:`MachineState._memory_layout` and the fused substrate
+    (:mod:`repro.system.fused`) evaluate this exact expression sequence,
+    which is what keeps their float results bit-identical.
+    """
+    fixed = config.buffers_kb + config.shared_kb
+    # RAM left for app pages after the kernel defends its cache floor.
+    ram_for_app = config.ram_kb - fixed - config.min_cache_kb
+    overflow = max(0.0, demand_kb - ram_for_app)
+    resident = demand_kb - overflow
+    headroom = max(0.0, config.ram_kb - fixed - resident - config.min_cache_kb)
+    cached = config.min_cache_kb + config.cache_headroom_frac * headroom
+    free = max(0.0, config.ram_kb - fixed - resident - cached)
+    return resident, cached, free, overflow
+
+
+def cpu_decomposition(
+    *,
+    busy_frac: float,
+    sys_share: float,
+    iowait_frac: float,
+    steal_frac: float,
+    nice_frac: float = 0.0,
+) -> tuple[float, float, float, float, float, float]:
+    """Decompose one tick into ``(user, nice, sys, iowait, steal, idle)`` %.
+
+    Pure form of :meth:`MachineState.account_cpu` (which delegates here);
+    the fused substrate calls it directly at sample ticks. Everything is
+    clamped and normalized so the six categories sum to exactly 100%.
+    """
+    # Scalar clamp: bitwise equal to np.clip for every finite non -0.0
+    # input (the only inputs that occur), ~10x cheaper per sample tick.
+    busy = busy_frac if busy_frac < 1.0 else 1.0
+    busy = float(busy if busy > 0.0 else 0.0)
+    sys_share = sys_share if sys_share < 1.0 else 1.0
+    sys_share = float(sys_share if sys_share > 0.0 else 0.0)
+    user = busy * (1.0 - sys_share)
+    sys_ = busy * sys_share
+    iowait = max(0.0, iowait_frac)
+    steal = max(0.0, steal_frac)
+    nice = max(0.0, nice_frac)
+    total = user + sys_ + iowait + steal + nice
+    if total > 1.0:
+        scale = 1.0 / total
+        user *= scale
+        sys_ *= scale
+        iowait *= scale
+        steal *= scale
+        nice *= scale
+        total = 1.0
+    return (
+        100.0 * user,
+        100.0 * nice,
+        100.0 * sys_,
+        100.0 * iowait,
+        100.0 * steal,
+        100.0 * (1.0 - total),
+    )
+
+
 @dataclass
 class CpuSample:
     """One tick's CPU decomposition, as percentages summing to 100."""
@@ -123,17 +188,7 @@ class MachineState:
         ``resident`` is the RAM actually held by OS+app; ``overflow`` is
         demand that no longer fits in RAM after the cache has yielded.
         """
-        c = self.config
-        fixed = c.buffers_kb + c.shared_kb
-        demand = self.app_demand_kb
-        # RAM left for app pages after the kernel defends its cache floor.
-        ram_for_app = c.ram_kb - fixed - c.min_cache_kb
-        overflow = max(0.0, demand - ram_for_app)
-        resident = demand - overflow
-        headroom = max(0.0, c.ram_kb - fixed - resident - c.min_cache_kb)
-        cached = c.min_cache_kb + c.cache_headroom_frac * headroom
-        free = max(0.0, c.ram_kb - fixed - resident - cached)
-        return resident, cached, free, overflow
+        return memory_layout(self.config, self.app_demand_kb)
 
     def update_swap(self) -> None:
         """Advance the monotone swap high-water mark from current demand."""
@@ -204,27 +259,13 @@ class MachineState:
         are independent fractions; everything is clamped and normalized
         so the six categories sum to exactly 100%.
         """
-        busy = float(np.clip(busy_frac, 0.0, 1.0))
-        sys_share = float(np.clip(sys_share, 0.0, 1.0))
-        user = busy * (1.0 - sys_share)
-        sys_ = busy * sys_share
-        iowait = max(0.0, iowait_frac)
-        steal = max(0.0, steal_frac)
-        nice = max(0.0, nice_frac)
-        total = user + sys_ + iowait + steal + nice
-        if total > 1.0:
-            scale = 1.0 / total
-            user *= scale
-            sys_ *= scale
-            iowait *= scale
-            steal *= scale
-            nice *= scale
-            total = 1.0
+        user, nice, sys_, iowait, steal, idle = cpu_decomposition(
+            busy_frac=busy_frac,
+            sys_share=sys_share,
+            iowait_frac=iowait_frac,
+            steal_frac=steal_frac,
+            nice_frac=nice_frac,
+        )
         self.cpu = CpuSample(
-            user=100.0 * user,
-            nice=100.0 * nice,
-            sys=100.0 * sys_,
-            iowait=100.0 * iowait,
-            steal=100.0 * steal,
-            idle=100.0 * (1.0 - total),
+            user=user, nice=nice, sys=sys_, iowait=iowait, steal=steal, idle=idle
         )

@@ -27,6 +27,18 @@ class LoadSchedule(ABC):
     def active_fraction(self, now: float) -> float:
         """Fraction of emulated browsers active at *now*."""
 
+    def next_change_after(self, now: float) -> float:
+        """Earliest time after *now* at which the fraction may change.
+
+        Event-driven consumers (the fused substrate) use this to skip
+        re-evaluating :meth:`active_fraction` between changes. The
+        conservative default returns ``now`` — "may change immediately",
+        forcing per-tick evaluation exactly like the legacy loop.
+        Schedules that are constant or piecewise-constant override it;
+        returning ``inf`` means "never changes again".
+        """
+        return now
+
     def validate_over(self, horizon: float, step: float = 60.0) -> None:
         """Raise if the schedule leaves [0, 1] anywhere on a grid."""
         times = np.arange(0.0, horizon + step, step)
@@ -49,6 +61,9 @@ class ConstantLoad(LoadSchedule):
 
     def active_fraction(self, now: float) -> float:
         return self.fraction
+
+    def next_change_after(self, now: float) -> float:
+        return float("inf")
 
 
 @dataclass(frozen=True)
@@ -106,3 +121,9 @@ class StepLoad(LoadSchedule):
     def active_fraction(self, now: float) -> float:
         idx = int(np.searchsorted(np.asarray(self.breakpoints), now, side="right"))
         return self.fractions[idx]
+
+    def next_change_after(self, now: float) -> float:
+        idx = int(np.searchsorted(np.asarray(self.breakpoints), now, side="right"))
+        if idx >= len(self.breakpoints):
+            return float("inf")
+        return self.breakpoints[idx]

@@ -67,6 +67,56 @@ class ServerConfig:
             raise ValueError("degradation coefficients must be non-negative")
 
 
+def degradation_multiplier(
+    config: ServerConfig,
+    *,
+    n_leaked_threads: int,
+    n_stuck_locks: int,
+    swap_pressure: float,
+) -> float:
+    """Combined service-time inflation from threads, locks and thrashing.
+
+    Pure form of :meth:`AppServer.service_multiplier` (which delegates
+    here). The fused substrate inlines this exact expression sequence in
+    its hot loop (marked there); the substrate-equivalence battery keeps
+    the copies bit-identical.
+    """
+    thread_factor = 1.0 + config.thread_overhead_per_1k * (
+        n_leaked_threads / 1000.0
+    )
+    lock_factor = 1.0 + config.lock_contention_per_lock * n_stuck_locks
+    s = swap_pressure
+    swap_factor = 1.0 + config.swap_thrash_coef * s * s
+    if s < 1.0:
+        swap_factor += config.swap_blowup_coef * s / (1.0 - s)
+    else:
+        swap_factor += config.swap_blowup_coef * 1e3
+    return thread_factor * lock_factor * swap_factor
+
+
+def tick_cpu_inputs(
+    config: ServerConfig,
+    *,
+    n_leaked_threads: int,
+    utilization: float,
+    swap_pressure: float,
+) -> tuple[float, float, float]:
+    """Return one tick's ``(busy_frac, sys_share, iowait_frac)``.
+
+    The deterministic part of the per-tick CPU accounting (the steal and
+    nice draws stay with the caller, which owns the RNG stream). Used by
+    :meth:`AppServer.tick`; the fused substrate inlines the same
+    expression sequence (marked there), kept in sync by the
+    substrate-equivalence battery.
+    """
+    s = swap_pressure
+    sched_overhead = min(0.10, n_leaked_threads / 20_000.0)
+    sys_share = min(0.9, config.base_sys_share + sched_overhead)
+    iowait = config.iowait_coef * s * s * (0.3 + 0.7 * min(1.0, utilization + s))
+    busy = min(1.0, utilization + sched_overhead)
+    return busy, sys_share, iowait
+
+
 @dataclass
 class TickStats:
     """Aggregate statistics of one server tick (for the monitor)."""
@@ -115,18 +165,12 @@ class AppServer:
 
     def service_multiplier(self) -> float:
         """Combined service-time inflation from threads and thrashing."""
-        cfg = self.config
-        thread_factor = 1.0 + cfg.thread_overhead_per_1k * (
-            self.state.n_leaked_threads / 1000.0
+        return degradation_multiplier(
+            self.config,
+            n_leaked_threads=self.state.n_leaked_threads,
+            n_stuck_locks=self.n_stuck_locks,
+            swap_pressure=self.state.swap_pressure,
         )
-        lock_factor = 1.0 + cfg.lock_contention_per_lock * self.n_stuck_locks
-        s = self.state.swap_pressure
-        swap_factor = 1.0 + cfg.swap_thrash_coef * s * s
-        if s < 1.0:
-            swap_factor += cfg.swap_blowup_coef * s / (1.0 - s)
-        else:
-            swap_factor += cfg.swap_blowup_coef * 1e3
-        return thread_factor * lock_factor * swap_factor
 
     def _io_stall(self, n: int) -> np.ndarray:
         """Per-request paging stalls (seconds) at current swap pressure."""
@@ -189,14 +233,16 @@ class AppServer:
         stats.utilization = utilization
 
         # CPU accounting for this tick.
-        s = state.swap_pressure
-        sched_overhead = min(0.10, state.n_leaked_threads / 20_000.0)
-        sys_share = min(0.9, cfg.base_sys_share + sched_overhead)
-        iowait = cfg.iowait_coef * s * s * (0.3 + 0.7 * min(1.0, utilization + s))
+        busy, sys_share, iowait = tick_cpu_inputs(
+            cfg,
+            n_leaked_threads=state.n_leaked_threads,
+            utilization=utilization,
+            swap_pressure=state.swap_pressure,
+        )
         steal = max(0.0, self.rng.normal(cfg.steal_mean, cfg.steal_mean / 2.0))
         nice = max(0.0, self.rng.normal(0.001, 0.001))
         state.account_cpu(
-            busy_frac=min(1.0, utilization + sched_overhead),
+            busy_frac=busy,
             sys_share=sys_share,
             iowait_frac=iowait,
             steal_frac=steal,

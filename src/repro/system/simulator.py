@@ -77,6 +77,16 @@ class CampaignConfig:
     #: degrades response times directly).
     use_lock_injector: bool = False
     lock_injector_interval_range: tuple[float, float] = (30.0, 300.0)
+    #: Execution substrate: ``"fused"`` runs the event-fused engine
+    #: (:mod:`repro.system.fused`), ``"loop"`` the legacy per-tick loop.
+    #: Both produce bit-identical output (see ``docs/PERFORMANCE.md``),
+    #: so the choice is pure execution strategy — like ``jobs`` — and is
+    #: excluded from cache fingerprints via ``__key_exclude__``.
+    substrate: str = "fused"
+
+    #: Fields that never affect campaign *output*, only how it is
+    #: computed; :mod:`repro.store.keys` skips them when fingerprinting.
+    __key_exclude__ = frozenset({"substrate"})
 
     def __post_init__(self) -> None:
         if self.n_runs < 1:
@@ -86,6 +96,10 @@ class CampaignConfig:
         if self.max_run_seconds <= 0:
             raise ValueError(
                 f"max_run_seconds must be positive, got {self.max_run_seconds}"
+            )
+        if self.substrate not in ("fused", "loop"):
+            raise ValueError(
+                f'substrate must be "fused" or "loop", got {self.substrate!r}'
             )
 
 
@@ -103,9 +117,31 @@ class TestbedSimulator:
         self.failure_condition = failure_condition or MemoryExhaustion()
 
     def run_once(self, seed: "int | None | np.random.Generator" = None) -> RunRecord:
-        """Simulate one run from VM start to fail event (or truncation)."""
+        """Simulate one run from VM start to fail event (or truncation).
+
+        Dispatches to the substrate selected by the config. The fused
+        engine requires a threshold-compilable failure condition; a
+        condition that does not compile (a user-defined predicate) falls
+        back to the legacy loop, which evaluates it exactly.
+        """
         cfg = self.config
         rng = as_rng(seed)
+        if cfg.substrate == "fused":
+            from repro.system.fused import run_once_fused
+
+            limits = self.failure_condition.fused_limits(cfg.machine)
+            if limits is not None:
+                return run_once_fused(cfg, limits, rng)
+            get_metrics().inc("sim.fused_fallback_total")
+            _log.info(
+                "failure condition has no threshold form; using loop substrate %s",
+                kv(condition=self.failure_condition.description),
+            )
+        return self._run_once_loop(rng)
+
+    def _run_once_loop(self, rng: np.random.Generator) -> RunRecord:
+        """The legacy per-tick loop — the fused engine's oracle."""
+        cfg = self.config
         # Independent streams per component (paper: uncorrelated draws).
         r_profile, r_pool, r_server, r_monitor, r_inject = rng.spawn(5)
 

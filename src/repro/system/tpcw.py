@@ -102,6 +102,21 @@ class TPCWMix:
         """Expected CPU demand per interaction (seconds)."""
         return float(self.probabilities @ SERVICE_DEMANDS)
 
+    @property
+    def sampling_cdf(self) -> np.ndarray:
+        """Normalized cumulative distribution over the interactions.
+
+        Precomputed form of what :meth:`numpy.random.Generator.choice`
+        derives internally on every call (``p.cumsum()`` normalized by
+        its last entry). ``cdf.searchsorted(rng.random(n), side="right")``
+        draws exactly the same interaction codes as :meth:`sample` while
+        consuming the RNG stream identically — the fused substrate hoists
+        this out of the hot loop.
+        """
+        cdf = self.probabilities.cumsum()
+        cdf /= cdf[-1]
+        return cdf
+
     def sample(self, n: int, rng: np.random.Generator) -> np.ndarray:
         """Sample *n* interaction codes from the mix frequencies."""
         return rng.choice(len(Interaction), size=n, p=self.probabilities)
@@ -207,6 +222,11 @@ class SessionChain:
         # guard against cumulative rounding at the row ends
         self._cdf[:, -1] = 1.0
 
+    @property
+    def cdf(self) -> np.ndarray:
+        """Row-wise transition CDF (read-only view for the fused substrate)."""
+        return self._cdf
+
     def next_states(
         self, states: np.ndarray, rng: np.random.Generator
     ) -> np.ndarray:
@@ -261,6 +281,17 @@ class EmulatedBrowserPool:
     @property
     def n_browsers(self) -> int:
         return self.next_request_time.shape[0]
+
+    @property
+    def session_chain(self) -> "SessionChain | None":
+        """The session chain, if this pool runs in session mode."""
+        return self._chain
+
+    @property
+    def session_states(self) -> "np.ndarray | None":
+        """Per-browser session states (mutable; the fused substrate
+        advances them with the same draws :meth:`due_requests` makes)."""
+        return self._states
 
     def _think_times(self, n: int) -> np.ndarray:
         return np.minimum(

@@ -10,6 +10,7 @@ from repro.ml.kernels import (
     resolve_gamma,
     resolve_kernel,
     resolve_kernel_diag,
+    squared_norms,
 )
 
 
@@ -84,6 +85,26 @@ class TestRBFKernel:
         K = rbf_kernel(X, X, gamma=0.7)
         eig = np.linalg.eigvalsh(K)
         assert eig.min() > -1e-10
+
+
+class TestSquaredNorms:
+    def test_matches_rowwise_dot(self, XY):
+        X, _ = XY
+        assert np.allclose(squared_norms(X), [x @ x for x in X])
+        assert squared_norms(X).shape == (X.shape[0],)
+
+    def test_rbf_fast_path_is_bit_identical(self, XY):
+        """The cached-norm path must be *exact*, not just close: fitted
+        predictors switch between the two paths depending on pickle age."""
+        X, Y = XY
+        plain = rbf_kernel(X, Y, gamma=0.5)
+        cached = rbf_kernel(X, Y, gamma=0.5, sq_y=squared_norms(Y))
+        assert np.array_equal(plain, cached)
+
+    def test_rbf_rejects_misshapen_sq_y(self, XY):
+        X, Y = XY
+        with pytest.raises(ValueError, match="sq_y"):
+            rbf_kernel(X, Y, gamma=0.5, sq_y=squared_norms(X))
 
 
 class TestResolvers:

@@ -77,3 +77,32 @@ class TestLSSVM:
         p1 = LSSVMRegressor(gam=10.0).fit(X, y).predict(X)
         p2 = LSSVMRegressor(gam=10.0).fit(X, y).predict(X)
         assert np.array_equal(p1, p2)
+
+
+class TestNormCachePredict:
+    """The RBF predict fast path (cached training-row norms)."""
+
+    def _fit(self):
+        rng = np.random.default_rng(11)
+        X = rng.normal(size=(60, 2))
+        y = np.sin(X[:, 0])
+        return LSSVMRegressor(gam=50.0, kernel="rbf", gamma=1.0).fit(X, y), X
+
+    def test_cached_norms_populated_for_rbf_only(self):
+        m, X = self._fit()
+        assert m._train_sq_norms_ is not None
+        assert m._train_sq_norms_.shape == (X.shape[0],)
+        lin = LSSVMRegressor(gam=50.0, kernel="linear").fit(X, X[:, 0])
+        assert lin._train_sq_norms_ is None
+
+    def test_fast_path_bit_identical_to_generic_kernel(self):
+        m, X = self._fit()
+        fast = m.predict(X)
+        generic = m._kernel(X, m._X_train) @ m.alpha_ + m.intercept_
+        assert np.array_equal(fast, generic)
+
+    def test_legacy_pickle_without_cache_still_predicts(self):
+        m, X = self._fit()
+        expected = m.predict(X)
+        del m._train_sq_norms_
+        assert np.array_equal(m.predict(X), expected)

@@ -109,3 +109,45 @@ class TestSVRMechanics:
         y = np.sin(X[:, 0]) + 0.5 * X[:, 1]
         m = SVR(C=10.0, epsilon=0.05, kernel="rbf", gamma=0.5).fit(X, y)
         assert mean_absolute_error(y, m.predict(X)) < 0.12
+
+
+class TestNormCachePredict:
+    """The RBF predict fast path (cached support-vector norms)."""
+
+    def _fit(self):
+        rng = np.random.default_rng(11)
+        X = rng.normal(size=(80, 3))
+        y = np.sin(X[:, 0]) + 0.3 * X[:, 1]
+        return SVR(C=10.0, epsilon=0.05, kernel="rbf", gamma=0.5).fit(X, y), X
+
+    def test_cached_norms_populated_for_rbf_only(self):
+        m, _ = self._fit()
+        assert m._sv_sq_norms_ is not None
+        assert m._sv_sq_norms_.shape == (m.support_vectors_.shape[0],)
+        rng = np.random.default_rng(12)
+        X = rng.normal(size=(40, 2))
+        lin = SVR(C=10.0, epsilon=0.05, kernel="linear").fit(X, X[:, 0])
+        assert lin._sv_sq_norms_ is None
+
+    def test_fast_path_bit_identical_to_generic_kernel(self):
+        m, X = self._fit()
+        fast = m.predict(X)
+        generic = m._kernel(X, m.support_vectors_) @ m.dual_coef_ + m.intercept_
+        assert np.array_equal(fast, generic)
+
+    def test_legacy_pickle_without_cache_still_predicts(self):
+        # models pickled before the cache existed lack the attribute:
+        # predict must fall through to the generic kernel, same answer
+        m, X = self._fit()
+        expected = m.predict(X)
+        del m._sv_sq_norms_
+        assert np.array_equal(m.predict(X), expected)
+
+    def test_state_round_trip_keeps_fast_path(self):
+        # simulate model persistence: a state-restored clone must keep
+        # the cached norms and predict identically through the fast path
+        m, X = self._fit()
+        clone = SVR.__new__(SVR)
+        clone.__dict__.update(m.__dict__)
+        assert clone._sv_sq_norms_ is not None
+        assert np.array_equal(clone.predict(X), m.predict(X))
