@@ -115,8 +115,16 @@ def cmd_aggregate(args: argparse.Namespace) -> int:
     from repro.store import atomic_writer
 
     history = _load_history(args.history)
+    quality = None
+    if args.policy is not None:
+        from repro.core.sanitize import QualityReport, as_policy
+
+        quality = QualityReport(policy=as_policy(args.policy))
     dataset = aggregate_history(
-        history, AggregationConfig(window_seconds=args.window)
+        history,
+        AggregationConfig(window_seconds=args.window),
+        sanitize=args.policy,
+        quality=quality,
     )
     with atomic_writer(args.output) as tmp:
         with tmp.open("wb") as fh:
@@ -132,6 +140,8 @@ def cmd_aggregate(args: argparse.Namespace) -> int:
         f"{dataset.n_samples} windows x {dataset.n_features} features "
         f"-> {args.output}"
     )
+    if quality is not None and not quality.clean:
+        print(quality.summary())
     return 0
 
 
@@ -202,16 +212,90 @@ def cmd_train(args: argparse.Namespace) -> int:
 
 def cmd_ingest(args: argparse.Namespace) -> int:
     from repro.core.ingest import CSVTraceSpec, read_campaign_csv
+    from repro.core.sanitize import DataQualityError, QualityReport, as_policy
 
     spec = CSVTraceSpec.identity(
         response_time_column=args.rt_column if args.rt_column else None
     )
-    history = read_campaign_csv(args.directory, spec, pattern=args.pattern)
+    quality = QualityReport(policy=as_policy(args.policy))
+    try:
+        history = read_campaign_csv(
+            args.directory,
+            spec,
+            pattern=args.pattern,
+            policy=args.policy,
+            quality=quality,
+        )
+    except DataQualityError as exc:
+        raise SystemExit(f"error: dirty trace rejected under --policy=strict\n{exc}")
     history.save(args.output)
     print(
         f"ingested {len(history)} runs ({history.n_datapoints} datapoints) "
         f"from {args.directory} -> {args.output}"
     )
+    if not quality.clean:
+        print(quality.summary())
+    return 0
+
+
+def cmd_faults(args: argparse.Namespace) -> int:
+    """Corrupt a saved history with a deterministic fault profile.
+
+    Writes one CSV per corrupted run (the canonical 15-column layout, so
+    ``f2pm ingest`` reads the output back) and, with ``--check``, routes
+    every dirty run through the sanitize layer and prints the verdicts.
+    """
+    import csv as _csv
+
+    from repro.core.datapoint import FEATURES
+    from repro.core.sanitize import (
+        DataQualityError,
+        QualityReport,
+        as_policy,
+        sanitize_run,
+    )
+    from repro.faults import FaultProfile
+
+    history = _load_history(args.history)
+    profile = (
+        FaultProfile.from_spec(args.spec)
+        if args.spec
+        else FaultProfile.preset(args.preset)
+    )
+    dirty = profile.apply_history(history, seed=args.seed)
+    outdir = Path(args.output)
+    outdir.mkdir(parents=True, exist_ok=True)
+    for i, run in enumerate(dirty):
+        path = outdir / f"run{i:03d}.csv"
+        with path.open("w", newline="") as fh:
+            writer = _csv.writer(fh)
+            writer.writerow(FEATURES)
+            for row in run.features:
+                writer.writerow(format(float(v), ".17g") for v in row)
+    n_rows = sum(r.n_datapoints for r in dirty)
+    source = args.spec if args.spec else f"preset {args.preset!r}"
+    print(
+        f"corrupted {len(dirty)} runs ({n_rows} datapoints) with {source} "
+        f"(seed {args.seed}) -> {outdir}/"
+    )
+    if args.check:
+        policy = as_policy(args.check)
+        quality = QualityReport(policy=policy)
+        rejected = 0
+        for i, run in enumerate(dirty):
+            try:
+                _, report = sanitize_run(
+                    run, policy=policy, run_index=i, label=f"run{i:03d}.csv"
+                )
+                quality.add(report)
+            except DataQualityError as exc:
+                rejected += 1
+                first = exc.issues[0].message if exc.issues else str(exc)
+                print(f"run{i:03d}: REJECTED ({len(exc.issues)} issues; {first})")
+        if rejected:
+            print(f"{rejected}/{len(dirty)} runs rejected under policy {policy!r}")
+        if quality.runs:
+            print(quality.summary())
     return 0
 
 
@@ -527,6 +611,13 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("history")
     p.add_argument("-o", "--output", default="dataset.npz")
     p.add_argument("--window", type=float, default=20.0)
+    p.add_argument(
+        "--policy",
+        choices=("strict", "repair", "quarantine"),
+        default=None,
+        help="route the history through the sanitize layer first "
+        "(default: trust the input; see docs/ROBUSTNESS.md)",
+    )
     p.set_defaults(func=cmd_aggregate)
 
     p = add_parser("select", help="print the Lasso regularization path")
@@ -558,7 +649,44 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("-o", "--output", default="history.npz")
     p.add_argument("--pattern", default="*.csv")
     p.add_argument("--rt-column", default=None)
+    p.add_argument(
+        "--policy",
+        choices=("strict", "repair", "quarantine"),
+        default="repair",
+        help="data-quality policy for dirty traces (default: repair; "
+        "see docs/ROBUSTNESS.md)",
+    )
     p.set_defaults(func=cmd_ingest)
+
+    from repro.faults import PRESETS
+
+    p = add_parser("faults", help="corrupt a history with a fault profile")
+    p.add_argument("history", help="clean history (.npz) to corrupt")
+    p.add_argument(
+        "-o", "--output", default="dirty", help="directory for the dirty run CSVs"
+    )
+    p.add_argument(
+        "--preset",
+        choices=sorted(PRESETS),
+        default="default",
+        help="named fault profile (default: a bit of everything)",
+    )
+    p.add_argument(
+        "--spec",
+        default=None,
+        metavar="MODEL=RATE,...",
+        help="explicit profile, e.g. 'nan=0.05,dup=0.02,reset=1' "
+        "(overrides --preset)",
+    )
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument(
+        "--check",
+        choices=("strict", "repair", "quarantine"),
+        default=None,
+        help="also run the sanitize layer over the dirty runs and print "
+        "its verdicts",
+    )
+    p.set_defaults(func=cmd_faults)
 
     p = add_parser("predict", help="apply a saved model to a history")
     p.add_argument("model")

@@ -50,6 +50,15 @@ from repro.core.drift import (
     ResidualDriftDetector,
     TrajectoryConsistencyMonitor,
 )
+from repro.core.sanitize import (
+    DataQualityError,
+    QualityReport,
+    RunQualityReport,
+    SanitizeConfig,
+    StreamSanitizer,
+    sanitize_history,
+    sanitize_run,
+)
 
 __all__ = [
     "FEATURES",
@@ -91,4 +100,11 @@ __all__ = [
     "DriftStatus",
     "ResidualDriftDetector",
     "TrajectoryConsistencyMonitor",
+    "DataQualityError",
+    "QualityReport",
+    "RunQualityReport",
+    "SanitizeConfig",
+    "StreamSanitizer",
+    "sanitize_history",
+    "sanitize_run",
 ]

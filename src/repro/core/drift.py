@@ -63,6 +63,9 @@ class TrajectoryConsistencyMonitor:
         self.window = window
         self.tolerance = tolerance
         self.min_points = min_points
+        #: count of observations ignored for being non-finite (a wedged
+        #: model emitting NaN must not poison the slope regression).
+        self.skipped = 0
         self._times: deque[float] = deque(maxlen=window)
         self._preds: deque[float] = deque(maxlen=window)
 
@@ -70,16 +73,14 @@ class TrajectoryConsistencyMonitor:
         """Forget the trajectory (call after a restart)."""
         self._times.clear()
         self._preds.clear()
+        self.skipped = 0
 
-    def add(self, now: float, predicted_rttf: float) -> DriftStatus:
-        """Ingest one prediction; returns the current status."""
-        if self._times and now <= self._times[-1]:
-            raise ValueError("observations must arrive in increasing time order")
-        self._times.append(float(now))
-        self._preds.append(float(predicted_rttf))
+    def _status(self) -> DriftStatus:
         n = len(self._times)
         if n < self.min_points:
-            return DriftStatus(slope=float("nan"), score=float("nan"), drifting=False, n_points=n)
+            return DriftStatus(
+                slope=float("nan"), score=float("nan"), drifting=False, n_points=n
+            )
         t = np.asarray(self._times)
         p = np.asarray(self._preds)
         tc = t - t.mean()
@@ -89,6 +90,25 @@ class TrajectoryConsistencyMonitor:
         return DriftStatus(
             slope=slope, score=score, drifting=score > self.tolerance, n_points=n
         )
+
+    def add(self, now: float, predicted_rttf: float) -> DriftStatus:
+        """Ingest one prediction; returns the current status.
+
+        Non-finite observations (a NaN prediction from a wedged model, a
+        NaN timestamp from a corrupted monitor) are counted in
+        :attr:`skipped` and ignored — one bad sample must not blind the
+        detector for an entire ``window``.
+        """
+        now = float(now)
+        predicted_rttf = float(predicted_rttf)
+        if not (np.isfinite(now) and np.isfinite(predicted_rttf)):
+            self.skipped += 1
+            return self._status()
+        if self._times and now <= self._times[-1]:
+            raise ValueError("observations must arrive in increasing time order")
+        self._times.append(now)
+        self._preds.append(predicted_rttf)
+        return self._status()
 
 
 class ResidualDriftDetector:
@@ -125,14 +145,19 @@ class ResidualDriftDetector:
     ) -> tuple[float, bool]:
         """Realized S-MAE on a completed run and the staleness verdict.
 
-        Returns ``(realized_smae, is_stale)``.
+        Returns ``(realized_smae, is_stale)``. Non-finite pairs (holes a
+        dirty trace left in either series) are excluded; a run with no
+        finite pair at all returns ``(nan, False)`` — no verdict.
         """
         from repro.ml.metrics import soft_mean_absolute_error
 
+        pred = np.asarray(predicted_rttf, dtype=np.float64)
+        true = np.asarray(true_rttf, dtype=np.float64)
+        finite = np.isfinite(pred) & np.isfinite(true)
+        if not finite.any():
+            return float("nan"), False
         realized = soft_mean_absolute_error(
-            np.asarray(true_rttf, dtype=np.float64),
-            np.asarray(predicted_rttf, dtype=np.float64),
-            self.smae_threshold,
+            true[finite], pred[finite], self.smae_threshold
         )
         floor = max(self.baseline_smae, 1e-9)
         return realized, realized > self.inflation_factor * floor

@@ -40,6 +40,13 @@ class F2PMConfig:
     """Configuration of an end-to-end F2PM execution."""
 
     aggregation: AggregationConfig = field(default_factory=AggregationConfig)
+    #: Data-quality policy applied to the history before aggregation:
+    #: ``None`` (default) trusts the input, ``"strict"`` raises a located
+    #: :class:`~repro.core.sanitize.DataQualityError` on any defect (and
+    #: is bit-identical to ``None`` on clean data), ``"repair"`` fixes
+    #: what it can, ``"quarantine"`` drops offending rows/runs. Defaulted
+    #: so existing artifact-store fingerprints are unchanged.
+    sanitize: "str | None" = None
     #: Lambda grid for the feature-selection path (None = paper's 10^0..10^9).
     lambda_grid: "tuple[float, ...] | None" = None
     #: Lambda whose selection feeds the reduced models; None = the
@@ -79,6 +86,8 @@ class F2PMResult:
     y_validation: np.ndarray
     #: root span of the execution's trace (None when tracing is disabled)
     trace: "Span | None" = None
+    #: sanitize-layer decisions (None when ``config.sanitize`` is None)
+    quality: "object | None" = None
 
     # -- lookups ---------------------------------------------------------------
 
@@ -218,6 +227,20 @@ class F2PM:
         metrics = get_metrics()
         root = span("f2pm.run", runs=len(history), jobs=jobs)
         with root:
+            # Phase A': optional sanitize pass (dirty telemetry defense).
+            quality = None
+            if cfg.sanitize is not None:
+                from repro.core.sanitize import sanitize_history
+
+                with span("sanitize", policy=cfg.sanitize) as sp:
+                    history, quality = sanitize_history(
+                        history, policy=cfg.sanitize
+                    )
+                    sp.set(
+                        issues=len(quality.issues),
+                        runs_quarantined=quality.n_runs_quarantined,
+                    )
+
             # Phase B: aggregation + added metrics + RTTF labels.
             with span("aggregate") as sp:
                 dataset = aggregate_history(history, cfg.aggregation)
@@ -349,6 +372,7 @@ class F2PM:
             predictions=predictions,
             y_validation=val_full.y,
             trace=root if isinstance(root, Span) else None,
+            quality=quality,
         )
 
 

@@ -59,11 +59,25 @@ class RunRecord:
         if self.features.shape[0] == 0:
             raise ValueError("run has no datapoints")
         tgen = self.features[:, 0]
+        # NaN timestamps make every comparison below vacuously pass, so
+        # they must be rejected first (a NaN-laden trace otherwise slips
+        # through and poisons window binning and RTTF labels downstream).
+        if not np.isfinite(tgen).all():
+            bad = int(np.flatnonzero(~np.isfinite(tgen))[0])
+            raise ValueError(
+                f"timestamps must be finite; row {bad} has tgen {tgen[bad]!r} "
+                "(route dirty traces through repro.core.sanitize)"
+            )
         if (np.diff(tgen) < 0).any():
             raise ValueError("datapoints must be sorted by tgen")
+        self.fail_time = float(self.fail_time)
+        if not np.isfinite(self.fail_time):
+            raise ValueError(f"fail_time must be finite, got {self.fail_time!r}")
         if self.fail_time < tgen[-1]:
             raise ValueError(
-                f"fail_time {self.fail_time} precedes last datapoint {tgen[-1]}"
+                f"fail_time {self.fail_time} precedes last datapoint {tgen[-1]}: "
+                "RTTF labels would go negative (fix the fail event or use "
+                "repro.core.sanitize repair mode)"
             )
         if self.response_times is not None:
             self.response_times = np.asarray(self.response_times, dtype=np.float64)

@@ -71,14 +71,41 @@ def read_run_csv(
     *,
     fail_time: "float | None" = None,
     crashed: bool = True,
-) -> RunRecord:
+    policy: str = "repair",
+    sanitize_config=None,
+    quality=None,
+    run_index: int = 0,
+) -> "RunRecord | None":
     """Parse one run's trace file into a :class:`RunRecord`.
 
     ``fail_time`` defaults to the last datapoint's timestamp (the fail
     event coincides with monitoring stopping); pass the logged fail-event
     time when you have one. ``crashed=False`` marks truncated runs that
     aggregation should skip for RTTF labelling.
+
+    Real traces are dirty, so every parsed run is routed through the
+    :mod:`repro.core.sanitize` layer under *policy*:
+
+    - ``"strict"`` raises :class:`~repro.core.sanitize.DataQualityError`
+      with ``file:line``-located diagnostics for every defect —
+      ``nan``/``inf`` strings (which ``float()`` happily parses), unsorted
+      rows (instead of silently re-sorting them), duplicate rows, clock
+      resets, and an explicit ``fail_time`` earlier than the trace's last
+      datapoints (which would otherwise poison training with negative
+      RTTF labels).
+    - ``"repair"`` (default) fixes what is deterministic — interpolates
+      non-finite cells, re-sorts, de-duplicates, clamps a too-early fail
+      time — recording every decision in the optional ``quality``
+      accumulator (a :class:`~repro.core.sanitize.QualityReport`).
+    - ``"quarantine"`` drops offending rows; a run that is defective at
+      the run level returns ``None``.
+
+    Values that are not numbers at all (``"oops"``) are rejected at parse
+    time regardless of policy.
     """
+    from repro.core.sanitize import QualityReport, as_policy, sanitize_arrays
+
+    policy = as_policy(policy)
     path = Path(path)
     with path.open(newline="") as fh:
         reader = csv.DictReader(fh, delimiter=spec.delimiter)
@@ -118,19 +145,34 @@ def read_run_csv(
     if not rows:
         raise ValueError(f"{path}: no datapoints")
     features = np.asarray(rows, dtype=np.float64)
-    order = np.argsort(features[:, 0], kind="stable")
-    features = features[order]
     response_times = (
-        np.asarray(rts, dtype=np.float64)[order]
+        np.asarray(rts, dtype=np.float64)
         if spec.response_time_column is not None
         else None
     )
-    resolved_fail = float(features[-1, 0]) if fail_time is None else float(fail_time)
+    features, response_times, fail_out, crashed_out, report = sanitize_arrays(
+        features,
+        response_times,
+        None if fail_time is None else float(fail_time),
+        crashed=crashed,
+        policy=policy,
+        config=sanitize_config,
+        run_index=run_index,
+        label=str(path),
+        row_base=2,  # CSV line numbers: header is line 1
+    )
+    if quality is not None:
+        if not isinstance(quality, QualityReport):
+            raise TypeError("quality must be a repro.core.sanitize.QualityReport")
+        quality.add(report)
+    if report.quarantined:
+        return None
+    resolved_fail = float(features[-1, 0]) if fail_out is None else float(fail_out)
     return RunRecord(
         features=features,
         fail_time=resolved_fail,
         response_times=response_times,
-        metadata={"crashed": 1.0 if crashed else 0.0, "source": 0.0},
+        metadata={"crashed": 1.0 if crashed_out else 0.0, "source": 0.0},
     )
 
 
@@ -139,15 +181,36 @@ def read_campaign_csv(
     spec: CSVTraceSpec,
     *,
     pattern: str = "*.csv",
+    policy: str = "repair",
+    sanitize_config=None,
+    quality=None,
 ) -> DataHistory:
-    """Read every run file in *directory* (sorted by name) into a history."""
+    """Read every run file in *directory* (sorted by name) into a history.
+
+    Each file goes through :func:`read_run_csv` under *policy*; runs
+    quarantined by the sanitize layer are skipped (their verdicts land in
+    the optional ``quality`` report). Raises if every run is quarantined.
+    """
     directory = Path(directory)
     files = sorted(directory.glob(pattern))
     if not files:
         raise ValueError(f"no files matching {pattern!r} in {directory}")
     history = DataHistory()
-    for file in files:
-        history.add_run(read_run_csv(file, spec))
+    for i, file in enumerate(files):
+        run = read_run_csv(
+            file,
+            spec,
+            policy=policy,
+            sanitize_config=sanitize_config,
+            quality=quality,
+            run_index=i,
+        )
+        if run is not None:
+            history.add_run(run)
+    if not len(history):
+        raise ValueError(
+            f"every run in {directory} was quarantined by the sanitize layer"
+        )
     return history
 
 

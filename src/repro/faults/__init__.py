@@ -1,0 +1,46 @@
+"""``repro.faults`` — telemetry fault injection.
+
+Deterministic, seeded corruption models for monitoring data (the dirty
+realities of production telemetry: NaN cells, gaps, duplicates, bounded
+reordering, clock resets, truncation, unit-scale glitches, mislogged
+fail events), composable via :class:`FaultProfile` and applicable to a
+:class:`~repro.core.history.DataHistory` or a live datapoint stream.
+
+The harness exists to *prove* the sanitize layer
+(:mod:`repro.core.sanitize`): every corruption it can inject, the
+sanitizer must either reject with a located diagnostic (``strict``) or
+convert into a finite, ordered, fully-labelled training set (``repair``
+/ ``quarantine``). See ``docs/ROBUSTNESS.md`` and ``tests/faults/``.
+"""
+
+from repro.faults.models import (
+    CORRUPTION_MODELS,
+    ClockReset,
+    CorruptionModel,
+    DirtyRun,
+    DroppedSamples,
+    DuplicatedRows,
+    FailTimeSkew,
+    NaNCells,
+    OutOfOrder,
+    TruncatedRun,
+    UnitScaleGlitch,
+)
+from repro.faults.profile import PRESETS, FaultProfile, StreamCorruptor
+
+__all__ = [
+    "CORRUPTION_MODELS",
+    "PRESETS",
+    "CorruptionModel",
+    "DirtyRun",
+    "FaultProfile",
+    "StreamCorruptor",
+    "NaNCells",
+    "DroppedSamples",
+    "DuplicatedRows",
+    "OutOfOrder",
+    "ClockReset",
+    "TruncatedRun",
+    "UnitScaleGlitch",
+    "FailTimeSkew",
+]

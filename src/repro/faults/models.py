@@ -1,0 +1,365 @@
+"""Corruption models: deterministic, seeded telemetry defects.
+
+Each model reproduces one class of dirty production data and applies it
+to a :class:`DirtyRun` (batch) and, where the defect exists at stream
+granularity, to a live datapoint flow (see
+:class:`~repro.faults.profile.StreamCorruptor`). All randomness flows
+through the ``numpy.random.Generator`` handed in by the caller, so a
+given seed always yields the same corruption — tests can count injected
+defects and check the sanitizer's :class:`~repro.core.sanitize.QualityReport`
+against the exact ground truth.
+
+The catalogue matches :data:`repro.core.sanitize.KINDS` one-to-one;
+``CORRUPTION_MODELS`` maps the short spec names used by
+``FaultProfile.from_spec`` / ``f2pm faults --spec``.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from typing import Mapping
+
+import numpy as np
+
+from repro.core.datapoint import FEATURE_INDEX, FEATURES
+from repro.core.history import RunRecord
+
+
+@dataclass
+class DirtyRun:
+    """A run that may violate :class:`~repro.core.history.RunRecord` invariants.
+
+    RunRecord's constructor (correctly) rejects unsorted timestamps and
+    inconsistent fail times, so corrupted runs need their own carrier on
+    the way into the sanitize layer.
+    """
+
+    features: np.ndarray
+    fail_time: float
+    response_times: "np.ndarray | None" = None
+    metadata: Mapping[str, float] = field(default_factory=dict)
+
+    @classmethod
+    def from_run(cls, run: RunRecord) -> "DirtyRun":
+        return cls(
+            features=np.array(run.features, dtype=np.float64),
+            fail_time=float(run.fail_time),
+            response_times=(
+                None
+                if run.response_times is None
+                else np.array(run.response_times, dtype=np.float64)
+            ),
+            metadata=dict(run.metadata),
+        )
+
+    @property
+    def n_datapoints(self) -> int:
+        return self.features.shape[0]
+
+
+def _resolve_columns(columns: "tuple[str, ...] | None") -> list[int]:
+    if columns is None:
+        return list(range(1, len(FEATURES)))  # every non-time column
+    out = []
+    for name in columns:
+        if name not in FEATURE_INDEX:
+            raise ValueError(f"unknown feature {name!r}")
+        if name == "tgen":
+            raise ValueError("corrupting tgen cells is the job of the clock models")
+        out.append(FEATURE_INDEX[name])
+    return out
+
+
+class CorruptionModel(ABC):
+    """One class of telemetry defect."""
+
+    #: short name used in specs, reports and test parametrization
+    name: str = "?"
+
+    @abstractmethod
+    def apply(self, run: DirtyRun, rng: np.random.Generator) -> DirtyRun:
+        """Corrupt *run* in place (and return it)."""
+
+    # -- streaming ---------------------------------------------------------------
+
+    def stream_state(self, rng: np.random.Generator) -> dict:
+        """Fresh per-run state for stream corruption."""
+        return {}
+
+    def stream_apply(
+        self, row: np.ndarray, state: dict, rng: np.random.Generator
+    ) -> "list[np.ndarray]":
+        """Corrupt one live datapoint; return 0, 1 or more rows."""
+        return [row]
+
+
+@dataclass
+class NaNCells(CorruptionModel):
+    """Non-finite cells: a crashed exporter writes ``nan``/``inf``."""
+
+    rate: float = 0.02
+    columns: "tuple[str, ...] | None" = None
+    name: str = "nan"
+
+    _BAD = (float("nan"), float("inf"), float("-inf"))
+
+    def apply(self, run: DirtyRun, rng: np.random.Generator) -> DirtyRun:
+        cols = _resolve_columns(self.columns)
+        n = run.n_datapoints
+        mask = rng.random((n, len(cols))) < self.rate
+        choice = rng.integers(0, len(self._BAD), size=mask.sum())
+        rr, cc = np.nonzero(mask)
+        for k, (r, c) in enumerate(zip(rr, cc)):
+            run.features[r, cols[c]] = self._BAD[choice[k]]
+        return run
+
+    def stream_apply(self, row, state, rng):
+        cols = _resolve_columns(self.columns)
+        hit = rng.random(len(cols)) < self.rate
+        if hit.any():
+            row = row.copy()
+            for c in np.flatnonzero(hit):
+                row[cols[c]] = self._BAD[int(rng.integers(0, len(self._BAD)))]
+        return [row]
+
+
+@dataclass
+class DroppedSamples(CorruptionModel):
+    """Sampling gaps: the monitor wedges and misses ``burst`` samples."""
+
+    rate: float = 0.02  # probability a burst starts at any given row
+    burst: int = 3
+    name: str = "drop"
+
+    def apply(self, run: DirtyRun, rng: np.random.Generator) -> DirtyRun:
+        n = run.n_datapoints
+        starts = rng.random(n) < self.rate
+        drop = np.zeros(n, dtype=bool)
+        for s in np.flatnonzero(starts):
+            drop[s : s + self.burst] = True
+        drop[:2] = False  # keep the head so the run stays non-empty
+        if drop.all():
+            drop[-1] = False
+        run.features = run.features[~drop]
+        if run.response_times is not None:
+            run.response_times = run.response_times[~drop]
+        return run
+
+    def stream_state(self, rng):
+        return {"remaining": 0}
+
+    def stream_apply(self, row, state, rng):
+        if state["remaining"] > 0:
+            state["remaining"] -= 1
+            return []
+        if rng.random() < self.rate:
+            state["remaining"] = self.burst - 1
+            return []
+        return [row]
+
+
+@dataclass
+class DuplicatedRows(CorruptionModel):
+    """At-least-once transport: a datapoint is delivered twice."""
+
+    rate: float = 0.02
+    name: str = "dup"
+
+    def apply(self, run: DirtyRun, rng: np.random.Generator) -> DirtyRun:
+        n = run.n_datapoints
+        repeats = np.where(rng.random(n) < self.rate, 2, 1)
+        run.features = np.repeat(run.features, repeats, axis=0)
+        if run.response_times is not None:
+            run.response_times = np.repeat(run.response_times, repeats)
+        return run
+
+    def stream_apply(self, row, state, rng):
+        if rng.random() < self.rate:
+            return [row, row.copy()]
+        return [row]
+
+
+@dataclass
+class OutOfOrder(CorruptionModel):
+    """Bounded reordering: a datapoint is delivered late by a few slots."""
+
+    rate: float = 0.05
+    max_displacement: int = 2
+    name: str = "ooo"
+
+    def apply(self, run: DirtyRun, rng: np.random.Generator) -> DirtyRun:
+        n = run.n_datapoints
+        order = np.arange(n)
+        for i in np.flatnonzero(rng.random(n) < self.rate):
+            d = int(rng.integers(1, self.max_displacement + 1))
+            j = min(i + d, n - 1)
+            order[i], order[j] = order[j], order[i]
+        run.features = run.features[order]
+        if run.response_times is not None:
+            run.response_times = run.response_times[order]
+        return run
+
+    def stream_state(self, rng):
+        return {"held": None}
+
+    def stream_apply(self, row, state, rng):
+        out: list[np.ndarray] = []
+        if state["held"] is not None:
+            out.append(row)  # the newer row jumps the queue
+            out.append(state["held"])  # the held row arrives late
+            state["held"] = None
+            return out
+        if rng.random() < self.rate:
+            state["held"] = row
+            return []
+        return [row]
+
+
+@dataclass
+class ClockReset(CorruptionModel):
+    """NTP step / monitor restart: timestamps jump back to ~zero mid-run."""
+
+    probability: float = 1.0
+    at_fraction: tuple[float, float] = (0.4, 0.8)
+    name: str = "reset"
+
+    def apply(self, run: DirtyRun, rng: np.random.Generator) -> DirtyRun:
+        if rng.random() >= self.probability or run.n_datapoints < 4:
+            return run
+        lo, hi = self.at_fraction
+        i = int(rng.integers(
+            max(1, int(lo * run.n_datapoints)),
+            max(2, int(hi * run.n_datapoints)),
+        ))
+        run.features[i:, 0] -= run.features[i, 0]
+        return run
+
+    def stream_state(self, rng):
+        fire = rng.random() < self.probability
+        lo, hi = self.at_fraction
+        return {
+            "at": float(rng.uniform(lo, hi)) if fire else None,  # fraction of fail_time
+            "offset": None,
+        }
+
+    def stream_apply(self, row, state, rng):
+        if state["offset"] is not None:
+            row = row.copy()
+            row[0] -= state["offset"]
+        elif state["at"] is not None and state.get("horizon") and row[0] >= state[
+            "at"
+        ] * state["horizon"]:
+            state["offset"] = float(row[0])
+            row = row.copy()
+            row[0] = 0.0
+        return [row]
+
+
+@dataclass
+class TruncatedRun(CorruptionModel):
+    """Monitoring dies early: the tail of the run is never recorded."""
+
+    probability: float = 1.0
+    keep_fraction: tuple[float, float] = (0.4, 0.7)
+    name: str = "truncate"
+
+    def apply(self, run: DirtyRun, rng: np.random.Generator) -> DirtyRun:
+        if rng.random() >= self.probability or run.n_datapoints < 4:
+            return run
+        lo, hi = self.keep_fraction
+        keep = max(2, int(rng.uniform(lo, hi) * run.n_datapoints))
+        run.features = run.features[:keep]
+        if run.response_times is not None:
+            run.response_times = run.response_times[:keep]
+        return run
+
+    def stream_state(self, rng):
+        lo, hi = self.keep_fraction
+        fire = rng.random() < self.probability
+        return {"at": float(rng.uniform(lo, hi)) if fire else None, "dead": False}
+
+    def stream_apply(self, row, state, rng):
+        if state["dead"]:
+            return []
+        if (
+            state["at"] is not None
+            and state.get("horizon")
+            and row[0] >= state["at"] * state["horizon"]
+        ):
+            state["dead"] = True
+            return []
+        return [row]
+
+
+@dataclass
+class UnitScaleGlitch(CorruptionModel):
+    """A collector briefly reports KB as bytes (or vice versa)."""
+
+    rate: float = 0.01
+    factor: float = 1024.0
+    columns: tuple[str, ...] = ("mem_used", "mem_free", "mem_cached", "swap_free")
+    name: str = "scale"
+
+    def apply(self, run: DirtyRun, rng: np.random.Generator) -> DirtyRun:
+        cols = _resolve_columns(self.columns)
+        n = run.n_datapoints
+        mask = rng.random((n, len(cols))) < self.rate
+        # Keep glitches transient (the sanitizer's detector is a
+        # neighbour test): never corrupt two adjacent rows of a column.
+        mask[1:] &= ~mask[:-1]
+        mask[0] = mask[-1] = False
+        for r, c in zip(*np.nonzero(mask)):
+            run.features[r, cols[c]] *= self.factor
+        return run
+
+    def stream_state(self, rng):
+        return {"last_hit": False}
+
+    def stream_apply(self, row, state, rng):
+        cols = _resolve_columns(self.columns)
+        if not state["last_hit"] and rng.random() < self.rate * len(cols):
+            c = cols[int(rng.integers(0, len(cols)))]
+            row = row.copy()
+            row[c] *= self.factor
+            state["last_hit"] = True
+        else:
+            state["last_hit"] = False
+        return [row]
+
+
+@dataclass
+class FailTimeSkew(CorruptionModel):
+    """A mislogged fail event earlier than the trace's last datapoints.
+
+    The defect behind the negative-RTTF-label bug: an explicit
+    ``fail_time`` that precedes the final samples makes
+    ``fail_time - mean(tgen)`` negative for the tail windows.
+    """
+
+    probability: float = 1.0
+    fraction: tuple[float, float] = (0.5, 0.9)
+    name: str = "failskew"
+
+    def apply(self, run: DirtyRun, rng: np.random.Generator) -> DirtyRun:
+        if rng.random() >= self.probability:
+            return run
+        lo, hi = self.fraction
+        run.fail_time = float(run.fail_time * rng.uniform(lo, hi))
+        return run
+
+
+#: spec name -> model class (the catalogue; order matches KINDS intent)
+CORRUPTION_MODELS: dict[str, type] = {
+    m.name: m
+    for m in (
+        NaNCells,
+        DroppedSamples,
+        DuplicatedRows,
+        OutOfOrder,
+        ClockReset,
+        TruncatedRun,
+        UnitScaleGlitch,
+        FailTimeSkew,
+    )
+}

@@ -1,0 +1,200 @@
+"""Composable fault profiles and the stream corruptor.
+
+A :class:`FaultProfile` is an ordered tuple of corruption models applied
+to a run (or a live datapoint stream) under one seed. Determinism is
+strict: the profile spawns one child RNG per (run, model) pair with the
+SeedSequence protocol, so corrupting run *k* never depends on how many
+runs came before it or which other models are enabled after it.
+
+Profiles compose from presets (``FaultProfile.preset("default")``), from
+explicit model instances, or from a compact spec string shared with the
+``f2pm faults`` CLI::
+
+    FaultProfile.from_spec("nan=0.05,dup=0.02,reset=1")
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.history import DataHistory, RunRecord
+from repro.faults.models import (
+    CORRUPTION_MODELS,
+    ClockReset,
+    CorruptionModel,
+    DirtyRun,
+    DroppedSamples,
+    DuplicatedRows,
+    FailTimeSkew,
+    NaNCells,
+    OutOfOrder,
+    TruncatedRun,
+    UnitScaleGlitch,
+)
+from repro.utils.rng import as_rng
+
+
+@dataclass(frozen=True)
+class FaultProfile:
+    """An ordered composition of corruption models."""
+
+    models: tuple[CorruptionModel, ...]
+
+    def __post_init__(self) -> None:
+        if not self.models:
+            raise ValueError("a FaultProfile needs at least one corruption model")
+
+    # -- construction ------------------------------------------------------------
+
+    @classmethod
+    def preset(cls, name: str) -> "FaultProfile":
+        """A named preset (see :data:`PRESETS`)."""
+        try:
+            return PRESETS[name]()
+        except KeyError:
+            raise ValueError(
+                f"unknown fault preset {name!r}; choose from {sorted(PRESETS)}"
+            ) from None
+
+    @classmethod
+    def from_spec(cls, spec: str) -> "FaultProfile":
+        """Parse ``"nan=0.05,dup=0.02,reset=1"`` into a profile.
+
+        Each ``name=rate`` pair enables one corruption model at the given
+        rate/probability; a bare ``name`` uses the model's default.
+        """
+        models: list[CorruptionModel] = []
+        for part in spec.split(","):
+            part = part.strip()
+            if not part:
+                continue
+            name, _, value = part.partition("=")
+            name = name.strip()
+            if name not in CORRUPTION_MODELS:
+                raise ValueError(
+                    f"unknown corruption model {name!r}; "
+                    f"choose from {sorted(CORRUPTION_MODELS)}"
+                )
+            model_cls = CORRUPTION_MODELS[name]
+            if not value:
+                models.append(model_cls())
+                continue
+            rate = float(value)
+            # Every model's knob is its first numeric field: rate for the
+            # cell/row models, probability for the run-level ones.
+            if hasattr(model_cls(), "rate"):
+                models.append(model_cls(rate=rate))
+            else:
+                models.append(model_cls(probability=rate))
+        return cls(models=tuple(models))
+
+    # -- batch application -------------------------------------------------------
+
+    def apply_run(
+        self, run: "RunRecord | DirtyRun", seed: "int | np.random.Generator" = 0
+    ) -> DirtyRun:
+        """Corrupt one run (deterministically for a given seed)."""
+        dirty = run if isinstance(run, DirtyRun) else DirtyRun.from_run(run)
+        rngs = as_rng(seed).spawn(len(self.models))
+        for model, rng in zip(self.models, rngs):
+            dirty = model.apply(dirty, rng)
+        return dirty
+
+    def apply_history(
+        self, history: DataHistory, seed: "int | np.random.Generator" = 0
+    ) -> list[DirtyRun]:
+        """Corrupt every run of a history into a list of dirty runs."""
+        rngs = as_rng(seed).spawn(len(history))
+        return [self.apply_run(run, rng) for run, rng in zip(history, rngs)]
+
+    # -- streaming ---------------------------------------------------------------
+
+    def stream(
+        self,
+        seed: "int | np.random.Generator" = 0,
+        *,
+        horizon: "float | None" = None,
+    ) -> "StreamCorruptor":
+        """A stateful corruptor for a live datapoint stream.
+
+        ``horizon`` (expected run length in seconds) anchors the
+        run-position models (clock reset, truncation) that fire at a
+        fraction of the run.
+        """
+        return StreamCorruptor(self, seed, horizon=horizon)
+
+
+class StreamCorruptor:
+    """Applies a profile's corruption models to datapoints one at a time."""
+
+    def __init__(
+        self,
+        profile: FaultProfile,
+        seed: "int | np.random.Generator" = 0,
+        *,
+        horizon: "float | None" = None,
+    ) -> None:
+        self.profile = profile
+        self.horizon = horizon
+        self._rngs = as_rng(seed).spawn(len(profile.models))
+        self._states = [
+            m.stream_state(r) for m, r in zip(profile.models, self._rngs)
+        ]
+        if horizon is not None:
+            for state in self._states:
+                if isinstance(state, dict) and "at" in state:
+                    state["horizon"] = float(horizon)
+
+    def reset(self, seed: "int | np.random.Generator | None" = None) -> None:
+        """Fresh per-run state (call at each episode start)."""
+        if seed is not None:
+            self._rngs = as_rng(seed).spawn(len(self.profile.models))
+        self._states = [
+            m.stream_state(r) for m, r in zip(self.profile.models, self._rngs)
+        ]
+        if self.horizon is not None:
+            for state in self._states:
+                if isinstance(state, dict) and "at" in state:
+                    state["horizon"] = float(self.horizon)
+
+    def feed(self, row: np.ndarray) -> "list[np.ndarray]":
+        """Corrupt one datapoint; may emit zero, one or several rows."""
+        rows = [np.asarray(row, dtype=np.float64)]
+        for model, state, rng in zip(self.profile.models, self._states, self._rngs):
+            nxt: list[np.ndarray] = []
+            for r in rows:
+                nxt.extend(model.stream_apply(r, state, rng))
+            rows = nxt
+        return rows
+
+
+#: Named presets for tests and the CLI.
+PRESETS: dict[str, "type[FaultProfile] | object"] = {
+    "default": lambda: FaultProfile(
+        models=(
+            NaNCells(rate=0.01),
+            DroppedSamples(rate=0.01, burst=3),
+            DuplicatedRows(rate=0.01),
+            OutOfOrder(rate=0.02, max_displacement=1),
+        )
+    ),
+    "nan": lambda: FaultProfile(models=(NaNCells(rate=0.05),)),
+    "gaps": lambda: FaultProfile(models=(DroppedSamples(rate=0.02, burst=5),)),
+    "dup": lambda: FaultProfile(models=(DuplicatedRows(rate=0.05),)),
+    "ooo": lambda: FaultProfile(models=(OutOfOrder(rate=0.05, max_displacement=2),)),
+    "reset": lambda: FaultProfile(models=(ClockReset(),)),
+    "truncate": lambda: FaultProfile(models=(TruncatedRun(),)),
+    "scale": lambda: FaultProfile(models=(UnitScaleGlitch(rate=0.02),)),
+    "failskew": lambda: FaultProfile(models=(FailTimeSkew(),)),
+    "storm": lambda: FaultProfile(
+        models=(
+            NaNCells(rate=0.03),
+            DroppedSamples(rate=0.02, burst=4),
+            DuplicatedRows(rate=0.03),
+            OutOfOrder(rate=0.05, max_displacement=1),
+            UnitScaleGlitch(rate=0.01),
+        )
+    ),
+}

@@ -43,6 +43,12 @@ class ManagedSystemConfig:
     crash_downtime: float = 300.0
     #: Aggregation window for the online feature stream.
     window_seconds: float = 20.0
+    #: Monitor-dropout tolerance: when no aggregation window has
+    #: completed for this long (monitor wedged, every sample dropped by
+    #: the sanitizer, ...), the controller *holds the last completed
+    #: window* and keeps consulting the policy with it — degraded but
+    #: alive — instead of going blind. ``None`` resolves to 5 windows.
+    staleness_timeout: "float | None" = None
 
     def __post_init__(self) -> None:
         if self.horizon_seconds <= 0:
@@ -51,6 +57,14 @@ class ManagedSystemConfig:
             raise ValueError("downtimes must be non-negative")
         if self.window_seconds <= 0:
             raise ValueError("window_seconds must be positive")
+        if self.staleness_timeout is not None and self.staleness_timeout <= 0:
+            raise ValueError("staleness_timeout must be positive (or None)")
+
+    @property
+    def resolved_staleness_timeout(self) -> float:
+        if self.staleness_timeout is not None:
+            return self.staleness_timeout
+        return 5.0 * self.window_seconds
 
 
 @dataclass(frozen=True)
@@ -99,11 +113,20 @@ class ManagedSystem:
         managed: ManagedSystemConfig,
         policy: RejuvenationPolicy,
         failure_condition: FailureCondition | None = None,
+        fault_profile=None,
+        sanitize_config=None,
     ) -> None:
         self.campaign = campaign
         self.managed = managed
         self.policy = policy
         self.failure_condition = failure_condition or MemoryExhaustion()
+        #: Optional :class:`repro.faults.FaultProfile` corrupting the
+        #: monitor stream *before* the sanitize layer sees it — the
+        #: robustness harness for the control loop.
+        self.fault_profile = fault_profile
+        #: Optional :class:`repro.core.sanitize.SanitizeConfig` for the
+        #: stream sanitizer guarding the aggregator.
+        self.sanitize_config = sanitize_config
 
     def run(self, seed: "int | None | np.random.Generator" = None) -> ManagedRunLog:
         """Simulate the managed system for the configured horizon."""
@@ -111,7 +134,10 @@ class ManagedSystem:
         mcfg = self.managed
         rng = as_rng(seed if seed is not None else cfg.seed)
         log = ManagedRunLog(policy_name=self.policy.name)
-        aggregator = OnlineAggregator(mcfg.window_seconds)
+        # Repair mode: the live loop tolerates bounded reordering instead
+        # of crashing the controller; on a clean in-order stream it is
+        # byte-for-byte identical to strict mode.
+        aggregator = OnlineAggregator(mcfg.window_seconds, policy="repair")
         metrics = get_metrics()
         # Entered manually so the long episode loop below keeps its
         # indentation; the finally block guarantees the span closes.
@@ -132,10 +158,24 @@ class ManagedSystem:
 
     def _run_episodes(self, cfg, mcfg, rng, log, aggregator, metrics) -> ManagedRunLog:
         """Episode loop of :meth:`run` (split out for span bookkeeping)."""
+        from repro.core.sanitize import StreamSanitizer
+
         wall = 0.0  # global wall clock (uptime + downtime)
+        sanitizer = StreamSanitizer(self.sanitize_config)
+        staleness = mcfg.resolved_staleness_timeout
         while wall < mcfg.horizon_seconds:
             # -- boot a fresh episode ---------------------------------------
             r_profile, r_pool, r_server, r_monitor = rng.spawn(4)
+            # The corruptor RNG is spawned *only* when a fault profile is
+            # installed, so clean runs consume the exact same seed
+            # sequence as before this harness existed (bit-identical).
+            corruptor = (
+                self.fault_profile.stream(
+                    rng.spawn(1)[0], horizon=mcfg.horizon_seconds
+                )
+                if self.fault_profile is not None
+                else None
+            )
             profile = AnomalyProfile.draw(
                 r_profile,
                 p_leak_range=cfg.p_leak_range,
@@ -148,6 +188,7 @@ class ManagedSystem:
             fmc = FeatureMonitorClient(cfg.monitor, seed=r_monitor)
             fmc.reset(0.0)
             aggregator.reset()
+            sanitizer.reset()
             self.policy.reset()
 
             episode_start = wall
@@ -155,6 +196,12 @@ class ManagedSystem:
             ewma_rt = 0.0
             outcome = "horizon"
             predicted: float | None = None
+            # Hold-last-prediction state: the last completed window, when
+            # it completed, and the earliest time a held (stale)
+            # re-evaluation may run again.
+            last_window: np.ndarray | None = None
+            last_window_time = 0.0
+            next_held_eval = 0.0
 
             while wall + now < mcfg.horizon_seconds:
                 # The load schedule follows global wall time, not episode
@@ -168,13 +215,53 @@ class ManagedSystem:
                 if fmc.due(now):
                     queue_delay = server.backlog_cpu_s / cfg.machine.n_cpus
                     dp = fmc.sample(now, state, stats.utilization, queue_delay)
-                    window = aggregator.add(dp.to_array())
-                    if window is not None and self.policy.should_rejuvenate(
-                        window, run_age=now
+                    raw_rows = (
+                        corruptor.feed(dp.to_array())
+                        if corruptor is not None
+                        else [dp.to_array()]
+                    )
+                    window: np.ndarray | None = None
+                    for raw in raw_rows:
+                        decision = sanitizer.process(raw)
+                        if decision.row is None:
+                            continue
+                        completed = aggregator.add(decision.row)
+                        if completed is not None:
+                            window = completed
+                    if window is not None:
+                        last_window = window
+                        last_window_time = now
+                        if self.policy.should_rejuvenate(window, run_age=now):
+                            outcome = "rejuvenation"
+                            predicted = getattr(
+                                self.policy, "last_prediction", None
+                            )
+                            break
+                    elif (
+                        last_window is not None
+                        and now - last_window_time > staleness
+                        and now >= next_held_eval
                     ):
-                        outcome = "rejuvenation"
-                        predicted = getattr(self.policy, "last_prediction", None)
-                        break
+                        # Monitor dropout: no window has completed within
+                        # the staleness timeout. Hold the last completed
+                        # window and keep consulting the policy with it —
+                        # degraded but alive — at most once per window
+                        # interval, instead of going blind (or crashing).
+                        next_held_eval = now + mcfg.window_seconds
+                        metrics.inc("sanitize.stale_policy_holds_total")
+                        _log.warning(
+                            "monitor stream stale; holding last window %s",
+                            kv(
+                                policy=self.policy.name,
+                                stale_for_s=now - last_window_time,
+                            ),
+                        )
+                        if self.policy.should_rejuvenate(last_window, run_age=now):
+                            outcome = "rejuvenation"
+                            predicted = getattr(
+                                self.policy, "last_prediction", None
+                            )
+                            break
 
                 view = SystemView(
                     state=state,

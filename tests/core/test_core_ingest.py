@@ -137,3 +137,111 @@ class TestReadCampaign:
     def test_empty_directory_errors(self, tmp_path):
         with pytest.raises(ValueError, match="no files"):
             read_campaign_csv(tmp_path, CSVTraceSpec.identity())
+
+
+class TestDirtyTraces:
+    """Satellite regressions: nan/inf strings, early fail_time, policies."""
+
+    def _write_canonical(self, path, features):
+        import csv
+
+        with path.open("w", newline="") as fh:
+            writer = csv.writer(fh)
+            writer.writerow(FEATURES)
+            for row in features:
+                writer.writerow(format(float(v), ".17g") for v in row)
+
+    def _clean_features(self, n=6):
+        feats = np.arange(n, dtype=np.float64)[:, None] * np.ones((n, len(FEATURES)))
+        feats[:, 0] = np.arange(1.0, n + 1.0)
+        return feats
+
+    def test_nan_string_rejected_in_strict(self, tmp_path):
+        from repro.core.sanitize import DataQualityError
+
+        feats = self._clean_features()
+        feats[2, 5] = np.nan  # float("nan") parses happily -> must be caught
+        path = tmp_path / "nan.csv"
+        self._write_canonical(path, feats)
+        with pytest.raises(DataQualityError, match="non_finite") as exc:
+            read_run_csv(path, CSVTraceSpec.identity(), policy="strict")
+        issue = exc.value.issues[0]
+        assert issue.label == str(path)
+        assert "nan.csv:4" in issue.location  # header is line 1
+        assert issue.column == FEATURES[5]
+
+    def test_inf_string_repaired_by_interpolation(self, tmp_path):
+        feats = self._clean_features()
+        feats[2, 5] = np.inf
+        path = tmp_path / "inf.csv"
+        self._write_canonical(path, feats)
+        run = read_run_csv(path, CSVTraceSpec.identity(), policy="repair")
+        assert np.isfinite(run.features).all()
+        # linear interpolation between the neighbours (values 1.0 and 3.0)
+        assert run.features[2, 5] == pytest.approx(2.0)
+
+    def test_nan_csv_quarantine_drops_row(self, tmp_path):
+        feats = self._clean_features()
+        feats[2, 5] = np.nan
+        path = tmp_path / "q.csv"
+        self._write_canonical(path, feats)
+        run = read_run_csv(path, CSVTraceSpec.identity(), policy="quarantine")
+        assert run.n_datapoints == feats.shape[0] - 1
+        assert np.isfinite(run.features).all()
+
+    def test_early_fail_time_rejected_in_strict(self, tmp_path):
+        from repro.core.sanitize import DataQualityError
+
+        feats = self._clean_features()
+        path = tmp_path / "early.csv"
+        self._write_canonical(path, feats)
+        with pytest.raises(DataQualityError, match="fail_time"):
+            read_run_csv(
+                path, CSVTraceSpec.identity(), fail_time=2.0, policy="strict"
+            )
+
+    def test_early_fail_time_clamped_in_repair(self, tmp_path):
+        from repro.core.sanitize import QualityReport
+
+        feats = self._clean_features()
+        path = tmp_path / "early.csv"
+        self._write_canonical(path, feats)
+        quality = QualityReport(policy="repair")
+        run = read_run_csv(
+            path,
+            CSVTraceSpec.identity(),
+            fail_time=2.0,
+            policy="repair",
+            quality=quality,
+        )
+        assert run.fail_time == feats[-1, 0]
+        assert quality.counts_by_kind().get("fail_time") == 1
+
+    def test_unsorted_rows_flagged_in_strict(self, tmp_path):
+        from repro.core.sanitize import DataQualityError
+
+        feats = self._clean_features()
+        feats[[1, 2]] = feats[[2, 1]]
+        path = tmp_path / "unsorted.csv"
+        self._write_canonical(path, feats)
+        with pytest.raises(DataQualityError, match="out_of_order"):
+            read_run_csv(path, CSVTraceSpec.identity(), policy="strict")
+        # the default (repair) silently re-sorts, as it always did
+        run = read_run_csv(path, CSVTraceSpec.identity())
+        assert (np.diff(run.features[:, 0]) >= 0).all()
+
+    def test_negative_rttf_guard_in_runrecord(self):
+        """RunRecord itself refuses fail events before the last datapoint."""
+        from repro.core.history import RunRecord
+
+        feats = self._clean_features()
+        with pytest.raises(ValueError, match="negative"):
+            RunRecord(features=feats, fail_time=2.0)
+
+    def test_runrecord_rejects_nan_timestamp(self):
+        from repro.core.history import RunRecord
+
+        feats = self._clean_features()
+        feats[3, 0] = np.nan
+        with pytest.raises(ValueError, match="finite"):
+            RunRecord(features=feats, fail_time=100.0)

@@ -92,3 +92,81 @@ class TestOnlineAggregator:
         out = agg.flush()
         slope_col = AGGREGATED_FEATURES.index("mem_used_slope")
         assert out[slope_col] == pytest.approx((300.0 - 100.0) / 2.0)
+
+
+class TestMinPointsParity:
+    """Satellite regression: OnlineAggregator must honour min_points."""
+
+    def _rows(self, tgens):
+        rows = []
+        for t in tgens:
+            row = np.arange(len(FEATURES), dtype=np.float64)
+            row[0] = t
+            rows.append(row)
+        return rows
+
+    def test_short_windows_suppressed_like_batch(self, history):
+        run = history[0]
+        config = AggregationConfig(window_seconds=30.0, min_points=3)
+        batch_X, _ = aggregate_run(run, config)
+        agg = OnlineAggregator(30.0, min_points=3)
+        rows = [out for raw in run.features if (out := agg.add(raw)) is not None]
+        final = agg.flush()
+        if final is not None:
+            rows.append(final)
+        online_X = np.vstack(rows)
+        assert online_X.shape == batch_X.shape
+        assert np.allclose(online_X, batch_X)
+
+    def test_suppressed_window_still_advances_interval_chain(self):
+        # Windows: [1,2] then [11] (suppressed, min_points=2) then [21,22].
+        # The batch path's interval chain runs THROUGH dropped windows:
+        # the 21.0 point carries interval 10.0 (21-11), not 19.0 (21-2).
+        agg = OnlineAggregator(10.0, min_points=2)
+        outputs = [agg.add(r) for r in self._rows([1.0, 2.0, 11.0, 21.0, 22.0])]
+        emitted = [o for o in outputs if o is not None]
+        assert len(emitted) == 1  # the [11] window was suppressed
+        final = agg.flush()
+        assert final is not None
+        # gen_time of the last window: mean(21-11, 22-21) = 5.5
+        assert final[-1] == pytest.approx(5.5)
+
+    def test_min_points_validation(self):
+        with pytest.raises(ValueError, match="min_points"):
+            OnlineAggregator(10.0, min_points=0)
+
+
+class TestRepairPolicy:
+    """Satellite regression: bounded reordering tolerance in repair mode."""
+
+    def _row(self, t):
+        row = np.ones(len(FEATURES))
+        row[0] = t
+        return row
+
+    def test_strict_still_raises_on_out_of_order(self):
+        agg = OnlineAggregator(10.0)
+        agg.add(self._row(5.0))
+        with pytest.raises(ValueError, match="order"):
+            agg.add(self._row(4.0))
+
+    def test_repair_reinserts_late_point_in_open_window(self):
+        agg = OnlineAggregator(10.0, policy="repair")
+        for t in (1.0, 3.0, 2.0):  # 2.0 arrives late but window 0 is open
+            assert agg.add(self._row(t)) is None
+        out = agg.add(self._row(11.0))  # closes window 0
+        assert out is not None
+        assert agg.late_dropped == 0
+        # window mean of tgen over {1,2,3} = 2.0 regardless of arrival order
+        assert out[0] == pytest.approx(2.0)
+
+    def test_repair_drops_point_for_closed_window(self):
+        agg = OnlineAggregator(10.0, policy="repair")
+        agg.add(self._row(5.0))
+        agg.add(self._row(15.0))  # closes window 0
+        assert agg.add(self._row(4.0)) is None  # window 0 is gone
+        assert agg.late_dropped == 1
+
+    def test_invalid_policy_rejected(self):
+        with pytest.raises(ValueError, match="policy"):
+            OnlineAggregator(10.0, policy="lenient")

@@ -1,0 +1,30 @@
+"""Strict-mode no-op guarantee, pinned against a committed fingerprint.
+
+``clean_fingerprint.txt`` holds the content fingerprint of the standard
+test campaign (4 runs, seed 3) at the time the sanitize layer shipped.
+Strict sanitation of that campaign must reproduce the *exact same*
+fingerprint: if this test fails, either the simulator's output drifted
+(update the file deliberately) or the sanitize layer stopped being a
+no-op on clean data (a bug — the bit-identity guarantee is broken).
+"""
+
+from pathlib import Path
+
+from repro.core.sanitize import sanitize_history
+
+FINGERPRINT_FILE = Path(__file__).with_name("clean_fingerprint.txt")
+
+
+def test_clean_campaign_matches_committed_fingerprint(history):
+    expected = FINGERPRINT_FILE.read_text().strip()
+    assert history.content_fingerprint() == expected
+
+
+def test_strict_sanitize_preserves_committed_fingerprint(history):
+    expected = FINGERPRINT_FILE.read_text().strip()
+    for policy in ("strict", "repair", "quarantine"):
+        sanitized, report = sanitize_history(history, policy=policy)
+        assert report.clean, f"{policy} found issues in clean data"
+        assert sanitized.content_fingerprint() == expected, (
+            f"{policy} mutated clean data (bit-identity guarantee broken)"
+        )

@@ -1,0 +1,122 @@
+"""The fault-injection harness itself: determinism and corruption shapes."""
+
+import numpy as np
+import pytest
+
+from repro.faults import (
+    CORRUPTION_MODELS,
+    ClockReset,
+    DirtyRun,
+    DroppedSamples,
+    DuplicatedRows,
+    FailTimeSkew,
+    FaultProfile,
+    NaNCells,
+    OutOfOrder,
+    TruncatedRun,
+    UnitScaleGlitch,
+)
+
+
+class TestDeterminism:
+    def test_same_seed_same_corruption(self, history):
+        profile = FaultProfile.preset("storm")
+        a = profile.apply_history(history, seed=42)
+        b = profile.apply_history(history, seed=42)
+        assert len(a) == len(b)
+        for ra, rb in zip(a, b):
+            np.testing.assert_array_equal(ra.features, rb.features)
+            assert ra.fail_time == rb.fail_time
+
+    def test_different_seed_different_corruption(self, history):
+        profile = FaultProfile.from_spec("nan=0.05")
+        a = profile.apply_history(history, seed=1)
+        b = profile.apply_history(history, seed=2)
+        assert any(
+            ra.features.shape != rb.features.shape
+            or not np.array_equal(ra.features, rb.features)
+            for ra, rb in zip(a, b)
+        )
+
+    def test_per_run_independence(self, history):
+        """Corrupting run k alone matches run k of the whole-history pass."""
+        profile = FaultProfile.from_spec("nan=0.05,dup=0.02")
+        whole = profile.apply_history(history, seed=9)
+        assert len(whole) == len(history)
+        # Same run corrupted twice with the history-level seed derivation
+        # must agree with itself (regression guard for seed spawning).
+        again = profile.apply_history(history, seed=9)
+        np.testing.assert_array_equal(whole[2].features, again[2].features)
+
+
+class TestModelShapes:
+    """apply() corrupts in place, so originals are snapshotted up front."""
+
+    def test_nan_cells_injects_non_finite(self, history):
+        dirty = NaNCells(rate=0.05).apply(DirtyRun.from_run(history[0]), np.random.default_rng(0))
+        assert not np.isfinite(dirty.features).all()
+
+    def test_dropped_samples_removes_rows(self, history):
+        run = DirtyRun.from_run(history[0])
+        n0 = run.n_datapoints
+        dirty = DroppedSamples(rate=0.05).apply(run, np.random.default_rng(0))
+        assert dirty.n_datapoints < n0
+
+    def test_duplicated_rows_adds_exact_copies(self, history):
+        run = DirtyRun.from_run(history[0])
+        n0 = run.n_datapoints
+        dirty = DuplicatedRows(rate=0.05).apply(run, np.random.default_rng(0))
+        assert dirty.n_datapoints > n0
+        t = dirty.features[:, 0]
+        assert (np.diff(t) == 0).any()
+
+    def test_out_of_order_creates_inversions(self, history):
+        run = DirtyRun.from_run(history[0])
+        dirty = OutOfOrder(rate=0.2).apply(run, np.random.default_rng(0))
+        assert (np.diff(dirty.features[:, 0]) < 0).any()
+
+    def test_clock_reset_drops_tail_timestamps(self, history):
+        run = DirtyRun.from_run(history[0])
+        dirty = ClockReset(probability=1.0).apply(run, np.random.default_rng(0))
+        assert (np.diff(dirty.features[:, 0]) < 0).any()
+
+    def test_truncated_run_keeps_fail_time(self, history):
+        run = DirtyRun.from_run(history[0])
+        n0, fail0 = run.n_datapoints, run.fail_time
+        dirty = TruncatedRun(probability=1.0).apply(run, np.random.default_rng(0))
+        assert dirty.n_datapoints < n0
+        assert dirty.fail_time == fail0  # the lie being injected
+
+    def test_unit_scale_glitch_multiplies_cells(self, history):
+        run = DirtyRun.from_run(history[0])
+        orig = run.features.copy()
+        dirty = UnitScaleGlitch(rate=0.05).apply(run, np.random.default_rng(0))
+        assert not np.array_equal(dirty.features, orig)
+
+    def test_fail_time_skew_moves_fail_before_last_sample(self, history):
+        run = DirtyRun.from_run(history[0])
+        dirty = FailTimeSkew(probability=1.0).apply(run, np.random.default_rng(0))
+        assert dirty.fail_time < dirty.features[-1, 0]
+
+
+class TestProfileParsing:
+    def test_from_spec_roundtrip(self):
+        profile = FaultProfile.from_spec("nan=0.1,dup=0.02,reset=1")
+        names = [m.name for m in profile.models]
+        assert names == ["nan", "dup", "reset"]
+
+    def test_from_spec_rejects_unknown_model(self):
+        with pytest.raises(ValueError, match="unknown"):
+            FaultProfile.from_spec("bogus=0.1")
+
+    def test_presets_cover_every_model(self):
+        assert set(CORRUPTION_MODELS) <= {
+            m.name
+            for name in ("default", "storm", "nan", "gaps", "dup", "ooo",
+                         "reset", "truncate", "scale", "failskew")
+            for m in FaultProfile.preset(name).models
+        }
+
+    def test_preset_unknown_raises(self):
+        with pytest.raises(ValueError, match="preset"):
+            FaultProfile.preset("nope")

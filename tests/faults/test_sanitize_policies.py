@@ -1,0 +1,176 @@
+"""The sanitize layer versus every corruption model (ISSUE acceptance grid).
+
+For each corruption model: ``strict`` must reject the dirty history with
+a *located* diagnostic, ``repair`` must produce a finite, ordered, fully
+labelled training set plus an accurate QualityReport, and clean input
+under ``strict`` must be bit-identical to no sanitation at all.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import aggregate_history
+from repro.core.sanitize import (
+    DataQualityError,
+    QualityReport,
+    SanitizeConfig,
+    sanitize_history,
+    sanitize_run,
+)
+from repro.faults import FaultProfile
+
+# model -> (spec, defect kinds strict may report for it)
+MODEL_GRID = {
+    "nan": ("nan=0.05", {"non_finite", "bad_timestamp"}),
+    "dup": ("dup=0.05", {"duplicate_row"}),
+    "ooo": ("ooo=0.05", {"out_of_order"}),
+    "reset": ("reset=1", {"clock_reset", "out_of_order"}),
+    "truncate": ("truncate=1", {"truncated_run"}),
+    "scale": ("scale=0.05", {"unit_scale"}),
+    "failskew": ("failskew=1", {"fail_time"}),
+}
+# DroppedSamples leaves gaps whose size depends on the burst length; the
+# default gap threshold deliberately tolerates load-induced slow sampling,
+# so the grid entry for "drop" pins a tight threshold instead.
+DROP_CONFIG = SanitizeConfig(max_gap_factor=3.0)
+
+
+def dirty_history(history, spec, seed=7):
+    return FaultProfile.from_spec(spec).apply_history(history, seed=seed)
+
+
+class TestStrictRejects:
+    @pytest.mark.parametrize("model", sorted(MODEL_GRID))
+    def test_strict_raises_located_diagnostic(self, history, model):
+        spec, kinds = MODEL_GRID[model]
+        dirty = dirty_history(history, spec)
+        with pytest.raises(DataQualityError) as exc:
+            sanitize_history(dirty, policy="strict")
+        issues = exc.value.issues
+        assert issues, "strict raised without diagnostics"
+        assert {i.kind for i in issues} <= kinds
+        first = issues[0]
+        assert "run" in first.location
+        assert first.kind in str(exc.value)
+
+    def test_strict_rejects_gaps_under_tight_threshold(self, history):
+        dirty = dirty_history(history, "drop=0.05")
+        with pytest.raises(DataQualityError) as exc:
+            sanitize_history(dirty, policy="strict", config=DROP_CONFIG)
+        assert {i.kind for i in exc.value.issues} == {"gap"}
+
+
+class TestRepairProducesTrainingSet:
+    @pytest.mark.parametrize("model", sorted(MODEL_GRID) + ["drop"])
+    def test_repair_yields_finite_ordered_labelled(self, history, model):
+        spec = MODEL_GRID[model][0] if model in MODEL_GRID else "drop=0.05"
+        dirty = dirty_history(history, spec)
+        quality = QualityReport(policy="repair")
+        fixed, report = sanitize_history(dirty, policy="repair", quality=quality)
+        assert report is quality
+        for run in fixed:
+            assert np.isfinite(run.features).all()
+            assert (np.diff(run.features[:, 0]) >= 0).all()
+            assert np.isfinite(run.fail_time)
+        # truncation repair demotes every run to non-crashed (their RTTF
+        # would be a lower bound only), so aggregation must be told to
+        # keep them; every other model keeps labels positive.
+        if model == "truncate":
+            from repro.core import AggregationConfig
+
+            dataset = aggregate_history(
+                fixed, AggregationConfig(include_non_crashed=True)
+            )
+        else:
+            dataset = aggregate_history(fixed)
+            assert (dataset.y > 0).all()
+        assert dataset.n_samples > 0
+        assert np.isfinite(dataset.X).all()
+        assert np.isfinite(dataset.y).all()
+
+    @pytest.mark.parametrize("model", sorted(MODEL_GRID))
+    def test_repair_report_is_accurate(self, history, model):
+        spec, kinds = MODEL_GRID[model]
+        dirty = dirty_history(history, spec)
+        _, report = sanitize_history(dirty, policy="repair")
+        assert not report.clean
+        counts = report.counts_by_kind()
+        assert set(counts) <= kinds | {"duplicate_row"}  # repair may re-sweep dups
+        assert sum(counts.values()) == len(report.issues)
+        assert report.to_dict()["schema"] == "f2pm-quality-report-v1"
+
+    @pytest.mark.parametrize("model", sorted(MODEL_GRID))
+    def test_repair_output_is_strict_clean(self, history, model):
+        """Repair must be idempotent: its output passes strict untouched."""
+        spec, _ = MODEL_GRID[model]
+        dirty = dirty_history(history, spec)
+        fixed, _ = sanitize_history(dirty, policy="repair")
+        _, recheck = sanitize_history(fixed, policy="strict")
+        assert recheck.clean
+
+    def test_failskew_repair_restores_positive_labels(self, history):
+        dirty = dirty_history(history, "failskew=1")
+        assert any(r.fail_time < r.features[-1, 0] for r in dirty)
+        fixed, report = sanitize_history(dirty, policy="repair")
+        assert all(r.fail_time >= r.features[-1, 0] for r in fixed)
+        assert report.counts_by_kind().get("fail_time", 0) >= 1
+        dataset = aggregate_history(fixed)
+        assert (dataset.y >= 0).all()
+
+
+class TestQuarantine:
+    def test_quarantine_drops_nan_rows(self, history):
+        dirty = dirty_history(history, "nan=0.05")
+        fixed, report = sanitize_history(dirty, policy="quarantine")
+        for run in fixed:
+            assert np.isfinite(run.features).all()
+        assert any(r.n_rows_out < r.n_rows_in for r in report.runs)
+
+    def test_quarantine_drops_failskew_runs(self, history):
+        dirty = dirty_history(history, "failskew=1")
+        with pytest.raises(DataQualityError, match="quarantin"):
+            # Every run has a skewed fail event -> the whole history dies.
+            sanitize_history(dirty, policy="quarantine")
+
+    def test_repair_refuses_to_shred_a_run(self, history):
+        """max_quarantine_fraction stops repair from silently losing a run."""
+        from repro.core.sanitize import sanitize_arrays
+
+        feats = history[0].features.copy()
+        # Unusable timestamps cannot be repaired, only dropped; poisoning
+        # most of them trips the repair-mode loss guard.
+        feats[::2, 0] = np.nan
+        _, _, _, _, report = sanitize_arrays(
+            feats,
+            None,
+            float(history[0].fail_time),
+            crashed=True,
+            policy="repair",
+            config=SanitizeConfig(max_quarantine_fraction=0.25),
+        )
+        assert report.quarantined
+
+
+class TestCleanNoOp:
+    def test_strict_on_clean_is_bit_identical(self, history):
+        clean, report = sanitize_history(history, policy="strict")
+        assert report.clean
+        assert clean.content_fingerprint() == history.content_fingerprint()
+        for a, b in zip(clean, history):
+            assert a is b  # the very same objects: a true no-op
+
+    def test_repair_on_clean_is_bit_identical(self, history):
+        clean, report = sanitize_history(history, policy="repair")
+        assert report.clean
+        assert clean.content_fingerprint() == history.content_fingerprint()
+
+    def test_sanitize_run_clean_returns_same_object(self, history):
+        run, report = sanitize_run(history[0], policy="strict")
+        assert run is history[0]
+        assert report.clean
+
+    def test_aggregate_history_strict_matches_unsanitized(self, history):
+        base = aggregate_history(history)
+        checked = aggregate_history(history, sanitize="strict")
+        np.testing.assert_array_equal(base.X, checked.X)
+        np.testing.assert_array_equal(base.y, checked.y)
