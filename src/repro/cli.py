@@ -10,6 +10,7 @@ train           run the full F2PM workflow, print the comparison tables
 experiments     regenerate every paper table/figure (runall)
 rejuvenate      compare rejuvenation policies on a managed horizon
 obs             pretty-print a saved trace/metrics/manifest JSON file
+top             live dashboard over a --telemetry-jsonl stream
 cache           inspect/maintain the artifact store (ls, info, gc, clear)
 ==============  ========================================================
 
@@ -23,8 +24,13 @@ for any worker count (see ``docs/PARALLELISM.md``).
 Observability flags (valid after any command): ``-v`` / ``-vv`` raise
 the log level of the ``repro`` logger hierarchy to INFO / DEBUG,
 ``--trace-json PATH`` writes the command's span tree, ``--metrics-json
-PATH`` writes the metrics-registry snapshot, ``--no-obs`` disables
-tracing and metrics entirely (minimum-overhead runs).
+PATH`` writes the metrics-registry snapshot, ``--telemetry-jsonl PATH``
+streams live telemetry points/events as tailable JSONL (watch it with
+``f2pm top --follow``), ``--telemetry-prom PATH`` writes a
+Prometheus-style text snapshot at command end, and ``--no-obs``
+disables the whole stack (minimum-overhead runs). All JSON/text
+exports are written atomically (``repro.store.atomic``) except the
+JSONL stream, which is append-only by design.
 """
 
 from __future__ import annotations
@@ -328,13 +334,38 @@ def cmd_experiments(args: argparse.Namespace) -> int:
     return 0
 
 
+def _slowest_spans(trees: "list[Span]", limit: int) -> "list[list[object]]":
+    """Aggregate a span forest into the ``limit`` slowest span names.
+
+    Groups every span in every tree by name and ranks by *self* time
+    (duration minus direct children), so a parent that merely contains
+    slow children doesn't crowd out the actual hot spots. Returns table
+    rows: name, count, total self seconds, total inclusive seconds.
+    """
+    agg: dict[str, list[float]] = {}  # name -> [count, self_s, total_s]
+    for tree in trees:
+        for span in tree.walk():
+            child_s = sum(c.duration for c in span.children)
+            self_s = max(0.0, span.duration - child_s)
+            entry = agg.setdefault(span.name, [0, 0.0, 0.0])
+            entry[0] += 1
+            entry[1] += self_s
+            entry[2] += span.duration
+    ranked = sorted(agg.items(), key=lambda kv: kv[1][1], reverse=True)
+    return [
+        [name, int(count), self_s, total_s]
+        for name, (count, self_s, total_s) in ranked[:limit]
+    ]
+
+
 def cmd_obs(args: argparse.Namespace) -> int:
     """Pretty-print a saved observability document.
 
     Accepts any of the three JSON layouts the pipeline emits — a trace
     (``--trace-json``), a metrics snapshot (``--metrics-json``) or a run
     manifest — and renders the human view: the indented span tree and/or
-    the metric tables.
+    the metric tables. ``--top N`` swaps the tree for a ranked table of
+    the N slowest span names aggregated over the whole forest.
     """
     file = Path(args.file)
     if not file.exists():
@@ -361,7 +392,19 @@ def cmd_obs(args: argparse.Namespace) -> int:
     elif "spans" in doc:
         trees = doc["spans"]
     if trees:
-        print("\n".join(Span.from_dict(t).render() for t in trees))
+        parsed = [Span.from_dict(t) for t in trees]
+        if getattr(args, "top", None):
+            rows = _slowest_spans(parsed, args.top)
+            print(
+                render_table(
+                    ("span", "count", "self_s", "total_s"),
+                    rows,
+                    title=f"top {args.top} slowest spans (by self time)",
+                    float_fmt=".6f",
+                )
+            )
+        else:
+            print("\n".join(s.render() for s in parsed))
         printed = True
     metrics_doc = doc.get("metrics", doc if "counters" in doc else None)
     if metrics_doc:
@@ -404,6 +447,24 @@ def cmd_obs(args: argparse.Namespace) -> int:
             f"error: {args.file} contains neither a trace, metrics, nor a manifest"
         )
     return 0
+
+
+def cmd_top(args: argparse.Namespace) -> int:
+    """Live dashboard over a ``--telemetry-jsonl`` stream.
+
+    ``--once`` renders a single frame and exits (scriptable/CI mode);
+    the default follows the stream, redrawing every ``--interval``
+    seconds until interrupted.
+    """
+    from repro.obs.dashboard import run_top
+
+    return run_top(
+        args.file,
+        follow=not args.once,
+        interval=args.interval,
+        once=args.once,
+        max_frames=args.frames,
+    )
 
 
 def cmd_cache(args: argparse.Namespace) -> int:
@@ -569,9 +630,22 @@ def build_parser() -> argparse.ArgumentParser:
         help="write the metrics-registry snapshot as JSON",
     )
     group.add_argument(
+        "--telemetry-jsonl",
+        metavar="PATH",
+        default=None,
+        help="stream live telemetry points/events to PATH as tailable "
+        "JSONL (watch with `f2pm top --follow PATH`)",
+    )
+    group.add_argument(
+        "--telemetry-prom",
+        metavar="PATH",
+        default=None,
+        help="write a Prometheus text-exposition snapshot at command end",
+    )
+    group.add_argument(
         "--no-obs",
         action="store_true",
-        help="disable tracing and metrics for this command",
+        help="disable tracing, metrics and telemetry for this command",
     )
 
     # Execution flags for the commands that simulate campaigns or train
@@ -716,7 +790,38 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = add_parser("obs", help="pretty-print a saved trace/metrics/manifest")
     p.add_argument("file", help="JSON written by --trace-json/--metrics-json/--manifest")
+    p.add_argument(
+        "--top",
+        type=int,
+        default=None,
+        metavar="N",
+        help="show the N slowest span names aggregated over the span "
+        "tree (ranked by self time) instead of the full tree",
+    )
     p.set_defaults(func=cmd_obs)
+
+    p = add_parser("top", help="live dashboard over a --telemetry-jsonl stream")
+    p.add_argument("file", help="JSONL stream written by --telemetry-jsonl")
+    p.add_argument(
+        "--once",
+        action="store_true",
+        help="render one frame from the stream as-is and exit",
+    )
+    p.add_argument(
+        "--interval",
+        type=float,
+        default=1.0,
+        metavar="S",
+        help="redraw period in follow mode (default: 1s)",
+    )
+    p.add_argument(
+        "--frames",
+        type=int,
+        default=None,
+        metavar="N",
+        help="stop after N frames in follow mode (default: run forever)",
+    )
+    p.set_defaults(func=cmd_top)
 
     p = add_parser("cache", help="inspect/maintain the experiment artifact store")
     p.add_argument(
@@ -748,15 +853,45 @@ def main(argv: "list[str] | None" = None) -> int:
     obs.reset()
     if getattr(args, "no_obs", False):
         obs.disable()
+    exporter = None
+    if getattr(args, "telemetry_jsonl", None) and not getattr(args, "no_obs", False):
+        from repro.obs.telemetry import JsonlExporter, get_telemetry
+
+        exporter = JsonlExporter(
+            args.telemetry_jsonl, meta={"command": args.command}
+        )
+        get_telemetry().add_sink(exporter)
     try:
         rc = args.func(args)
+        # Post-run exports are snapshots, so they go through the atomic
+        # writer (tmp + fsync + rename): a killed command leaves either
+        # the previous file or the complete new one, never a torn JSON.
+        from repro.store import atomic_write_text
+
         if getattr(args, "trace_json", None):
-            Path(args.trace_json).write_text(get_tracer().to_json() + "\n")
+            atomic_write_text(args.trace_json, get_tracer().to_json() + "\n")
             print(f"wrote trace to {args.trace_json}", file=sys.stderr)
         if getattr(args, "metrics_json", None):
-            Path(args.metrics_json).write_text(get_metrics().to_json() + "\n")
+            atomic_write_text(args.metrics_json, get_metrics().to_json() + "\n")
             print(f"wrote metrics to {args.metrics_json}", file=sys.stderr)
+        if getattr(args, "telemetry_prom", None):
+            from repro.obs.telemetry import prometheus_text
+
+            atomic_write_text(args.telemetry_prom, prometheus_text())
+            print(
+                f"wrote prometheus snapshot to {args.telemetry_prom}",
+                file=sys.stderr,
+            )
     finally:
+        if exporter is not None:
+            from repro.obs.telemetry import get_telemetry
+
+            get_telemetry().remove_sink(exporter)
+            exporter.close()
+            print(
+                f"wrote telemetry stream to {args.telemetry_jsonl}",
+                file=sys.stderr,
+            )
         if getattr(args, "no_obs", False) and was_enabled:
             obs.enable()
     return rc

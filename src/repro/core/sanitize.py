@@ -39,7 +39,7 @@ import numpy as np
 
 from repro.core.datapoint import FEATURES
 from repro.core.history import DataHistory, RunRecord
-from repro.obs import get_logger, get_metrics, kv
+from repro.obs import get_logger, get_metrics, get_telemetry, kv
 
 _log = get_logger("core.sanitize")
 
@@ -266,6 +266,11 @@ def _record(report: RunQualityReport, issue: CellIssue) -> None:
     metrics = get_metrics()
     metrics.inc(f"sanitize.issues_total.{issue.kind}")
     metrics.inc(f"sanitize.actions_total.{issue.action}")
+    if issue.column is not None:
+        # Per-cell (per-feature-column) repair accounting: the basis of
+        # the repair-rate series the telemetry layer exposes. Bounded:
+        # 15 feature columns x a handful of actions.
+        metrics.inc(f"sanitize.cell_actions_total.{issue.action}.col{issue.column}")
     _log.debug("issue %s", kv(kind=issue.kind, action=issue.action, at=issue.location))
 
 
@@ -859,6 +864,11 @@ class StreamSanitizer:
         if row.shape != (len(FEATURES),) or not np.isfinite(row).all() or row[0] < 0:
             self.dropped_total += 1
             metrics.inc("sanitize.stream_dropped_total")
+            # Live cumulative-drop series, timestamped on the monotone
+            # stream clock (the row's own clock may be the corruption).
+            get_telemetry().emit(
+                "sanitize.stream_dropped", self._max_tgen, float(self.dropped_total)
+            )
             return StreamDecision(row=None, dropped=True)
         tgen = float(row[0]) + self._offset
         med = self._median_interval()
@@ -874,6 +884,9 @@ class StreamSanitizer:
             self.resets_total += 1
             reset = True
             metrics.inc("sanitize.stream_resets_total")
+            get_telemetry().emit(
+                "sanitize.stream_resets", tgen, float(self.resets_total)
+            )
         if tgen > self._max_tgen:
             if self._max_tgen > 0:
                 self._last_intervals.append(tgen - self._max_tgen)

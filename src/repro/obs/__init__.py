@@ -14,6 +14,13 @@ Three cooperating primitives plus a packaging layer:
 :mod:`repro.obs.manifest`
     Run manifests — config + seeds + version + trace + metrics in one
     JSON document persisted next to every output.
+:mod:`repro.obs.telemetry`
+    Live time-series bus — bounded ring-buffer series + events the
+    online layers emit into while running, with streaming JSONL and
+    Prometheus-style exporters (``f2pm top`` watches the stream).
+:mod:`repro.obs.profile`
+    Per-stage wall/CPU profiler whose own cost is self-measured
+    (log-bucketed latency histograms on the hot paths).
 
 The global switch
 -----------------
@@ -46,6 +53,15 @@ from repro.obs.manifest import (
     write_manifest,
 )
 from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry, get_metrics
+from repro.obs.profile import StageProfiler, get_profiler
+from repro.obs.telemetry import (
+    JsonlExporter,
+    TelemetryBus,
+    TimeSeries,
+    get_telemetry,
+    prometheus_text,
+    read_jsonl,
+)
 from repro.obs.trace import NULL_SPAN, NullSpan, Span, Tracer, get_tracer, span
 
 __all__ = [
@@ -65,6 +81,14 @@ __all__ = [
     "kv",
     "KVFormatter",
     "verbosity_to_level",
+    "TelemetryBus",
+    "TimeSeries",
+    "JsonlExporter",
+    "get_telemetry",
+    "prometheus_text",
+    "read_jsonl",
+    "StageProfiler",
+    "get_profiler",
     "MANIFEST_SCHEMA",
     "build_manifest",
     "jsonable",
@@ -79,26 +103,31 @@ __all__ = [
 
 
 def enable() -> None:
-    """Turn tracing and metrics collection on (the default)."""
+    """Turn tracing, metrics and telemetry collection on (the default)."""
     get_tracer().enable()
     get_metrics().enable()
+    get_telemetry().enable()
 
 
 def disable() -> None:
-    """Turn tracing and metrics off; instrumented code becomes no-ops."""
+    """Turn tracing, metrics and telemetry off; instrumented code becomes
+    one-branch no-ops (the profiler follows the metrics switch)."""
     get_tracer().disable()
     get_metrics().disable()
+    get_telemetry().disable()
 
 
 def enabled() -> bool:
-    """True when either tracing or metrics collection is on."""
-    return get_tracer().enabled or get_metrics().enabled
+    """True when any of tracing / metrics / telemetry collection is on."""
+    return get_tracer().enabled or get_metrics().enabled or get_telemetry().enabled
 
 
 def reset() -> None:
-    """Clear all recorded spans and metrics (a fresh measurement window)."""
+    """Clear all recorded spans, metrics and telemetry series (a fresh
+    measurement window)."""
     get_tracer().reset()
     get_metrics().reset()
+    get_telemetry().reset()
 
 
 if os.environ.get("F2PM_OBS", "").strip().lower() in {"0", "off", "false", "no"}:

@@ -20,6 +20,7 @@ tests or isolated components.
 from __future__ import annotations
 
 import json
+import math
 import threading
 from typing import Any
 
@@ -50,23 +51,60 @@ class Gauge:
         self.value = float(value)
 
 
+#: Log-bucket resolution: bucket boundaries at powers of ``2**(1/4)``
+#: (four buckets per octave, ~19% relative width, so quantile estimates
+#: carry at most ~±9% relative error around each bucket's midpoint).
+_BUCKETS_PER_OCTAVE = 4
+#: Bucket-index clamp range: values outside [2^-40, 2^24] (~1e-12 s to
+#: ~1.6e7 s when observing latencies) land in the edge buckets. The
+#: index space is therefore fixed at 257 possible bins regardless of
+#: how many observations arrive.
+_MIN_BUCKET = -40 * _BUCKETS_PER_OCTAVE
+_MAX_BUCKET = 24 * _BUCKETS_PER_OCTAVE
+
+
+def bucket_index(value: float) -> int:
+    """Fixed log-bucket index of a positive value (clamped)."""
+    idx = math.ceil(_BUCKETS_PER_OCTAVE * math.log2(value))
+    if idx < _MIN_BUCKET:
+        return _MIN_BUCKET
+    if idx > _MAX_BUCKET:
+        return _MAX_BUCKET
+    return idx
+
+
+def bucket_upper_bound(index: int) -> float:
+    """Inclusive upper bound of a log bucket (``2**(index/4)``)."""
+    return 2.0 ** (index / _BUCKETS_PER_OCTAVE)
+
+
+def bucket_midpoint(index: int) -> float:
+    """Geometric midpoint of a log bucket (the quantile representative)."""
+    return 2.0 ** ((index - 0.5) / _BUCKETS_PER_OCTAVE)
+
+
 class Histogram:
     """Distribution of observed values (latencies, durations).
 
-    Keeps exact summary statistics (count/total/min/max) plus a bounded
-    sample buffer for quantiles; past ``max_samples`` observations the
-    buffer stops growing but the summary stays exact.
+    Count/total/min/max stay **exact**; the distribution body is held in
+    fixed log-spaced buckets (four per octave), so memory is bounded by
+    the 257-bin index space no matter how many observations arrive — a
+    week-long campaign costs the same bytes as a unit test. Quantiles
+    are read from the bucket boundaries with bounded (~±9%) relative
+    error; two histograms merge **losslessly** (bucket counts add).
+    Values ``<= 0`` (a generic histogram may see them) share one
+    dedicated bucket and resolve to the exact ``min`` in quantiles.
     """
 
-    __slots__ = ("count", "total", "min", "max", "_samples", "_max_samples")
+    __slots__ = ("count", "total", "min", "max", "_buckets", "_nonpositive")
 
-    def __init__(self, max_samples: int = 2048) -> None:
+    def __init__(self) -> None:
         self.count = 0
         self.total = 0.0
         self.min = float("inf")
         self.max = float("-inf")
-        self._samples: list[float] = []
-        self._max_samples = max_samples
+        self._buckets: dict[int, int] = {}
+        self._nonpositive = 0
 
     def observe(self, value: float) -> None:
         value = float(value)
@@ -76,45 +114,94 @@ class Histogram:
             self.min = value
         if value > self.max:
             self.max = value
-        if len(self._samples) < self._max_samples:
-            self._samples.append(value)
+        if value > 0.0:
+            idx = bucket_index(value)
+            self._buckets[idx] = self._buckets.get(idx, 0) + 1
+        else:
+            self._nonpositive += 1
+
+    def observe_many(self, values: Any) -> None:
+        """Observe a batch of values in one vectorized pass.
+
+        The bulk API for hot paths that buffer samples locally (e.g.
+        per-block timings in the fused engine) instead of paying a
+        Python-level :meth:`observe` per sample: binning happens with
+        one ``log2`` over the whole array. The resulting bucket counts
+        are identical to per-value observation; ``total`` may differ in
+        float rounding order (as any summation reordering does).
+        """
+        import numpy as np
+
+        arr = np.asarray(values, dtype=float)
+        n = int(arr.size)
+        if n == 0:
+            return
+        self.count += n
+        self.total += float(arr.sum())
+        self.min = min(self.min, float(arr.min()))
+        self.max = max(self.max, float(arr.max()))
+        pos = arr[arr > 0.0]
+        self._nonpositive += n - int(pos.size)
+        if pos.size:
+            idx = np.clip(
+                np.ceil(_BUCKETS_PER_OCTAVE * np.log2(pos)),
+                _MIN_BUCKET,
+                _MAX_BUCKET,
+            ).astype(np.int64)
+            uniq, counts = np.unique(idx, return_counts=True)
+            for i, c in zip(uniq.tolist(), counts.tolist()):
+                self._buckets[i] = self._buckets.get(i, 0) + c
 
     def quantile(self, q: float) -> float:
-        """Empirical quantile over the retained samples."""
-        if not self._samples:
+        """Approximate quantile from the log buckets (±~9% relative).
+
+        The rank convention matches the previous exact-sample
+        implementation (``round(q * (count - 1))``); the returned value
+        is the geometric midpoint of the bucket holding that rank,
+        clamped into the exact ``[min, max]`` envelope.
+        """
+        if self.count == 0:
             raise ValueError("empty histogram")
         if not 0.0 <= q <= 1.0:
             raise ValueError(f"q must be in [0,1], got {q}")
-        ordered = sorted(self._samples)
-        idx = min(len(ordered) - 1, int(round(q * (len(ordered) - 1))))
-        return ordered[idx]
+        rank = min(self.count - 1, int(round(q * (self.count - 1))))
+        cumulative = self._nonpositive
+        if rank < cumulative:
+            return self.min
+        for idx in sorted(self._buckets):
+            cumulative += self._buckets[idx]
+            if rank < cumulative:
+                return min(max(bucket_midpoint(idx), self.min), self.max)
+        return self.max  # pragma: no cover - counts always sum to count
 
     @property
     def mean(self) -> float:
         return self.total / self.count if self.count else 0.0
 
     def state(self) -> dict[str, Any]:
-        """Mergeable full state (summary plus the retained samples).
+        """Mergeable full state (summary plus the bucket counts).
 
         Unlike :meth:`summary`, the output can be folded into another
-        histogram with :meth:`merge_state` without losing the sample
-        buffer — the transport used to ship worker-process metrics back
-        to the parent registry.
+        histogram with :meth:`merge_state` **losslessly** — the
+        transport used to ship worker-process metrics back to the
+        parent registry.
         """
         return {
             "count": self.count,
             "total": self.total,
             "min": self.min,
             "max": self.max,
-            "samples": list(self._samples),
+            "buckets": {str(k): v for k, v in sorted(self._buckets.items())},
+            "nonpositive": self._nonpositive,
         }
 
     def merge_state(self, state: dict[str, Any]) -> None:
         """Fold another histogram's :meth:`state` into this one.
 
-        Summary statistics stay exact; the sample buffer absorbs the
-        other's samples until ``max_samples`` is reached (quantiles
-        become approximate past that point, as with a single histogram).
+        Exact statistics add exactly; log-bucket counts add bin-by-bin
+        (no information loss — the merged histogram is identical to one
+        that observed every value itself, bucket-wise). Legacy states
+        carrying raw ``samples`` re-observe them for compatibility.
         """
         count = int(state.get("count", 0))
         if count <= 0:
@@ -123,11 +210,19 @@ class Histogram:
         self.total += float(state.get("total", 0.0))
         self.min = min(self.min, float(state.get("min", float("inf"))))
         self.max = max(self.max, float(state.get("max", float("-inf"))))
-        room = self._max_samples - len(self._samples)
-        if room > 0:
-            self._samples.extend(
-                float(v) for v in list(state.get("samples", ()))[:room]
-            )
+        if "buckets" in state or "nonpositive" in state:
+            for key, n in (state.get("buckets") or {}).items():
+                idx = int(key)
+                self._buckets[idx] = self._buckets.get(idx, 0) + int(n)
+            self._nonpositive += int(state.get("nonpositive", 0))
+        else:  # legacy sample-buffer dump: bin the retained samples
+            for v in state.get("samples", ()):
+                v = float(v)
+                if v > 0.0:
+                    idx = bucket_index(v)
+                    self._buckets[idx] = self._buckets.get(idx, 0) + 1
+                else:
+                    self._nonpositive += 1
 
     def summary(self) -> dict[str, float]:
         """JSON-ready summary (the snapshot representation)."""
@@ -206,6 +301,11 @@ class MetricsRegistry:
         if not self._enabled:
             return
         self.histogram(name).observe(value)
+
+    def observe_many(self, name: str, values: Any) -> None:
+        if not self._enabled:
+            return
+        self.histogram(name).observe_many(values)
 
     # -- views -----------------------------------------------------------------
 

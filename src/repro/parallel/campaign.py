@@ -38,11 +38,34 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard (simulator imports us
 _log = get_logger("parallel.campaign")
 
 
+def emit_run_series(index: int, record: "RunRecord") -> None:
+    """Publish one run's summary points to the telemetry bus.
+
+    Indexed by run number (the campaign's natural x-axis) and emitted
+    identically by the serial loop and by each worker task, so the
+    merged bus is **bit-identical for any worker count**: each task's
+    emission count is far below the ring capacity (three points per
+    run), hence every worker dump is lossless, and the parent replays
+    dumps in run-index order — exactly the serial emission sequence.
+    """
+    from repro.obs import get_telemetry
+
+    bus = get_telemetry()
+    if not bus.enabled:
+        return
+    t = float(index)
+    bus.emit("sim.run_seconds", t, record.fail_time)
+    bus.emit("sim.run_datapoints", t, float(record.n_datapoints))
+    bus.emit("sim.run_crashed", t, float(record.metadata.get("crashed", 0.0)))
+
+
 def _campaign_task(payload: dict[str, Any]) -> tuple:
     """Worker entry point: simulate one run, capture its telemetry."""
     from repro.system.simulator import TestbedSimulator
 
-    telemetry.configure_worker(payload["trace_on"], payload["metrics_on"])
+    telemetry.configure_worker(
+        payload["trace_on"], payload["metrics_on"], payload.get("bus_on")
+    )
     telemetry.begin_capture()
     simulator = TestbedSimulator(payload["config"], payload["failure_condition"])
     index = payload["index"]
@@ -53,6 +76,7 @@ def _campaign_task(payload: dict[str, Any]) -> tuple:
             fail_time=record.fail_time,
             crashed=bool(record.metadata.get("crashed", 0.0)),
         )
+    emit_run_series(index, record)
     return record, telemetry.collect()
 
 
@@ -70,7 +94,7 @@ def run_campaign_parallel(
     ``start_index`` offsets the telemetry run indices when the batch is
     a resumed or checkpointed slice of a larger campaign.
     """
-    from repro.obs import get_metrics, get_tracer
+    from repro.obs import get_metrics, get_telemetry, get_tracer
 
     tracer = get_tracer()
     registry = get_metrics()
@@ -82,6 +106,7 @@ def run_campaign_parallel(
             "rng": rng,
             "trace_on": tracer.enabled,
             "metrics_on": registry.enabled,
+            "bus_on": get_telemetry().enabled,
         }
         for i, rng in enumerate(rngs)
     ]

@@ -1,22 +1,23 @@
 """Worker-side observability capture and parent-side merge.
 
-Each worker task runs against the worker process's *own* global tracer
-and metrics registry (with the default ``fork`` start method these
-begin as copies of the parent's). To keep accounting exact:
+Each worker task runs against the worker process's *own* global tracer,
+metrics registry and telemetry bus (with the default ``fork`` start
+method these begin as copies of the parent's). To keep accounting exact:
 
 1. :func:`configure_worker` aligns the worker's obs switches with the
    parent's (shipped in the task payload, so ``--no-obs`` and
    ``F2PM_OBS=0`` behave identically under any start method);
-2. :func:`begin_capture` resets the worker's tracer + registry, so the
-   task records a clean delta (nothing inherited from the parent via
-   ``fork``, nothing left over from a previous task on this worker);
+2. :func:`begin_capture` resets the worker's tracer + registry + bus,
+   so the task records a clean delta (nothing inherited from the parent
+   via ``fork``, nothing left over from a previous task on this worker);
 3. :func:`collect` exports the delta as a picklable
    :class:`WorkerTelemetry`, shipped back alongside the task result;
-4. :func:`merge` folds the telemetry into the parent registry/tracer —
-   counters add, gauges last-write-wins, histograms pool, and span
-   trees are grafted under the parent's open span. Callers merge in
-   task-index order, so manifests are deterministic for any worker
-   count.
+4. :func:`merge` folds the telemetry into the parent registry/tracer/
+   bus — counters add, gauges last-write-wins, histograms pool
+   bucket-exactly, span trees are grafted under the parent's open span,
+   and time-series points replay through the parent bus (feeding any
+   attached exporter). Callers merge in task-index order, so manifests
+   and telemetry streams are deterministic for any worker count.
 """
 
 from __future__ import annotations
@@ -24,7 +25,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any
 
-from repro.obs import get_metrics, get_tracer
+from repro.obs import get_metrics, get_telemetry, get_tracer
 from repro.obs.trace import Span
 
 
@@ -36,43 +37,61 @@ class WorkerTelemetry:
     spans: list[dict] = field(default_factory=list)
     #: :meth:`MetricsRegistry.dump_state` payload
     metrics: dict[str, Any] = field(default_factory=dict)
+    #: :meth:`TelemetryBus.dump_state` payload (series + events)
+    series: dict[str, Any] = field(default_factory=dict)
 
 
-def configure_worker(trace_on: bool, metrics_on: bool) -> None:
-    """Align this process's obs switches with the parent's."""
+def configure_worker(trace_on: bool, metrics_on: bool, bus_on: "bool | None" = None) -> None:
+    """Align this process's obs switches with the parent's.
+
+    ``bus_on`` defaults to ``metrics_on`` — the telemetry bus ships its
+    switch with the metrics switch unless a payload says otherwise,
+    which keeps older two-field payloads behaving identically.
+    """
     tracer = get_tracer()
     registry = get_metrics()
+    bus = get_telemetry()
     tracer.enable() if trace_on else tracer.disable()
     registry.enable() if metrics_on else registry.disable()
+    if bus_on is None:
+        bus_on = metrics_on
+    bus.enable() if bus_on else bus.disable()
 
 
 def begin_capture() -> None:
     """Start a fresh measurement window in this (worker) process."""
     get_tracer().reset()
     get_metrics().reset()
+    get_telemetry().reset()
 
 
 def collect() -> WorkerTelemetry:
     """Export everything recorded since :func:`begin_capture`."""
     tracer = get_tracer()
     registry = get_metrics()
+    bus = get_telemetry()
     return WorkerTelemetry(
         spans=[s.to_dict() for s in tracer.roots] if tracer.enabled else [],
         metrics=registry.dump_state() if registry.enabled else {},
+        series=bus.dump_state() if bus.enabled else {},
     )
 
 
 def merge(telemetry: "WorkerTelemetry | None") -> None:
-    """Fold one task's telemetry into the parent registry and tracer.
+    """Fold one task's telemetry into the parent registry/tracer/bus.
 
     Span trees are attached under the innermost open span on the
     calling thread (e.g. the ``simulate.campaign`` span that dispatched
     the work), preserving the tree shape the serial path produces.
+    Bus points replay through the parent's :meth:`TelemetryBus.emit`,
+    so streaming sinks (``--telemetry-jsonl``) see worker points too.
     """
     if telemetry is None:
         return
     if telemetry.metrics:
         get_metrics().merge_state(telemetry.metrics)
+    if getattr(telemetry, "series", None):
+        get_telemetry().merge_state(telemetry.series)
     tracer = get_tracer()
     if tracer.enabled:
         for exported in telemetry.spans:

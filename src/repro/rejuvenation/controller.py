@@ -159,10 +159,14 @@ class ManagedSystem:
     def _run_episodes(self, cfg, mcfg, rng, log, aggregator, metrics) -> ManagedRunLog:
         """Episode loop of :meth:`run` (split out for span bookkeeping)."""
         from repro.core.sanitize import StreamSanitizer
+        from repro.obs import get_telemetry
+        from repro.obs.profile import get_profiler
 
         wall = 0.0  # global wall clock (uptime + downtime)
         sanitizer = StreamSanitizer(self.sanitize_config)
         staleness = mcfg.resolved_staleness_timeout
+        bus = get_telemetry()
+        profiler = get_profiler()
         while wall < mcfg.horizon_seconds:
             # -- boot a fresh episode ---------------------------------------
             r_profile, r_pool, r_server, r_monitor = rng.spawn(4)
@@ -202,6 +206,10 @@ class ManagedSystem:
             last_window: np.ndarray | None = None
             last_window_time = 0.0
             next_held_eval = 0.0
+            # Predictions made this episode, kept so the true RTTF can be
+            # emitted retrospectively once the episode's end is known:
+            # (global time, episode age, predicted RTTF).
+            pending_predictions: list[tuple[float, float, float]] = []
 
             while wall + now < mcfg.horizon_seconds:
                 # The load schedule follows global wall time, not episode
@@ -213,8 +221,11 @@ class ManagedSystem:
                     ewma_rt += 0.2 * (stats.mean_response_time - ewma_rt)
 
                 if fmc.due(now):
+                    t_abs = wall + now  # global telemetry timestamp
                     queue_delay = server.backlog_cpu_s / cfg.machine.n_cpus
                     dp = fmc.sample(now, state, stats.utilization, queue_delay)
+                    bus.emit("controller.ewma_rt", t_abs, ewma_rt)
+                    bus.emit("controller.utilization", t_abs, stats.utilization)
                     raw_rows = (
                         corruptor.feed(dp.to_array())
                         if corruptor is not None
@@ -231,11 +242,22 @@ class ManagedSystem:
                     if window is not None:
                         last_window = window
                         last_window_time = now
-                        if self.policy.should_rejuvenate(window, run_age=now):
-                            outcome = "rejuvenation"
-                            predicted = getattr(
-                                self.policy, "last_prediction", None
+                        with profiler.stage("controller.predict"):
+                            trigger = self.policy.should_rejuvenate(
+                                window, run_age=now
                             )
+                        last_pred = getattr(self.policy, "last_prediction", None)
+                        if last_pred is not None:
+                            bus.emit("controller.predicted_rttf", t_abs, last_pred)
+                            pending_predictions.append((t_abs, now, last_pred))
+                        bus.emit(
+                            "sanitize.dropped_total",
+                            t_abs,
+                            float(sanitizer.dropped_total),
+                        )
+                        if trigger:
+                            outcome = "rejuvenation"
+                            predicted = last_pred
                             break
                     elif (
                         last_window is not None
@@ -249,6 +271,19 @@ class ManagedSystem:
                         # interval, instead of going blind (or crashing).
                         next_held_eval = now + mcfg.window_seconds
                         metrics.inc("sanitize.stale_policy_holds_total")
+                        bus.event(
+                            t_abs,
+                            "stale_hold",
+                            policy=self.policy.name,
+                            stale_for_s=now - last_window_time,
+                        )
+                        bus.emit(
+                            "controller.stale_holds",
+                            t_abs,
+                            metrics.counter(
+                                "sanitize.stale_policy_holds_total"
+                            ).value,
+                        )
                         _log.warning(
                             "monitor stream stale; holding last window %s",
                             kv(
@@ -256,7 +291,11 @@ class ManagedSystem:
                                 stale_for_s=now - last_window_time,
                             ),
                         )
-                        if self.policy.should_rejuvenate(last_window, run_age=now):
+                        with profiler.stage("controller.predict"):
+                            trigger = self.policy.should_rejuvenate(
+                                last_window, run_age=now
+                            )
+                        if trigger:
                             outcome = "rejuvenation"
                             predicted = getattr(
                                 self.policy, "last_prediction", None
@@ -283,6 +322,23 @@ class ManagedSystem:
                     predicted_rttf=predicted,
                 )
             )
+            if outcome == "crash":
+                # The episode's end is now known: emit the true RTTF for
+                # every prediction made during it, timestamped where the
+                # prediction was made, so predicted-vs-truth trajectories
+                # line up on the dashboard's time axis.
+                for t_pred, age, pred in pending_predictions:
+                    truth = now - age
+                    bus.emit("controller.actual_rttf", t_pred, truth)
+                    bus.emit("controller.rttf_error", t_pred, pred - truth)
+            bus.event(
+                episode_start + uptime,
+                outcome,
+                policy=self.policy.name,
+                uptime_s=uptime,
+                predicted_rttf=predicted,
+            )
+            bus.emit("controller.episode_uptime", episode_start + uptime, uptime)
             metrics.inc(f"rejuvenation.episodes_total.{outcome}")
             metrics.observe("rejuvenation.episode_uptime_seconds", uptime)
             _log.info(

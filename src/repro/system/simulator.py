@@ -17,6 +17,7 @@ simulates in seconds. The loop advances in fixed ticks:
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING
 
@@ -35,7 +36,7 @@ from repro.system.resources import MachineConfig, MachineState
 from repro.system.schedule import ConstantLoad, LoadSchedule
 from repro.system.server import AppServer, ServerConfig
 from repro.system.tpcw import SHOPPING_MIX, EmulatedBrowserPool, TPCWMix
-from repro.obs import get_logger, get_metrics, kv, span
+from repro.obs import get_logger, get_metrics, get_telemetry, kv, span
 from repro.utils.rng import as_rng
 
 if TYPE_CHECKING:  # pragma: no cover - checkpointing is optional plumbing
@@ -133,6 +134,11 @@ class TestbedSimulator:
             if limits is not None:
                 return run_once_fused(cfg, limits, rng)
             get_metrics().inc("sim.fused_fallback_total")
+            get_telemetry().event(
+                0.0,
+                "fused_fallback",
+                condition=self.failure_condition.description,
+            )
             _log.info(
                 "failure condition has no threshold form; using loop substrate %s",
                 kv(condition=self.failure_condition.description),
@@ -192,10 +198,27 @@ class TestbedSimulator:
         crashed = False
         fail_time = cfg.max_run_seconds
 
+        # Sampled hot-path profiling: time every 64th tick (two clock
+        # reads per sample, nothing on the other 63), feeding the
+        # log-bucketed ``profile.sim.tick.wall_seconds`` histogram.
+        from repro.obs.profile import get_profiler
+
+        profiler = get_profiler()
+        prof_on = profiler.enabled
+        tick_index = 0
+
         while now < cfg.max_run_seconds:
-            stats = server.tick(
-                now, cfg.dt, cfg.load_schedule.active_fraction(now)
-            )
+            if prof_on and not tick_index & 63:
+                t0 = time.perf_counter()
+                stats = server.tick(
+                    now, cfg.dt, cfg.load_schedule.active_fraction(now)
+                )
+                profiler.record("sim.tick", time.perf_counter() - t0)
+            else:
+                stats = server.tick(
+                    now, cfg.dt, cfg.load_schedule.active_fraction(now)
+                )
+            tick_index += 1
             now += cfg.dt
             utilization = stats.utilization
             if stats.n_completed > 0:
@@ -274,6 +297,8 @@ class TestbedSimulator:
             return run_campaign_parallel(
                 self, list(rngs), jobs=jobs, start_index=start_index
             )
+        from repro.parallel.campaign import emit_run_series
+
         records: list[RunRecord] = []
         for i, run_rng in enumerate(rngs, start=start_index):
             with span("simulate.run", index=i) as run_sp:
@@ -283,6 +308,7 @@ class TestbedSimulator:
                     fail_time=record.fail_time,
                     crashed=bool(record.metadata.get("crashed", 0.0)),
                 )
+            emit_run_series(i, record)
             records.append(record)
             _log.info(
                 "run complete %s",

@@ -1,0 +1,99 @@
+"""The stage profiler: latency histograms plus self-measured overhead."""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.profile import (
+    OVERHEAD_COUNTER,
+    StageProfiler,
+    _NullStage,
+    get_profiler,
+)
+
+
+@pytest.fixture
+def registry():
+    return MetricsRegistry(enabled=True)
+
+
+@pytest.fixture
+def profiler(registry):
+    return StageProfiler(metrics=registry, calibration_reps=16)
+
+
+def test_stage_records_wall_and_cpu_histograms(profiler, registry):
+    with profiler.stage("predict"):
+        time.sleep(0.01)
+    snap = registry.snapshot()
+    wall = snap["histograms"]["profile.predict.wall_seconds"]
+    assert wall["count"] == 1
+    assert wall["max"] >= 0.01
+    assert "profile.predict.cpu_seconds" in snap["histograms"]
+
+
+def test_overhead_counter_accumulates_per_exit(profiler, registry):
+    for _ in range(10):
+        with profiler.stage("x"):
+            pass
+    overhead = registry.counter(OVERHEAD_COUNTER).value
+    assert overhead > 0.0
+    # Bookkeeping for 10 empty stages is microseconds, not milliseconds.
+    assert overhead < 0.1
+
+
+def test_calibration_estimates_a_positive_entry_cost(profiler):
+    assert profiler.entry_cost_s > 0.0
+    assert profiler.entry_cost_s < 1e-3  # an empty pair is sub-millisecond
+
+
+def test_calibration_does_not_pollute_the_real_registry(profiler, registry):
+    assert "profile.calibration.wall_seconds" not in registry.snapshot().get(
+        "histograms", {}
+    )
+
+
+def test_record_hot_loop_api(profiler, registry):
+    profiler.record("sim.tick", 0.002)
+    profiler.record("sim.tick", 0.004, cpu_seconds=0.003)
+    snap = registry.snapshot()
+    wall = snap["histograms"]["profile.sim.tick.wall_seconds"]
+    assert wall["count"] == 2
+    assert wall["total"] == pytest.approx(0.006)
+    cpu = snap["histograms"]["profile.sim.tick.cpu_seconds"]
+    assert cpu["count"] == 1
+    assert registry.counter(OVERHEAD_COUNTER).value > 0.0
+
+
+def test_disabled_registry_disables_profiling(registry):
+    profiler = StageProfiler(metrics=registry, calibration_reps=4)
+    registry.disable()
+    assert not profiler.enabled
+    assert isinstance(profiler.stage("x"), _NullStage)
+    profiler.record("x", 1.0)
+    registry.enable()
+    assert registry.snapshot()["histograms"] == {}
+
+
+def test_overhead_fraction(profiler, registry):
+    registry.inc(OVERHEAD_COUNTER, 0.05)
+    assert profiler.overhead_fraction(1.0) == pytest.approx(
+        profiler.overhead_seconds
+    )
+    assert profiler.overhead_fraction(0.0) == 0.0
+
+
+def test_report_shape(profiler):
+    with profiler.stage("predict"):
+        pass
+    report = profiler.report()
+    assert "predict.wall_seconds" in report["stages"]
+    assert report["overhead_seconds"] >= 0.0
+    assert report["entry_cost_s"] == profiler.entry_cost_s
+
+
+def test_default_profiler_is_a_singleton():
+    assert get_profiler() is get_profiler()

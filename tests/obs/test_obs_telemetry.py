@@ -1,0 +1,277 @@
+"""The telemetry bus: bounded series, deterministic decimation, exporters."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro import obs
+from repro.obs.telemetry import (
+    JSONL_SCHEMA,
+    JsonlExporter,
+    TelemetryBus,
+    TimeSeries,
+    get_telemetry,
+    prometheus_text,
+    read_jsonl,
+)
+
+
+@pytest.fixture(autouse=True)
+def fresh_obs_window():
+    obs.reset()
+    yield
+    obs.reset()
+
+
+class TestTimeSeries:
+    def test_records_everything_below_capacity(self):
+        s = TimeSeries("x", capacity=8)
+        for i in range(7):
+            s.emit(float(i), float(i * 10))
+        assert s.points == [(float(i), float(i * 10)) for i in range(7)]
+        assert s.total == 7
+        assert s.stride == 1
+
+    def test_memory_is_bounded_for_any_emission_count(self):
+        s = TimeSeries("x", capacity=16)
+        for i in range(100_000):
+            s.emit(float(i), float(i))
+        assert len(s) <= 16
+        assert s.total == 100_000
+
+    def test_decimation_keeps_full_horizon_coverage(self):
+        s = TimeSeries("x", capacity=16)
+        n = 10_000
+        for i in range(n):
+            s.emit(float(i), float(i))
+        ts = s.times
+        assert ts[0] == 0.0  # oldest point survives every decimation
+        assert ts[-1] >= n - s.stride  # newest retained point is recent
+        assert ts == sorted(ts)
+
+    def test_last_value_is_exact_regardless_of_stride(self):
+        s = TimeSeries("x", capacity=8)
+        for i in range(1000):
+            s.emit(float(i), float(-i))
+        assert s.last_t == 999.0
+        assert s.last_value == -999.0
+
+    def test_retention_is_a_pure_function_of_the_sequence(self):
+        a = TimeSeries("x", capacity=16)
+        b = TimeSeries("x", capacity=16)
+        for i in range(5000):
+            a.emit(float(i), float(i % 7))
+        for i in range(5000):
+            b.emit(float(i), float(i % 7))
+        assert a.points == b.points
+        assert a.stride == b.stride
+
+    def test_capacity_validation(self):
+        with pytest.raises(ValueError):
+            TimeSeries("x", capacity=7)
+        with pytest.raises(ValueError):
+            TimeSeries("x", capacity=4)
+
+    def test_merge_of_lossless_dump_is_exact_replay(self):
+        source = TimeSeries("x", capacity=512)
+        for i in range(20):
+            source.emit(float(i), float(i))
+        target = TimeSeries("x", capacity=512)
+        target.merge_state(source.state())
+        assert target.points == source.points
+        assert target.total == source.total
+
+    def test_merge_of_decimated_dump_keeps_exact_total_and_last(self):
+        source = TimeSeries("x", capacity=8)
+        for i in range(100):
+            source.emit(float(i), float(i))
+        target = TimeSeries("x", capacity=512)
+        target.merge_state(source.state())
+        assert target.total == 100
+        assert target.last_t == 99.0
+        assert target.last_value == 99.0
+
+
+class TestTelemetryBus:
+    def test_emit_and_snapshot(self):
+        bus = TelemetryBus()
+        bus.emit("a", 1.0, 10.0)
+        bus.emit("a", 2.0, 20.0)
+        bus.event(2.5, "crash", policy="none")
+        snap = bus.snapshot()
+        assert snap["series"]["a"]["points"] == [[1.0, 10.0], [2.0, 20.0]]
+        assert snap["events"] == [{"t": 2.5, "event": "crash", "policy": "none"}]
+        assert snap["events_total"] == 1
+
+    def test_disabled_bus_is_a_no_op(self):
+        bus = TelemetryBus(enabled=False)
+        bus.emit("a", 1.0, 1.0)
+        bus.event(1.0, "x")
+        assert bus.snapshot() == {"series": {}, "events": [], "events_total": 0}
+
+    def test_event_log_is_bounded_with_exact_total(self):
+        bus = TelemetryBus(events_capacity=4)
+        for i in range(10):
+            bus.event(float(i), "e")
+        assert len(bus.events) == 4
+        assert bus.events_total == 10
+        assert bus.events[-1]["t"] == 9.0
+
+    def test_merge_state_replays_in_order_through_sinks(self):
+        worker = TelemetryBus()
+        worker.emit("a", 1.0, 1.0)
+        worker.event(1.5, "crash")
+        parent = TelemetryBus()
+        seen: list = []
+
+        class Probe:
+            def point(self, name, t, v):
+                seen.append(("point", name, t, v))
+
+            def event(self, ev):
+                seen.append(("event", ev["event"]))
+
+        parent.add_sink(Probe())
+        parent.merge_state(worker.dump_state())
+        assert seen == [("point", "a", 1.0, 1.0), ("event", "crash")]
+
+    def test_merge_order_determines_identical_final_state(self):
+        dumps = []
+        for base in (0, 10):
+            w = TelemetryBus()
+            for i in range(5):
+                w.emit("s", float(base + i), float(base + i))
+            dumps.append(w.dump_state())
+        serial = TelemetryBus()
+        for i in range(5):
+            serial.emit("s", float(i), float(i))
+        for i in range(5):
+            serial.emit("s", float(10 + i), float(10 + i))
+        merged = TelemetryBus()
+        for d in dumps:
+            merged.merge_state(d)
+        assert merged.snapshot() == serial.snapshot()
+
+    def test_reset_keeps_sinks(self):
+        bus = TelemetryBus()
+
+        class Probe:
+            n = 0
+
+            def point(self, name, t, v):
+                Probe.n += 1
+
+            def event(self, ev):
+                pass
+
+        bus.add_sink(Probe())
+        bus.emit("a", 1.0, 1.0)
+        bus.reset()
+        bus.emit("a", 2.0, 2.0)
+        assert Probe.n == 2
+        assert bus.snapshot()["series"]["a"]["total"] == 1
+
+    def test_default_bus_follows_the_obs_switch(self):
+        bus = get_telemetry()
+        obs.disable()
+        try:
+            assert not bus.enabled
+            bus.emit("x", 1.0, 1.0)
+        finally:
+            obs.enable()
+        assert bus.enabled
+        assert "x" not in bus.names()
+
+
+class TestJsonlExporter:
+    def test_round_trip(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        bus = TelemetryBus()
+        with JsonlExporter(path, meta={"command": "test"}) as exp:
+            bus.add_sink(exp)
+            bus.emit("a", 1.0, 2.0)
+            bus.event(3.0, "crash", policy="none")
+        records = read_jsonl(path)
+        assert records[0] == {
+            "kind": "meta",
+            "schema": JSONL_SCHEMA,
+            "command": "test",
+        }
+        assert records[1] == {
+            "kind": "point",
+            "series": "a",
+            "t": 1.0,
+            "v": 2.0,
+        }
+        assert records[2] == {
+            "kind": "event",
+            "t": 3.0,
+            "event": "crash",
+            "policy": "none",
+        }
+
+    def test_stream_is_tailable_line_by_line(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        with JsonlExporter(path) as exp:
+            exp.point("a", 1.0, 2.0)
+            # Every record is flushed as one complete line before close.
+            lines = path.read_text().splitlines()
+            assert len(lines) == 2
+            assert json.loads(lines[1])["series"] == "a"
+
+    def test_reader_skips_torn_final_line(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        with JsonlExporter(path) as exp:
+            exp.point("a", 1.0, 2.0)
+        with path.open("a") as fh:
+            fh.write('{"kind":"point","series":"b","t":9')  # torn mid-write
+        records = read_jsonl(path)
+        assert [r["kind"] for r in records] == ["meta", "point"]
+
+
+class TestPrometheusText:
+    def test_snapshot_includes_counters_histograms_and_series(self):
+        from repro.obs.metrics import MetricsRegistry
+
+        registry = MetricsRegistry(enabled=True)
+        registry.inc("sim.runs_total", 3)
+        registry.set_gauge("controller.util", 0.5)
+        for v in (0.5, 1.0, 2.0, 4.0):
+            registry.observe("sim.run_seconds", v)
+        bus = TelemetryBus()
+        bus.emit("controller.predicted_rttf", 1.0, 120.0)
+        bus.event(1.0, "crash")
+        text = prometheus_text(metrics=registry, bus=bus)
+        assert "# TYPE f2pm_sim_runs_total counter" in text
+        assert "f2pm_sim_runs_total 3" in text
+        assert "f2pm_controller_util 0.5" in text
+        assert "# TYPE f2pm_sim_run_seconds histogram" in text
+        assert 'f2pm_sim_run_seconds_bucket{le="+Inf"} 4' in text
+        assert "f2pm_sim_run_seconds_sum 7.5" in text
+        assert (
+            'f2pm_telemetry_last{series="controller.predicted_rttf"} 120' in text
+        )
+        assert "f2pm_telemetry_events_total 1" in text
+
+    def test_bucket_counts_are_cumulative_and_end_at_count(self):
+        from repro.obs.metrics import MetricsRegistry
+
+        registry = MetricsRegistry(enabled=True)
+        for v in (1.0, 2.0, 4.0, 8.0, 16.0):
+            registry.observe("h", v)
+        text = prometheus_text(metrics=registry, bus=TelemetryBus())
+        counts = [
+            int(line.rsplit(" ", 1)[1])
+            for line in text.splitlines()
+            if line.startswith("f2pm_h_bucket")
+        ]
+        assert counts == sorted(counts)
+        assert counts[-1] == 5
+
+    def test_name_sanitization(self):
+        from repro.obs.telemetry import _prom_name
+
+        assert _prom_name("sim.run-seconds") == "f2pm_sim_run_seconds"
+        assert _prom_name("9lives") == "f2pm__9lives"
