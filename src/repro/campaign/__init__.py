@@ -1,0 +1,68 @@
+"""``repro.campaign`` — declarative campaign specs and run-missing execution.
+
+The experimental surface of the paper is a grid (anomaly mixes x
+monitoring windows x model families x seeds). This package makes that
+grid a first-class, declarative object:
+
+:mod:`repro.campaign.spec`
+    :class:`CampaignSpec` — the *content* of a campaign (param grid x
+    seeds x staged analysis), canonically fingerprinted via
+    :mod:`repro.store.keys`; enumerates to :class:`CampaignCell` s.
+:mod:`repro.campaign.stages`
+    The staged pipeline ``simulate → aggregate → train → evaluate`` as
+    independently cached jobs (morf-style), each artifact keyed by its
+    own fingerprint in the shared :class:`~repro.store.ArtifactStore`.
+:mod:`repro.campaign.manager`
+    :class:`CampaignManager` — diffs a spec against the store
+    (:meth:`~CampaignManager.plan`), executes only the missing frontier
+    (:meth:`~CampaignManager.run`), sharded within a driver by
+    ``repro.parallel`` workers and across drivers by per-entry ``flock``
+    — preserving the bit-identical-for-any-worker-count guarantee and
+    checkpointed resume.
+
+CLI: ``f2pm campaign {plan,run,status}``. See ``docs/CAMPAIGNS.md``.
+"""
+
+from repro.campaign.manager import (
+    CampaignError,
+    CampaignManager,
+    CampaignPlan,
+    CampaignResult,
+    CellOutcome,
+    CellPlan,
+    StagePlan,
+    plan_cells,
+)
+from repro.campaign.spec import (
+    STAGES,
+    CampaignCell,
+    CampaignSpec,
+    merged_cells,
+)
+from repro.campaign.stages import (
+    campaign_fingerprint,
+    history_name,
+    run_stage,
+    simulate_cell,
+    stage_artifact,
+)
+
+__all__ = [
+    "CampaignCell",
+    "CampaignError",
+    "CampaignManager",
+    "CampaignPlan",
+    "CampaignResult",
+    "CellOutcome",
+    "CellPlan",
+    "STAGES",
+    "CampaignSpec",
+    "StagePlan",
+    "campaign_fingerprint",
+    "history_name",
+    "merged_cells",
+    "plan_cells",
+    "run_stage",
+    "simulate_cell",
+    "stage_artifact",
+]

@@ -12,6 +12,7 @@ rejuvenate      compare rejuvenation policies on a managed horizon
 obs             pretty-print a saved trace/metrics/manifest JSON file
 top             live dashboard over a --telemetry-jsonl stream
 cache           inspect/maintain the artifact store (ls, info, gc, clear)
+campaign        plan/run/report a declarative campaign spec (run-missing)
 ==============  ========================================================
 
 Every command accepts ``--seed`` for reproducibility; campaign sizing
@@ -524,7 +525,16 @@ def cmd_cache(args: argparse.Namespace) -> int:
         return 0
 
     if args.cache_command == "gc":
-        report = store.gc()
+        fingerprints = None
+        if getattr(args, "spec", None):
+            from repro.campaign import CampaignSpec
+
+            try:
+                spec = CampaignSpec.from_json_file(args.spec)
+            except ValueError as exc:
+                raise SystemExit(f"error: {exc}")
+            fingerprints = spec.artifact_fingerprints()
+        report = store.gc(fingerprints=fingerprints)
         print(
             f"removed {len(report.removed)} file(s), "
             f"freed {report.freed_bytes / 1024:.1f} KiB"
@@ -539,6 +549,48 @@ def cmd_cache(args: argparse.Namespace) -> int:
         return 0
 
     raise SystemExit(f"error: unknown cache command {args.cache_command!r}")
+
+
+def cmd_campaign(args: argparse.Namespace) -> int:
+    """Plan, run, or report a declarative campaign spec.
+
+    ``plan`` prints the spec-vs-store diff (which cells/stages are cached,
+    which are missing) without executing anything; ``run`` executes only
+    the missing frontier; ``status`` emits the machine-readable JSON form
+    of the diff.
+    """
+    from repro.campaign import CampaignError, CampaignManager, CampaignSpec
+    from repro.store import ArtifactStore
+
+    try:
+        spec = CampaignSpec.from_json_file(args.spec)
+    except ValueError as exc:
+        raise SystemExit(f"error: {exc}")
+    manager = CampaignManager(spec, ArtifactStore(args.dir))
+
+    if args.campaign_command == "plan":
+        print(manager.plan().summary())
+        return 0
+
+    if args.campaign_command == "status":
+        print(json.dumps(manager.status(), indent=2, sort_keys=True))
+        return 0
+
+    if args.campaign_command == "run":
+        print(manager.plan().summary())
+        try:
+            result = manager.run(
+                jobs=resolve_jobs(args.jobs), cooperate=not args.no_cooperate
+            )
+        except CampaignError as exc:
+            raise SystemExit(f"error: {exc}")
+        print(
+            f"done: cached={result.cells_cached} run={result.cells_run} "
+            f"failed={result.cells_failed}"
+        )
+        return 0
+
+    raise SystemExit(f"error: unknown campaign command {args.campaign_command!r}")
 
 
 def cmd_rejuvenate(args: argparse.Namespace) -> int:
@@ -834,11 +886,56 @@ def build_parser() -> argparse.ArgumentParser:
     cache_sub.add_parser("ls", help="list entries with verification status")
     sp = cache_sub.add_parser("info", help="print one entry's verified metadata")
     sp.add_argument("name", help="entry name as shown by `cache ls`")
-    cache_sub.add_parser(
+    sp = cache_sub.add_parser(
         "gc", help="sweep unpublished temporaries and corrupt entries"
+    )
+    sp.add_argument(
+        "--spec",
+        default=None,
+        metavar="SPEC.json",
+        help="additionally evict every artifact owned by this campaign "
+        "spec (scoped by fingerprint; other campaigns' entries stay)",
     )
     cache_sub.add_parser("clear", help="remove every cached artifact")
     p.set_defaults(func=cmd_cache)
+
+    p = add_parser(
+        "campaign",
+        help="plan/run/report a declarative campaign spec (run-missing)",
+    )
+    p.add_argument(
+        "--dir",
+        default=None,
+        metavar="PATH",
+        help="store directory (default: $F2PM_CACHE_DIR or ~/.cache/f2pm-repro)",
+    )
+    campaign_sub = p.add_subparsers(dest="campaign_command", required=True)
+    sp = campaign_sub.add_parser(
+        "plan", help="print the missing/cached cell diff without executing"
+    )
+    sp.add_argument("spec", help="campaign spec JSON file")
+    sp = campaign_sub.add_parser(
+        "run", help="execute only the missing cells, load the rest"
+    )
+    sp.add_argument("spec", help="campaign spec JSON file")
+    sp.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        metavar="N",
+        help="worker processes per cell simulation (default: all cores)",
+    )
+    sp.add_argument(
+        "--no-cooperate",
+        action="store_true",
+        help="block on busy cells instead of deferring them (single-driver "
+        "mode; cooperating drivers defer and circle back)",
+    )
+    sp = campaign_sub.add_parser(
+        "status", help="emit the spec-vs-store diff as JSON"
+    )
+    sp.add_argument("spec", help="campaign spec JSON file")
+    p.set_defaults(func=cmd_campaign)
 
     return parser
 

@@ -30,8 +30,8 @@ from repro.core import (
     F2PMResult,
 )
 from repro.obs import build_manifest, get_logger, get_metrics, kv, write_manifest
-from repro.store import ArtifactStore, CampaignCheckpoint, fingerprint
-from repro.system import CampaignConfig, TestbedSimulator
+from repro.store import ArtifactStore, fingerprint
+from repro.system import CampaignConfig
 
 _log = get_logger("experiments.common")
 
@@ -75,6 +75,24 @@ def _campaign_key(config: CampaignConfig) -> str:
     return f"history_{_campaign_fingerprint(config)[:16]}"
 
 
+def paper_spec(stages: tuple[str, ...] = ("simulate",)) -> "CampaignSpec":
+    """The shared experiment campaign as a declarative spec.
+
+    One cell — the default campaign ("the one-week trace") — whose
+    simulate-stage artifact is the very ``history_<fp16>.npz`` entry
+    :func:`default_history` has always cached, so specs and the legacy
+    helpers interchangeably hit the same store entries.
+    """
+    from repro.campaign import CampaignSpec
+
+    return CampaignSpec(
+        name="paper-default",
+        base=DEFAULT_CAMPAIGN,
+        stages=stages,
+        window_seconds=EXPERIMENT_WINDOW,
+    )
+
+
 _HISTORY_MEMO: dict[str, DataHistory] = {}
 
 
@@ -89,33 +107,26 @@ def default_history(
     execution across tables). ``jobs`` parallelizes a cache-miss
     simulation; the campaign is deterministic for any worker count, so
     the cache key needs no ``jobs`` component.
+
+    The store interaction (naming, fingerprints, checkpointed cold
+    production, lock cooperation) lives in
+    :func:`repro.campaign.stages.simulate_cell` — this helper is a thin
+    memoizing wrapper over the campaign simulate stage.
     """
+    from repro.campaign.stages import simulate_cell
+
     config = config or DEFAULT_CAMPAIGN
     key = _campaign_key(config)
     if use_cache and key in _HISTORY_MEMO:
         return _HISTORY_MEMO[key]
+    history, produced = simulate_cell(
+        config,
+        get_store() if use_cache else None,
+        jobs=jobs,
+        checkpoint_every=CHECKPOINT_EVERY,
+    )
     if not use_cache:
-        return TestbedSimulator(config).run_campaign(jobs=jobs)
-
-    store = get_store()
-    full_fp = _campaign_fingerprint(config)
-    checkpoint = CampaignCheckpoint(
-        store.path(f"{key}.ckpt.npz"), key=full_fp, total_runs=config.n_runs
-    )
-
-    def produce() -> DataHistory:
-        return TestbedSimulator(config).run_campaign(
-            jobs=jobs, checkpoint=checkpoint, checkpoint_every=CHECKPOINT_EVERY
-        )
-
-    history, produced = store.get_or_produce(
-        f"{key}.npz",
-        produce,
-        save=lambda h, path: h.save(path),
-        load=DataHistory.load,
-        kind="history",
-        fingerprint=full_fp,
-    )
+        return history
     _log.info(
         "campaign %s %s",
         "simulated" if produced else "loaded",

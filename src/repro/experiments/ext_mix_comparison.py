@@ -13,9 +13,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass, replace
 
-from repro.core import AggregationConfig, F2PM, F2PMConfig
-from repro.experiments.common import DEFAULT_CAMPAIGN, EXPERIMENT_WINDOW
-from repro.system import TestbedSimulator
+from repro.campaign import CampaignManager, CampaignSpec
+from repro.experiments.common import DEFAULT_CAMPAIGN, EXPERIMENT_WINDOW, get_store
 from repro.system.tpcw import MIXES
 from repro.utils.tables import render_table
 
@@ -68,31 +67,44 @@ class MixComparisonResult:
         return browsing < ordering
 
 
-def run(
-    campaign=None, verbose: bool = True, n_runs: int = 8, jobs: int = 1
-) -> MixComparisonResult:
+def mix_spec(campaign=None, n_runs: int = 8) -> CampaignSpec:
+    """The mix-sensitivity sweep as a declarative spec: one ``mix`` axis
+    over the three standard TPC-W mixes, simulate + evaluate staged."""
     if campaign is None:
         campaign = DEFAULT_CAMPAIGN
+    return CampaignSpec(
+        name="ext-mix-comparison",
+        base=replace(campaign, n_runs=n_runs),
+        axes={"mix": tuple(MIXES)},
+        stages=("simulate", "evaluate"),
+        window_seconds=EXPERIMENT_WINDOW,
+        models=("m5p", "reptree"),
+        train_seed=0,
+    )
+
+
+def run(
+    campaign=None,
+    verbose: bool = True,
+    n_runs: int = 8,
+    jobs: int = 1,
+    use_cache: bool = False,
+) -> MixComparisonResult:
+    spec = mix_spec(campaign, n_runs=n_runs)
+    manager = CampaignManager(spec, get_store() if use_cache else None)
+    campaign_result = manager.run(jobs=jobs)
     outcomes: dict[str, MixOutcome] = {}
-    for name, mix in MIXES.items():
-        cfg = replace(campaign, mix=mix, n_runs=n_runs)
-        history = TestbedSimulator(cfg).run_campaign(jobs=jobs)
-        result = F2PM(
-            F2PMConfig(
-                aggregation=AggregationConfig(window_seconds=EXPERIMENT_WINDOW),
-                models=("m5p", "reptree"),
-                lasso_predictor_lambdas=(),
-                seed=0,
-            )
-        ).run(history, jobs=jobs)
-        best = result.best_by_smae("all")
+    for outcome in campaign_result.outcomes:
+        name = dict(outcome.cell.params)["mix"]
+        history = outcome.results["simulate"]
+        report = outcome.results["evaluate"]
         outcomes[name] = MixOutcome(
             mix=name,
-            home_fraction=mix.home_fraction,
+            home_fraction=MIXES[name].home_fraction,
             mean_ttf=history.mean_run_length,
-            best_model=best.name,
-            best_smae=best.s_mae,
-            smae_threshold=result.smae_threshold,
+            best_model=report["best"]["model"],
+            best_smae=report["best"]["s_mae"],
+            smae_threshold=report["smae_threshold"],
         )
     result = MixComparisonResult(outcomes=outcomes)
     if verbose:

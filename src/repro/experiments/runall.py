@@ -16,6 +16,7 @@ from __future__ import annotations
 
 from pathlib import Path
 
+from repro.campaign import CampaignManager
 from repro.experiments import common
 from repro.experiments import (
     ext_incremental_curve,
@@ -45,7 +46,14 @@ def main(telemetry_dir: "Path | str | None" = None, jobs: int = 1) -> Path:
 
     root = span("experiments.runall", jobs=jobs)
     with root:
+        # The shared campaign as a declarative spec: print the
+        # spec-vs-store diff, execute only the missing frontier, then let
+        # `default_history` memoize the (now published) artifact so every
+        # driver below shares one object.
+        manager = CampaignManager(common.paper_spec(), common.get_store())
+        print(manager.plan().summary())
         with span("campaign"):
+            manager.run(jobs=jobs)
             history = common.default_history(jobs=jobs)
         print(
             f"campaign: {len(history)} runs, {history.n_datapoints} datapoints, "
@@ -79,7 +87,7 @@ def main(telemetry_dir: "Path | str | None" = None, jobs: int = 1) -> Path:
         print()
         print("==== ext_mix_comparison ====")
         with span("ext_mix_comparison"):
-            ext_mix_comparison.run(n_runs=6, jobs=jobs)
+            ext_mix_comparison.run(n_runs=6, jobs=jobs, use_cache=True)
         print()
 
     bundle = build_manifest(

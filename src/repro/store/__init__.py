@@ -43,6 +43,7 @@ from repro.store.lock import FileLock, LockTimeout
 from repro.store.store import (
     STORE_VERSION,
     ArtifactStore,
+    EntryBusy,
     EntryInfo,
     GCReport,
     StoreCorruption,
@@ -52,6 +53,7 @@ from repro.store.store import (
 __all__ = [
     "ArtifactStore",
     "CampaignCheckpoint",
+    "EntryBusy",
     "EntryInfo",
     "FileLock",
     "GCReport",

@@ -82,6 +82,21 @@ class FileLock:
         self._fd = fd
         return True
 
+    def try_acquire(self) -> bool:
+        """Non-blocking probe: hold the lock now, or return ``False``.
+
+        The store's ``block=False`` path is built on this — a cooperating
+        campaign driver defers a cell another driver is producing instead
+        of queueing behind it. On success the caller owns the lock and
+        must :meth:`release` it.
+        """
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        if self._try_acquire():
+            self.waited = False
+            self.wait_seconds = 0.0
+            return True
+        return False
+
     def acquire(self) -> "FileLock":
         self.path.parent.mkdir(parents=True, exist_ok=True)
         start = time.monotonic()

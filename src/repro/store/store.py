@@ -52,6 +52,15 @@ class StoreCorruption(RuntimeError):
     """An artifact failed verification (torn write, bit rot, bad meta)."""
 
 
+class EntryBusy(RuntimeError):
+    """Another producer holds this entry's lock (``block=False`` probe).
+
+    Raised instead of waiting so a cooperating driver can work on other
+    cells first and come back for this one — the deferral primitive the
+    campaign manager's multi-driver sharding is built on.
+    """
+
+
 def default_store_root() -> Path:
     """Resolve the store root: ``$F2PM_CACHE_DIR`` or ``~/.cache/f2pm-repro``."""
     root = os.environ.get("F2PM_CACHE_DIR")
@@ -208,6 +217,7 @@ class ArtifactStore:
         kind: str,
         fingerprint: "str | None" = None,
         lock_timeout: float = 600.0,
+        block: bool = True,
     ) -> tuple[T, bool]:
         """Load entry *name*, or produce-and-publish it exactly once.
 
@@ -215,6 +225,11 @@ class ArtifactStore:
         per-entry advisory lock: the first acquirer produces, the rest
         block and then load the published artifact. A corrupt entry is
         evicted and re-produced (logged, counted) rather than raised.
+
+        With ``block=False`` a contended lock raises :class:`EntryBusy`
+        instead of waiting — the caller defers this entry and may retry
+        (blocking) later, by which time the other producer has usually
+        published and the retry is a plain load.
         """
         metrics = get_metrics()
         try:
@@ -223,14 +238,22 @@ class ArtifactStore:
             return value, False
         except FileNotFoundError:
             metrics.inc("store.misses_total")
-        except StoreCorruption as exc:
-            metrics.inc("store.corrupt_total")
-            _log.warning("store corrupt entry, re-producing %s", kv(name=name, error=str(exc)))
-            self.evict(name)
+        except StoreCorruption:
+            # Never evict without the lock: a concurrent producer
+            # publishes payload-then-sidecar as two renames, and a
+            # reader hitting the gap between them can't tell a
+            # half-published entry from a torn write. The under-lock
+            # re-check below settles it — a fully published entry loads,
+            # genuine corruption is evicted and re-produced there.
             metrics.inc("store.misses_total")
 
         lock = FileLock(self._lock_path(name), timeout=lock_timeout)
-        with lock:
+        if block:
+            lock.acquire()
+        elif not lock.try_acquire():
+            metrics.inc("store.busy_total")
+            raise EntryBusy(name)
+        try:
             if lock.waited:
                 metrics.inc("store.lock_waits_total")
                 metrics.observe("store.lock_wait_seconds", lock.wait_seconds)
@@ -255,6 +278,8 @@ class ArtifactStore:
             value = produce()
             self.write(name, lambda p: save(value, p), kind=kind, fingerprint=fingerprint)
             return value, True
+        finally:
+            lock.release()
 
     # -- maintenance -----------------------------------------------------------
 
@@ -318,8 +343,16 @@ class ArtifactStore:
         self.path(name).unlink(missing_ok=True)
         self._meta_path(name).unlink(missing_ok=True)
 
-    def gc(self) -> GCReport:
-        """Sweep unpublished temporaries, corrupt entries, orphan sidecars."""
+    def gc(self, *, fingerprints: "frozenset[str] | set[str] | None" = None) -> GCReport:
+        """Sweep unpublished temporaries, corrupt entries, orphan sidecars.
+
+        With *fingerprints*, additionally evict every (healthy) entry
+        whose sidecar fingerprint is in the set — the scope key behind
+        ``f2pm cache gc --spec``, where the set is a campaign spec's
+        :meth:`~repro.campaign.CampaignSpec.artifact_fingerprints`.
+        Checkpoint sidecars record their fingerprint as ``key``; both
+        spellings are matched.
+        """
         removed: list[str] = []
         freed = 0
 
@@ -341,6 +374,20 @@ class ArtifactStore:
                 _rm(entry.path)
                 if meta.exists():
                     _rm(meta)
+        if fingerprints is not None:
+            scope = set(fingerprints)
+            for name in self._entry_names():
+                try:
+                    meta = self.read_meta(name)
+                except StoreCorruption:  # already swept above
+                    continue
+                fp = meta.get("fingerprint") or meta.get("key")
+                if fp in scope:
+                    meta_path = self._meta_path(name)
+                    if self.path(name).exists():
+                        _rm(self.path(name))
+                    if meta_path.exists():
+                        _rm(meta_path)
         if removed:
             _log.info("store gc %s", kv(removed=len(removed), bytes=freed))
         return GCReport(removed=tuple(removed), freed_bytes=freed)

@@ -343,6 +343,27 @@ class TestbedSimulator:
         rngs = as_rng(self.config.seed).spawn(self.config.n_runs)
         done: list[RunRecord] = []
         if checkpoint is not None:
+            if checkpoint.total_runs != self.config.n_runs:
+                from repro.store.checkpoint import CampaignCheckpoint
+
+                # A caller handed us a checkpoint sized for a different
+                # campaign (e.g. the spec was narrowed between runs).
+                # Silently replaying its prefix would mislabel runs —
+                # evict it and start clean instead.
+                _log.warning(
+                    "checkpoint sized for different campaign, discarding %s",
+                    kv(
+                        path=checkpoint.path.name,
+                        checkpoint_runs=checkpoint.total_runs,
+                        campaign_runs=self.config.n_runs,
+                    ),
+                )
+                checkpoint.discard()
+                checkpoint = CampaignCheckpoint(
+                    checkpoint.path,
+                    key=checkpoint.key,
+                    total_runs=self.config.n_runs,
+                )
             done, _ = checkpoint.load()
         history = DataHistory()
         with span(

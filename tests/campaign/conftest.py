@@ -1,0 +1,42 @@
+"""Shared fixtures for the campaign conformance battery.
+
+Every test gets a private artifact store (``F2PM_CACHE_DIR`` repointed to
+a temp dir), so nothing here touches the developer's real cache, and the
+spec builders all start from the fast 4-run test VM campaign.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.campaign import CampaignSpec
+from repro.store import ArtifactStore
+from tests.conftest import small_campaign
+
+
+@pytest.fixture
+def store(tmp_path, monkeypatch) -> ArtifactStore:
+    """A private artifact store, also exported as ``F2PM_CACHE_DIR`` so
+    the legacy helpers (``default_history``) hit the same directory."""
+    root = tmp_path / "cache"
+    monkeypatch.setenv("F2PM_CACHE_DIR", str(root))
+    return ArtifactStore(root)
+
+
+def tiny_spec(
+    *,
+    name: str = "test-campaign",
+    n_runs: int = 2,
+    seeds: tuple = (3,),
+    stages: tuple = ("simulate",),
+    **kwargs,
+) -> CampaignSpec:
+    """A spec over the fast test VM campaign; simulates in well under a
+    second per cell."""
+    return CampaignSpec(
+        name=name,
+        base=small_campaign(n_runs=n_runs),
+        seeds=seeds,
+        stages=stages,
+        **kwargs,
+    )

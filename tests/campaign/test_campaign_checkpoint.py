@@ -1,0 +1,68 @@
+"""Regression: a checkpoint sized for a different campaign must be
+evicted, never silently replayed.
+
+Scenario: a spec is *narrowed* between runs (say 6 runs down to 4). A
+checkpoint written for the 6-run campaign — or a checkpoint object a
+caller constructed with the old ``total_runs`` — must not satisfy the
+4-run campaign by replaying a stale prefix; ``run_campaign`` has to
+detect the size mismatch, discard the checkpoint, and simulate fresh.
+"""
+
+from dataclasses import replace
+
+from repro.campaign import CampaignManager, campaign_fingerprint, history_name
+from repro.store import ArtifactStore, CampaignCheckpoint
+from repro.system import TestbedSimulator
+from tests.campaign.conftest import tiny_spec
+from tests.conftest import small_campaign
+
+
+class TestNarrowedSpecCheckpoint:
+    def test_stale_checkpoint_discarded_not_replayed(self, tmp_path):
+        wide = small_campaign(n_runs=6)
+        narrow = replace(wide, n_runs=4)
+        # A 4-run prefix of the *6-run* campaign, persisted under the
+        # narrow config's key with the stale total — exactly what a
+        # caller that cached a checkpoint object across a spec
+        # narrowing would hand in.
+        wide_history = TestbedSimulator(wide).run_campaign()
+        stale = CampaignCheckpoint(
+            tmp_path / "c.npz", key=campaign_fingerprint(narrow), total_runs=6
+        )
+        stale.save(list(wide_history.runs)[:4])
+
+        resumed = TestbedSimulator(narrow).run_campaign(checkpoint=stale)
+        fresh = TestbedSimulator(narrow).run_campaign()
+        assert resumed.content_fingerprint() == fresh.content_fingerprint(), (
+            "stale checkpoint was replayed instead of evicted"
+        )
+        assert not (tmp_path / "c.npz").exists(), (
+            "completed campaign left its (stale) checkpoint behind"
+        )
+
+    def test_matching_checkpoint_still_resumes(self, tmp_path):
+        config = small_campaign(n_runs=4)
+        fresh = TestbedSimulator(config).run_campaign()
+        checkpoint = CampaignCheckpoint(
+            tmp_path / "c.npz", key=campaign_fingerprint(config), total_runs=4
+        )
+        checkpoint.save(list(fresh.runs)[:2])
+        resumed = TestbedSimulator(config).run_campaign(checkpoint=checkpoint)
+        assert resumed.content_fingerprint() == fresh.content_fingerprint()
+
+    def test_narrowed_spec_creates_distinct_store_entries(self, store):
+        # At the manager level the narrowing is harmless by construction:
+        # the narrow config has a different fingerprint, so it owns a
+        # different artifact *and* a different checkpoint path.
+        wide_spec = tiny_spec(n_runs=3)
+        narrow_spec = tiny_spec(n_runs=2)
+        (wide_cell,) = wide_spec.cells()
+        (narrow_cell,) = narrow_spec.cells()
+        assert wide_cell.fingerprint != narrow_cell.fingerprint
+        assert history_name(wide_cell.config) != history_name(narrow_cell.config)
+
+        CampaignManager(wide_spec, store).run(jobs=1)
+        result = CampaignManager(narrow_spec, store).run(jobs=1)
+        assert result.cells_run == 1  # simulated fresh, no aliasing
+        narrow_history = result.outcome(0).results["simulate"]
+        assert len(narrow_history) == 2

@@ -1,0 +1,97 @@
+"""CLI conformance: ``f2pm campaign {plan,run,status}`` and
+``f2pm cache gc --spec`` scoped eviction."""
+
+import json
+
+import pytest
+
+from repro.campaign import CampaignManager, CampaignSpec
+from repro.cli import main
+from repro.store import ArtifactStore
+from tests.campaign.conftest import tiny_spec
+
+
+@pytest.fixture
+def spec_file(tmp_path):
+    spec = tiny_spec(name="cli", seeds=(3, 5))
+    path = tmp_path / "spec.json"
+    path.write_text(spec.to_json())
+    return spec, str(path)
+
+
+@pytest.fixture
+def store_dir(tmp_path, monkeypatch):
+    root = tmp_path / "cli-cache"
+    monkeypatch.setenv("F2PM_CACHE_DIR", str(root))
+    return str(root)
+
+
+class TestCampaignCommand:
+    def test_plan_prints_diff_without_executing(self, spec_file, store_dir, capsys):
+        _, path = spec_file
+        rc = main(["campaign", "--dir", store_dir, "plan", path])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "total=2 cached=0 missing=2" in out
+        assert not list(ArtifactStore(store_dir).root.glob("history_*.npz"))
+
+    def test_run_then_plan_shows_cached(self, spec_file, store_dir, capsys):
+        _, path = spec_file
+        rc = main(["campaign", "--dir", store_dir, "run", path, "--jobs", "1"])
+        assert rc == 0
+        assert "done: cached=0 run=2 failed=0" in capsys.readouterr().out
+        rc = main(["campaign", "--dir", store_dir, "plan", path])
+        assert rc == 0
+        assert "total=2 cached=2 missing=0" in capsys.readouterr().out
+
+    def test_rerun_is_all_cached(self, spec_file, store_dir, capsys):
+        _, path = spec_file
+        main(["campaign", "--dir", store_dir, "run", path, "--jobs", "1"])
+        capsys.readouterr()
+        main(["campaign", "--dir", store_dir, "run", path, "--jobs", "1"])
+        assert "done: cached=2 run=0 failed=0" in capsys.readouterr().out
+
+    def test_status_emits_json(self, spec_file, store_dir, capsys):
+        spec, path = spec_file
+        rc = main(["campaign", "--dir", store_dir, "status", path])
+        assert rc == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["schema"] == "f2pm.campaign-status/1"
+        assert doc["spec_fingerprint"] == spec.fingerprint
+        assert doc["cells_missing"] == 2
+
+    def test_bad_spec_is_one_line_error(self, tmp_path, store_dir):
+        bad = tmp_path / "bad.json"
+        bad.write_text("{not json")
+        with pytest.raises(SystemExit, match="could not read spec"):
+            main(["campaign", "--dir", store_dir, "plan", str(bad)])
+
+
+class TestCacheGcSpec:
+    def test_gc_spec_evicts_only_that_campaign(self, tmp_path, capsys):
+        store = ArtifactStore(tmp_path / "cache")
+        mine = tiny_spec(name="mine", seeds=(3,))
+        other = tiny_spec(name="other", seeds=(5,))
+        CampaignManager(mine, store).run(jobs=1)
+        CampaignManager(other, store).run(jobs=1)
+        assert len(store.entries()) == 2
+
+        spec_path = tmp_path / "mine.json"
+        spec_path.write_text(mine.to_json())
+        rc = main(
+            ["cache", "--dir", str(store.root), "gc", "--spec", str(spec_path)]
+        )
+        assert rc == 0
+        assert "removed 2 file(s)" in capsys.readouterr().out  # payload + meta
+
+        remaining = store.entries()
+        assert len(remaining) == 1  # the other campaign survived
+        (other_cell,) = other.cells()
+        assert remaining[0].fingerprint == other_cell.fingerprint
+
+    def test_gc_without_spec_keeps_healthy_entries(self, tmp_path, capsys):
+        store = ArtifactStore(tmp_path / "cache")
+        CampaignManager(tiny_spec(seeds=(3,)), store).run(jobs=1)
+        rc = main(["cache", "--dir", str(store.root), "gc"])
+        assert rc == 0
+        assert len(store.entries()) == 1

@@ -145,6 +145,42 @@ class TestGetOrProduce:
         value, produced, calls = self._cached(store, value="v3")
         assert (value, produced, calls) == ("v3", True, 1)
 
+    def test_mid_publication_window_not_evicted(self, tmp_path):
+        # Regression: the payload-then-sidecar publication leaves a
+        # window where a lock-free reader sees "payload without meta" —
+        # indistinguishable from a torn write. The reader must NOT evict
+        # the (healthy) payload from outside the lock; it has to wait
+        # for the producer's lock and then load what was published.
+        import threading
+        import time
+
+        from repro.store.lock import FileLock
+
+        store = ArtifactStore(tmp_path)
+        name = "e.txt"
+        store.write(name, lambda p: p.write_text("published"), kind="text")
+        meta_path = tmp_path / f"{name}{META_SUFFIX}"
+        meta_json = meta_path.read_text()
+        meta_path.unlink()  # the in-between state, producer still "writing"
+
+        producer_lock = FileLock(store._lock_path(name))
+        producer_lock.acquire()
+
+        def finish_publication():
+            time.sleep(0.2)  # the reader is blocked on the lock by now
+            meta_path.write_text(meta_json)  # sidecar rename lands
+            producer_lock.release()
+
+        thread = threading.Thread(target=finish_publication)
+        thread.start()
+        try:
+            value, produced, calls = self._cached(store, value="racer")
+        finally:
+            thread.join()
+        # Loaded the producer's artifact — never evicted, never re-produced.
+        assert (value, produced, calls) == ("published", False, 0)
+        assert (tmp_path / name).read_text() == "published"
+
 
 class TestMaintenance:
     def test_entries_and_info(self, tmp_path):
