@@ -647,6 +647,56 @@ def cmd_rejuvenate(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_fleet(args: argparse.Namespace) -> int:
+    from repro.rejuvenation import (
+        FleetConfig,
+        FleetController,
+        FleetReport,
+        ManagedSystemConfig,
+        NoRejuvenation,
+        PeriodicRejuvenation,
+        PredictiveRejuvenation,
+        SyntheticFleetSource,
+        SyntheticFleetSpec,
+        summarize_fleet,
+    )
+
+    spec = SyntheticFleetSpec()
+    managed = ManagedSystemConfig(
+        horizon_seconds=args.horizon,
+        rejuvenation_downtime=30.0,
+        crash_downtime=300.0,
+        window_seconds=args.window,
+    )
+    fleet = FleetConfig(
+        n_nodes=args.nodes,
+        capacity_floor=args.capacity_floor,
+        drain_seconds=args.drain,
+        engine=args.engine,
+    )
+    policies = [
+        NoRejuvenation(),
+        PeriodicRejuvenation(0.5 * spec.mean_ttf),
+        PredictiveRejuvenation(spec.linear_model(), rttf_margin=150.0),
+    ]
+    rows = []
+    for policy in policies:
+        controller = FleetController(
+            SyntheticFleetSource(spec), managed, policy, fleet
+        )
+        rows.append(summarize_fleet(controller.run(seed=args.seed)).row())
+    print(
+        render_table(
+            FleetReport.HEADERS,
+            rows,
+            title=f"Fleet of {args.nodes} nodes over {args.horizon:.0f}s "
+            f"({args.engine} scoring, floor {args.capacity_floor:.0%})",
+            float_fmt=".4f",
+        )
+    )
+    return 0
+
+
 # -- parser ----------------------------------------------------------------------
 
 
@@ -839,6 +889,37 @@ def build_parser() -> argparse.ArgumentParser:
         "(bit-identical output; see docs/PERFORMANCE.md)",
     )
     p.set_defaults(func=cmd_rejuvenate)
+
+    p = add_parser(
+        "fleet", help="simulate a fleet of managed nodes under one policy engine"
+    )
+    p.add_argument("--nodes", type=int, default=100)
+    p.add_argument("--horizon", type=float, default=3000.0)
+    p.add_argument("--window", type=float, default=20.0)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument(
+        "--engine",
+        choices=("batched", "scalar"),
+        default="batched",
+        help="RTTF scoring engine: one batched model call per tick, or "
+        "the per-node scalar oracle (bit-identical; see docs/FLEET.md)",
+    )
+    p.add_argument(
+        "--capacity-floor",
+        type=float,
+        default=0.8,
+        metavar="FRAC",
+        help="defer planned restarts while live capacity would drop "
+        "below this fraction (default: 0.8)",
+    )
+    p.add_argument(
+        "--drain",
+        type=float,
+        default=0.0,
+        metavar="S",
+        help="drain a node for S seconds before a planned restart",
+    )
+    p.set_defaults(func=cmd_fleet)
 
     p = add_parser("obs", help="pretty-print a saved trace/metrics/manifest")
     p.add_argument("file", help="JSON written by --trace-json/--metrics-json/--manifest")

@@ -81,8 +81,21 @@ class BaggingRegressor(Regressor):
             )
         return np.stack([member.predict(X) for member in self.estimators_])
 
+    @staticmethod
+    def _member_mean(members: np.ndarray) -> np.ndarray:
+        # Sequential accumulation over the member axis. ``mean(axis=0)``
+        # picks its summation strategy from the array layout, so a
+        # (k, 1) column and a (k, n) batch can disagree in the last bit
+        # for the same row — which would break the fleet controller's
+        # batched-vs-scalar bit-identity contract. A fixed member-by-
+        # member order is layout-independent.
+        acc = members[0].copy()
+        for row in members[1:]:
+            acc += row
+        return acc / len(members)
+
     def predict(self, X: np.ndarray) -> np.ndarray:
-        return self._member_predictions(X).mean(axis=0)
+        return self._member_mean(self._member_predictions(X))
 
     def predict_interval(
         self, X: np.ndarray, quantile: float = 0.1
@@ -100,4 +113,4 @@ class BaggingRegressor(Regressor):
         members = self._member_predictions(X)
         lower = np.quantile(members, quantile, axis=0)
         upper = np.quantile(members, 1.0 - quantile, axis=0)
-        return lower, members.mean(axis=0), upper
+        return lower, self._member_mean(members), upper

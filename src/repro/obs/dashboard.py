@@ -44,6 +44,9 @@ _HEADLINE_SERIES = (
     "controller.stale_holds",
     "controller.episode_uptime",
     "sanitize.dropped_total",
+    "fleet.live_fraction",
+    "fleet.capacity_headroom",
+    "fleet.predicted_failures_per_hour",
 )
 
 

@@ -18,7 +18,11 @@ This package closes the loop:
   consults the policy at every completed window, and accounts uptime /
   downtime per episode;
 - :mod:`~repro.rejuvenation.metrics` — availability, crash counts,
-  rejuvenation lead times.
+  rejuvenation lead times;
+- :mod:`~repro.rejuvenation.fleet` — N node loops under one policy
+  engine: struct-of-arrays stream state, batched RTTF scoring (one
+  model call per tick), capacity-floor restart staggering, and drain
+  before kill.
 """
 
 from repro.rejuvenation.policy import (
@@ -34,6 +38,18 @@ from repro.rejuvenation.controller import (
     ManagedSystem,
 )
 from repro.rejuvenation.metrics import AvailabilityReport, summarize
+from repro.rejuvenation.fleet import (
+    FleetConfig,
+    FleetController,
+    FleetReport,
+    FleetRunLog,
+    FleetSource,
+    FleetStream,
+    SimulatedFleetSource,
+    SyntheticFleetSource,
+    SyntheticFleetSpec,
+    summarize_fleet,
+)
 
 __all__ = [
     "RejuvenationPolicy",
@@ -46,4 +62,14 @@ __all__ = [
     "ManagedSystem",
     "AvailabilityReport",
     "summarize",
+    "FleetConfig",
+    "FleetController",
+    "FleetReport",
+    "FleetRunLog",
+    "FleetSource",
+    "FleetStream",
+    "SimulatedFleetSource",
+    "SyntheticFleetSource",
+    "SyntheticFleetSpec",
+    "summarize_fleet",
 ]

@@ -239,6 +239,15 @@ class ManagedSystem:
                         completed = aggregator.add(decision.row)
                         if completed is not None:
                             window = completed
+                    # Emitted on *every* monitor sample, not only when a
+                    # window completes: when the sanitizer is dropping
+                    # everything, no window ever completes — exactly when
+                    # the drop counter must not flat-line on the dashboard.
+                    bus.emit(
+                        "sanitize.dropped_total",
+                        t_abs,
+                        float(sanitizer.dropped_total),
+                    )
                     if window is not None:
                         last_window = window
                         last_window_time = now
@@ -250,11 +259,6 @@ class ManagedSystem:
                         if last_pred is not None:
                             bus.emit("controller.predicted_rttf", t_abs, last_pred)
                             pending_predictions.append((t_abs, now, last_pred))
-                        bus.emit(
-                            "sanitize.dropped_total",
-                            t_abs,
-                            float(sanitizer.dropped_total),
-                        )
                         if trigger:
                             outcome = "rejuvenation"
                             predicted = last_pred
@@ -295,12 +299,28 @@ class ManagedSystem:
                             trigger = self.policy.should_rejuvenate(
                                 last_window, run_age=now
                             )
+                        # A held consult is still a prediction: record it
+                        # exactly like the normal path, so the truth series
+                        # (controller.actual_rttf / rttf_error) covers the
+                        # stretches where the controller flew on held data —
+                        # the stretches whose accuracy matters most.
+                        last_pred = getattr(self.policy, "last_prediction", None)
+                        if last_pred is not None:
+                            bus.emit("controller.predicted_rttf", t_abs, last_pred)
+                            pending_predictions.append((t_abs, now, last_pred))
                         if trigger:
                             outcome = "rejuvenation"
-                            predicted = getattr(
-                                self.policy, "last_prediction", None
-                            )
+                            predicted = last_pred
                             break
+
+                # Time-based triggers cannot depend on the monitor stream:
+                # they are evaluated every tick, so a wedged monitor (or a
+                # first-window dropout, which also disables the stale-hold
+                # path above) cannot starve a purely time-based policy.
+                if self.policy.time_trigger(now):
+                    outcome = "rejuvenation"
+                    predicted = getattr(self.policy, "last_prediction", None)
+                    break
 
                 view = SystemView(
                     state=state,

@@ -1,0 +1,1222 @@
+"""Fleet-scale rejuvenation: N managed nodes under one policy engine.
+
+The single-server :class:`~repro.rejuvenation.controller.ManagedSystem`
+closes the control loop for one app server. Production deployments run
+*fleets* — N instances behind a load balancer — and the control plane
+must score all of them in real time. This module promotes the loop to a
+:class:`FleetController`:
+
+- per-node sanitize + aggregate state lives **struct-of-arrays** in a
+  :class:`FleetStream` (one ``(N, cap, 15)`` window buffer, one offset /
+  anchor / ring-median array each), bit-identical to N independent
+  ``StreamSanitizer`` + ``OnlineAggregator(policy="repair")`` pairs;
+- RTTF scoring is **batched**: one ``model.predict`` call on an
+  ``(n_due, 30)`` matrix per tick instead of N scalar predicts. A scalar
+  per-node engine (``engine="scalar"``) is kept as the oracle, and the
+  two are pinned bit-identical by tests — the same contract the ``fused``
+  simulation substrate holds against the legacy ``loop``;
+- a **fleet rejuvenation policy** staggers planned restarts so live
+  capacity never drops below ``capacity_floor`` (crashes can still breach
+  it — those are counted as floor violations), and drains a node for
+  ``drain_seconds`` before killing it;
+- fleet telemetry on the existing bus: ``fleet.live_fraction``,
+  ``fleet.capacity_headroom``, ``fleet.predicted_failures_per_hour``
+  (live nodes whose latest mean RTTF prediction is under one hour), and
+  one per-node episode event per crash / rejuvenation / horizon.
+
+A fleet of one node over a :class:`SimulatedFleetSource`, with
+``capacity_floor=0`` and ``drain_seconds=0`` and grid-aligned downtimes,
+reproduces ``ManagedSystem.run`` episode-for-episode, bit-exact — also
+pinned by tests.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.aggregation import OnlineAggregator
+from repro.core.datapoint import FEATURES
+from repro.obs import get_logger, get_metrics, kv, span
+from repro.rejuvenation.controller import (
+    Episode,
+    ManagedRunLog,
+    ManagedSystemConfig,
+)
+from repro.rejuvenation.policy import (
+    NoRejuvenation,
+    PeriodicRejuvenation,
+    PredictiveRejuvenation,
+    RejuvenationPolicy,
+)
+from repro.system.anomalies import AnomalyProfile
+from repro.system.failure import FailureCondition, MemoryExhaustion, SystemView
+from repro.system.monitor import FeatureMonitorClient
+from repro.system.resources import MachineState
+from repro.system.server import AppServer
+from repro.system.simulator import CampaignConfig
+from repro.system.tpcw import EmulatedBrowserPool
+from repro.utils.rng import as_rng
+
+_log = get_logger("rejuvenation.fleet")
+
+_N_RAW = len(FEATURES)
+
+#: Node lifecycle states.
+NODE_LIVE = 0  # serving traffic, policy consulted
+NODE_DRAINING = 1  # planned restart granted; bleeding connections
+NODE_DOWN = 2  # restarting (planned or crash downtime)
+NODE_FINISHED = 3  # reached the simulation horizon
+
+
+# -- configuration ----------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class FleetConfig:
+    """Fleet topology and restart-staggering policy."""
+
+    #: Number of managed nodes.
+    n_nodes: int = 16
+    #: Planned restarts are granted only while the fraction of non-down
+    #: nodes stays >= this floor; excess requests wait their turn
+    #: (re-requested every tick while the policy still wants them).
+    #: Crashes ignore the floor — each breach counts a floor violation.
+    capacity_floor: float = 0.0
+    #: A granted node keeps serving (and can still crash) for this long
+    #: before going down — connection draining. 0 kills immediately,
+    #: which is what the single-node equivalence contract requires.
+    drain_seconds: float = 0.0
+    #: Scoring engine: "batched" (struct-of-arrays control plane, one
+    #: predict per tick) or "scalar" (per-node objects — the oracle).
+    engine: str = "batched"
+    #: Fleet-level series are emitted every this many ticks.
+    telemetry_stride: int = 8
+
+    def __post_init__(self) -> None:
+        if self.n_nodes < 1:
+            raise ValueError(f"n_nodes must be >= 1, got {self.n_nodes}")
+        if not 0.0 <= self.capacity_floor < 1.0:
+            raise ValueError(
+                f"capacity_floor must be in [0, 1), got {self.capacity_floor}"
+            )
+        if self.drain_seconds < 0:
+            raise ValueError(
+                f"drain_seconds must be >= 0, got {self.drain_seconds}"
+            )
+        if self.engine not in ("batched", "scalar"):
+            raise ValueError(
+                f"engine must be 'batched' or 'scalar', got {self.engine!r}"
+            )
+        if self.telemetry_stride < 1:
+            raise ValueError(
+                f"telemetry_stride must be >= 1, got {self.telemetry_stride}"
+            )
+
+
+@dataclass
+class FleetRunLog:
+    """Everything a fleet simulation produced."""
+
+    policy_name: str
+    n_nodes: int
+    node_logs: list[ManagedRunLog] = field(default_factory=list)
+    #: Crashes that pushed live capacity below the configured floor.
+    floor_violations: int = 0
+    #: Planned-restart requests deferred (node-ticks spent waiting) to
+    #: keep capacity above the floor.
+    restarts_deferred: int = 0
+    #: Lowest live fraction observed at any tick.
+    min_live_fraction: float = 1.0
+    #: Batched-scoring accounting: model calls made and rows scored.
+    scoring_calls: int = 0
+    scored_rows: int = 0
+    #: Data-quality tallies summed over nodes.
+    stream_dropped: int = 0
+    late_dropped: int = 0
+
+    @property
+    def total_uptime(self) -> float:
+        return sum(nl.total_uptime for nl in self.node_logs)
+
+    @property
+    def total_downtime(self) -> float:
+        return sum(nl.total_downtime for nl in self.node_logs)
+
+    @property
+    def availability(self) -> float:
+        total = self.total_uptime + self.total_downtime
+        return self.total_uptime / total if total > 0 else 1.0
+
+    @property
+    def n_crashes(self) -> int:
+        return sum(nl.n_crashes for nl in self.node_logs)
+
+    @property
+    def n_rejuvenations(self) -> int:
+        return sum(nl.n_rejuvenations for nl in self.node_logs)
+
+    @property
+    def n_episodes(self) -> int:
+        return sum(len(nl.episodes) for nl in self.node_logs)
+
+
+@dataclass(frozen=True)
+class FleetReport:
+    """One row of a fleet policy-comparison table."""
+
+    policy: str
+    n_nodes: int
+    availability: float
+    n_crashes: int
+    n_rejuvenations: int
+    min_live_fraction: float
+    restarts_deferred: int
+    floor_violations: int
+
+    HEADERS = (
+        "policy",
+        "nodes",
+        "availability",
+        "crashes",
+        "rejuvenations",
+        "min live frac",
+        "deferred",
+        "floor violations",
+    )
+
+    def row(self) -> list[object]:
+        return [
+            self.policy,
+            self.n_nodes,
+            self.availability,
+            self.n_crashes,
+            self.n_rejuvenations,
+            self.min_live_fraction,
+            self.restarts_deferred,
+            self.floor_violations,
+        ]
+
+
+def summarize_fleet(log: FleetRunLog) -> FleetReport:
+    """Condense a :class:`FleetRunLog` into a :class:`FleetReport`."""
+    return FleetReport(
+        policy=log.policy_name,
+        n_nodes=log.n_nodes,
+        availability=log.availability,
+        n_crashes=log.n_crashes,
+        n_rejuvenations=log.n_rejuvenations,
+        min_live_fraction=log.min_live_fraction,
+        restarts_deferred=log.restarts_deferred,
+        floor_violations=log.floor_violations,
+    )
+
+
+# -- node sources -----------------------------------------------------------------
+
+
+class FleetSource(ABC):
+    """Produces monitor samples and crash signals for N nodes.
+
+    The controller owns the clocks (per-node wall and episode-local
+    ``now``) and the lifecycle; the source owns whatever it needs to
+    advance a node by one tick. ``step`` receives the pre-tick ``now``
+    values and must mirror the single-node loop's ordering: tick the
+    server at ``now``, sample the monitor at ``now + dt``, then evaluate
+    the failure condition.
+    """
+
+    #: Simulation tick, set by the concrete source.
+    dt: float = 0.5
+    n_nodes: int = 0
+
+    @abstractmethod
+    def bind(self, rngs: list, horizon: float) -> None:
+        """Attach per-node RNG streams before the run starts."""
+
+    @abstractmethod
+    def boot(self, node: int) -> None:
+        """(Re)start one node with fresh state."""
+
+    @abstractmethod
+    def step(
+        self, ids: np.ndarray, walls: np.ndarray, nows: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray, "np.ndarray | list", np.ndarray]:
+        """Advance the given nodes one tick.
+
+        Returns ``(due_ids, sample_ids, rows, crashed)``: nodes whose
+        monitor fired this tick (even if the sample was then eaten by a
+        fault), the node id per produced raw row (repeats allowed —
+        duplication faults), the raw rows (``(k, 15)`` array, or a list
+        when shapes may be corrupted), and a crash flag aligned with
+        ``ids``.
+        """
+
+
+class _SimNode:
+    """Per-node simulation state for :class:`SimulatedFleetSource`."""
+
+    __slots__ = ("state", "server", "fmc", "corruptor", "ewma_rt")
+
+    def __init__(self, state, server, fmc, corruptor) -> None:
+        self.state = state
+        self.server = server
+        self.fmc = fmc
+        self.corruptor = corruptor
+        self.ewma_rt = 0.0
+
+
+class SimulatedFleetSource(FleetSource):
+    """N full testbed simulations — machine, TPC-W pool, app server, FMC.
+
+    Each node boots exactly like a ``ManagedSystem`` episode (same RNG
+    spawn order, including the conditional corruptor spawn), so a fleet
+    of one driven by ``as_rng(seed).spawn(1)[0]`` consumes the identical
+    seed sequence as ``ManagedSystem.run(seed)``.
+    """
+
+    def __init__(
+        self,
+        campaign: CampaignConfig,
+        failure_condition: "FailureCondition | None" = None,
+        fault_profile=None,
+    ) -> None:
+        self.campaign = campaign
+        self.failure_condition = failure_condition or MemoryExhaustion()
+        self.fault_profile = fault_profile
+        self.dt = campaign.dt
+
+    def bind(self, rngs: list, horizon: float) -> None:
+        self._rngs = rngs
+        self._horizon = horizon
+        self.n_nodes = len(rngs)
+        self._nodes: list[_SimNode | None] = [None] * self.n_nodes
+
+    def boot(self, node: int) -> None:
+        cfg = self.campaign
+        rng = self._rngs[node]
+        r_profile, r_pool, r_server, r_monitor = rng.spawn(4)
+        # Corruptor RNG spawned only when a fault profile is installed —
+        # the same conditional spawn ManagedSystem performs, so clean
+        # fleets consume the identical seed sequence.
+        corruptor = (
+            self.fault_profile.stream(rng.spawn(1)[0], horizon=self._horizon)
+            if self.fault_profile is not None
+            else None
+        )
+        profile = AnomalyProfile.draw(
+            r_profile,
+            p_leak_range=cfg.p_leak_range,
+            leak_kb_range=cfg.leak_kb_range,
+            p_thread_range=cfg.p_thread_range,
+        )
+        state = MachineState(cfg.machine)
+        pool = EmulatedBrowserPool(cfg.n_browsers, cfg.mix, seed=r_pool)
+        server = AppServer(cfg.server, state, pool, profile, seed=r_server)
+        fmc = FeatureMonitorClient(cfg.monitor, seed=r_monitor)
+        fmc.reset(0.0)
+        self._nodes[node] = _SimNode(state, server, fmc, corruptor)
+
+    def step(self, ids, walls, nows):
+        cfg = self.campaign
+        due_ids: list[int] = []
+        sample_ids: list[int] = []
+        rows: list[np.ndarray] = []
+        crashed = np.zeros(ids.size, dtype=bool)
+        for k, i in enumerate(ids):
+            nd = self._nodes[i]
+            now = nows[i]
+            fraction = cfg.load_schedule.active_fraction(walls[i] + now)
+            stats = nd.server.tick(now, cfg.dt, fraction)
+            now += cfg.dt
+            if stats.n_completed > 0:
+                nd.ewma_rt += 0.2 * (stats.mean_response_time - nd.ewma_rt)
+            if nd.fmc.due(now):
+                due_ids.append(int(i))
+                queue_delay = nd.server.backlog_cpu_s / cfg.machine.n_cpus
+                dp = nd.fmc.sample(now, nd.state, stats.utilization, queue_delay)
+                raw_rows = (
+                    nd.corruptor.feed(dp.to_array())
+                    if nd.corruptor is not None
+                    else [dp.to_array()]
+                )
+                for raw in raw_rows:
+                    sample_ids.append(int(i))
+                    rows.append(raw)
+            view = SystemView(
+                state=nd.state,
+                mean_response_time=nd.ewma_rt,
+                last_generation_interval=nd.fmc.last_interval,
+            )
+            crashed[k] = self.failure_condition.is_failed(view)
+        return (
+            np.asarray(due_ids, dtype=np.int64),
+            np.asarray(sample_ids, dtype=np.int64),
+            rows,
+            crashed,
+        )
+
+
+@dataclass(frozen=True)
+class SyntheticFleetSpec:
+    """Parametric aging model for cheap 10k-node fleets.
+
+    Each node leaks memory at a per-node rate drawn at boot; it crashes
+    when the leak exhausts RAM plus swap. The monitor cadence stretches
+    under swap pressure (thrashing slows the exporter), so the
+    ``gen_time`` feature carries signal just like in the full testbed.
+    Fully vectorized — no per-node Python in the hot path.
+    """
+
+    dt: float = 0.5
+    sample_interval: float = 1.5
+    ram_kb: float = 524_288.0
+    swap_kb: float = 262_144.0
+    base_mem_kb: float = 200_000.0
+    #: Per-node leak rate (KB/s), drawn uniformly at each boot.
+    leak_rate_range: tuple[float, float] = (300.0, 900.0)
+    #: Per-node monitor-cadence jitter, drawn once per boot.
+    interval_jitter: float = 0.02
+
+    @property
+    def capacity_kb(self) -> float:
+        return self.ram_kb + self.swap_kb
+
+    @property
+    def mean_ttf(self) -> float:
+        lo, hi = self.leak_rate_range
+        return (self.capacity_kb - self.base_mem_kb) / (0.5 * (lo + hi))
+
+    def linear_model(self):
+        """Hand-built RTTF model matched to this aging process.
+
+        ``rttf ~= (capacity - mem_used - swap_used) / mean_rate`` — a
+        plain :class:`~repro.ml.linear.LinearRegression` with the
+        coefficients set directly, so fleet tests and benches get a real
+        ``Regressor`` without paying for training.
+        """
+        from repro.core.datapoint import FEATURE_INDEX
+        from repro.ml.linear import LinearRegression
+
+        lo, hi = self.leak_rate_range
+        mean_rate = 0.5 * (lo + hi)
+        coef = np.zeros(2 * _N_RAW, dtype=np.float64)
+        coef[FEATURE_INDEX["mem_used"]] = -1.0 / mean_rate
+        coef[FEATURE_INDEX["swap_used"]] = -1.0 / mean_rate
+        model = LinearRegression()
+        model.coef_ = coef
+        model.intercept_ = float(self.capacity_kb / mean_rate)
+        return model
+
+
+class SyntheticFleetSource(FleetSource):
+    """Vectorized parametric node fleet (see :class:`SyntheticFleetSpec`)."""
+
+    def __init__(self, spec: "SyntheticFleetSpec | None" = None) -> None:
+        self.spec = spec or SyntheticFleetSpec()
+        self.dt = self.spec.dt
+
+    def bind(self, rngs: list, horizon: float) -> None:
+        self._rngs = rngs
+        self.n_nodes = n = len(rngs)
+        self._mem = np.zeros(n, dtype=np.float64)
+        self._rate = np.zeros(n, dtype=np.float64)
+        self._ivl0 = np.zeros(n, dtype=np.float64)
+        self._next_sample = np.zeros(n, dtype=np.float64)
+
+    def boot(self, node: int) -> None:
+        sp = self.spec
+        rng = self._rngs[node]
+        lo, hi = sp.leak_rate_range
+        self._rate[node] = rng.uniform(lo, hi)
+        jitter = sp.interval_jitter * (2.0 * rng.uniform() - 1.0)
+        self._ivl0[node] = sp.sample_interval * (1.0 + jitter)
+        self._mem[node] = sp.base_mem_kb
+        self._next_sample[node] = self._ivl0[node]
+
+    def step(self, ids, walls, nows):
+        sp = self.spec
+        now2 = nows[ids] + sp.dt
+        self._mem[ids] += self._rate[ids] * sp.dt
+        due = now2 >= self._next_sample[ids]
+        due_ids = ids[due]
+        rows = self._rows(due_ids, now2[due])
+        # Swap pressure stretches the monitor cadence (thrash).
+        press = np.clip(
+            (self._mem[due_ids] - sp.ram_kb) / sp.swap_kb, 0.0, 1.0
+        )
+        self._next_sample[due_ids] = now2[due] + self._ivl0[due_ids] * (
+            1.0 + 0.5 * press * press
+        )
+        crashed = self._mem[ids] >= sp.capacity_kb
+        return due_ids, due_ids, rows, crashed
+
+    def _rows(self, ids: np.ndarray, tgen: np.ndarray) -> np.ndarray:
+        sp = self.spec
+        k = ids.size
+        mem = self._mem[ids]
+        used = np.minimum(mem, sp.ram_kb)
+        swap_used = np.clip(mem - sp.ram_kb, 0.0, sp.swap_kb)
+        press = swap_used / sp.swap_kb
+        frac = mem / sp.capacity_kb
+        rows = np.zeros((k, _N_RAW), dtype=np.float64)
+        rows[:, 0] = tgen
+        rows[:, 1] = 64.0 + mem / 8192.0  # n_threads
+        rows[:, 2] = used  # mem_used
+        rows[:, 3] = sp.ram_kb - used  # mem_free
+        rows[:, 4] = 12_288.0  # mem_shared
+        rows[:, 5] = 8_192.0  # mem_buffers
+        rows[:, 6] = 65_536.0 * (1.0 - press)  # mem_cached
+        rows[:, 7] = swap_used
+        rows[:, 8] = sp.swap_kb - swap_used  # swap_free
+        cpu_user = 25.0 + 50.0 * frac
+        cpu_sys = 5.0 + 10.0 * press
+        cpu_iowait = 30.0 * press
+        rows[:, 9] = cpu_user
+        rows[:, 11] = cpu_sys
+        rows[:, 12] = cpu_iowait
+        rows[:, 14] = np.maximum(0.0, 100.0 - cpu_user - cpu_sys - cpu_iowait)
+        return rows
+
+    def true_rttf(self, ids: np.ndarray) -> np.ndarray:
+        """Ground-truth remaining time to failure (for benches/tests)."""
+        sp = self.spec
+        return (sp.capacity_kb - self._mem[ids]) / self._rate[ids]
+
+
+# -- struct-of-arrays sanitize + aggregate plane ----------------------------------
+
+
+class FleetStream:
+    """Struct-of-arrays sanitize+aggregate state for N node streams.
+
+    Bit-identical to N independent ``StreamSanitizer`` +
+    ``OnlineAggregator(window_seconds, policy="repair")`` pairs (the
+    scalar oracle, pinned by tests): same drop rules, same clock-reset
+    rebase arithmetic, same repair-mode bounded reordering, same
+    ``np.add.reduceat`` sequential segment sums at finalize. A batch may
+    contain several rows for one node (duplication faults): it is split
+    into rounds of unique node ids so sequential per-node semantics are
+    preserved while each round stays fully vectorized.
+    """
+
+    _RING = 32  # matches StreamSanitizer's last-32-interval median window
+
+    def __init__(
+        self,
+        n_nodes: int,
+        window_seconds: float,
+        sanitize_config=None,
+        *,
+        min_points: int = 1,
+        row_capacity: int = 64,
+    ) -> None:
+        from repro.core.sanitize import SanitizeConfig
+
+        if window_seconds <= 0:
+            raise ValueError(
+                f"window_seconds must be positive, got {window_seconds}"
+            )
+        self.n_nodes = n_nodes
+        self.window_seconds = window_seconds
+        self.min_points = min_points
+        self._cfg = sanitize_config or SanitizeConfig()
+        n = n_nodes
+        # sanitizer state (mirrors StreamSanitizer attributes)
+        self._offset = np.zeros(n, dtype=np.float64)
+        self._smax = np.zeros(n, dtype=np.float64)
+        self._ring = np.zeros((n, self._RING), dtype=np.float64)
+        self._rlen = np.zeros(n, dtype=np.int64)
+        self._rpos = np.zeros(n, dtype=np.int64)
+        self._dropped = np.zeros(n, dtype=np.int64)
+        self._resets = np.zeros(n, dtype=np.int64)
+        # aggregator state (mirrors OnlineAggregator attributes)
+        self._cap = int(row_capacity)
+        self._wbuf = np.zeros((n, self._cap, _N_RAW), dtype=np.float64)
+        self._wcount = np.zeros(n, dtype=np.int64)
+        self._bin = np.zeros(n, dtype=np.int64)
+        self._has_bin = np.zeros(n, dtype=bool)
+        self._last_tgen = np.zeros(n, dtype=np.float64)
+        self._anchor = np.zeros(n, dtype=np.float64)
+        self._unsorted = np.zeros(n, dtype=bool)
+        self._late = np.zeros(n, dtype=np.int64)
+
+    @property
+    def dropped_total(self) -> int:
+        return int(self._dropped.sum())
+
+    @property
+    def late_dropped(self) -> int:
+        return int(self._late.sum())
+
+    @property
+    def resets_total(self) -> int:
+        return int(self._resets.sum())
+
+    def reset_node(self, i: int) -> None:
+        """Forget one node's stream state (after a restart).
+
+        Cumulative data-quality counters survive, exactly like
+        ``StreamSanitizer.reset`` / ``OnlineAggregator.reset``.
+        """
+        self._offset[i] = 0.0
+        self._smax[i] = 0.0
+        self._rlen[i] = 0
+        self._rpos[i] = 0
+        self._wcount[i] = 0
+        self._bin[i] = 0
+        self._has_bin[i] = False
+        self._last_tgen[i] = 0.0
+        self._anchor[i] = 0.0
+        self._unsorted[i] = False
+
+    def ingest(
+        self, ids: np.ndarray, rows: "np.ndarray | list"
+    ) -> dict[int, np.ndarray]:
+        """Feed a tick's raw rows; return completed windows per node.
+
+        When one node completes several windows in one tick, only the
+        last survives — the same "last completed window wins" the
+        single-node loop implements.
+        """
+        ids = np.asarray(ids, dtype=np.int64)
+        out: dict[int, np.ndarray] = {}
+        if ids.size == 0:
+            return out
+        X = self._coerce(ids, rows)
+        ids = X[0]
+        X = X[1]
+        # Rounds of unique node ids: per-node sequential semantics with
+        # vectorized rounds. Clean streams have one row per node — one
+        # round.
+        while ids.size:
+            _, first = np.unique(ids, return_index=True)
+            take = np.zeros(ids.size, dtype=bool)
+            take[first] = True
+            self._ingest_unique(ids[take], X[take], out)
+            ids, X = ids[~take], X[~take]
+        return out
+
+    def _coerce(self, ids, rows):
+        """Shape-screen raw rows into an (k, 15) float64 matrix.
+
+        Mis-shaped rows (truncation faults) are dropped and counted here,
+        mirroring the scalar sanitizer's shape check; the remaining
+        checks vectorize over the clean matrix.
+        """
+        if isinstance(rows, np.ndarray) and rows.ndim == 2 and rows.shape[1] == _N_RAW:
+            return ids, rows.astype(np.float64, copy=False)
+        good: list[np.ndarray] = []
+        gids: list[int] = []
+        nbad = 0
+        for i, raw in zip(ids, rows):
+            arr = np.asarray(raw, dtype=np.float64)
+            if arr.shape != (_N_RAW,):
+                self._dropped[i] += 1
+                nbad += 1
+                continue
+            gids.append(int(i))
+            good.append(arr)
+        if nbad:
+            get_metrics().inc("sanitize.stream_dropped_total", float(nbad))
+        if not good:
+            return np.empty(0, dtype=np.int64), np.empty((0, _N_RAW))
+        return np.asarray(gids, dtype=np.int64), np.vstack(good)
+
+    def _ingest_unique(self, ids, X, out) -> None:
+        metrics = get_metrics()
+        # -- sanitizer: drop non-finite / negative-tgen rows
+        ok = np.isfinite(X).all(axis=1) & (X[:, 0] >= 0)
+        if not ok.all():
+            bad = ids[~ok]
+            self._dropped[bad] += 1
+            metrics.inc("sanitize.stream_dropped_total", float(bad.size))
+        ids, X = ids[ok], X[ok]
+        if not ids.size:
+            return
+        tgen = X[:, 0] + self._offset[ids]
+        # -- clock-reset rebase (rare; per-candidate scalar path)
+        cand = np.flatnonzero(
+            (self._rlen[ids] > 0)
+            & (tgen < self._cfg.clock_reset_fraction * self._smax[ids])
+        )
+        n_resets = 0
+        for k in cand:
+            i = ids[k]
+            med = float(np.median(self._ring[i, : self._rlen[i]]))
+            if med > 0 and self._smax[i] - tgen[k] > self._cfg.min_reset_drop * med:
+                self._offset[i] += self._smax[i] + med - tgen[k]
+                tgen[k] = X[k, 0] + self._offset[i]
+                self._resets[i] += 1
+                n_resets += 1
+        if n_resets:
+            metrics.inc("sanitize.stream_resets_total", float(n_resets))
+        # -- interval ring (median tracker) + monotone max advance
+        adv = tgen > self._smax[ids]
+        app = adv & (self._smax[ids] > 0)
+        ai = ids[app]
+        if ai.size:
+            pos = self._rpos[ai]
+            self._ring[ai, pos] = tgen[app] - self._smax[ai]
+            self._rpos[ai] = (pos + 1) % self._RING
+            self._rlen[ai] = np.minimum(self._rlen[ai] + 1, self._RING)
+        self._smax[ids[adv]] = tgen[adv]
+        # Rewrite the clock column only where an offset is active — the
+        # scalar sanitizer leaves untouched rows byte-identical.
+        off = self._offset[ids] != 0.0
+        if off.any():
+            X = X.copy()
+            X[off, 0] = tgen[off]
+        # -- aggregator, repair mode
+        nbin = (tgen // self.window_seconds).astype(np.int64)
+        late = tgen < self._last_tgen[ids]
+        drop_late = late & (~self._has_bin[ids] | (nbin < self._bin[ids]))
+        if drop_late.any():
+            self._late[ids[drop_late]] += 1
+            metrics.inc("sanitize.online_late_dropped", float(drop_late.sum()))
+        ins_late = late & ~drop_late
+        in_order = ~late
+        fin = (
+            in_order
+            & self._has_bin[ids]
+            & (nbin != self._bin[ids])
+            & (self._wcount[ids] > 0)
+        )
+        if fin.any():
+            kept, wins = self._finalize(ids[fin])
+            for j, w in zip(kept, wins):
+                out[int(j)] = w
+        need = int(self._wcount[ids].max()) + 1
+        if need > self._cap:
+            self._grow(need)
+        li = ids[ins_late]
+        if li.size:
+            # Late but inside the open window: buffer out of order; the
+            # finalize pass re-sorts, exactly like the scalar repair mode.
+            self._wbuf[li, self._wcount[li]] = X[ins_late]
+            self._wcount[li] += 1
+            self._unsorted[li] = True
+        ii = ids[in_order]
+        if ii.size:
+            self._bin[ii] = nbin[in_order]
+            self._has_bin[ii] = True
+            self._wbuf[ii, self._wcount[ii]] = X[in_order]
+            self._wcount[ii] += 1
+            self._last_tgen[ii] = tgen[in_order]
+
+    def _grow(self, need: int) -> None:
+        new_cap = max(2 * self._cap, need)
+        buf = np.zeros((self.n_nodes, new_cap, _N_RAW), dtype=np.float64)
+        buf[:, : self._cap] = self._wbuf
+        self._wbuf = buf
+        self._cap = new_cap
+
+    def _finalize(self, sub: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Aggregate the open window of each node in ``sub``.
+
+        One vectorized pass over the concatenated row segments: a stable
+        ``lexsort`` restores per-node timestamp order where bounded
+        reordering happened, ``np.add.reduceat`` computes the sequential
+        segment sums (the exact summation order of the scalar path — not
+        ``np.mean``'s pairwise sums), and the interval chain is rebuilt
+        from each node's anchor (the previous window's last timestamp),
+        which equals the scalar path's stored per-append intervals.
+        """
+        counts = self._wcount[sub]
+        m = sub.size
+        maxc = int(counts.max())
+        blocks = self._wbuf[sub, :maxc]
+        valid = np.arange(maxc)[None, :] < counts[:, None]
+        rows = blocks[valid]
+        if self._unsorted[sub].any():
+            seg = np.repeat(np.arange(m), counts)
+            order = np.lexsort((rows[:, 0], seg))
+            rows = rows[order]
+        starts = np.zeros(m, dtype=np.intp)
+        np.cumsum(counts[:-1], out=starts[1:])
+        ends = starts + counts - 1
+        sums = np.add.reduceat(rows, starts, axis=0)
+        means = sums / counts[:, None]
+        slopes = (rows[ends, 1:] - rows[starts, 1:]) / counts[:, None]
+        tg = rows[:, 0]
+        prev = np.empty_like(tg)
+        prev[1:] = tg[:-1]
+        prev[starts] = self._anchor[sub]
+        gen = np.add.reduceat(tg - prev, starts) / counts
+        wins = np.concatenate([means, slopes, gen[:, None]], axis=1)
+        self._anchor[sub] = tg[ends]
+        self._wcount[sub] = 0
+        self._unsorted[sub] = False
+        keep = counts >= self.min_points
+        return sub[keep], wins[keep]
+
+
+# -- control planes ---------------------------------------------------------------
+
+
+class _ScalarPlane:
+    """Per-node-object control plane: the oracle the batched plane matches."""
+
+    def __init__(self, n, window_seconds, sanitize_config, policy) -> None:
+        from repro.core.sanitize import StreamSanitizer
+
+        self._san = [StreamSanitizer(sanitize_config) for _ in range(n)]
+        self._agg = [
+            OnlineAggregator(window_seconds, policy="repair") for _ in range(n)
+        ]
+        self._pol = [policy.clone() for _ in range(n)]
+
+    def reset_node(self, i: int) -> None:
+        self._san[i].reset()
+        self._agg[i].reset()
+        self._pol[i].reset()
+
+    def ingest(self, ids, rows) -> dict[int, np.ndarray]:
+        out: dict[int, np.ndarray] = {}
+        for i, raw in zip(ids, rows):
+            i = int(i)
+            decision = self._san[i].process(raw)
+            if decision.row is None:
+                continue
+            window = self._agg[i].add(decision.row)
+            if window is not None:
+                out[i] = window
+        return out
+
+    def consult(self, ids, X, ages):
+        n = ids.size
+        trig = np.zeros(n, dtype=bool)
+        preds = np.full(n, np.nan)
+        lbs = np.full(n, np.nan)
+        for k in range(n):
+            pol = self._pol[int(ids[k])]
+            trig[k] = pol.should_rejuvenate(X[k], run_age=float(ages[k]))
+            pred = getattr(pol, "last_prediction", None)
+            if pred is not None:
+                preds[k] = pred
+            lb = getattr(pol, "last_lower_bound", None)
+            if lb is not None:
+                lbs[k] = lb
+        return trig, preds, lbs
+
+    def time_triggers(self, ids, ages):
+        return np.fromiter(
+            (
+                self._pol[int(i)].time_trigger(float(a))
+                for i, a in zip(ids, ages)
+            ),
+            dtype=bool,
+            count=ids.size,
+        )
+
+    def last_prediction(self, i: int) -> "float | None":
+        return getattr(self._pol[int(i)], "last_prediction", None)
+
+    def predicted_failures(self, ids, horizon_s: float) -> int:
+        n = 0
+        for i in ids:
+            pred = getattr(self._pol[int(i)], "last_prediction", None)
+            if pred is not None and pred < horizon_s:
+                n += 1
+        return n
+
+    def stats(self) -> dict[str, int]:
+        return {
+            "stream_dropped": sum(s.dropped_total for s in self._san),
+            "late_dropped": sum(a.late_dropped for a in self._agg),
+        }
+
+
+class _BatchedPlane:
+    """Struct-of-arrays control plane with one model call per tick."""
+
+    def __init__(self, n, window_seconds, sanitize_config, policy) -> None:
+        self.stream = FleetStream(n, window_seconds, sanitize_config)
+        self.policy = policy
+        self._streak = np.zeros(n, dtype=np.int64)
+        self._pred = np.full(n, np.nan)
+        self._lb = np.full(n, np.nan)
+        if isinstance(policy, PredictiveRejuvenation):
+            self._kind = "predictive"
+        elif isinstance(policy, PeriodicRejuvenation):
+            self._kind = "periodic"
+        elif isinstance(policy, NoRejuvenation):
+            self._kind = "none"
+        else:
+            raise ValueError(
+                f"the batched engine vectorizes the built-in policies only, "
+                f"got {type(policy).__name__}; use FleetConfig(engine='scalar') "
+                f"for custom policies"
+            )
+
+    def reset_node(self, i: int) -> None:
+        self.stream.reset_node(i)
+        self._streak[i] = 0
+        self._pred[i] = np.nan
+        self._lb[i] = np.nan
+
+    def ingest(self, ids, rows) -> dict[int, np.ndarray]:
+        return self.stream.ingest(ids, rows)
+
+    def consult(self, ids, X, ages):
+        n = ids.size
+        if self._kind != "predictive" or n == 0:
+            if self._kind == "periodic":
+                trig = ages >= self.policy.interval_seconds
+            else:
+                trig = np.zeros(n, dtype=bool)
+            return trig, np.full(n, np.nan), np.full(n, np.nan)
+        pol = self.policy
+        Xs = X[:, pol.feature_indices] if pol.feature_indices is not None else X
+        if pol.lower_bound_quantile is not None:
+            lower, mean, _ = pol.model.predict_interval(
+                Xs, pol.lower_bound_quantile
+            )
+            acted = np.asarray(lower, dtype=np.float64)
+            self._pred[ids] = np.asarray(mean, dtype=np.float64)
+            self._lb[ids] = acted
+        else:
+            acted = np.asarray(pol.model.predict(Xs), dtype=np.float64)
+            self._pred[ids] = acted
+            self._lb[ids] = np.nan
+        below = acted < pol.rttf_margin
+        self._streak[ids] = np.where(below, self._streak[ids] + 1, 0)
+        trig = self._streak[ids] >= pol.consecutive
+        return trig, self._pred[ids].copy(), self._lb[ids].copy()
+
+    def time_triggers(self, ids, ages):
+        if self._kind == "periodic":
+            return ages >= self.policy.interval_seconds
+        return np.zeros(ids.size, dtype=bool)
+
+    def last_prediction(self, i: int) -> "float | None":
+        pred = self._pred[i]
+        return None if np.isnan(pred) else float(pred)
+
+    def predicted_failures(self, ids, horizon_s: float) -> int:
+        preds = self._pred[ids]
+        return int((~np.isnan(preds) & (preds < horizon_s)).sum())
+
+    def stats(self) -> dict[str, int]:
+        return {
+            "stream_dropped": self.stream.dropped_total,
+            "late_dropped": self.stream.late_dropped,
+        }
+
+
+# -- the fleet controller ---------------------------------------------------------
+
+
+class FleetController:
+    """N managed node loops under one policy engine and capacity planner.
+
+    The global loop advances all non-down nodes by one tick per
+    iteration, ingests the tick's monitor samples through the control
+    plane, scores every node that completed a window (or is flying on a
+    held one) with **one** batched model call, and then arbitrates
+    restarts: planned restarts are granted in node order while the live
+    fraction stays above ``capacity_floor``; crashes are immediate.
+    """
+
+    def __init__(
+        self,
+        source: FleetSource,
+        managed: ManagedSystemConfig,
+        policy: RejuvenationPolicy,
+        fleet: "FleetConfig | None" = None,
+        sanitize_config=None,
+    ) -> None:
+        self.source = source
+        self.managed = managed
+        self.policy = policy
+        self.fleet = fleet or FleetConfig()
+        self.sanitize_config = sanitize_config
+
+    def run(self, seed: "int | None | np.random.Generator" = None) -> FleetRunLog:
+        """Simulate the fleet for the configured horizon."""
+        fcfg, mcfg = self.fleet, self.managed
+        run_span = span(
+            "fleet.run",
+            policy=self.policy.name,
+            n_nodes=fcfg.n_nodes,
+            engine=fcfg.engine,
+            horizon_s=mcfg.horizon_seconds,
+        ).__enter__()
+        log = FleetRunLog(
+            policy_name=self.policy.name,
+            n_nodes=fcfg.n_nodes,
+            node_logs=[
+                ManagedRunLog(policy_name=self.policy.name)
+                for _ in range(fcfg.n_nodes)
+            ],
+        )
+        try:
+            return self._run(fcfg, mcfg, log, seed)
+        finally:
+            run_span.set(
+                episodes=log.n_episodes,
+                crashes=log.n_crashes,
+                rejuvenations=log.n_rejuvenations,
+                availability=log.availability,
+                min_live_fraction=log.min_live_fraction,
+            ).__exit__()
+
+    def _run(self, fcfg, mcfg, log, seed) -> FleetRunLog:
+        from repro.obs import get_telemetry
+        from repro.obs.profile import get_profiler
+
+        n = fcfg.n_nodes
+        rng = as_rng(seed)
+        rngs = list(rng.spawn(n))
+        self.source.bind(rngs, mcfg.horizon_seconds)
+        dt = self.source.dt
+        horizon = mcfg.horizon_seconds
+        staleness = mcfg.resolved_staleness_timeout
+        plane_cls = _BatchedPlane if fcfg.engine == "batched" else _ScalarPlane
+        plane = plane_cls(
+            n, mcfg.window_seconds, self.sanitize_config, self.policy
+        )
+        bus = get_telemetry()
+        metrics = get_metrics()
+        profiler = get_profiler()
+
+        status = np.full(n, NODE_LIVE, dtype=np.int8)
+        walls = np.zeros(n, dtype=np.float64)
+        nows = np.zeros(n, dtype=np.float64)
+        ep_start = np.zeros(n, dtype=np.float64)
+        down_until = np.zeros(n, dtype=np.float64)
+        drain_until = np.full(n, np.inf, dtype=np.float64)
+        last_window = np.zeros((n, 2 * _N_RAW), dtype=np.float64)
+        has_lw = np.zeros(n, dtype=bool)
+        lw_time = np.zeros(n, dtype=np.float64)
+        next_held = np.zeros(n, dtype=np.float64)
+        wants = np.zeros(n, dtype=bool)
+        ep_pred: list[float | None] = [None] * n
+        # Predictions made per episode, so the true RTTF can be emitted
+        # retrospectively on crash: (global time, episode age, predicted).
+        pending: list[list[tuple[float, float, float]]] = [[] for _ in range(n)]
+        allowed_down = int(np.floor((1.0 - fcfg.capacity_floor) * n + 1e-9))
+
+        for i in range(n):
+            self.source.boot(i)
+            plane.reset_node(i)
+
+        def end_episode(i: int, outcome: str) -> None:
+            nl = log.node_logs[i]
+            uptime = min(nows[i], horizon - walls[i])
+            nl.total_uptime += uptime
+            walls[i] += uptime
+            predicted = ep_pred[i] if outcome == "rejuvenation" else None
+            nl.episodes.append(
+                Episode(
+                    start=ep_start[i],
+                    end=ep_start[i] + uptime,
+                    outcome=outcome,
+                    predicted_rttf=predicted,
+                )
+            )
+            end_t = ep_start[i] + uptime
+            if outcome == "crash":
+                for t_pred, age, pred in pending[i]:
+                    truth = nows[i] - age
+                    bus.emit("fleet.rttf_error", t_pred, pred - truth)
+            bus.event(
+                end_t,
+                outcome,
+                node=i,
+                policy=self.policy.name,
+                uptime_s=uptime,
+                predicted_rttf=predicted,
+            )
+            metrics.inc(f"fleet.episodes_total.{outcome}")
+            pending[i].clear()
+            ep_pred[i] = None
+            wants[i] = False
+            drain_until[i] = np.inf
+            if outcome == "horizon":
+                status[i] = NODE_FINISHED
+                return
+            downtime = (
+                mcfg.rejuvenation_downtime
+                if outcome == "rejuvenation"
+                else mcfg.crash_downtime
+            )
+            downtime = min(downtime, horizon - walls[i])
+            nl.total_downtime += downtime
+            walls[i] += downtime
+            if walls[i] >= horizon:
+                status[i] = NODE_FINISHED
+            else:
+                status[i] = NODE_DOWN
+                # A node may reboot once the global clock has covered its
+                # consumed wall time (uptime + downtime so far) — exact on
+                # the tick grid when downtimes are multiples of dt.
+                down_until[i] = walls[i]
+
+        t = 0.0
+        it = 0
+        max_iters = 4 * int(np.ceil(horizon / dt)) + 64
+        while (status != NODE_FINISHED).any():
+            if it > max_iters:
+                raise RuntimeError(
+                    f"fleet loop exceeded {max_iters} iterations — "
+                    "a node is not making progress"
+                )
+            # 1. reboot nodes whose downtime has elapsed
+            boots = np.flatnonzero(
+                (status == NODE_DOWN) & (down_until <= t + 1e-9)
+            )
+            for i in boots:
+                i = int(i)
+                self.source.boot(i)
+                plane.reset_node(i)
+                nows[i] = 0.0
+                ep_start[i] = walls[i]
+                has_lw[i] = False
+                lw_time[i] = 0.0
+                next_held[i] = 0.0
+                status[i] = NODE_LIVE
+            running = np.flatnonzero(
+                (status == NODE_LIVE) | (status == NODE_DRAINING)
+            )
+            if running.size == 0:
+                t += dt
+                it += 1
+                continue
+            # 2. horizon pre-check (mirrors `while wall + now < horizon`)
+            cont = walls[running] + nows[running] < horizon
+            for i in running[~cont]:
+                end_episode(int(i), "horizon")
+            running = running[cont]
+            if running.size:
+                # 3. tick all running nodes
+                due_ids, sample_ids, rows, crashed = self.source.step(
+                    running, walls, nows
+                )
+                nows[running] += dt
+                # 4. sanitize + aggregate the tick's samples
+                completed = plane.ingest(sample_ids, rows)
+                comp_ids = np.asarray(sorted(completed), dtype=np.int64)
+                for i in comp_ids:
+                    i = int(i)
+                    last_window[i] = completed[i]
+                    has_lw[i] = True
+                    lw_time[i] = nows[i]
+                # 5. build the scoring set: freshly completed windows of
+                # live nodes + stale-hold re-evaluations
+                consult_ids = comp_ids[status[comp_ids] == NODE_LIVE]
+                if due_ids.size:
+                    d = due_ids[status[due_ids] == NODE_LIVE]
+                    d = d[~np.isin(d, comp_ids)]
+                    stale = d[
+                        has_lw[d]
+                        & (nows[d] - lw_time[d] > staleness)
+                        & (nows[d] >= next_held[d])
+                    ]
+                else:
+                    stale = np.empty(0, dtype=np.int64)
+                if stale.size:
+                    next_held[stale] = nows[stale] + mcfg.window_seconds
+                    metrics.inc("fleet.stale_holds_total", float(stale.size))
+                score_ids = np.concatenate([consult_ids, stale])
+                if score_ids.size:
+                    X = np.concatenate(
+                        [
+                            np.vstack([completed[int(i)] for i in consult_ids])
+                            if consult_ids.size
+                            else np.empty((0, 2 * _N_RAW)),
+                            last_window[stale],
+                        ]
+                    )
+                    with profiler.stage("fleet.predict"):
+                        trig, preds, _lbs = plane.consult(
+                            score_ids, X, nows[score_ids]
+                        )
+                    log.scoring_calls += 1
+                    log.scored_rows += int(score_ids.size)
+                    for k, i in enumerate(score_ids):
+                        if not np.isnan(preds[k]):
+                            i = int(i)
+                            pending[i].append(
+                                (walls[i] + nows[i], nows[i], float(preds[k]))
+                            )
+                    # Fresh policy decisions overwrite any queued request:
+                    # a node whose prediction recovered above the margin
+                    # withdraws from the restart queue.
+                    wants[score_ids] = trig
+                # 6. time-based triggers, evaluated every tick
+                live = running[status[running] == NODE_LIVE]
+                tt = plane.time_triggers(live, nows[live])
+                wants[live[tt]] = True
+                # 7. grant planned restarts while capacity stays above the
+                # floor; the rest wait (and re-request next tick)
+                requests = np.flatnonzero(wants & (status == NODE_LIVE))
+                if requests.size:
+                    committed = int(
+                        ((status == NODE_DOWN) | (status == NODE_DRAINING)).sum()
+                    )
+                    slots = max(0, allowed_down - committed)
+                    granted = requests[:slots]
+                    log.restarts_deferred += int(requests.size - granted.size)
+                    for i in granted:
+                        i = int(i)
+                        wants[i] = False
+                        ep_pred[i] = plane.last_prediction(i)
+                        if fcfg.drain_seconds > 0:
+                            status[i] = NODE_DRAINING
+                            drain_until[i] = nows[i] + fcfg.drain_seconds
+                        else:
+                            end_episode(i, "rejuvenation")
+                # 8. drains that have bled dry restart cleanly
+                drained = np.flatnonzero(
+                    (status == NODE_DRAINING) & (nows >= drain_until - 1e-9)
+                )
+                for i in drained:
+                    end_episode(int(i), "rejuvenation")
+                # 9. crashes (a trigger in the same tick wins, exactly like
+                # the single-node loop's break-before-failure-check)
+                for k in np.flatnonzero(crashed):
+                    i = int(running[k])
+                    if status[i] in (NODE_LIVE, NODE_DRAINING):
+                        end_episode(i, "crash")
+                        n_down = int((status == NODE_DOWN).sum())
+                        if n_down > allowed_down:
+                            log.floor_violations += 1
+                            metrics.inc("fleet.floor_violations_total")
+            # 10. capacity bookkeeping + fleet telemetry
+            live_frac = 1.0 - float((status == NODE_DOWN).sum()) / n
+            if live_frac < log.min_live_fraction:
+                log.min_live_fraction = live_frac
+            if it % fcfg.telemetry_stride == 0:
+                bus.emit("fleet.live_fraction", t, live_frac)
+                bus.emit(
+                    "fleet.capacity_headroom", t, live_frac - fcfg.capacity_floor
+                )
+                live_now = np.flatnonzero(status == NODE_LIVE)
+                bus.emit(
+                    "fleet.predicted_failures_per_hour",
+                    t,
+                    float(plane.predicted_failures(live_now, 3600.0)),
+                )
+            t += dt
+            it += 1
+
+        stats = plane.stats()
+        log.stream_dropped = int(stats["stream_dropped"])
+        log.late_dropped = int(stats["late_dropped"])
+        _log.info(
+            "fleet run complete %s",
+            kv(
+                policy=self.policy.name,
+                nodes=n,
+                engine=fcfg.engine,
+                episodes=log.n_episodes,
+                crashes=log.n_crashes,
+                rejuvenations=log.n_rejuvenations,
+                availability=log.availability,
+                min_live_fraction=log.min_live_fraction,
+            ),
+        )
+        return log

@@ -7,6 +7,7 @@ current run age; it answers whether to rejuvenate *now*.
 
 from __future__ import annotations
 
+import copy
 from abc import ABC, abstractmethod
 
 import numpy as np
@@ -29,8 +30,30 @@ class RejuvenationPolicy(ABC):
             Seconds since the current episode started.
         """
 
+    def time_trigger(self, run_age: float) -> bool:
+        """Purely time-based trigger, independent of the monitor stream.
+
+        The controller evaluates this every tick, so a wedged monitor (or
+        a sanitizer dropping every sample before the first window
+        completes) cannot starve a time-based policy. Stream-driven
+        policies return False here and act through
+        :meth:`should_rejuvenate` instead.
+        """
+        return False
+
     def reset(self) -> None:
         """Called after every restart (planned or crash)."""
+
+    def clone(self) -> "RejuvenationPolicy":
+        """Fresh-state copy for per-node fleet use.
+
+        The copy is shallow — heavyweight immutable collaborators (the
+        fitted model) are shared — but decision state is reset, so clones
+        of one prototype drive independent nodes.
+        """
+        twin = copy.copy(self)
+        twin.reset()
+        return twin
 
     @property
     def name(self) -> str:
@@ -64,6 +87,9 @@ class PeriodicRejuvenation(RejuvenationPolicy):
         self.interval_seconds = interval_seconds
 
     def should_rejuvenate(self, window_row: np.ndarray, run_age: float) -> bool:
+        return run_age >= self.interval_seconds
+
+    def time_trigger(self, run_age: float) -> bool:
         return run_age >= self.interval_seconds
 
     @property
@@ -125,21 +151,31 @@ class PredictiveRejuvenation(RejuvenationPolicy):
         self.feature_indices = feature_indices
         self.lower_bound_quantile = lower_bound_quantile
         self._streak = 0
+        #: Mean RTTF prediction of the most recent consult.
         self.last_prediction: float | None = None
+        #: Lower RTTF bound of the most recent consult, when
+        #: ``lower_bound_quantile`` is set (else None). The *bound* drives
+        #: the trigger; the *mean* is what telemetry and episode logs
+        #: report — conflating the two would bias every predicted-vs-truth
+        #: series by the ensemble spread.
+        self.last_lower_bound: float | None = None
 
     def should_rejuvenate(self, window_row: np.ndarray, run_age: float) -> bool:
         row = np.asarray(window_row, dtype=np.float64)
         if self.feature_indices is not None:
             row = row[self.feature_indices]
         if self.lower_bound_quantile is not None:
-            lower, _, _ = self.model.predict_interval(
+            lower, mean, _ = self.model.predict_interval(
                 row[None, :], self.lower_bound_quantile
             )
-            predicted = float(lower[0])
+            acted = float(lower[0])
+            self.last_prediction = float(mean[0])
+            self.last_lower_bound = acted
         else:
-            predicted = float(self.model.predict(row[None, :])[0])
-        self.last_prediction = predicted
-        if predicted < self.rttf_margin:
+            acted = float(self.model.predict(row[None, :])[0])
+            self.last_prediction = acted
+            self.last_lower_bound = None
+        if acted < self.rttf_margin:
             self._streak += 1
         else:
             self._streak = 0
@@ -148,6 +184,7 @@ class PredictiveRejuvenation(RejuvenationPolicy):
     def reset(self) -> None:
         self._streak = 0
         self.last_prediction = None
+        self.last_lower_bound = None
 
     @property
     def name(self) -> str:

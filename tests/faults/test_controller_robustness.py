@@ -82,13 +82,19 @@ class TestFaultedRuns:
         assert episodes_key(a) == episodes_key(b)
 
     def test_heavy_dropout_triggers_hold_last_prediction(self):
+        # nan=0.25 per cell drops ~98% of rows: after the first window
+        # completes, completions starve for far longer than the 100s
+        # staleness timeout while samples keep arriving — the hold-last-
+        # window fallback must kick in. The long periodic interval keeps
+        # the (now tick-evaluated) time trigger from ending episodes
+        # before a window ever completes.
         obs.reset()
         campaign = small_campaign(n_runs=2)
         log = ManagedSystem(
             campaign,
             managed_config(),
-            PeriodicRejuvenation(400.0),
-            fault_profile=FaultProfile.from_spec("nan=0.1"),
+            PeriodicRejuvenation(1500.0),
+            fault_profile=FaultProfile.from_spec("nan=0.25"),
         ).run(seed=1)
         assert log.episodes
         holds = get_metrics().snapshot()["counters"].get(

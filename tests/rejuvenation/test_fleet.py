@@ -1,0 +1,432 @@
+"""Fleet controller equivalence battery.
+
+Two contracts anchor the fleet layer, both bit-exact (the same standard
+the ``fused`` substrate holds against the legacy ``loop``):
+
+1. a fleet of one node with no floor and no drain reproduces
+   ``ManagedSystem.run`` episode-for-episode, and
+2. the batched struct-of-arrays engine is indistinguishable from the
+   per-node scalar oracle — same episodes, same predictions — across
+   seeds, policies, and faulted monitor streams.
+
+On top: the capacity floor, drain, telemetry and the FleetStream SoA
+sanitize+aggregate plane.
+"""
+
+import numpy as np
+import pytest
+
+from repro import obs
+from repro.core.aggregation import OnlineAggregator
+from repro.core.sanitize import StreamSanitizer
+from repro.faults import FaultProfile
+from repro.obs import get_telemetry
+from repro.rejuvenation import (
+    FleetConfig,
+    FleetController,
+    FleetStream,
+    ManagedSystem,
+    ManagedSystemConfig,
+    NoRejuvenation,
+    PeriodicRejuvenation,
+    PredictiveRejuvenation,
+    SimulatedFleetSource,
+    SyntheticFleetSource,
+    SyntheticFleetSpec,
+    summarize_fleet,
+)
+from repro.utils.rng import as_rng
+from tests.conftest import small_campaign
+
+SPEC = SyntheticFleetSpec()
+
+
+def managed_config(**kwargs):
+    defaults = dict(horizon_seconds=3000.0, window_seconds=20.0)
+    defaults.update(kwargs)
+    return ManagedSystemConfig(**defaults)
+
+
+def episode_key(node_log):
+    return [
+        (e.start, e.end, e.outcome, e.predicted_rttf) for e in node_log.episodes
+    ]
+
+
+def fleet_key(log):
+    return [episode_key(nl) for nl in log.node_logs]
+
+
+def predictive():
+    return PredictiveRejuvenation(SPEC.linear_model(), rttf_margin=150.0)
+
+
+class TestFleetOfOne:
+    """Fleet-of-1 ≡ ManagedSystem, the anchor to the single-node loop."""
+
+    @pytest.mark.parametrize("engine", ["scalar", "batched"])
+    @pytest.mark.parametrize("seed", [1, 7])
+    def test_matches_managed_system(self, engine, seed):
+        campaign = small_campaign(n_runs=2)
+        mcfg = managed_config(horizon_seconds=4000.0)
+        # The fleet spawns one child stream off the root seed; hand the
+        # same child to ManagedSystem so both runs draw identical bits.
+        ms = ManagedSystem(campaign, mcfg, PeriodicRejuvenation(400.0)).run(
+            seed=as_rng(seed).spawn(1)[0]
+        )
+        fl = FleetController(
+            SimulatedFleetSource(campaign),
+            mcfg,
+            PeriodicRejuvenation(400.0),
+            FleetConfig(n_nodes=1, engine=engine),
+        ).run(seed=seed)
+        assert episode_key(fl.node_logs[0]) == episode_key(ms)
+        assert fl.node_logs[0].total_uptime == ms.total_uptime
+        assert fl.node_logs[0].total_downtime == ms.total_downtime
+
+    def test_matches_managed_system_under_faults(self):
+        campaign = small_campaign(n_runs=2)
+        mcfg = managed_config(horizon_seconds=4000.0)
+        profile = FaultProfile.from_spec("nan=0.1,ooo=0.1,dup=0.05")
+        ms = ManagedSystem(
+            campaign, mcfg, PeriodicRejuvenation(400.0), fault_profile=profile
+        ).run(seed=as_rng(9).spawn(1)[0])
+        fl = FleetController(
+            SimulatedFleetSource(campaign, fault_profile=profile),
+            mcfg,
+            PeriodicRejuvenation(400.0),
+            FleetConfig(n_nodes=1, engine="batched"),
+        ).run(seed=9)
+        assert episode_key(fl.node_logs[0]) == episode_key(ms)
+
+
+class TestBatchedVsScalar:
+    """The batched SoA engine against the per-node scalar oracle."""
+
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_synthetic_predictive(self, seed):
+        logs = {}
+        for engine in ("scalar", "batched"):
+            logs[engine] = FleetController(
+                SyntheticFleetSource(SPEC),
+                managed_config(),
+                predictive(),
+                FleetConfig(n_nodes=25, engine=engine),
+            ).run(seed=seed)
+        assert fleet_key(logs["scalar"]) == fleet_key(logs["batched"])
+        assert logs["batched"].n_episodes > 25  # nodes actually cycled
+
+    def test_synthetic_crash_only(self):
+        logs = {}
+        for engine in ("scalar", "batched"):
+            logs[engine] = FleetController(
+                SyntheticFleetSource(SPEC),
+                managed_config(),
+                NoRejuvenation(),
+                FleetConfig(n_nodes=10, engine=engine),
+            ).run(seed=5)
+        assert fleet_key(logs["scalar"]) == fleet_key(logs["batched"])
+        assert logs["batched"].n_crashes > 0
+
+    def test_simulated_faulted_stream(self):
+        campaign = small_campaign(n_runs=2)
+        profile = FaultProfile.from_spec("nan=0.1,ooo=0.1,dup=0.05")
+        logs = {}
+        for engine in ("scalar", "batched"):
+            logs[engine] = FleetController(
+                SimulatedFleetSource(campaign, fault_profile=profile),
+                managed_config(horizon_seconds=4000.0),
+                PeriodicRejuvenation(400.0),
+                FleetConfig(n_nodes=4, engine=engine),
+            ).run(seed=11)
+        assert fleet_key(logs["scalar"]) == fleet_key(logs["batched"])
+
+    def test_lower_bound_quantile(self):
+        from repro.ml.ensemble import BaggingRegressor
+
+        rng = np.random.default_rng(0)
+        n = 400
+        X = rng.normal(size=(n, 30))
+        X[:, 2] = rng.uniform(2e5, 7.8e5, size=n)
+        X[:, 7] = rng.uniform(0, 2.6e5, size=n)
+        y = (SPEC.capacity_kb - X[:, 2] - X[:, 7]) / 600.0
+        y += rng.normal(0, 30.0, size=n)
+        bag = BaggingRegressor(n_estimators=8, seed=0).fit(X, y)
+        logs = {}
+        for engine in ("scalar", "batched"):
+            pol = PredictiveRejuvenation(
+                bag, rttf_margin=150.0, lower_bound_quantile=0.1
+            )
+            logs[engine] = FleetController(
+                SyntheticFleetSource(SPEC),
+                managed_config(),
+                pol,
+                FleetConfig(n_nodes=12, engine=engine),
+            ).run(seed=6)
+        assert fleet_key(logs["scalar"]) == fleet_key(logs["batched"])
+        assert logs["batched"].n_rejuvenations > 0
+
+    def test_batched_rejects_unknown_policy(self):
+        from repro.rejuvenation import RejuvenationPolicy
+
+        class Custom(RejuvenationPolicy):
+            def should_rejuvenate(self, window_row, run_age):
+                return False
+
+        with pytest.raises(ValueError, match="scalar"):
+            FleetController(
+                SyntheticFleetSource(SPEC),
+                managed_config(),
+                Custom(),
+                FleetConfig(n_nodes=2, engine="batched"),
+            ).run(seed=0)
+
+
+class TestCapacityFloor:
+    def test_floor_holds_for_planned_restarts(self):
+        # Interval chosen so deferred nodes restart long before their
+        # earliest possible crash — the floor then fully explains the
+        # live-fraction trajectory.
+        fl = FleetController(
+            SyntheticFleetSource(SPEC),
+            managed_config(),
+            PeriodicRejuvenation(300.0),
+            FleetConfig(n_nodes=10, capacity_floor=0.8),
+        ).run(seed=4)
+        assert fl.n_crashes == 0
+        assert fl.floor_violations == 0
+        assert fl.min_live_fraction >= 0.8
+        assert fl.restarts_deferred > 0  # the floor actually bit
+        assert fl.n_rejuvenations > 10  # and everyone still cycled
+
+    def test_no_floor_lets_capacity_collapse(self):
+        # All nodes boot together and share one interval: with no floor
+        # they all restart at once.
+        fl = FleetController(
+            SyntheticFleetSource(SPEC),
+            managed_config(),
+            PeriodicRejuvenation(300.0),
+            FleetConfig(n_nodes=10, capacity_floor=0.0),
+        ).run(seed=4)
+        assert fl.min_live_fraction == 0.0
+        assert fl.restarts_deferred == 0
+
+    def test_crashes_bypass_floor_and_are_counted(self):
+        fl = FleetController(
+            SyntheticFleetSource(SPEC),
+            managed_config(),
+            NoRejuvenation(),
+            FleetConfig(n_nodes=10, capacity_floor=0.9),
+        ).run(seed=5)
+        assert fl.n_crashes > 0
+        assert fl.floor_violations > 0
+        assert fl.min_live_fraction < 0.9
+
+
+class TestDrain:
+    def test_drain_extends_uptime_and_stays_planned(self):
+        fl = FleetController(
+            SyntheticFleetSource(SPEC),
+            managed_config(),
+            PeriodicRejuvenation(600.0),
+            FleetConfig(n_nodes=4, drain_seconds=30.0),
+        ).run(seed=4)
+        ups = {
+            round(e.end - e.start, 1)
+            for nl in fl.node_logs
+            for e in nl.episodes
+            if e.outcome == "rejuvenation"
+        }
+        # trigger at 600s + 30s drain = 630s of serving time
+        assert ups == {630.0}
+
+    def test_zero_drain_kills_at_trigger(self):
+        fl = FleetController(
+            SyntheticFleetSource(SPEC),
+            managed_config(),
+            PeriodicRejuvenation(600.0),
+            FleetConfig(n_nodes=4, drain_seconds=0.0),
+        ).run(seed=4)
+        ups = {
+            round(e.end - e.start, 1)
+            for nl in fl.node_logs
+            for e in nl.episodes
+            if e.outcome == "rejuvenation"
+        }
+        assert ups == {600.0}
+
+
+class TestFleetTelemetry:
+    def test_series_and_events(self):
+        obs.reset()
+        fl = FleetController(
+            SyntheticFleetSource(SPEC),
+            managed_config(),
+            predictive(),
+            FleetConfig(n_nodes=6),
+        ).run(seed=2)
+        snap = get_telemetry().snapshot()
+        assert {
+            "fleet.live_fraction",
+            "fleet.capacity_headroom",
+            "fleet.predicted_failures_per_hour",
+        } <= set(snap["series"])
+        kinds = {e["event"] for e in snap["events"]}
+        assert "rejuvenation" in kinds
+        nodes = {e["node"] for e in snap["events"] if "node" in e}
+        assert nodes == set(range(6))  # per-node episode events
+        assert fl.scoring_calls > 0
+        # batching: strictly fewer model calls than rows scored
+        assert fl.scored_rows > fl.scoring_calls
+
+    def test_summarize_fleet_row(self):
+        fl = FleetController(
+            SyntheticFleetSource(SPEC),
+            managed_config(),
+            NoRejuvenation(),
+            FleetConfig(n_nodes=3),
+        ).run(seed=1)
+        report = summarize_fleet(fl)
+        assert len(report.row()) == len(report.HEADERS)
+        assert report.n_nodes == 3
+        assert 0.0 < report.availability <= 1.0
+
+
+class TestFleetStream:
+    """The SoA sanitize+aggregate plane against its scalar references."""
+
+    def _scalar_pipeline(self, n, window):
+        sans = [StreamSanitizer() for _ in range(n)]
+        aggs = [OnlineAggregator(window, policy="repair") for _ in range(n)]
+        return sans, aggs
+
+    def test_matches_scalar_pipeline_on_mixed_stream(self):
+        n, window = 5, 10.0
+        rng = np.random.default_rng(0)
+        stream = FleetStream(n, window)
+        sans, aggs = self._scalar_pipeline(n, window)
+        got, want = [], []
+        t = np.zeros(n)
+        for _ in range(400):
+            ids = np.flatnonzero(rng.uniform(size=n) < 0.7)
+            if ids.size == 0:
+                continue
+            t[ids] += rng.uniform(0.5, 2.0, size=ids.size)
+            rows = rng.normal(10.0, 1.0, size=(ids.size, 15))
+            rows[:, 0] = t[ids]
+            # sprinkle faults: NaN rows, backwards clocks, duplicates
+            u = rng.uniform(size=ids.size)
+            rows[u < 0.05, 3] = np.nan
+            back = u > 0.93
+            rows[back, 0] = np.maximum(t[ids][back] - 3.0, 0.0)
+            for i, win in stream.ingest(ids, rows.copy()).items():
+                got.append((i, win))
+            for i, raw in zip(ids, rows):
+                d = sans[int(i)].process(raw.copy())
+                if d.row is None:
+                    continue
+                win = aggs[int(i)].add(d.row)
+                if win is not None:
+                    want.append((int(i), win))
+        assert len(got) == len(want) > 0
+        for (gi, gw), (wi, ww) in zip(got, want):
+            assert gi == wi
+            assert gw.tobytes() == ww.tobytes()
+        assert stream.dropped_total == sum(s.dropped_total for s in sans)
+        assert stream.late_dropped == sum(a.late_dropped for a in aggs)
+
+    def test_duplicate_ids_in_one_batch(self):
+        # Duplication faults can put several rows for one node in one
+        # tick; they must apply in order, exactly like sequential adds.
+        window = 10.0
+        stream = FleetStream(1, window)
+        san = StreamSanitizer()
+        agg = OnlineAggregator(window, policy="repair")
+        ids = np.zeros(6, dtype=np.int64)
+        rows = np.tile(np.arange(15, dtype=float), (6, 1))
+        rows[:, 0] = [1.0, 4.0, 4.0, 8.0, 12.0, 13.0]
+        got = stream.ingest(ids, rows.copy())
+        want = None
+        for raw in rows:
+            d = san.process(raw.copy())
+            w = agg.add(d.row)
+            if w is not None:
+                want = w
+        assert want is not None and 0 in got
+        assert got[0].tobytes() == want.tobytes()
+
+    def test_clock_reset_rebase_matches_scalar(self):
+        window = 50.0
+        stream = FleetStream(1, window)
+        san = StreamSanitizer()
+        agg = OnlineAggregator(window, policy="repair")
+        times = list(np.arange(1.0, 40.0, 1.0)) + [2.0, 3.0, 4.0]
+        got = {}
+        for t in times:
+            row = np.full(15, 5.0)
+            row[0] = t
+            got.update(stream.ingest(np.zeros(1, dtype=np.int64), row[None, :].copy()))
+            d = san.process(row.copy())
+            if d.row is not None:
+                agg.add(d.row)
+        assert stream.resets_total == san.resets_total == 1
+        assert stream.dropped_total == san.dropped_total
+
+    def test_reset_node_preserves_quality_counters(self):
+        stream = FleetStream(2, 10.0)
+        bad = np.full((1, 15), np.nan)
+        stream.ingest(np.zeros(1, dtype=np.int64), bad)
+        assert stream.dropped_total == 1
+        stream.reset_node(0)
+        assert stream.dropped_total == 1  # cumulative, like the scalar layer
+
+    def test_misshaped_rows_dropped(self):
+        stream = FleetStream(1, 10.0)
+        out = stream.ingest(np.zeros(1, dtype=np.int64), [np.zeros(7)])
+        assert out == {}
+        assert stream.dropped_total == 1
+
+    def test_window_buffer_growth(self):
+        # More rows per window than the initial capacity: the SoA buffer
+        # must grow, not truncate.
+        window = 1000.0
+        stream = FleetStream(1, window)
+        san = StreamSanitizer()
+        agg = OnlineAggregator(window, policy="repair")
+        want = None
+        for t in list(np.arange(1.0, 150.0)) + [1001.0]:
+            row = np.full(15, 2.0)
+            row[0] = t
+            got = stream.ingest(np.zeros(1, dtype=np.int64), row[None, :].copy())
+            d = san.process(row.copy())
+            w = agg.add(d.row)
+            if w is not None:
+                want = w
+        assert want is not None and got[0].tobytes() == want.tobytes()
+
+
+class TestValidation:
+    def test_fleet_config_validation(self):
+        with pytest.raises(ValueError, match="n_nodes"):
+            FleetConfig(n_nodes=0)
+        with pytest.raises(ValueError, match="capacity_floor"):
+            FleetConfig(capacity_floor=1.0)
+        with pytest.raises(ValueError, match="drain_seconds"):
+            FleetConfig(drain_seconds=-1.0)
+        with pytest.raises(ValueError, match="engine"):
+            FleetConfig(engine="gpu")
+
+    def test_determinism(self):
+        a = FleetController(
+            SyntheticFleetSource(SPEC),
+            managed_config(),
+            predictive(),
+            FleetConfig(n_nodes=8),
+        ).run(seed=3)
+        b = FleetController(
+            SyntheticFleetSource(SPEC),
+            managed_config(),
+            predictive(),
+            FleetConfig(n_nodes=8),
+        ).run(seed=3)
+        assert fleet_key(a) == fleet_key(b)

@@ -343,6 +343,39 @@ class TestRejuvenate:
         assert "predictive" in out
 
 
+class TestFleet:
+    def test_prints_policy_table(self, capsys):
+        rc = main(
+            [
+                "fleet",
+                "--nodes",
+                "6",
+                "--horizon",
+                "1500",
+                "--seed",
+                "1",
+                "--capacity-floor",
+                "0.5",
+            ]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "Fleet of 6 nodes" in out
+        assert "predictive" in out
+
+    def test_scalar_engine_matches_batched(self, capsys):
+        argv = ["fleet", "--nodes", "4", "--horizon", "1500", "--seed", "3"]
+        assert main(argv + ["--engine", "batched"]) == 0
+        batched = capsys.readouterr().out
+        assert main(argv + ["--engine", "scalar"]) == 0
+        scalar = capsys.readouterr().out
+        # identical numbers; only the title names the engine
+        def strip(text):
+            return [line for line in text.splitlines() if "scoring" not in line]
+
+        assert strip(batched) == strip(scalar)
+
+
 class TestCache:
     @pytest.fixture
     def store_dir(self, tmp_path):
