@@ -1,0 +1,148 @@
+"""Compiled predict-plane benches — predictions/sec, exact vs compiled.
+
+The serving compiler's claim (ROADMAP item 4, the Mantis budget concern
+from PAPERS.md) is that a fitted kernel regressor can be served an
+order of magnitude faster at a *measured, gated* accuracy cost. Two
+claims are recorded into ``BENCH_predict.json``:
+
+- a compiled LS-SVM (the worst-case server: every training row is a
+  reference) serves at least ``LSSVM_SPEEDUP_FLOOR`` x more
+  predictions/sec than the exact model, with the accuracy gate
+  *accepted* and the S-MAE delta under the asserted ceiling;
+- a compiled SVR (sparser references) still clears a modest floor.
+
+Absolute timings belong to this hardware; the asserted floors are
+conservative so shared CI boxes pass on merit, not luck.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.ml import LSSVMRegressor, SVR
+from repro.ml.serving import compile_predictor
+
+BENCH_PATH = Path(__file__).parent / "BENCH_predict.json"
+
+#: Compiled-over-exact predictions/sec floor for LS-SVM. The committed
+#: baseline measures far above this; 5x is the ISSUE's contract.
+LSSVM_SPEEDUP_FLOOR = 5.0
+
+#: SVR keeps only its support vectors, so the exact model is already
+#: cheaper — the compiled floor is correspondingly modest.
+SVR_SPEEDUP_FLOOR = 1.5
+
+#: Accuracy ceiling the gate must have held: compiled S-MAE may exceed
+#: exact S-MAE by at most this (in target units; the synthetic target
+#: below has unit-scale noise, so this is a ~2% relative ceiling).
+GATE_TOL = 0.25
+
+N_TRAIN = 2400
+N_SERVE = 4000
+N_FEATURES = 30
+BUDGET = 128
+
+
+def _update_record(section: str, payload: dict) -> None:
+    record = {"bench": "predict"}
+    if BENCH_PATH.exists():
+        record = json.loads(BENCH_PATH.read_text())
+    record[section] = payload
+    BENCH_PATH.write_text(json.dumps(record, indent=2, sort_keys=True) + "\n")
+
+
+def _time(fn) -> float:
+    start = time.perf_counter()
+    fn()
+    return time.perf_counter() - start
+
+
+def _dataset(seed: int = 0):
+    """Smooth synthetic RTTF-like target over 30 features."""
+    rng = np.random.default_rng(seed)
+    X = rng.normal(size=(N_TRAIN + N_SERVE + 600, N_FEATURES))
+    w = rng.normal(size=N_FEATURES)
+    y = X @ w + 2.0 * np.sin(X[:, 0]) + 0.1 * rng.normal(size=X.shape[0])
+    return (
+        X[:N_TRAIN],
+        y[:N_TRAIN],
+        X[N_TRAIN : N_TRAIN + N_SERVE],
+        X[-600:],
+        y[-600:],
+    )
+
+
+def _bench(model, section: str, floor: float) -> None:
+    X_train, y_train, X_serve, X_val, y_val = _dataset()
+    model.fit(X_train, y_train)
+    compiled = compile_predictor(
+        model,
+        budget=BUDGET,
+        tol=GATE_TOL,
+        X_val=X_val,
+        y_val=y_val,
+    )
+    rep = compiled.report
+    assert rep.accepted, (
+        f"accuracy gate rejected the compile "
+        f"(delta {rep.gate_delta:+.3f} > tol {GATE_TOL}); a compiled "
+        f"bench over a rejected (passthrough) model would time nothing"
+    )
+    assert rep.gate_delta <= GATE_TOL
+
+    # warm both paths once, then best-of-3 each
+    model.predict(X_serve)
+    compiled.predict(X_serve)
+    exact_s = min(_time(lambda: model.predict(X_serve)) for _ in range(3))
+    compiled_s = min(_time(lambda: compiled.predict(X_serve)) for _ in range(3))
+    exact_pps = N_SERVE / exact_s
+    compiled_pps = N_SERVE / compiled_s
+    speedup = compiled_pps / exact_pps
+
+    _update_record(
+        section,
+        {
+            "n_train": N_TRAIN,
+            "n_serve": N_SERVE,
+            "n_reference_rows_exact": rep.n_reference_rows_exact,
+            "n_reference_rows": rep.n_reference_rows,
+            "n_landmarks": rep.n_landmarks,
+            "dtype": rep.dtype,
+            "compile_ms": round(rep.compile_seconds * 1e3, 2),
+            "exact_predictions_per_s": round(exact_pps),
+            "compiled_predictions_per_s": round(compiled_pps),
+            "speedup": round(speedup, 1),
+            "speedup_floor": floor,
+            "smae_exact": round(rep.smae_exact, 4),
+            "smae_compiled": round(rep.smae_compiled, 4),
+            "gate_delta": round(rep.gate_delta, 4),
+            "gate_tol": GATE_TOL,
+            "gate": rep.reason,
+        },
+    )
+    assert speedup >= floor, (
+        f"compiled {type(model).__name__} only {speedup:.1f}x over exact "
+        f"(floor {floor}x); see {BENCH_PATH.name}"
+    )
+
+
+def test_compiled_lssvm_speedup():
+    """LS-SVM: 2400 dense references folded to 128 float32 landmarks."""
+    _bench(
+        LSSVMRegressor(gam=10.0, kernel="rbf", gamma=0.01),
+        "compiled_lssvm",
+        LSSVM_SPEEDUP_FLOOR,
+    )
+
+
+def test_compiled_svr_speedup():
+    """SVR: pruned/merged support set, same low-rank serving plane."""
+    _bench(
+        SVR(C=10.0, epsilon=0.05, kernel="rbf", gamma=0.01),
+        "compiled_svr",
+        SVR_SPEEDUP_FLOOR,
+    )

@@ -328,6 +328,68 @@ def cmd_predict(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_model(args: argparse.Namespace) -> int:
+    from repro.core import AggregationConfig, aggregate_history
+    from repro.core.evaluation import resolve_smae_threshold
+    from repro.core.persistence import load_model, save_model
+    from repro.ml.model_selection import train_test_split
+    from repro.ml.serving import compile_predictor
+
+    try:
+        envelope = load_model(args.model)
+    except FileNotFoundError:
+        raise SystemExit(f"error: model file not found: {args.model}")
+    except ValueError as exc:
+        raise SystemExit(f"error: {exc}")
+    history = _load_history(args.history)
+    dataset = aggregate_history(
+        history, AggregationConfig(window_seconds=args.window)
+    )
+    envelope.check_features(dataset.feature_names)
+    smae_threshold = resolve_smae_threshold(
+        None, args.smae_frac, history.mean_run_length
+    )
+    tol = args.tol if args.tol is not None else 0.10 * smae_threshold
+    _, X_val, _, y_val = train_test_split(
+        dataset.X, dataset.y, test_size=args.val_fraction, seed=args.seed
+    )
+    compiled = compile_predictor(
+        envelope.model,
+        budget=args.budget,
+        tol=tol,
+        X_val=X_val,
+        y_val=y_val,
+        smae_threshold=smae_threshold,
+        dtype=args.dtype,
+        landmark_seed=args.seed,
+    )
+    rep = compiled.report
+    print(
+        f"compile: {rep.reason} "
+        f"(refs {rep.n_reference_rows_exact} -> {rep.n_reference_rows}, "
+        f"pruned {rep.n_pruned}, merged {rep.n_merged}, "
+        f"landmarks {rep.n_landmarks}, dtype {rep.dtype}, "
+        f"{rep.compile_seconds * 1e3:.1f} ms)"
+    )
+    if rep.gate_delta is not None:
+        print(
+            f"gate: S-MAE exact {rep.smae_exact:.2f}s, "
+            f"compiled {rep.smae_compiled:.2f}s, "
+            f"delta {rep.gate_delta:+.2f}s (tol {rep.tol:.2f}s, "
+            f"threshold {rep.smae_threshold:.1f}s)"
+        )
+    out = args.output or args.model
+    path = save_model(
+        envelope.model,
+        out,
+        feature_names=envelope.feature_names,
+        metadata={**envelope.metadata, "compiled": rep.reason},
+        compiled=compiled,
+    )
+    print(f"saved envelope with compiled artifact to {path}")
+    return 0
+
+
 def cmd_experiments(args: argparse.Namespace) -> int:
     from repro.experiments.runall import main as runall_main
 
@@ -619,6 +681,21 @@ def cmd_rejuvenate(args: argparse.Namespace) -> int:
     ).run(history, jobs=jobs)
     best = f2pm.best_by_smae("all")
     model = f2pm.models[(best.name, "all")]
+    if args.compiled:
+        from repro.ml.model_selection import train_test_split
+        from repro.ml.serving import compile_predictor
+
+        _, X_val, _, y_val = train_test_split(
+            f2pm.dataset.X, f2pm.dataset.y, test_size=0.25, seed=args.seed
+        )
+        model = compile_predictor(
+            model,
+            tol=0.10 * f2pm.smae_threshold,
+            X_val=X_val,
+            y_val=y_val,
+            smae_threshold=f2pm.smae_threshold,
+        )
+        print(f"compiled scoring model: {model.report.reason}")
 
     managed = ManagedSystemConfig(
         horizon_seconds=args.horizon,
@@ -673,6 +750,7 @@ def cmd_fleet(args: argparse.Namespace) -> int:
         capacity_floor=args.capacity_floor,
         drain_seconds=args.drain,
         engine=args.engine,
+        scoring="compiled" if args.compiled else "exact",
     )
     policies = [
         NoRejuvenation(),
@@ -871,6 +949,49 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--limit", type=int, default=10)
     p.set_defaults(func=cmd_predict)
 
+    p = add_parser("model", help="manage saved model envelopes")
+    model_sub = p.add_subparsers(dest="model_cmd", required=True)
+    sp = model_sub.add_parser(
+        "compile",
+        help="compile a saved model for fast serving (accuracy-gated; "
+        "see docs/PERFORMANCE.md)",
+    )
+    sp.add_argument("model", help="saved envelope (from train --save-model)")
+    sp.add_argument("history", help="history (.npz) to gate accuracy against")
+    sp.add_argument(
+        "-o",
+        "--output",
+        default=None,
+        help="output envelope path (default: rewrite MODEL in place)",
+    )
+    sp.add_argument("--window", type=float, default=20.0)
+    sp.add_argument(
+        "--budget",
+        type=int,
+        default=128,
+        help="max serving reference rows before Nystrom factorization",
+    )
+    sp.add_argument(
+        "--tol",
+        type=float,
+        default=None,
+        metavar="S",
+        help="max tolerated S-MAE increase in seconds "
+        "(default: 10%% of the S-MAE threshold)",
+    )
+    sp.add_argument(
+        "--dtype", choices=("float32", "float64"), default="float32"
+    )
+    sp.add_argument("--smae-frac", type=float, default=0.10)
+    sp.add_argument(
+        "--val-fraction",
+        type=float,
+        default=0.25,
+        help="held-out fraction the accuracy gate scores against",
+    )
+    sp.add_argument("--seed", type=int, default=0)
+    p.set_defaults(func=cmd_model)
+
     p = add_parser(
         "experiments", parallel=True, help="regenerate all paper tables/figures"
     )
@@ -887,6 +1008,12 @@ def build_parser() -> argparse.ArgumentParser:
         default="fused",
         help="simulation engine for the training campaign "
         "(bit-identical output; see docs/PERFORMANCE.md)",
+    )
+    p.add_argument(
+        "--compiled",
+        action="store_true",
+        help="serve the predictive policy through the compiled predict "
+        "plane (accuracy-gated; see docs/PERFORMANCE.md)",
     )
     p.set_defaults(func=cmd_rejuvenate)
 
@@ -918,6 +1045,12 @@ def build_parser() -> argparse.ArgumentParser:
         default=0.0,
         metavar="S",
         help="drain a node for S seconds before a planned restart",
+    )
+    p.add_argument(
+        "--compiled",
+        action="store_true",
+        help="score RTTF through the compiled predict plane "
+        "(batched engine only; see docs/PERFORMANCE.md)",
     )
     p.set_defaults(func=cmd_fleet)
 

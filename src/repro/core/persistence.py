@@ -53,6 +53,13 @@ class ModelEnvelope:
     package_version: str
     format_version: int
     metadata: dict
+    #: Optional compiled serving artifact
+    #: (:class:`repro.ml.serving.CompiledPredictor`) persisted alongside
+    #: the exact model. ``None`` on envelopes saved without one — and on
+    #: every pre-serving envelope, which :func:`load_model` normalizes.
+    #: When the artifact wraps this same ``model`` object, pickle's
+    #: reference sharing stores the exact model only once.
+    compiled: "object | None" = None
 
     def check_features(self, feature_names: Sequence[str]) -> None:
         """Raise if the deployment's schema differs from training's."""
@@ -66,8 +73,13 @@ class ModelEnvelope:
             )
 
     def predict(self, X: np.ndarray) -> np.ndarray:
-        """Convenience passthrough to the wrapped model."""
+        """Convenience passthrough to the wrapped (exact) model."""
         return self.model.predict(X)
+
+    @property
+    def serving_model(self):
+        """The model to serve predictions with: compiled when present."""
+        return self.compiled if self.compiled is not None else self.model
 
 
 def save_model(
@@ -76,14 +88,22 @@ def save_model(
     *,
     feature_names: "Sequence[str] | None" = None,
     metadata: "dict | None" = None,
+    compiled: "object | None" = None,
 ) -> Path:
-    """Persist a fitted *model* to *path*; returns the written path."""
+    """Persist a fitted *model* to *path*; returns the written path.
+
+    ``compiled``, if given, is a
+    :class:`repro.ml.serving.CompiledPredictor` stored alongside the
+    exact model so deployments can serve the fast form without
+    recompiling (``envelope.serving_model``).
+    """
     envelope = ModelEnvelope(
         model=model,
         feature_names=tuple(feature_names) if feature_names is not None else None,
         package_version=__version__,
         format_version=FORMAT_VERSION,
         metadata=dict(metadata or {}),
+        compiled=compiled,
     )
     path = Path(path)
     payload = pickle.dumps(envelope, protocol=pickle.HIGHEST_PROTOCOL)
@@ -120,4 +140,8 @@ def load_model(path: "str | Path") -> ModelEnvelope:
             f"{path} uses envelope format {envelope.format_version}; this "
             f"package supports up to {FORMAT_VERSION}"
         )
+    if "compiled" not in envelope.__dict__:
+        # Envelope pickled before the compiled-serving field existed;
+        # normalize so every loaded envelope has the full schema.
+        object.__setattr__(envelope, "compiled", None)
     return envelope

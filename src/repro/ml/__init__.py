@@ -33,6 +33,8 @@ from repro.ml.model_selection import (
 from repro.ml.linear import LinearRegression, RidgeRegression
 from repro.ml.lasso import Lasso, lasso_path
 from repro.ml.kernels import (
+    KernelExpansion,
+    kernel_gram,
     linear_kernel,
     polynomial_kernel,
     rbf_kernel,
@@ -43,6 +45,7 @@ from repro.ml.lssvm import LSSVMRegressor
 from repro.ml.tree import REPTreeRegressor, M5PRegressor
 from repro.ml.ensemble import BaggingRegressor
 from repro.ml.inspection import permutation_importance, PermutationImportance
+from repro.ml.serving import CompiledPredictor, CompileReport, compile_predictor
 
 __all__ = [
     "Regressor",
@@ -63,10 +66,15 @@ __all__ = [
     "RidgeRegression",
     "Lasso",
     "lasso_path",
+    "KernelExpansion",
+    "kernel_gram",
     "linear_kernel",
     "polynomial_kernel",
     "rbf_kernel",
     "squared_norms",
+    "CompiledPredictor",
+    "CompileReport",
+    "compile_predictor",
     "SVR",
     "LSSVMRegressor",
     "REPTreeRegressor",

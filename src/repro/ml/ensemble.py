@@ -111,6 +111,8 @@ class BaggingRegressor(Regressor):
         if not 0.0 < quantile < 0.5:
             raise ValueError(f"quantile must be in (0, 0.5), got {quantile}")
         members = self._member_predictions(X)
-        lower = np.quantile(members, quantile, axis=0)
-        upper = np.quantile(members, 1.0 - quantile, axis=0)
+        # One quantile pass for both bounds: np.quantile sorts (a copy of)
+        # the member axis once per call, so fusing the two calls halves
+        # the reduction cost; results are bit-identical to separate calls.
+        lower, upper = np.quantile(members, [quantile, 1.0 - quantile], axis=0)
         return lower, self._member_mean(members), upper

@@ -8,6 +8,7 @@ is a single matmul.
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import Callable
 
 import numpy as np
@@ -15,8 +16,12 @@ import numpy as np
 KernelFn = Callable[[np.ndarray, np.ndarray], np.ndarray]
 
 
-def _as_2d(X: np.ndarray) -> np.ndarray:
-    X = np.asarray(X, dtype=np.float64)
+def _as_2d(X: np.ndarray, dtype: "np.dtype | type" = np.float64) -> np.ndarray:
+    # ``asarray`` is a no-copy pass-through when the input is already an
+    # ndarray of the requested dtype — the hot predict paths hand the
+    # same float64 windows in every tick and must not pay a copy per
+    # call (pinned by tests/utils/test_utils_validation.py).
+    X = np.asarray(X, dtype=dtype)
     if X.ndim == 1:
         X = X[None, :]
     if X.ndim != 2:
@@ -24,30 +29,47 @@ def _as_2d(X: np.ndarray) -> np.ndarray:
     return X
 
 
-def linear_kernel(X: np.ndarray, Y: np.ndarray) -> np.ndarray:
-    """K(x, y) = x . y ; returns the (n_x, n_y) Gram matrix."""
-    X, Y = _as_2d(X), _as_2d(Y)
+def linear_kernel(
+    X: np.ndarray, Y: np.ndarray, *, dtype: "np.dtype | type" = np.float64
+) -> np.ndarray:
+    """K(x, y) = x . y ; returns the (n_x, n_y) Gram matrix.
+
+    ``dtype`` selects the computation precision; the default (float64)
+    is the exact training-side path, float32 is the compiled serving
+    path (:mod:`repro.ml.serving`).
+    """
+    X, Y = _as_2d(X, dtype), _as_2d(Y, dtype)
     return X @ Y.T
 
 
 def polynomial_kernel(
-    X: np.ndarray, Y: np.ndarray, *, degree: int = 3, gamma: float = 1.0, coef0: float = 1.0
+    X: np.ndarray,
+    Y: np.ndarray,
+    *,
+    degree: int = 3,
+    gamma: float = 1.0,
+    coef0: float = 1.0,
+    dtype: "np.dtype | type" = np.float64,
 ) -> np.ndarray:
     """K(x, y) = (gamma * x.y + coef0)^degree."""
     if degree < 1:
         raise ValueError(f"degree must be >= 1, got {degree}")
-    X, Y = _as_2d(X), _as_2d(Y)
+    X, Y = _as_2d(X, dtype), _as_2d(Y, dtype)
+    # Python-float scalars are weak under NEP 50, so the expression keeps
+    # the arrays' dtype — float32 serving inputs stay float32 throughout.
     return (gamma * (X @ Y.T) + coef0) ** degree
 
 
-def squared_norms(X: np.ndarray) -> np.ndarray:
+def squared_norms(
+    X: np.ndarray, *, dtype: "np.dtype | type" = np.float64
+) -> np.ndarray:
     """Row-wise ``||x||^2`` — the precomputable half of the RBF expansion.
 
     Kernel predictors whose reference rows are fixed (the support
     vectors) compute this once at fit time and pass it to
     :func:`rbf_kernel` as ``sq_y`` on every predict call.
     """
-    X = _as_2d(X)
+    X = _as_2d(X, dtype)
     return np.einsum("ij,ij->i", X, X)
 
 
@@ -57,16 +79,18 @@ def rbf_kernel(
     *,
     gamma: float = 1.0,
     sq_y: "np.ndarray | None" = None,
+    dtype: "np.dtype | type" = np.float64,
 ) -> np.ndarray:
     """K(x, y) = exp(-gamma * ||x - y||^2).
 
     ``sq_y``, if given, must be ``squared_norms(Y)``; it skips the
     row-norm pass over ``Y`` (identical result — the same einsum either
-    way).
+    way). ``dtype`` selects the computation precision (see
+    :func:`linear_kernel`).
     """
     if gamma <= 0:
         raise ValueError(f"gamma must be positive, got {gamma}")
-    X, Y = _as_2d(X), _as_2d(Y)
+    X, Y = _as_2d(X, dtype), _as_2d(Y, dtype)
     sq_x = np.einsum("ij,ij->i", X, X)
     if sq_y is None:
         sq_y = np.einsum("ij,ij->i", Y, Y)
@@ -77,6 +101,79 @@ def rbf_kernel(
     d2 = sq_x[:, None] + sq_y[None, :] - 2.0 * (X @ Y.T)
     np.maximum(d2, 0.0, out=d2)  # clamp tiny negatives from cancellation
     return np.exp(-gamma * d2)
+
+
+@dataclass(frozen=True)
+class KernelExpansion:
+    """A fitted kernel machine in canonical dual form.
+
+    Every kernel regressor in this package predicts as
+    ``f(x) = sum_i coef_i K(x, ref_i) + intercept``; this dataclass is
+    that expansion, extracted via the learners' ``kernel_expansion()``
+    hooks so the serving compiler (:mod:`repro.ml.serving`) can prune,
+    factorize and re-precision it without knowing the learner class.
+    """
+
+    #: (n_ref, d) reference rows (support vectors / training rows).
+    ref: np.ndarray
+    #: (n_ref,) dual coefficients.
+    coef: np.ndarray
+    intercept: float
+    kernel: str
+    #: Resolved numeric kernel coefficient (never the "scale" sentinel).
+    gamma: float
+    degree: int = 3
+    coef0: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.ref.ndim != 2:
+            raise ValueError(f"ref must be 2-D, got shape {self.ref.shape}")
+        if self.coef.shape != (self.ref.shape[0],):
+            raise ValueError(
+                f"coef must have shape ({self.ref.shape[0]},), got "
+                f"{self.coef.shape}"
+            )
+
+    def gram(self, X: np.ndarray, *, dtype: "np.dtype | type" = np.float64):
+        """``K(X, ref)`` under this expansion's kernel parameters."""
+        return kernel_gram(
+            X,
+            self.ref,
+            kernel=self.kernel,
+            gamma=self.gamma,
+            degree=self.degree,
+            coef0=self.coef0,
+            dtype=dtype,
+        )
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        """Exact (float64) evaluation of the expansion."""
+        if self.ref.shape[0] == 0:
+            return np.full(np.asarray(X).shape[0], self.intercept)
+        return self.gram(X) @ self.coef + self.intercept
+
+
+def kernel_gram(
+    X: np.ndarray,
+    Y: np.ndarray,
+    *,
+    kernel: str,
+    gamma: float = 1.0,
+    degree: int = 3,
+    coef0: float = 1.0,
+    sq_y: "np.ndarray | None" = None,
+    dtype: "np.dtype | type" = np.float64,
+) -> np.ndarray:
+    """Dispatch ``K(X, Y)`` by kernel name at the requested precision."""
+    if kernel == "linear":
+        return linear_kernel(X, Y, dtype=dtype)
+    if kernel == "poly":
+        return polynomial_kernel(
+            X, Y, degree=degree, gamma=gamma, coef0=coef0, dtype=dtype
+        )
+    if kernel == "rbf":
+        return rbf_kernel(X, Y, gamma=gamma, sq_y=sq_y, dtype=dtype)
+    raise ValueError(f"unknown kernel {kernel!r}; choose linear, poly or rbf")
 
 
 def resolve_kernel(

@@ -22,7 +22,13 @@ import numpy as np
 import scipy.linalg
 
 from repro.ml.base import Regressor
-from repro.ml.kernels import rbf_kernel, resolve_gamma, resolve_kernel, squared_norms
+from repro.ml.kernels import (
+    KernelExpansion,
+    rbf_kernel,
+    resolve_gamma,
+    resolve_kernel,
+    squared_norms,
+)
 from repro.utils.validation import check_array, check_is_fitted, check_X_y
 
 
@@ -98,6 +104,31 @@ class LSSVMRegressor(Regressor):
         )
         return self
 
+    def __getstate__(self) -> dict:
+        state = self.__dict__.copy()
+        # resolve_kernel returns a closure (unpicklable); predict
+        # rebuilds it on demand from the stored hyperparameters.
+        state.pop("_kernel", None)
+        return state
+
+    def kernel_expansion(self) -> KernelExpansion:
+        """The fitted dual form, for the serving compiler
+        (:mod:`repro.ml.serving`).
+
+        LS-SVM's expansion keeps *every* training row as a reference —
+        exactly why compiled (low-rank) serving matters most here.
+        """
+        check_is_fitted(self, "alpha_")
+        return KernelExpansion(
+            ref=self._X_train,
+            coef=self.alpha_,
+            intercept=self.intercept_,
+            kernel=self.kernel,
+            gamma=self._gamma_,
+            degree=self.degree,
+            coef0=self.coef0,
+        )
+
     def predict(self, X: np.ndarray) -> np.ndarray:
         check_is_fitted(self, "alpha_")
         X = check_array(X)
@@ -111,5 +142,13 @@ class LSSVMRegressor(Regressor):
         if self.kernel == "rbf" and train_sq is not None:
             K = rbf_kernel(X, self._X_train, gamma=self._gamma_, sq_y=train_sq)
         else:
-            K = self._kernel(X, self._X_train)
+            kernel = getattr(self, "_kernel", None)
+            if kernel is None:  # unpickled model: rebuild the closure
+                kernel = self._kernel = resolve_kernel(
+                    self.kernel,
+                    gamma=self._gamma_,
+                    degree=self.degree,
+                    coef0=self.coef0,
+                )
+            K = kernel(X, self._X_train)
         return K @ self.alpha_ + self.intercept_

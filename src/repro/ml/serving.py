@@ -1,0 +1,684 @@
+"""Compiled predict plane: low-rank / pruned kernel serving.
+
+Fleet scoring (PR 8) batched the *calls* — one ``model.predict`` per
+tick — but each call is still an exact dense kernel evaluation:
+O(n_due x N_sv x d) for SVR and O(n_due x N_train x d) for LS-SVM,
+which keeps every training row as a reference. This module compiles a
+fitted kernel regressor into a cheap serving form with three
+composable optimizations:
+
+1. **Support-vector pruning** — drop duals with ``|coef|`` below
+   ``prune_tol * max|coef|`` and merge duplicate reference rows by
+   summing their coefficients (bootstrap resamples and repeated
+   windows produce exact duplicates).
+2. **Nystrom low-rank factorization** — sample ``m = budget`` landmark
+   rows ``L`` from the references ``R`` and fold the approximation
+   ``K(x, R) ~= K(x, L) W^+ K(L, R)`` (``W = K(L, L)``) into a single
+   precomputed weight vector ``w = W^+ K(L, R) coef``, so predict
+   becomes one thin (n, m) Gram plus a matvec — O(n m) instead of
+   O(n N_ref). When ``L`` contains all of ``R`` the factorization is
+   exact (up to the pseudo-inverse cutoff).
+3. **float32 batched path** — reference rows, weights and squared
+   norms precast to float32 so the serving Gram runs at half the
+   memory bandwidth; outputs are returned as float64.
+
+Compilation is **accuracy-gated**: when a held-out split is supplied,
+the compiled model is scored with the paper's S-MAE
+(:func:`repro.ml.metrics.soft_mean_absolute_error`) against the exact
+model and *rejected* — falling back to exact, bit-identical serving —
+if the S-MAE delta exceeds ``tol``. An accepted compile is therefore a
+measured speed/accuracy contract, not an assumption.
+
+``BaggingRegressor`` ensembles compile member-wise against a *shared*
+landmark set, grouped by kernel parameters so one Gram serves every
+member in a group; ``predict_interval`` then costs one (n, m) Gram
+per group instead of ``n_estimators`` dense kernel evaluations.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any
+
+import numpy as np
+
+from repro.ml.ensemble import BaggingRegressor
+from repro.ml.kernels import KernelExpansion, kernel_gram, squared_norms
+from repro.ml.metrics import soft_mean_absolute_error
+from repro.ml.pipeline import ScaledModel
+from repro.obs import get_metrics
+from repro.utils.rng import as_rng
+
+__all__ = [
+    "CompiledPredictor",
+    "CompileReport",
+    "MemberStats",
+    "compile_predictor",
+]
+
+#: Relative eigenvalue cutoff for the Nystrom pseudo-inverse.
+_PINV_RCOND = 1e-10
+
+
+# ---------------------------------------------------------------------------
+# compile pipeline stages
+# ---------------------------------------------------------------------------
+
+
+def _pinv_psd(W: np.ndarray) -> np.ndarray:
+    """Pseudo-inverse of a symmetric PSD Gram matrix via ``eigh``.
+
+    Eigenvalues at or below ``_PINV_RCOND * lambda_max`` are treated as
+    zero — landmark sets with (near-)duplicate rows make ``W``
+    rank-deficient and a plain ``inv`` would blow up.
+    """
+    vals, vecs = np.linalg.eigh(W)
+    cutoff = _PINV_RCOND * max(float(vals[-1]), 0.0)
+    keep = vals > cutoff
+    if not keep.any():
+        return np.zeros_like(W)
+    vecs = vecs[:, keep]
+    return (vecs / vals[keep]) @ vecs.T
+
+
+def _prune(
+    ref: np.ndarray, coef: np.ndarray, prune_tol: float
+) -> tuple[np.ndarray, np.ndarray, int]:
+    """Drop references whose dual coefficient is relatively near zero."""
+    if coef.size == 0 or prune_tol <= 0.0:
+        return ref, coef, 0
+    keep = np.abs(coef) > prune_tol * float(np.max(np.abs(coef)))
+    if keep.all():
+        return ref, coef, 0
+    return ref[keep], coef[keep], int(coef.size - keep.sum())
+
+
+def _merge_duplicates(
+    ref: np.ndarray, coef: np.ndarray
+) -> tuple[np.ndarray, np.ndarray, int]:
+    """Merge exactly-duplicate reference rows, summing their coefficients.
+
+    A no-op (same arrays back, preserving row order and summation
+    order) when every row is unique, so duplicate-free models keep
+    bit-identical predictions through this stage.
+    """
+    if ref.shape[0] < 2:
+        return ref, coef, 0
+    uniq, inverse = np.unique(ref, axis=0, return_inverse=True)
+    if uniq.shape[0] == ref.shape[0]:
+        return ref, coef, 0
+    merged = np.zeros(uniq.shape[0], dtype=coef.dtype)
+    np.add.at(merged, inverse, coef)
+    return uniq, merged, int(ref.shape[0] - uniq.shape[0])
+
+
+def _nystroem_weights(
+    exp: KernelExpansion,
+    ref: np.ndarray,
+    coef: np.ndarray,
+    landmarks: np.ndarray,
+    W_pinv: np.ndarray,
+) -> np.ndarray:
+    """Fold ``K ~= C W^+ C^T`` into landmark weights.
+
+    ``f(x) = K(x, R) coef ~= K(x, L) [W^+ K(L, R) coef]`` — the
+    bracketed vector is returned; serving needs only ``K(x, L)``.
+    """
+    if ref.shape[0] == 0:
+        return np.zeros(landmarks.shape[0])
+    K_LR = kernel_gram(
+        landmarks,
+        ref,
+        kernel=exp.kernel,
+        gamma=exp.gamma,
+        degree=exp.degree,
+        coef0=exp.coef0,
+    )
+    return W_pinv @ (K_LR @ coef)
+
+
+# ---------------------------------------------------------------------------
+# compiled serving forms
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class _CompiledKernel:
+    """Single kernel machine in serving form: one Gram, one matvec."""
+
+    ref: np.ndarray  # (m, d), serving dtype, C-contiguous
+    weights: np.ndarray  # (m,), serving dtype
+    intercept: float
+    kernel: str
+    gamma: float
+    degree: int
+    coef0: float
+    sq_ref: "np.ndarray | None"  # serving-dtype ``squared_norms(ref)`` (rbf)
+    dtype: str
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        if self.ref.shape[0] == 0:
+            return np.full(np.asarray(X).shape[0], self.intercept)
+        K = kernel_gram(
+            X,
+            self.ref,
+            kernel=self.kernel,
+            gamma=self.gamma,
+            degree=self.degree,
+            coef0=self.coef0,
+            sq_y=self.sq_ref,
+            dtype=np.dtype(self.dtype),
+        )
+        # Python-float intercept keeps the serving dtype (NEP 50); the
+        # final cast to float64 is a no-op on the float64 path.
+        return np.asarray(K @ self.weights + self.intercept, dtype=np.float64)
+
+
+@dataclass
+class _CompiledScaled:
+    """Affine pre/post transform around a compiled kernel machine.
+
+    The model zoo wraps its kernel learners in
+    :class:`~repro.ml.pipeline.ScaledModel`; the standardization is two
+    O(n d) affine passes, so it stays exact (reusing the fitted scaler)
+    while the inner kernel evaluation is the part that gets compiled.
+    """
+
+    scaler: "object | None"  # the fitted StandardScaler (None: no X scaling)
+    y_scale: float
+    y_mean: float
+    inner: _CompiledKernel
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        if self.scaler is not None:
+            X = self.scaler.transform(X)
+        return self.inner.predict(X) * self.y_scale + self.y_mean
+
+
+@dataclass
+class _MemberGroup:
+    """Ensemble members sharing kernel parameters: one Gram per group."""
+
+    kernel: str
+    gamma: float
+    degree: int
+    coef0: float
+    member_idx: np.ndarray  # positions in ensemble member order
+    weights: np.ndarray  # (m, k) serving dtype, one column per member
+    intercepts: np.ndarray  # (k,) serving dtype
+
+
+@dataclass
+class _CompiledEnsemble:
+    """Member-wise compiled bagging ensemble over shared landmarks."""
+
+    ref: np.ndarray  # (m, d) shared landmarks, serving dtype
+    sq_ref: "np.ndarray | None"
+    groups: "list[_MemberGroup]"
+    n_members: int
+    dtype: str
+
+    def _member_predictions(self, X: np.ndarray) -> np.ndarray:
+        X = np.asarray(X)
+        out = np.empty((self.n_members, X.shape[0]))
+        dt = np.dtype(self.dtype)
+        for g in self.groups:
+            if self.ref.shape[0] == 0:
+                out[g.member_idx] = np.asarray(g.intercepts, dtype=np.float64)[
+                    :, None
+                ]
+                continue
+            K = kernel_gram(
+                X,
+                self.ref,
+                kernel=g.kernel,
+                gamma=g.gamma,
+                degree=g.degree,
+                coef0=g.coef0,
+                sq_y=self.sq_ref if g.kernel == "rbf" else None,
+                dtype=dt,
+            )
+            P = K @ g.weights
+            P += g.intercepts[None, :]
+            out[g.member_idx] = P.T  # float64 upcast on assignment
+        return out
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        # Same sequential member mean as the exact ensemble, so the
+        # interval's mean stays bit-identical to ``predict``.
+        return BaggingRegressor._member_mean(self._member_predictions(X))
+
+    def predict_interval(
+        self, X: np.ndarray, quantile: float = 0.1
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        if not 0.0 < quantile < 0.5:
+            raise ValueError(f"quantile must be in (0, 0.5), got {quantile}")
+        members = self._member_predictions(X)
+        lower, upper = np.quantile(members, [quantile, 1.0 - quantile], axis=0)
+        return lower, BaggingRegressor._member_mean(members), upper
+
+
+# ---------------------------------------------------------------------------
+# report + wrapper
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class MemberStats:
+    """Per-member compile statistics for ensemble compiles."""
+
+    n_reference_rows_exact: int
+    n_pruned: int
+    n_merged: int
+
+
+@dataclass(frozen=True)
+class CompileReport:
+    """What compilation did and whether the accuracy gate passed.
+
+    ``reason`` is one of ``"gated-accept"`` (gate scored and passed),
+    ``"gate-rejected"`` (gate scored and failed — serving falls back to
+    the exact model), ``"ungated"`` (no validation split supplied;
+    accepted on trust) and ``"unsupported"`` (the model exposes no
+    kernel expansion — e.g. trees, linear models — so the wrapper is a
+    pure passthrough).
+    """
+
+    accepted: bool
+    reason: str
+    compile_seconds: float = 0.0
+    dtype: str = "float32"
+    n_reference_rows_exact: int = 0
+    n_reference_rows: int = 0
+    n_pruned: int = 0
+    n_merged: int = 0
+    n_landmarks: int = 0
+    smae_exact: "float | None" = None
+    smae_compiled: "float | None" = None
+    gate_delta: "float | None" = None
+    tol: "float | None" = None
+    smae_threshold: float = 0.0
+    members: "tuple[MemberStats, ...]" = field(default_factory=tuple)
+
+
+class CompiledPredictor:
+    """A fitted model plus (optionally) its compiled serving form.
+
+    ``predict`` uses the compiled form when the compile was accepted
+    and delegates to the exact model otherwise, so callers can wrap
+    unconditionally: a rejected or unsupported compile is a zero-cost
+    passthrough with bit-identical predictions.
+    """
+
+    def __init__(
+        self, exact: Any, fast: Any, report: CompileReport
+    ) -> None:
+        self.exact = exact
+        self._fast = fast
+        self.report = report
+
+    @property
+    def compiled(self) -> bool:
+        """True when predictions are served by the compiled form."""
+        return self._fast is not None
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        if self._fast is None:
+            return self.exact.predict(X)
+        out = self._fast.predict(X)
+        get_metrics().inc("serving.compiled_predictions_total", out.shape[0])
+        return out
+
+    def predict_interval(
+        self, X: np.ndarray, quantile: float = 0.1
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        if self._fast is not None and hasattr(self._fast, "predict_interval"):
+            lower, mean, upper = self._fast.predict_interval(X, quantile)
+            get_metrics().inc(
+                "serving.compiled_predictions_total", mean.shape[0]
+            )
+            return lower, mean, upper
+        return self.exact.predict_interval(X, quantile)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"CompiledPredictor(exact={type(self.exact).__name__}, "
+            f"compiled={self.compiled}, reason={self.report.reason!r})"
+        )
+
+
+# ---------------------------------------------------------------------------
+# compilation
+# ---------------------------------------------------------------------------
+
+
+def _cast_serving(
+    ref: np.ndarray, weights: np.ndarray, kernel: str, dtype: np.dtype
+) -> tuple[np.ndarray, np.ndarray, "np.ndarray | None"]:
+    """Cast the serving arrays; precompute squared norms for rbf.
+
+    ``ascontiguousarray`` is a no-copy pass-through when the arrays are
+    already C-contiguous at the target dtype (the float64 path), so an
+    identity compile shares the fitted model's buffers.
+    """
+    ref = np.ascontiguousarray(ref, dtype=dtype)
+    weights = np.ascontiguousarray(weights, dtype=dtype)
+    sq_ref = None
+    if kernel == "rbf" and ref.shape[0]:
+        sq_ref = squared_norms(ref, dtype=dtype)
+    return ref, weights, sq_ref
+
+
+def _compile_single(
+    exp: KernelExpansion,
+    *,
+    budget: int,
+    prune_tol: float,
+    dtype: np.dtype,
+    landmark_seed: int,
+) -> "tuple[_CompiledKernel, dict]":
+    """Run prune -> merge -> (Nystrom if over budget) -> precision cast."""
+    ref, coef, n_pruned = _prune(exp.ref, exp.coef, prune_tol)
+    ref, coef, n_merged = _merge_duplicates(ref, coef)
+    n_landmarks = 0
+    if ref.shape[0] > budget:
+        rng = as_rng(landmark_seed)
+        idx = np.sort(rng.choice(ref.shape[0], size=budget, replace=False))
+        landmarks = ref[idx]
+        W = kernel_gram(
+            landmarks,
+            landmarks,
+            kernel=exp.kernel,
+            gamma=exp.gamma,
+            degree=exp.degree,
+            coef0=exp.coef0,
+        )
+        coef = _nystroem_weights(exp, ref, coef, landmarks, _pinv_psd(W))
+        ref = landmarks
+        n_landmarks = budget
+    ref_s, w_s, sq_ref = _cast_serving(ref, coef, exp.kernel, dtype)
+    fast = _CompiledKernel(
+        ref=ref_s,
+        weights=w_s,
+        intercept=exp.intercept,
+        kernel=exp.kernel,
+        gamma=exp.gamma,
+        degree=exp.degree,
+        coef0=exp.coef0,
+        sq_ref=sq_ref,
+        dtype=str(dtype),
+    )
+    stats = {
+        "n_reference_rows_exact": int(exp.ref.shape[0]),
+        "n_reference_rows": int(ref_s.shape[0]),
+        "n_pruned": n_pruned,
+        "n_merged": n_merged,
+        "n_landmarks": n_landmarks,
+    }
+    return fast, stats
+
+
+def _compile_ensemble(
+    model: BaggingRegressor,
+    *,
+    budget: int,
+    prune_tol: float,
+    dtype: np.dtype,
+    landmark_seed: int,
+) -> "tuple[_CompiledEnsemble, dict] | None":
+    """Member-wise compile over shared landmarks; None if not kernelized."""
+    hooks = [getattr(m, "kernel_expansion", None) for m in model.estimators_]
+    if any(h is None for h in hooks):
+        return None
+    expansions = [h() for h in hooks]
+
+    pruned: "list[tuple[np.ndarray, np.ndarray]]" = []
+    member_stats: "list[MemberStats]" = []
+    n_pruned_total = n_merged_total = n_exact_total = 0
+    for exp in expansions:
+        ref, coef, n_p = _prune(exp.ref, exp.coef, prune_tol)
+        ref, coef, n_m = _merge_duplicates(ref, coef)
+        pruned.append((ref, coef))
+        member_stats.append(
+            MemberStats(
+                n_reference_rows_exact=int(exp.ref.shape[0]),
+                n_pruned=n_p,
+                n_merged=n_m,
+            )
+        )
+        n_pruned_total += n_p
+        n_merged_total += n_m
+        n_exact_total += int(exp.ref.shape[0])
+
+    # Shared landmark pool: all (deduplicated) member references.
+    # Bootstrap resamples overlap heavily, so the pool is far smaller
+    # than the sum of member supports; when it fits the budget the
+    # factorization is exact up to the pseudo-inverse cutoff.
+    nonempty = [r for r, _ in pruned if r.shape[0]]
+    if nonempty:
+        pool = np.unique(np.concatenate(nonempty, axis=0), axis=0)
+        m = min(budget, pool.shape[0])
+        rng = as_rng(landmark_seed)
+        idx = np.sort(rng.choice(pool.shape[0], size=m, replace=False))
+        landmarks = pool[idx]
+    else:
+        landmarks = np.empty((0, expansions[0].ref.shape[1]))
+
+    # Per-member Nystrom weights; the landmark Gram W depends only on
+    # the kernel parameters, so its pseudo-inverse is cached per
+    # parameter tuple (members cloned with numeric gamma share one).
+    pinv_cache: "dict[tuple, np.ndarray]" = {}
+    member_weights: "list[np.ndarray]" = []
+    for exp, (ref, coef) in zip(expansions, pruned):
+        key = (exp.kernel, exp.gamma, exp.degree, exp.coef0)
+        if key not in pinv_cache:
+            W = kernel_gram(
+                landmarks,
+                landmarks,
+                kernel=exp.kernel,
+                gamma=exp.gamma,
+                degree=exp.degree,
+                coef0=exp.coef0,
+            )
+            pinv_cache[key] = _pinv_psd(W)
+        member_weights.append(
+            _nystroem_weights(exp, ref, coef, landmarks, pinv_cache[key])
+        )
+
+    # Group members with identical kernel parameters: one serving Gram
+    # covers the whole group, the member matmul batches their weights.
+    ref_s = np.ascontiguousarray(landmarks, dtype=dtype)
+    sq_ref = None
+    if ref_s.shape[0] and any(e.kernel == "rbf" for e in expansions):
+        sq_ref = squared_norms(ref_s, dtype=dtype)
+    by_key: "dict[tuple, list[int]]" = {}
+    for i, exp in enumerate(expansions):
+        by_key.setdefault(
+            (exp.kernel, exp.gamma, exp.degree, exp.coef0), []
+        ).append(i)
+    groups = []
+    for (kernel, gamma, degree, coef0), idxs in by_key.items():
+        groups.append(
+            _MemberGroup(
+                kernel=kernel,
+                gamma=gamma,
+                degree=degree,
+                coef0=coef0,
+                member_idx=np.asarray(idxs, dtype=np.intp),
+                weights=np.ascontiguousarray(
+                    np.stack([member_weights[i] for i in idxs], axis=1),
+                    dtype=dtype,
+                ),
+                intercepts=np.asarray(
+                    [expansions[i].intercept for i in idxs], dtype=dtype
+                ),
+            )
+        )
+    fast = _CompiledEnsemble(
+        ref=ref_s,
+        sq_ref=sq_ref,
+        groups=groups,
+        n_members=len(expansions),
+        dtype=str(dtype),
+    )
+    stats = {
+        "n_reference_rows_exact": n_exact_total,
+        "n_reference_rows": int(ref_s.shape[0]),
+        "n_pruned": n_pruned_total,
+        "n_merged": n_merged_total,
+        "n_landmarks": int(ref_s.shape[0]),
+        "members": tuple(member_stats),
+    }
+    return fast, stats
+
+
+def compile_predictor(
+    model: Any,
+    *,
+    budget: int = 128,
+    tol: "float | None" = None,
+    X_val: "np.ndarray | None" = None,
+    y_val: "np.ndarray | None" = None,
+    smae_threshold: float = 0.0,
+    prune_tol: float = 1e-8,
+    dtype: "str | np.dtype | type" = "float32",
+    landmark_seed: int = 0,
+) -> CompiledPredictor:
+    """Compile a fitted model into an accuracy-gated serving form.
+
+    Parameters
+    ----------
+    model : fitted regressor
+        Anything exposing ``kernel_expansion()`` (SVR, LS-SVM) or a
+        :class:`~repro.ml.ensemble.BaggingRegressor` whose members do.
+        Other models (trees, linear) produce a passthrough wrapper.
+    budget : int
+        Maximum serving reference rows. Expansions over the budget are
+        Nystrom-factorized down to ``budget`` landmarks.
+    tol : float or None
+        Accuracy gate: maximum tolerated S-MAE increase of the compiled
+        form over the exact model on the validation split. ``None``
+        (or no split) skips the gate and accepts on trust.
+    X_val, y_val : arrays or None
+        Held-out split the gate scores against.
+    smae_threshold : float
+        S-MAE insensitivity threshold, in target units (the fitted
+        pipeline's ``smae_threshold``; see :mod:`repro.core.evaluation`).
+    prune_tol : float
+        Relative dual-coefficient cutoff for support-vector pruning.
+    dtype : {"float32", "float64"}
+        Serving precision. float64 with no pruning/merging/Nystrom
+        effect reproduces exact predictions bit-for-bit.
+    landmark_seed : int
+        Seed for uniform landmark sampling.
+
+    Returns
+    -------
+    CompiledPredictor
+        Wrapper serving compiled predictions when accepted, exact
+        otherwise; inspect ``.report`` for what happened.
+    """
+    if budget < 1:
+        raise ValueError(f"budget must be >= 1, got {budget}")
+    dt = np.dtype(dtype)
+    if dt not in (np.dtype(np.float32), np.dtype(np.float64)):
+        raise ValueError(f"dtype must be float32 or float64, got {dtype}")
+    if tol is not None and tol < 0:
+        raise ValueError(f"tol must be >= 0, got {tol}")
+
+    t0 = time.perf_counter()
+    compiled = None
+    if isinstance(model, BaggingRegressor) and model.estimators_:
+        compiled = _compile_ensemble(
+            model,
+            budget=budget,
+            prune_tol=prune_tol,
+            dtype=dt,
+            landmark_seed=landmark_seed,
+        )
+    elif (
+        isinstance(model, ScaledModel)
+        and model.inner_ is not None
+        and hasattr(model.inner_, "kernel_expansion")
+    ):
+        fast, stats = _compile_single(
+            model.inner_.kernel_expansion(),
+            budget=budget,
+            prune_tol=prune_tol,
+            dtype=dt,
+            landmark_seed=landmark_seed,
+        )
+        compiled = (
+            _CompiledScaled(
+                scaler=model._x_scaler,
+                y_scale=model._y_scale,
+                y_mean=model._y_mean,
+                inner=fast,
+            ),
+            stats,
+        )
+    elif hasattr(model, "kernel_expansion"):
+        compiled = _compile_single(
+            model.kernel_expansion(),
+            budget=budget,
+            prune_tol=prune_tol,
+            dtype=dt,
+            landmark_seed=landmark_seed,
+        )
+
+    metrics = get_metrics()
+    if compiled is None:
+        report = CompileReport(
+            accepted=False,
+            reason="unsupported",
+            compile_seconds=time.perf_counter() - t0,
+            dtype=str(dt),
+        )
+        metrics.inc("serving.compile_rejected_total")
+        return CompiledPredictor(model, None, report)
+
+    fast, stats = compiled
+    smae_exact = smae_compiled = gate_delta = None
+    if tol is not None and X_val is not None:
+        if y_val is None:
+            raise ValueError("gated compile needs y_val alongside X_val")
+        y_val = np.asarray(y_val, dtype=np.float64)
+        smae_exact = soft_mean_absolute_error(
+            y_val, model.predict(X_val), smae_threshold
+        )
+        smae_compiled = soft_mean_absolute_error(
+            y_val, fast.predict(X_val), smae_threshold
+        )
+        gate_delta = smae_compiled - smae_exact
+        accepted = gate_delta <= tol
+        reason = "gated-accept" if accepted else "gate-rejected"
+    else:
+        accepted = True
+        reason = "ungated"
+
+    seconds = time.perf_counter() - t0
+    report = CompileReport(
+        accepted=accepted,
+        reason=reason,
+        compile_seconds=seconds,
+        dtype=str(dt),
+        smae_exact=smae_exact,
+        smae_compiled=smae_compiled,
+        gate_delta=gate_delta,
+        tol=tol,
+        smae_threshold=smae_threshold,
+        **stats,
+    )
+    metrics.observe("serving.compile_seconds", seconds)
+    metrics.inc(
+        "serving.compile_accepted_total"
+        if accepted
+        else "serving.compile_rejected_total"
+    )
+    if report.n_pruned:
+        metrics.inc("serving.pruned_sv_total", report.n_pruned)
+    metrics.set_gauge("serving.landmarks", report.n_landmarks)
+    if gate_delta is not None:
+        metrics.set_gauge("serving.gate_delta", gate_delta)
+    return CompiledPredictor(model, fast if accepted else None, report)

@@ -34,6 +34,7 @@ import numpy as np
 
 from repro.ml.base import Regressor
 from repro.ml.kernels import (
+    KernelExpansion,
     rbf_kernel,
     resolve_gamma,
     resolve_kernel,
@@ -381,6 +382,27 @@ class SVR(Regressor):
         )
         return self
 
+    def __getstate__(self) -> dict:
+        state = self.__dict__.copy()
+        # resolve_kernel returns a closure (unpicklable); predict
+        # rebuilds it on demand from the stored hyperparameters.
+        state.pop("_kernel", None)
+        return state
+
+    def kernel_expansion(self) -> KernelExpansion:
+        """The fitted dual form, for the serving compiler
+        (:mod:`repro.ml.serving`)."""
+        check_is_fitted(self, "dual_coef_")
+        return KernelExpansion(
+            ref=self.support_vectors_,
+            coef=self.dual_coef_,
+            intercept=self.intercept_,
+            kernel=self.kernel,
+            gamma=self._gamma_,
+            degree=self.degree,
+            coef0=self.coef0,
+        )
+
     def predict(self, X: np.ndarray) -> np.ndarray:
         check_is_fitted(self, "dual_coef_")
         X = check_array(X)
@@ -397,5 +419,13 @@ class SVR(Regressor):
                 X, self.support_vectors_, gamma=self._gamma_, sq_y=sv_sq
             )
         else:
-            K = self._kernel(X, self.support_vectors_)
+            kernel = getattr(self, "_kernel", None)
+            if kernel is None:  # unpickled model: rebuild the closure
+                kernel = self._kernel = resolve_kernel(
+                    self.kernel,
+                    gamma=self._gamma_,
+                    degree=self.degree,
+                    coef0=self.coef0,
+                )
+            K = kernel(X, self.support_vectors_)
         return K @ self.dual_coef_ + self.intercept_

@@ -92,6 +92,12 @@ class FleetConfig:
     #: Scoring engine: "batched" (struct-of-arrays control plane, one
     #: predict per tick) or "scalar" (per-node objects — the oracle).
     engine: str = "batched"
+    #: RTTF scoring plane: "exact" serves the policy model as-is (the
+    #: default — bit-identical to the scalar oracle), "compiled" serves
+    #: through :func:`repro.ml.serving.compile_predictor` (low-rank /
+    #: reduced-precision, accuracy-gated at compile time). Compiled
+    #: scoring requires the batched engine.
+    scoring: str = "exact"
     #: Fleet-level series are emitted every this many ticks.
     telemetry_stride: int = 8
 
@@ -109,6 +115,15 @@ class FleetConfig:
         if self.engine not in ("batched", "scalar"):
             raise ValueError(
                 f"engine must be 'batched' or 'scalar', got {self.engine!r}"
+            )
+        if self.scoring not in ("exact", "compiled"):
+            raise ValueError(
+                f"scoring must be 'exact' or 'compiled', got {self.scoring!r}"
+            )
+        if self.scoring == "compiled" and self.engine != "batched":
+            raise ValueError(
+                "scoring='compiled' requires engine='batched'; the scalar "
+                "engine is the exact oracle"
             )
         if self.telemetry_stride < 1:
             raise ValueError(
@@ -832,7 +847,9 @@ class _ScalarPlane:
 class _BatchedPlane:
     """Struct-of-arrays control plane with one model call per tick."""
 
-    def __init__(self, n, window_seconds, sanitize_config, policy) -> None:
+    def __init__(
+        self, n, window_seconds, sanitize_config, policy, scoring="exact"
+    ) -> None:
         self.stream = FleetStream(n, window_seconds, sanitize_config)
         self.policy = policy
         self._streak = np.zeros(n, dtype=np.int64)
@@ -850,6 +867,18 @@ class _BatchedPlane:
                 f"got {type(policy).__name__}; use FleetConfig(engine='scalar') "
                 f"for custom policies"
             )
+        # The serving model: exact scoring uses the policy model object
+        # itself (preserving the batched == scalar bit-identity
+        # contract); compiled scoring serves through the compiled
+        # predict plane. An already-compiled model is used as-is so the
+        # caller controls budget/gate; otherwise compile ungated — a
+        # non-kernel model falls through as a passthrough wrapper.
+        self._model = getattr(policy, "model", None)
+        if scoring == "compiled" and self._kind == "predictive":
+            from repro.ml.serving import CompiledPredictor, compile_predictor
+
+            if not isinstance(self._model, CompiledPredictor):
+                self._model = compile_predictor(self._model)
 
     def reset_node(self, i: int) -> None:
         self.stream.reset_node(i)
@@ -871,14 +900,14 @@ class _BatchedPlane:
         pol = self.policy
         Xs = X[:, pol.feature_indices] if pol.feature_indices is not None else X
         if pol.lower_bound_quantile is not None:
-            lower, mean, _ = pol.model.predict_interval(
+            lower, mean, _ = self._model.predict_interval(
                 Xs, pol.lower_bound_quantile
             )
             acted = np.asarray(lower, dtype=np.float64)
             self._pred[ids] = np.asarray(mean, dtype=np.float64)
             self._lb[ids] = acted
         else:
-            acted = np.asarray(pol.model.predict(Xs), dtype=np.float64)
+            acted = np.asarray(self._model.predict(Xs), dtype=np.float64)
             self._pred[ids] = acted
             self._lb[ids] = np.nan
         below = acted < pol.rttf_margin
@@ -942,6 +971,7 @@ class FleetController:
             policy=self.policy.name,
             n_nodes=fcfg.n_nodes,
             engine=fcfg.engine,
+            scoring=fcfg.scoring,
             horizon_s=mcfg.horizon_seconds,
         ).__enter__()
         log = FleetRunLog(
@@ -974,10 +1004,18 @@ class FleetController:
         dt = self.source.dt
         horizon = mcfg.horizon_seconds
         staleness = mcfg.resolved_staleness_timeout
-        plane_cls = _BatchedPlane if fcfg.engine == "batched" else _ScalarPlane
-        plane = plane_cls(
-            n, mcfg.window_seconds, self.sanitize_config, self.policy
-        )
+        if fcfg.engine == "batched":
+            plane = _BatchedPlane(
+                n,
+                mcfg.window_seconds,
+                self.sanitize_config,
+                self.policy,
+                scoring=fcfg.scoring,
+            )
+        else:
+            plane = _ScalarPlane(
+                n, mcfg.window_seconds, self.sanitize_config, self.policy
+            )
         bus = get_telemetry()
         metrics = get_metrics()
         profiler = get_profiler()
@@ -1212,6 +1250,7 @@ class FleetController:
                 policy=self.policy.name,
                 nodes=n,
                 engine=fcfg.engine,
+                scoring=fcfg.scoring,
                 episodes=log.n_episodes,
                 crashes=log.n_crashes,
                 rejuvenations=log.n_rejuvenations,

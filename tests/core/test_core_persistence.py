@@ -112,3 +112,79 @@ class TestCliSaveModel:
         env = load_model(model_file)
         assert env.metadata["model"] == "linear"
         assert len(env.feature_names) == 30
+
+
+class TestCompiledArtifact:
+    @pytest.fixture
+    def kernel_fitted(self):
+        from repro.ml.lssvm import LSSVMRegressor
+
+        rng = np.random.default_rng(3)
+        X = rng.normal(size=(120, 4))
+        y = X @ rng.normal(size=4) + 0.05 * rng.normal(size=120)
+        return LSSVMRegressor(gam=10.0, kernel="rbf", gamma=0.2).fit(X, y), X, y
+
+    def test_compiled_roundtrip(self, kernel_fitted, tmp_path):
+        from repro.ml.serving import CompiledPredictor, compile_predictor
+
+        model, X, _ = kernel_fitted
+        compiled = compile_predictor(model, budget=32)
+        path = save_model(model, tmp_path / "m.pkl", compiled=compiled)
+        loaded = load_model(path)
+        assert isinstance(loaded.compiled, CompiledPredictor)
+        assert loaded.compiled.report.reason == "ungated"
+        assert np.array_equal(loaded.compiled.predict(X), compiled.predict(X))
+        # exact predictions untouched by the artifact
+        assert np.array_equal(loaded.predict(X), model.predict(X))
+
+    def test_serving_model_prefers_compiled(self, kernel_fitted, tmp_path):
+        from repro.ml.serving import compile_predictor
+
+        model, X, _ = kernel_fitted
+        compiled = compile_predictor(model, budget=32)
+        loaded = load_model(
+            save_model(model, tmp_path / "m.pkl", compiled=compiled)
+        )
+        assert loaded.serving_model is loaded.compiled
+        plain = load_model(save_model(model, tmp_path / "p.pkl"))
+        assert plain.compiled is None
+        assert plain.serving_model is plain.model
+
+    def test_exact_model_stored_once(self, kernel_fitted, tmp_path):
+        # The artifact wraps the same model object, so pickle's
+        # reference sharing must restore one shared instance, not two.
+        from repro.ml.serving import compile_predictor
+
+        model, _, _ = kernel_fitted
+        compiled = compile_predictor(model, budget=32)
+        assert compiled.exact is model
+        loaded = load_model(
+            save_model(model, tmp_path / "m.pkl", compiled=compiled)
+        )
+        assert loaded.compiled.exact is loaded.model
+
+    def test_legacy_envelope_without_compiled_field(self, fitted, tmp_path):
+        # An envelope pickled before the serving layer existed has no
+        # ``compiled`` attribute at all; load_model must normalize it
+        # to None and serve exact predictions unchanged.
+        import hashlib
+        import pickle
+
+        from repro.core.persistence import MAGIC
+
+        model, X, _ = fitted
+        env = ModelEnvelope(
+            model=model,
+            feature_names=None,
+            package_version="0.9",
+            format_version=FORMAT_VERSION,
+            metadata={},
+        )
+        object.__delattr__(env, "compiled")
+        payload = pickle.dumps(env)
+        path = tmp_path / "legacy.pkl"
+        path.write_bytes(MAGIC + hashlib.sha256(payload).digest() + payload)
+        loaded = load_model(path)
+        assert loaded.compiled is None
+        assert loaded.serving_model is loaded.model
+        assert np.array_equal(loaded.predict(X), model.predict(X))

@@ -121,3 +121,37 @@ class TestPredictInterval:
         # (trees extrapolate as constants, so the off-manifold band comes
         # from bootstrap variation of the edge leaves)
         assert (hi_out - lo_out) >= 0.0  # well-defined either way
+
+
+class TestIntervalReductionContracts:
+    """Regression pins for the fused-quantile predict_interval."""
+
+    def test_single_quantile_call_matches_two_calls(self, nonlinear_data):
+        # predict_interval computes both bounds in one np.quantile pass;
+        # pin bit-identity against the two-call formulation it replaced.
+        X, y = nonlinear_data
+        m = BaggingRegressor(n_estimators=12, seed=0).fit(X, y)
+        members = m._member_predictions(X)
+        lower, mean, upper = m.predict_interval(X, quantile=0.1)
+        assert np.array_equal(lower, np.quantile(members, 0.1, axis=0))
+        assert np.array_equal(upper, np.quantile(members, 0.9, axis=0))
+        assert np.array_equal(mean, m._member_mean(members))
+
+    def test_interval_mean_is_predict_bits(self, nonlinear_data):
+        # The interval's mean is _member_mean over the same member
+        # matrix predict reduces, so a policy consulting the interval
+        # never needs a second member pass: the mean IS predict's
+        # output, bit for bit (the fleet control plane relies on this).
+        X, y = nonlinear_data
+        m = BaggingRegressor(n_estimators=10, seed=1).fit(X, y)
+        _, mean, _ = m.predict_interval(X, quantile=0.2)
+        assert np.array_equal(mean, m.predict(X))
+
+    def test_interval_mean_is_predict_bits_single_row(self, nonlinear_data):
+        # (k, 1) member columns are the layout where a naive
+        # mean(axis=0) could disagree with the batched reduction.
+        X, y = nonlinear_data
+        m = BaggingRegressor(n_estimators=10, seed=1).fit(X, y)
+        for row in (X[:1], X[7:8]):
+            _, mean, _ = m.predict_interval(row, quantile=0.1)
+            assert np.array_equal(mean, m.predict(row))

@@ -1,0 +1,298 @@
+"""Tests for the compiled predict plane (repro.ml.serving)."""
+
+import numpy as np
+import pytest
+
+from repro.ml import (
+    BaggingRegressor,
+    LSSVMRegressor,
+    REPTreeRegressor,
+    SVR,
+    compile_predictor,
+)
+from repro.ml.kernels import KernelExpansion
+from repro.ml.pipeline import ScaledModel
+from repro.ml.serving import CompiledPredictor
+
+
+@pytest.fixture(scope="module")
+def kernel_problem():
+    """Smooth regression problem a low-rank RBF machine serves well."""
+    rng = np.random.default_rng(11)
+    X = rng.normal(size=(500, 6))
+    y = X @ rng.normal(size=6) + np.sin(X[:, 0]) + 0.05 * rng.normal(size=500)
+    return X[:350], y[:350], X[350:], y[350:]
+
+
+class _ExpansionModel:
+    """Minimal model exposing a hand-built kernel expansion."""
+
+    def __init__(self, ref, coef, intercept=0.5, kernel="rbf", gamma=0.3):
+        self._exp = KernelExpansion(
+            ref=np.asarray(ref, dtype=np.float64),
+            coef=np.asarray(coef, dtype=np.float64),
+            intercept=intercept,
+            kernel=kernel,
+            gamma=gamma,
+        )
+
+    def kernel_expansion(self):
+        return self._exp
+
+    def predict(self, X):
+        return self._exp.predict(X)
+
+
+class TestKernelExpansionHooks:
+    def test_svr_expansion_matches_predict(self, kernel_problem):
+        X, y, Xq, _ = kernel_problem
+        m = SVR(C=5.0, kernel="rbf", gamma=0.2).fit(X, y)
+        assert np.array_equal(m.kernel_expansion().predict(Xq), m.predict(Xq))
+
+    def test_lssvm_expansion_matches_predict(self, kernel_problem):
+        X, y, Xq, _ = kernel_problem
+        m = LSSVMRegressor(gam=10.0, kernel="rbf", gamma=0.2).fit(X, y)
+        assert np.array_equal(m.kernel_expansion().predict(Xq), m.predict(Xq))
+
+    def test_expansion_resolves_scale_gamma(self, kernel_problem):
+        X, y, _, _ = kernel_problem
+        m = LSSVMRegressor(gam=10.0, kernel="rbf", gamma="scale").fit(X, y)
+        assert isinstance(m.kernel_expansion().gamma, float)
+
+    def test_expansion_requires_fit(self):
+        with pytest.raises(RuntimeError, match="not fitted"):
+            SVR().kernel_expansion()
+        with pytest.raises(RuntimeError, match="not fitted"):
+            LSSVMRegressor().kernel_expansion()
+
+
+class TestIdentityCompile:
+    """float64, no prune/merge/Nystrom effect => bit-identical serving."""
+
+    def test_lssvm_identity_bits(self, kernel_problem):
+        X, y, Xq, _ = kernel_problem
+        m = LSSVMRegressor(gam=10.0, kernel="rbf", gamma=0.2).fit(X, y)
+        cp = compile_predictor(m, budget=10_000, prune_tol=0.0, dtype="float64")
+        assert cp.compiled and cp.report.reason == "ungated"
+        assert np.array_equal(cp.predict(Xq), m.predict(Xq))
+
+    def test_svr_identity_bits_all_kernels(self, kernel_problem):
+        X, y, Xq, _ = kernel_problem
+        for kernel in ("rbf", "linear", "poly"):
+            m = SVR(C=5.0, kernel=kernel, gamma=0.2).fit(X, y)
+            cp = compile_predictor(
+                m, budget=10_000, prune_tol=0.0, dtype="float64"
+            )
+            assert np.array_equal(cp.predict(Xq), m.predict(Xq)), kernel
+
+    def test_scaled_model_identity_bits(self, kernel_problem):
+        X, y, Xq, _ = kernel_problem
+        m = ScaledModel(LSSVMRegressor(gam=10.0, kernel="rbf")).fit(X, y)
+        cp = compile_predictor(m, budget=10_000, prune_tol=0.0, dtype="float64")
+        assert cp.compiled
+        assert np.array_equal(cp.predict(Xq), m.predict(Xq))
+
+
+class TestNystromAndPrecision:
+    def test_budget_caps_reference_rows(self, kernel_problem):
+        X, y, Xq, yq = kernel_problem
+        m = LSSVMRegressor(gam=10.0, kernel="rbf", gamma=0.05).fit(X, y)
+        cp = compile_predictor(m, budget=64, tol=1.0, X_val=Xq, y_val=yq)
+        assert cp.report.n_reference_rows_exact == 350
+        assert cp.report.n_reference_rows == 64
+        assert cp.report.n_landmarks == 64
+        assert cp.report.dtype == "float32"
+
+    def test_output_dtype_is_float64(self, kernel_problem):
+        X, y, Xq, _ = kernel_problem
+        m = LSSVMRegressor(gam=10.0, kernel="rbf", gamma=0.05).fit(X, y)
+        cp = compile_predictor(m, budget=64)
+        assert cp.predict(Xq).dtype == np.float64
+
+    def test_landmarks_cover_refs_is_near_exact(self):
+        # When the landmark set contains every reference row the
+        # factorization recovers the exact expansion (pinv cutoff aside).
+        rng = np.random.default_rng(0)
+        ref = rng.normal(size=(40, 4))
+        coef = rng.normal(size=40)
+        m = _ExpansionModel(ref, coef)
+        cp = compile_predictor(m, budget=40, dtype="float64", prune_tol=0.0)
+        Xq = rng.normal(size=(30, 4))
+        assert np.allclose(cp.predict(Xq), m.predict(Xq), atol=1e-8)
+
+
+class TestPruneAndMerge:
+    def test_near_zero_duals_dropped(self):
+        rng = np.random.default_rng(1)
+        ref = rng.normal(size=(20, 3))
+        coef = rng.normal(size=20)
+        coef[5:9] = 1e-15  # negligible vs O(1) duals
+        cp = compile_predictor(
+            _ExpansionModel(ref, coef), budget=100, dtype="float64"
+        )
+        assert cp.report.n_pruned == 4
+        assert cp.report.n_reference_rows == 16
+
+    def test_duplicate_rows_merged_with_coef_sum(self):
+        rng = np.random.default_rng(2)
+        base = rng.normal(size=(10, 3))
+        ref = np.vstack([base, base[:4]])  # 4 exact duplicates
+        coef = rng.normal(size=14)
+        m = _ExpansionModel(ref, coef)
+        cp = compile_predictor(m, budget=100, dtype="float64", prune_tol=0.0)
+        assert cp.report.n_merged == 4
+        assert cp.report.n_reference_rows == 10
+        Xq = rng.normal(size=(25, 3))
+        # summation order differs after the merge, so allclose not equal
+        assert np.allclose(cp.predict(Xq), m.predict(Xq), atol=1e-10)
+
+    def test_all_zero_coefficients_prune_to_intercept(self):
+        ref = np.ones((5, 2))
+        m = _ExpansionModel(ref, np.zeros(5), intercept=3.25)
+        cp = compile_predictor(m, budget=100, dtype="float64")
+        assert np.array_equal(cp.predict(np.zeros((4, 2))), np.full(4, 3.25))
+
+
+class TestAccuracyGate:
+    def test_rejected_compile_serves_exact_bits(self, kernel_problem):
+        X, y, Xq, yq = kernel_problem
+        m = LSSVMRegressor(gam=10.0, kernel="rbf", gamma=0.5).fit(X, y)
+        # budget=2 butchers a gamma=0.5 machine; a zero-tolerance gate
+        # must reject and fall back to exact serving.
+        cp = compile_predictor(m, budget=2, tol=0.0, X_val=Xq, y_val=yq)
+        assert not cp.compiled
+        assert cp.report.reason == "gate-rejected"
+        assert cp.report.gate_delta > 0.0
+        assert np.array_equal(cp.predict(Xq), m.predict(Xq))
+
+    def test_identity_compile_passes_zero_tolerance(self, kernel_problem):
+        X, y, Xq, yq = kernel_problem
+        m = LSSVMRegressor(gam=10.0, kernel="rbf", gamma=0.2).fit(X, y)
+        cp = compile_predictor(
+            m,
+            budget=10_000,
+            prune_tol=0.0,
+            dtype="float64",
+            tol=0.0,
+            X_val=Xq,
+            y_val=yq,
+        )
+        assert cp.compiled and cp.report.reason == "gated-accept"
+        assert cp.report.gate_delta == 0.0
+
+    def test_gate_needs_targets(self, kernel_problem):
+        X, y, Xq, _ = kernel_problem
+        m = LSSVMRegressor(gam=10.0).fit(X, y)
+        with pytest.raises(ValueError, match="y_val"):
+            compile_predictor(m, tol=0.1, X_val=Xq)
+
+    def test_invalid_arguments(self, kernel_problem):
+        X, y, _, _ = kernel_problem
+        m = LSSVMRegressor(gam=10.0).fit(X, y)
+        with pytest.raises(ValueError, match="budget"):
+            compile_predictor(m, budget=0)
+        with pytest.raises(ValueError, match="dtype"):
+            compile_predictor(m, dtype="int32")
+        with pytest.raises(ValueError, match="tol"):
+            compile_predictor(m, tol=-1.0)
+
+
+class TestUnsupportedPassthrough:
+    def test_tree_is_passthrough(self, nonlinear_data):
+        X, y = nonlinear_data
+        m = REPTreeRegressor(seed=0).fit(X, y)
+        cp = compile_predictor(m, tol=0.1, X_val=X, y_val=y)
+        assert not cp.compiled
+        assert cp.report.reason == "unsupported"
+        assert np.array_equal(cp.predict(X), m.predict(X))
+
+    def test_passthrough_interval_delegates(self, nonlinear_data):
+        X, y = nonlinear_data
+        bag = BaggingRegressor(n_estimators=5, seed=0).fit(X, y)  # trees
+        cp = compile_predictor(bag)
+        assert cp.report.reason == "unsupported"
+        exact = bag.predict_interval(X, 0.1)
+        wrapped = cp.predict_interval(X, 0.1)
+        for a, b in zip(exact, wrapped):
+            assert np.array_equal(a, b)
+
+
+class TestCompiledEnsemble:
+    @pytest.fixture(scope="class")
+    def bag_problem(self):
+        rng = np.random.default_rng(5)
+        X = rng.normal(size=(300, 4))
+        y = X @ rng.normal(size=4) + 0.05 * rng.normal(size=300)
+        bag = BaggingRegressor(
+            base=LSSVMRegressor(gam=10.0, kernel="rbf", gamma=0.1),
+            n_estimators=6,
+            seed=3,
+        ).fit(X[:220], y[:220])
+        return bag, X[220:], y[220:]
+
+    def test_member_wise_compile_with_shared_landmarks(self, bag_problem):
+        bag, Xq, yq = bag_problem
+        cp = compile_predictor(bag, budget=80, tol=1.0, X_val=Xq, y_val=yq)
+        assert cp.compiled
+        assert cp.report.n_landmarks <= 80
+        assert len(cp.report.members) == 6
+        assert np.allclose(cp.predict(Xq), bag.predict(Xq), atol=2.0)
+
+    def test_interval_mean_is_predict_bits(self, bag_problem):
+        bag, Xq, _ = bag_problem
+        cp = compile_predictor(bag, budget=80)
+        _, mean, _ = cp.predict_interval(Xq, 0.1)
+        assert np.array_equal(mean, cp.predict(Xq))
+
+    def test_interval_brackets_mean(self, bag_problem):
+        bag, Xq, _ = bag_problem
+        cp = compile_predictor(bag, budget=80)
+        lower, mean, upper = cp.predict_interval(Xq, 0.1)
+        assert (lower <= mean + 1e-9).all()
+        assert (mean <= upper + 1e-9).all()
+
+    def test_interval_quantile_validated(self, bag_problem):
+        bag, Xq, _ = bag_problem
+        cp = compile_predictor(bag, budget=80)
+        with pytest.raises(ValueError, match="quantile"):
+            cp.predict_interval(Xq, 0.6)
+
+
+class TestEdgeCases:
+    def test_empty_support_serves_intercept(self):
+        m = _ExpansionModel(np.empty((0, 3)), np.empty(0), intercept=7.5)
+        cp = compile_predictor(m, budget=8, dtype="float64")
+        assert np.array_equal(cp.predict(np.zeros((6, 3))), np.full(6, 7.5))
+
+    def test_single_reference_row(self):
+        m = _ExpansionModel(np.ones((1, 2)), np.array([2.0]))
+        cp = compile_predictor(m, budget=8, dtype="float64", prune_tol=0.0)
+        Xq = np.array([[1.0, 1.0], [0.0, 0.0]])
+        assert np.array_equal(cp.predict(Xq), m.predict(Xq))
+
+    def test_single_query_row(self, kernel_problem):
+        X, y, Xq, _ = kernel_problem
+        m = LSSVMRegressor(gam=10.0, kernel="rbf", gamma=0.2).fit(X, y)
+        cp = compile_predictor(m, budget=32)
+        assert cp.predict(Xq[:1]).shape == (1,)
+
+    def test_compiled_predictor_pickles(self, kernel_problem):
+        import pickle
+
+        X, y, Xq, _ = kernel_problem
+        m = LSSVMRegressor(gam=10.0, kernel="rbf", gamma=0.2).fit(X, y)
+        cp = compile_predictor(m, budget=32)
+        cp2 = pickle.loads(pickle.dumps(cp))
+        assert isinstance(cp2, CompiledPredictor)
+        assert np.array_equal(cp.predict(Xq), cp2.predict(Xq))
+
+    def test_report_records_timings_and_smae(self, kernel_problem):
+        X, y, Xq, yq = kernel_problem
+        m = LSSVMRegressor(gam=10.0, kernel="rbf", gamma=0.2).fit(X, y)
+        cp = compile_predictor(m, budget=64, tol=5.0, X_val=Xq, y_val=yq)
+        rep = cp.report
+        assert rep.compile_seconds > 0.0
+        assert rep.smae_exact is not None and rep.smae_compiled is not None
+        assert rep.gate_delta == pytest.approx(
+            rep.smae_compiled - rep.smae_exact
+        )

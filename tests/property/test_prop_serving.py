@@ -1,0 +1,100 @@
+"""Property-based tests for the compiled predict plane.
+
+The serving contract, over arbitrary kernel machines and compile
+settings: a compile either (a) is *accepted*, in which case the S-MAE
+delta it was gated on is real — recomputing it independently stays
+within the tolerance — or (b) falls back to the exact model with
+bit-identical predictions. There is no third state where a compiled
+model silently serves unvetted predictions.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ml.kernels import KernelExpansion
+from repro.ml.metrics import soft_mean_absolute_error
+from repro.ml.serving import compile_predictor
+
+
+class _ExpansionModel:
+    def __init__(self, exp):
+        self._exp = exp
+
+    def kernel_expansion(self):
+        return self._exp
+
+    def predict(self, X):
+        return self._exp.predict(X)
+
+
+@st.composite
+def machine(draw):
+    n = draw(st.integers(min_value=0, max_value=40))
+    d = draw(st.integers(min_value=1, max_value=5))
+    seed = draw(st.integers(min_value=0, max_value=2**31 - 1))
+    kernel = draw(st.sampled_from(["rbf", "linear", "poly"]))
+    gamma = draw(st.floats(min_value=0.01, max_value=1.0))
+    rng = np.random.default_rng(seed)
+    exp = KernelExpansion(
+        ref=rng.normal(size=(n, d)),
+        coef=rng.normal(size=n),
+        intercept=float(rng.normal()),
+        kernel=kernel,
+        gamma=gamma,
+        degree=draw(st.integers(min_value=1, max_value=3)),
+    )
+    X_val = rng.normal(size=(25, d))
+    y_val = rng.normal(size=25)
+    return _ExpansionModel(exp), X_val, y_val
+
+
+class TestCompileContract:
+    @given(
+        machine(),
+        st.integers(min_value=1, max_value=50),
+        st.floats(min_value=0.0, max_value=1.0),
+        st.sampled_from(["float32", "float64"]),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_accepted_within_gate_or_exact_bits(self, prob, budget, tol, dtype):
+        model, X_val, y_val = prob
+        cp = compile_predictor(
+            model, budget=budget, tol=tol, X_val=X_val, y_val=y_val, dtype=dtype
+        )
+        if cp.compiled:
+            assert cp.report.reason == "gated-accept"
+            # the gate's delta must be reproducible from the outside
+            smae_exact = soft_mean_absolute_error(
+                y_val, model.predict(X_val), 0.0
+            )
+            smae_compiled = soft_mean_absolute_error(
+                y_val, cp.predict(X_val), 0.0
+            )
+            assert smae_compiled - smae_exact <= tol + 1e-12
+        else:
+            assert cp.report.reason == "gate-rejected"
+            assert np.array_equal(cp.predict(X_val), model.predict(X_val))
+
+    @given(machine())
+    @settings(max_examples=40, deadline=None)
+    def test_identity_compile_is_exact(self, prob):
+        # float64, unlimited budget, no pruning: predictions must be
+        # bit-identical whenever no duplicate rows were merged.
+        model, X_val, _ = prob
+        cp = compile_predictor(
+            model, budget=10_000, prune_tol=0.0, dtype="float64"
+        )
+        if cp.report.n_merged == 0:
+            assert np.array_equal(cp.predict(X_val), model.predict(X_val))
+
+    @given(machine(), st.integers(min_value=1, max_value=50))
+    @settings(max_examples=40, deadline=None)
+    def test_budget_always_respected(self, prob, budget):
+        model, _, _ = prob
+        cp = compile_predictor(model, budget=budget)
+        assert cp.report.n_reference_rows <= max(
+            budget, cp.report.n_reference_rows_exact
+        )
+        if cp.report.n_landmarks:
+            assert cp.report.n_reference_rows <= budget

@@ -92,3 +92,40 @@ class TestCheckIsFitted:
             coef_ = np.ones(2)
 
         check_is_fitted(Foo(), "coef_")
+
+
+class TestNoCopyPassThrough:
+    """Clean inputs cross the hot predict path without a copy.
+
+    Kernel predictors validate X on every call; for the common case —
+    a C-contiguous float64 2-D array, exactly what the fleet control
+    plane hands in every tick — validation must be a pass-through that
+    returns the same buffer, not a per-call O(n d) copy.
+    """
+
+    def test_check_array_returns_same_object(self):
+        X = np.ascontiguousarray(np.random.default_rng(0).normal(size=(40, 6)))
+        assert check_array(X) is X
+
+    def test_check_array_copies_wrong_dtype(self):
+        X = np.ones((4, 3), dtype=np.float32)
+        out = check_array(X)
+        assert out is not X and out.dtype == np.float64
+
+    def test_check_array_copies_non_contiguous(self):
+        X = np.ones((8, 6))[:, ::2]
+        out = check_array(X)
+        assert out is not X and out.flags["C_CONTIGUOUS"]
+
+    def test_kernel_as_2d_returns_same_object(self):
+        from repro.ml.kernels import _as_2d
+
+        X = np.ascontiguousarray(np.random.default_rng(1).normal(size=(10, 4)))
+        assert _as_2d(X) is X
+
+    def test_kernel_as_2d_casts_on_dtype_request(self):
+        from repro.ml.kernels import _as_2d
+
+        X = np.ones((5, 2))
+        out = _as_2d(X, dtype=np.float32)
+        assert out is not X and out.dtype == np.float32
