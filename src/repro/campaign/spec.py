@@ -30,10 +30,25 @@ from typing import Any, Iterable, Mapping
 
 from repro.store.keys import fingerprint, short_fingerprint
 from repro.system.monitor import MonitorConfig
-from repro.system.resources import MachineConfig
+from repro.system.resources import MACHINE_PROFILES, MachineConfig
+from repro.system.schedule import (
+    ConstantLoad,
+    DiurnalLoad,
+    FlashCrowdLoad,
+    LoadSchedule,
+    StepLoad,
+)
 from repro.system.server import ServerConfig
 from repro.system.simulator import CampaignConfig
 from repro.system.tpcw import MIXES
+
+#: JSON vocabulary for schedule values: ``{"type": <name>, ...fields}``.
+_SCHEDULE_TYPES = {
+    "constant": ConstantLoad,
+    "diurnal": DiurnalLoad,
+    "step": StepLoad,
+    "flash-crowd": FlashCrowdLoad,
+}
 
 #: Stages a spec may request, in execution order (each caches its own
 #: artifact; later stages consume earlier ones — morf-style staging).
@@ -43,16 +58,29 @@ STAGES = ("simulate", "aggregate", "train", "evaluate")
 #: axis (``seeds``), and the substrate is execution strategy, not content.
 _RESERVED_AXES = frozenset({"seed", "substrate"})
 
+#: Axes that are spec vocabulary rather than ``CampaignConfig`` fields.
+#: ``scenario`` values are catalog names (:mod:`repro.scenarios`)
+#: resolved to config overrides at cell-enumeration time; the resolved
+#: config is fingerprinted exactly like any hand-written one, so the
+#: axis adds no new cache-key vocabulary and old caches stay valid.
+_VIRTUAL_AXES = frozenset({"scenario"})
+
 _CONFIG_FIELDS = {f.name: f for f in dataclasses.fields(CampaignConfig)}
 
 
 def _coerce_value(field_name: str, value: Any) -> Any:
     """Resolve a spec-level value to a ``CampaignConfig`` field value.
 
-    JSON-friendly spellings are accepted: mixes by name (``"shopping"``),
-    range pairs as lists. Everything else passes through and is validated
-    by ``CampaignConfig.__post_init__`` / the fingerprint encoder.
+    JSON-friendly spellings are accepted: mixes and machine profiles by
+    name (``"shopping"``, ``"small-vm"``), scenarios by catalog name,
+    range pairs as lists. Everything else passes through and is
+    validated by ``CampaignConfig.__post_init__`` / the fingerprint
+    encoder.
     """
+    if field_name == "scenario":
+        from repro.scenarios import get_scenario
+
+        return get_scenario(value).name
     if field_name == "mix" and isinstance(value, str):
         try:
             return MIXES[value]
@@ -60,12 +88,32 @@ def _coerce_value(field_name: str, value: Any) -> Any:
             raise ValueError(
                 f"unknown TPC-W mix {value!r}; known: {sorted(MIXES)}"
             ) from None
+    if field_name == "machine" and isinstance(value, str):
+        try:
+            return MACHINE_PROFILES[value]
+        except KeyError:
+            raise ValueError(
+                f"unknown machine profile {value!r}; "
+                f"known: {sorted(MACHINE_PROFILES)}"
+            ) from None
     if field_name == "machine" and isinstance(value, Mapping):
         return MachineConfig(**value)
     if field_name == "server" and isinstance(value, Mapping):
         return ServerConfig(**value)
     if field_name == "monitor" and isinstance(value, Mapping):
         return MonitorConfig(**value)
+    if field_name == "load_schedule" and isinstance(value, Mapping):
+        doc = dict(value)
+        type_name = doc.pop("type", None)
+        if type_name not in _SCHEDULE_TYPES:
+            raise ValueError(
+                f"unknown load schedule type {type_name!r}; "
+                f"known: {sorted(_SCHEDULE_TYPES)}"
+            )
+        doc = {
+            k: tuple(v) if isinstance(v, list) else v for k, v in doc.items()
+        }
+        return _SCHEDULE_TYPES[type_name](**doc)
     if isinstance(value, list):
         return tuple(value)
     return value
@@ -75,6 +123,21 @@ def _uncoerce_value(field_name: str, value: Any) -> Any:
     """Inverse of :func:`_coerce_value` for JSON export."""
     if field_name == "mix" and hasattr(value, "name") and value.name in MIXES:
         return value.name
+    if field_name == "machine" and isinstance(value, MachineConfig):
+        for profile_name, profile in MACHINE_PROFILES.items():
+            if value == profile:
+                return profile_name
+    if field_name == "load_schedule" and isinstance(value, LoadSchedule):
+        for type_name, cls in _SCHEDULE_TYPES.items():
+            if type(value) is cls:
+                doc = dataclasses.asdict(value)
+                return {
+                    "type": type_name,
+                    **{
+                        k: list(v) if isinstance(v, tuple) else v
+                        for k, v in doc.items()
+                    },
+                }
     if dataclasses.is_dataclass(value) and not isinstance(value, type):
         return dataclasses.asdict(value)
     if isinstance(value, tuple):
@@ -151,10 +214,11 @@ class CampaignSpec:
             axes = tuple(axes.items())
         normalized = []
         for axis_name, values in sorted(axes, key=lambda kv: kv[0]):
-            if axis_name not in _CONFIG_FIELDS:
+            if axis_name not in _CONFIG_FIELDS and axis_name not in _VIRTUAL_AXES:
                 raise ValueError(
                     f"unknown campaign axis {axis_name!r}; "
-                    f"CampaignConfig has no such field"
+                    f"CampaignConfig has no such field and it is not a "
+                    f"virtual axis ({sorted(_VIRTUAL_AXES)})"
                 )
             if axis_name in _RESERVED_AXES:
                 raise ValueError(
@@ -209,10 +273,19 @@ class CampaignSpec:
                 name: _coerce_value(name, value)
                 for name, value in zip(axis_names, combo)
             }
+            # A scenario resolves to base-config overrides *first*, so
+            # explicit axes on the same fields win over the preset.
+            scenario_name = overrides.pop("scenario", None)
+            if scenario_name is not None:
+                from repro.scenarios import resolve_scenario
+
+                cell_base = resolve_scenario(scenario_name, self.base)
+            else:
+                cell_base = self.base
             if self.substrate is not None:
                 overrides["substrate"] = self.substrate
             for seed in seeds:
-                config = replace(self.base, seed=int(seed), **overrides)
+                config = replace(cell_base, seed=int(seed), **overrides)
                 cells.append(
                     CampaignCell(
                         index=index,

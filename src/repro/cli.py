@@ -4,6 +4,7 @@ Commands mirror the F2PM workflow:
 
 ==============  ========================================================
 simulate        run a monitoring campaign, save the DataHistory (.npz)
+scenarios       list the named scenario presets (`simulate --scenario`)
 aggregate       aggregate a history into a training set (.npz)
 select          print the Lasso regularization path (Fig. 4 / Table I)
 train           run the full F2PM workflow, print the comparison tables
@@ -106,8 +107,36 @@ def _load_history(path: str) -> DataHistory:
 
 def cmd_simulate(args: argparse.Namespace) -> int:
     config = demo_campaign(args.runs, args.seed)
+    if args.scenario is not None:
+        from repro.scenarios import get_scenario
+
+        try:
+            config = get_scenario(args.scenario).apply(config)
+        except ValueError as exc:
+            raise SystemExit(f"error: {exc}")
     if args.browsers is not None:
         config = replace(config, n_browsers=args.browsers)
+    if args.max_run is not None:
+        config = replace(config, max_run_seconds=args.max_run)
+    injector_flags = {
+        "time_injectors": "use_time_injectors",
+        "lock_injector": "use_lock_injector",
+        "fd_injector": "use_fd_injector",
+        "conn_injector": "use_conn_injector",
+        "frag_injector": "use_frag_injector",
+    }
+    enabled = {
+        field: True
+        for flag, field in injector_flags.items()
+        if getattr(args, flag)
+    }
+    if enabled:
+        config = replace(config, **enabled)
+    if args.failure is not None:
+        try:
+            config = replace(config, failure=args.failure)
+        except ValueError as exc:
+            raise SystemExit(f"error: {exc}")
     config = replace(config, substrate=args.substrate)
     history = TestbedSimulator(config).run_campaign(jobs=resolve_jobs(args.jobs))
     history.save(args.output)
@@ -115,6 +144,28 @@ def cmd_simulate(args: argparse.Namespace) -> int:
         f"saved {len(history)} runs ({history.n_datapoints} datapoints, "
         f"mean TTF {history.mean_run_length:.0f}s) to {args.output}"
     )
+    return 0
+
+
+def cmd_scenarios(args: argparse.Namespace) -> int:
+    """List the scenario catalog (``f2pm simulate --scenario NAME``)."""
+    from repro.scenarios import SCENARIOS, scenario_names
+
+    rows = [
+        [s.name, s.workload, s.schedule, s.profile, s.anomaly]
+        for s in (SCENARIOS[n] for n in scenario_names())
+    ]
+    print(
+        render_table(
+            ("scenario", "workload", "schedule", "machine", "anomaly family"),
+            rows,
+            title="scenario catalog (use with `f2pm simulate --scenario NAME`)",
+        )
+    )
+    if args.describe:
+        print()
+        for name in scenario_names():
+            print(f"{name}:\n  {SCENARIOS[name].description}")
     return 0
 
 
@@ -853,6 +904,38 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--browsers", type=int, default=None)
     p.add_argument("--seed", type=int, default=0)
     p.add_argument(
+        "--scenario",
+        default=None,
+        metavar="NAME",
+        help="apply a named catalog preset over the demo campaign "
+        "(list them with `f2pm scenarios`)",
+    )
+    p.add_argument(
+        "--max-run",
+        type=float,
+        default=None,
+        metavar="S",
+        help="per-run horizon in seconds (slow-aging scenarios such as "
+        "lock-contention need more than the demo default of 3000)",
+    )
+    p.add_argument(
+        "--failure",
+        default=None,
+        metavar="SPEC",
+        help="failure condition spec: mem[:headroom], rt>SECONDS, "
+        "gen>SECONDS, fd[:fill]; '|' combines alternatives",
+    )
+    for flag, family in (
+        ("--time-injectors", "Sec. III-E time-based leak/thread storms"),
+        ("--lock-injector", "stuck application locks"),
+        ("--fd-injector", "fd/socket leaks"),
+        ("--conn-injector", "connection-pool depletion"),
+        ("--frag-injector", "heap fragmentation"),
+    ):
+        p.add_argument(
+            flag, action="store_true", help=f"enable the {family} injector"
+        )
+    p.add_argument(
         "--substrate",
         choices=("fused", "loop"),
         default="fused",
@@ -860,6 +943,14 @@ def build_parser() -> argparse.ArgumentParser:
         "per-tick loop (bit-identical output; see docs/PERFORMANCE.md)",
     )
     p.set_defaults(func=cmd_simulate)
+
+    p = add_parser("scenarios", help="list the named scenario presets")
+    p.add_argument(
+        "--describe",
+        action="store_true",
+        help="also print each preset's one-paragraph description",
+    )
+    p.set_defaults(func=cmd_scenarios)
 
     p = add_parser("aggregate", help="aggregate a history into a training set")
     p.add_argument("history")

@@ -19,6 +19,7 @@ from pathlib import Path
 from repro.campaign import CampaignManager
 from repro.experiments import common
 from repro.experiments import (
+    ext_generalization,
     ext_incremental_curve,
     ext_mix_comparison,
     ext_rejuvenation_sweep,
@@ -88,6 +89,10 @@ def main(telemetry_dir: "Path | str | None" = None, jobs: int = 1) -> Path:
         print("==== ext_mix_comparison ====")
         with span("ext_mix_comparison"):
             ext_mix_comparison.run(n_runs=6, jobs=jobs, use_cache=True)
+        print()
+        print("==== ext_generalization ====")
+        with span("ext_generalization"):
+            ext_generalization.run(n_runs=4, jobs=jobs, use_cache=True)
         print()
 
     bundle = build_manifest(

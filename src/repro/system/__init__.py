@@ -21,12 +21,15 @@ discrete-time simulation with the same observable surface:
   ``docs/PERFORMANCE.md``).
 """
 
-from repro.system.resources import MachineConfig, MachineState
+from repro.system.resources import MACHINE_PROFILES, MachineConfig, MachineState
 from repro.system.anomalies import (
     AnomalyProfile,
     MemoryLeakInjector,
     ThreadLeakInjector,
     LockContentionInjector,
+    FdLeakInjector,
+    ConnectionPoolInjector,
+    HeapFragmentationInjector,
 )
 from repro.system.tpcw import (
     Interaction,
@@ -42,20 +45,32 @@ from repro.system.failure import (
     MemoryExhaustion,
     ResponseTimeLimit,
     GenerationTimeLimit,
+    FdExhaustion,
     AnyOf,
+    parse_failure,
 )
-from repro.system.schedule import LoadSchedule, ConstantLoad, DiurnalLoad, StepLoad
+from repro.system.schedule import (
+    LoadSchedule,
+    ConstantLoad,
+    DiurnalLoad,
+    StepLoad,
+    FlashCrowdLoad,
+)
 from repro.system.monitor import MonitorConfig, FeatureMonitorClient, FeatureMonitorServer
 from repro.system.simulator import CampaignConfig, TestbedSimulator
 from repro.system.fused import run_once_fused
 
 __all__ = [
+    "MACHINE_PROFILES",
     "MachineConfig",
     "MachineState",
     "AnomalyProfile",
     "MemoryLeakInjector",
     "ThreadLeakInjector",
     "LockContentionInjector",
+    "FdLeakInjector",
+    "ConnectionPoolInjector",
+    "HeapFragmentationInjector",
     "Interaction",
     "TPCWMix",
     "BROWSING_MIX",
@@ -68,11 +83,14 @@ __all__ = [
     "MemoryExhaustion",
     "ResponseTimeLimit",
     "GenerationTimeLimit",
+    "FdExhaustion",
     "AnyOf",
+    "parse_failure",
     "LoadSchedule",
     "ConstantLoad",
     "DiurnalLoad",
     "StepLoad",
+    "FlashCrowdLoad",
     "MonitorConfig",
     "FeatureMonitorClient",
     "FeatureMonitorServer",

@@ -242,3 +242,127 @@ class ThreadLeakInjector:
             state.spawn_threads(n)
             self.total_threads += n
         return n
+
+
+class FdLeakInjector:
+    """Time-based file-descriptor/socket leak generator (extension).
+
+    Models unclosed sockets and files: each event leaks a uniform
+    integer count of descriptors into the process fd table
+    (:meth:`~repro.system.resources.MachineState.leak_fds`). Descriptors
+    consume no resident memory — the degradation is a service-time
+    inflation as the table fills (kernel fd allocation scans, accept()
+    retries) and a crash when it is exhausted
+    (:class:`~repro.system.failure.FdExhaustion`).
+
+    Same stochastic design as the Sec. III-E utilities: exponential
+    inter-arrival times with a uniformly drawn mean.
+    """
+
+    def __init__(
+        self,
+        count_range: tuple[int, int] = (8, 128),
+        mean_interval_range: tuple[float, float] = (5.0, 60.0),
+        seed: "int | None | np.random.Generator" = None,
+    ) -> None:
+        lo, hi = count_range
+        if not 1 <= lo <= hi:
+            raise ValueError(f"invalid count_range {count_range}")
+        self.count_range = (int(lo), int(hi))
+        self._timing = _ExponentialArrivals(mean_interval_range, seed)
+        self.total_fds = 0
+
+    @property
+    def mean_interval(self) -> float:
+        return self._timing.mean_interval
+
+    @property
+    def next_fire_time(self) -> float:
+        """When the next leak fires (see :class:`MemoryLeakInjector`)."""
+        return self._timing.next_time
+
+    def advance(self, state: MachineState, now: float) -> int:
+        """Leak all descriptors due by *now*; returns the count."""
+        n = self._timing.events_until(now)
+        if n == 0:
+            return 0
+        lo, hi = self.count_range
+        counts = self._timing.rng.integers(lo, hi, size=n, endpoint=True)
+        leaked = int(counts.sum())
+        state.leak_fds(leaked)
+        self.total_fds += leaked
+        return leaked
+
+
+class ConnectionPoolInjector:
+    """Time-based connection-pool depletion generator (extension).
+
+    Models DB connections checked out and never returned: each event
+    permanently holds one connection from the server's fixed-size pool
+    (:meth:`~repro.system.server.AppServer.hold_connections`). Requests
+    queue on the shrinking free set, so service times inflate
+    hyperbolically as the pool drains and blow up when it is exhausted —
+    with no memory footprint at all.
+    """
+
+    def __init__(
+        self,
+        mean_interval_range: tuple[float, float] = (20.0, 180.0),
+        seed: "int | None | np.random.Generator" = None,
+    ) -> None:
+        self._timing = _ExponentialArrivals(mean_interval_range, seed)
+        self.total_held = 0
+
+    @property
+    def mean_interval(self) -> float:
+        return self._timing.mean_interval
+
+    @property
+    def next_fire_time(self) -> float:
+        """When the next connection leaks (see :class:`MemoryLeakInjector`)."""
+        return self._timing.next_time
+
+    def advance(self, server, now: float) -> int:
+        """Hold all connections due by *now*; returns the count."""
+        n = self._timing.events_until(now)
+        if n > 0:
+            server.hold_connections(n)
+            self.total_held += n
+        return n
+
+
+class HeapFragmentationInjector:
+    """Time-based heap-fragmentation generator (extension).
+
+    Models allocator fragmentation: each event marks a slice of the heap
+    unusable for large allocations
+    (:meth:`~repro.system.server.AppServer.fragment_heap`), inflating
+    allocation latency — service-time degradation with **no RSS growth**,
+    the aging family that defeats purely memory-based predictors.
+    """
+
+    def __init__(
+        self,
+        mean_interval_range: tuple[float, float] = (10.0, 120.0),
+        seed: "int | None | np.random.Generator" = None,
+    ) -> None:
+        self._timing = _ExponentialArrivals(mean_interval_range, seed)
+        self.total_events = 0
+
+    @property
+    def mean_interval(self) -> float:
+        return self._timing.mean_interval
+
+    @property
+    def next_fire_time(self) -> float:
+        """When the next fragmentation event lands (see
+        :class:`MemoryLeakInjector`)."""
+        return self._timing.next_time
+
+    def advance(self, server, now: float) -> int:
+        """Apply all fragmentation events due by *now*; returns the count."""
+        n = self._timing.events_until(now)
+        if n > 0:
+            server.fragment_heap(n)
+            self.total_events += n
+        return n

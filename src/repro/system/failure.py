@@ -152,6 +152,31 @@ class GenerationTimeLimit(FailureCondition):
         return (NO_LIMIT, NO_LIMIT, self.limit_seconds)
 
 
+class FdExhaustion(FailureCondition):
+    """System failed when leaked descriptors fill the process fd table.
+
+    ``fill_frac`` is the fraction of :attr:`MachineConfig.fd_limit` at
+    which the application dies (accept loops hit ``EMFILE`` before the
+    table is literally full). This condition reads a counter the fused
+    engine does not track as a threshold channel, so it has **no**
+    ``fused_limits`` form — fd-leak scenarios deliberately exercise the
+    loop-fallback path (``sim.fused_fallback_total``).
+    """
+
+    def __init__(self, fill_frac: float = 0.95) -> None:
+        if not 0.0 < fill_frac <= 1.0:
+            raise ValueError(f"fill_frac must be in (0,1], got {fill_frac}")
+        self.fill_frac = fill_frac
+
+    def is_failed(self, view: SystemView) -> bool:
+        state = view.state
+        return state.n_leaked_fds > self.fill_frac * state.config.fd_limit
+
+    @property
+    def description(self) -> str:
+        return f"fd table > {self.fill_frac:.0%} full"
+
+
 class AnyOf(FailureCondition):
     """Disjunction: failed when any sub-condition fires."""
 
@@ -182,3 +207,52 @@ class AnyOf(FailureCondition):
             rt = min(rt, limits[1])
             gen = min(gen, limits[2])
         return (mem, rt, gen)
+
+
+def parse_failure(spec: str) -> FailureCondition:
+    """Build a failure condition from a compact string spec.
+
+    The grammar keeps campaign configs JSON-friendly (a config field can
+    hold the spec instead of a condition object):
+
+    ==================  ==============================================
+    spec                condition
+    ==================  ==============================================
+    ``mem``             :class:`MemoryExhaustion`
+    ``mem:0.05``        :class:`MemoryExhaustion` with 5% headroom
+    ``rt>8``            :class:`ResponseTimeLimit` at 8 s
+    ``gen>30``          :class:`GenerationTimeLimit` at 30 s
+    ``fd``              :class:`FdExhaustion`
+    ``fd:0.9``          :class:`FdExhaustion` at 90% table fill
+    ``a|b``             :class:`AnyOf` disjunction of the terms
+    ==================  ==============================================
+    """
+    if not isinstance(spec, str) or not spec.strip():
+        raise ValueError(f"failure spec must be a non-empty string, got {spec!r}")
+    terms: list[FailureCondition] = []
+    for term in spec.split("|"):
+        term = term.strip()
+        try:
+            if term == "mem":
+                terms.append(MemoryExhaustion())
+            elif term.startswith("mem:"):
+                terms.append(MemoryExhaustion(headroom_frac=float(term[4:])))
+            elif term.startswith("rt>"):
+                terms.append(ResponseTimeLimit(float(term[3:])))
+            elif term.startswith("gen>"):
+                terms.append(GenerationTimeLimit(float(term[4:])))
+            elif term == "fd":
+                terms.append(FdExhaustion())
+            elif term.startswith("fd:"):
+                terms.append(FdExhaustion(fill_frac=float(term[3:])))
+            else:
+                raise ValueError("unrecognized term")
+        except ValueError as exc:
+            raise ValueError(
+                f"bad failure spec term {term!r} in {spec!r}: "
+                "expected mem[:headroom], rt>SECONDS, gen>SECONDS, or "
+                f"fd[:fill] ({exc})"
+            ) from None
+    if len(terms) == 1:
+        return terms[0]
+    return AnyOf(*terms)

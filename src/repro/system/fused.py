@@ -60,6 +60,9 @@ from repro.core.history import RunRecord
 from repro.obs import get_metrics, get_telemetry, span
 from repro.system.anomalies import (
     AnomalyProfile,
+    ConnectionPoolInjector,
+    FdLeakInjector,
+    HeapFragmentationInjector,
     LockContentionInjector,
     MemoryLeakInjector,
     ThreadLeakInjector,
@@ -135,6 +138,30 @@ def run_once_fused(
             mean_interval_range=cfg.lock_injector_interval_range, seed=r_lock
         )
         lock_next = lock_inj.next_fire_time
+    # Later families spawn only when enabled, in fixed fd -> conn -> frag
+    # order — the exact spawn topology of the loop substrate.
+    fd_inj = conn_inj = frag_inj = None
+    fd_next = conn_next = frag_next = _INF
+    if cfg.use_fd_injector:
+        (r_fd,) = r_inject.spawn(1)
+        fd_inj = FdLeakInjector(
+            count_range=cfg.fd_injector_count_range,
+            mean_interval_range=cfg.fd_injector_interval_range,
+            seed=r_fd,
+        )
+        fd_next = fd_inj.next_fire_time
+    if cfg.use_conn_injector:
+        (r_conn,) = r_inject.spawn(1)
+        conn_inj = ConnectionPoolInjector(
+            mean_interval_range=cfg.conn_injector_interval_range, seed=r_conn
+        )
+        conn_next = conn_inj.next_fire_time
+    if cfg.use_frag_injector:
+        (r_frag,) = r_inject.spawn(1)
+        frag_inj = HeapFragmentationInjector(
+            mean_interval_range=cfg.frag_injector_interval_range, seed=r_frag
+        )
+        frag_next = frag_inj.next_fire_time
 
     # -- hoisted constants -------------------------------------------------
     n_b = cfg.n_browsers
@@ -155,6 +182,12 @@ def run_once_fused(
     lock_per = server_cfg.lock_contention_per_lock
     thrash_coef = server_cfg.swap_thrash_coef
     blowup_coef = server_cfg.swap_blowup_coef
+    fd_coef = server_cfg.fd_pressure_coef
+    fd_limit = machine.fd_limit
+    conn_pool = server_cfg.conn_pool_size
+    conn_coef = server_cfg.conn_wait_coef
+    frag_per = server_cfg.frag_per_event
+    frag_cap = server_cfg.frag_cap
     base_sys_share = server_cfg.base_sys_share
     iowait_coef = server_cfg.iowait_coef
     noise_sigma = mon.noise_sigma
@@ -283,6 +316,9 @@ def run_once_fused(
                 and leak_next > t_end
                 and thread_next > t_end
                 and lock_next > t_end
+                and fd_next > t_end
+                and conn_next > t_end
+                and frag_next > t_end
                 and sched_next > t_end
                 and not (
                     overflow > mem_limit
@@ -306,6 +342,9 @@ def run_once_fused(
                         and leak_next > t2
                         and thread_next > t2
                         and lock_next > t2
+                        and fd_next > t2
+                        and conn_next > t2
+                        and frag_next > t2
                         and sched_next > t2
                         and g < GAP_MAX_TICKS
                     ):
@@ -397,7 +436,37 @@ def run_once_fused(
                     swap_factor += blowup_coef * s / (1.0 - s)
                 else:
                     swap_factor += blowup_coef * 1e3
-                multiplier = thread_factor * lock_factor * swap_factor
+                fd_factor = 1.0
+                n_fds = state.n_leaked_fds
+                if n_fds > 0:
+                    fill = n_fds / fd_limit
+                    if fill < 1.0:
+                        fd_factor = 1.0 + fd_coef * fill / (1.0 - fill)
+                    else:
+                        fd_factor = 1.0 + fd_coef * 1e3
+                conn_factor = 1.0
+                n_held = server.n_held_connections
+                if n_held > 0:
+                    free_conn = conn_pool - n_held
+                    if free_conn > 0:
+                        conn_factor = 1.0 + conn_coef * (n_held / free_conn)
+                    else:
+                        conn_factor = 1.0 + conn_coef * 1e3
+                frag_factor = 1.0
+                n_frag = server.frag_events
+                if n_frag > 0:
+                    frag = n_frag * frag_per
+                    if frag > frag_cap:
+                        frag = frag_cap
+                    frag_factor = 1.0 / (1.0 - frag)
+                multiplier = (
+                    thread_factor
+                    * lock_factor
+                    * swap_factor
+                    * fd_factor
+                    * conn_factor
+                    * frag_factor
+                )
                 if k < 8:
                     # Scalar fold: bit-identical to the vector branch below
                     # because np.sum/np.cumsum are plain left-to-right
@@ -504,6 +573,20 @@ def run_once_fused(
             if lock_inj is not None and lock_next <= now:
                 lock_inj.advance(server, now)
                 lock_next = lock_inj.next_fire_time
+                _close_block()
+            # fd/conn/frag families touch no memory state, so (like the
+            # loop substrate) no swap recompute follows their advances.
+            if fd_inj is not None and fd_next <= now:
+                fd_inj.advance(state, now)
+                fd_next = fd_inj.next_fire_time
+                _close_block()
+            if conn_inj is not None and conn_next <= now:
+                conn_inj.advance(server, now)
+                conn_next = conn_inj.next_fire_time
+                _close_block()
+            if frag_inj is not None and frag_next <= now:
+                frag_inj.advance(server, now)
+                frag_next = frag_inj.next_fire_time
                 _close_block()
 
             # ---- monitor sample (event) ----------------------------------

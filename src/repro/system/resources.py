@@ -50,17 +50,54 @@ class MachineConfig:
     shared_kb: float = 49_152.0
     #: OS data buffers at steady state.
     buffers_kb: float = 24_576.0
+    #: Process file-descriptor table size (``ulimit -n``); fd/socket
+    #: leaks degrade service as the table fills and crash the app when
+    #: it is exhausted.
+    fd_limit: int = 65_536
 
     def __post_init__(self) -> None:
         if self.ram_kb <= 0 or self.swap_kb < 0:
             raise ValueError("ram_kb must be positive, swap_kb non-negative")
         if self.n_cpus < 1:
             raise ValueError(f"n_cpus must be >= 1, got {self.n_cpus}")
+        if self.fd_limit < 1:
+            raise ValueError(f"fd_limit must be >= 1, got {self.fd_limit}")
         base = self.os_base_kb + self.app_working_set_kb
         if base >= self.ram_kb:
             raise ValueError(
                 f"base memory demand {base} exceeds RAM {self.ram_kb}"
             )
+
+
+#: Named machine presets for heterogeneous-fleet scenarios. Keys are
+#: accepted anywhere a ``machine`` value is declared (CLI flags,
+#: ``CampaignSpec`` axes, scenario presets); ``default`` is the paper's
+#: 2 GB / 1 GB / 2-vCPU guest.
+MACHINE_PROFILES: dict[str, MachineConfig] = {
+    "default": MachineConfig(),
+    # Memory-starved guest: same working set, half the RAM and swap —
+    # memory anomalies hit the wall roughly twice as fast.
+    "small-vm": MachineConfig(
+        ram_kb=1_048_576.0,
+        swap_kb=524_288.0,
+        n_cpus=1,
+        os_base_kb=262_144.0,
+        app_working_set_kb=262_144.0,
+        min_cache_kb=32_768.0,
+        shared_kb=24_576.0,
+        buffers_kb=12_288.0,
+    ),
+    # Over-provisioned guest: double RAM/swap/CPUs — the same anomaly
+    # rates produce much longer, flatter RTTF trajectories.
+    "large-vm": MachineConfig(
+        ram_kb=4_194_304.0,
+        swap_kb=2_097_152.0,
+        n_cpus=4,
+    ),
+    # Tight ``ulimit -n``: fd/socket leaks exhaust the descriptor table
+    # long before memory pressure shows up anywhere.
+    "constrained-fd": MachineConfig(fd_limit=4_096),
+}
 
 
 def memory_layout(
@@ -150,6 +187,7 @@ class MachineState:
         self.config = config
         self.leaked_kb: float = 0.0
         self.n_leaked_threads: int = 0
+        self.n_leaked_fds: int = 0
         #: Threads of the healthy application (pool workers etc.).
         self.base_threads: int = 120
         self._swap_used_kb: float = 0.0  # monotone within a run
@@ -168,6 +206,12 @@ class MachineState:
         if count < 0:
             raise ValueError(f"thread count must be non-negative, got {count}")
         self.n_leaked_threads += count
+
+    def leak_fds(self, count: int) -> None:
+        """Account leaked file descriptors/sockets (no RSS footprint)."""
+        if count < 0:
+            raise ValueError(f"fd count must be non-negative, got {count}")
+        self.n_leaked_fds += count
 
     # -- derived memory accounting ----------------------------------------------
 
@@ -236,6 +280,11 @@ class MachineState:
     def memory_exhausted(self) -> bool:
         """True when demand exceeds RAM + swap — the OOM crash point."""
         return self.overflow_kb > self.config.swap_kb
+
+    @property
+    def fd_pressure(self) -> float:
+        """Fraction of the fd table consumed by leaked descriptors."""
+        return self.n_leaked_fds / self.config.fd_limit
 
     @property
     def n_threads(self) -> int:

@@ -127,3 +127,60 @@ class StepLoad(LoadSchedule):
         if idx >= len(self.breakpoints):
             return float("inf")
         return self.breakpoints[idx]
+
+
+@dataclass(frozen=True)
+class FlashCrowdLoad(LoadSchedule):
+    """A flash crowd: baseline load, a linear ramp to a peak, a hold at
+    the peak, and a linear decay back to baseline.
+
+    The event that makes load-coupled anomaly accumulation *non-uniform
+    in time*: a burst of Home interactions mid-run bends the RTTF
+    trajectory in a way constant and even diurnal load never does.
+    """
+
+    base: float = 0.5
+    peak: float = 1.0
+    start: float = 600.0
+    ramp: float = 120.0
+    hold: float = 600.0
+    decay: float = 300.0
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.base <= 1.0 or not 0.0 <= self.peak <= 1.0:
+            raise ValueError(
+                f"base and peak must be in [0,1], got ({self.base}, {self.peak})"
+            )
+        if self.start < 0 or self.ramp < 0 or self.hold < 0 or self.decay < 0:
+            raise ValueError("start/ramp/hold/decay must be non-negative")
+
+    def active_fraction(self, now: float) -> float:
+        t = now - self.start
+        if t < 0.0:
+            return self.base
+        if t < self.ramp:
+            return self.base + (self.peak - self.base) * (t / self.ramp)
+        t -= self.ramp
+        if t < self.hold:
+            return self.peak
+        t -= self.hold
+        if t < self.decay:
+            return self.peak + (self.base - self.peak) * (t / self.decay)
+        return self.base
+
+    def next_change_after(self, now: float) -> float:
+        # Piecewise: constant segments report their end (event-driven
+        # consumers may batch across them); ramp/decay segments return
+        # ``now`` — "changing continuously", per-tick evaluation.
+        if now < self.start:
+            return self.start
+        t = now - self.start
+        if t < self.ramp:
+            return now
+        t -= self.ramp
+        if t < self.hold:
+            return self.start + self.ramp + self.hold
+        t -= self.hold
+        if t < self.decay:
+            return now
+        return float("inf")

@@ -61,10 +61,34 @@ class ServerConfig:
     demand_noise_sigma: float = 0.15
     #: Service inflation per permanently held application lock.
     lock_contention_per_lock: float = 0.05
+    #: Weight of the fd-table fill blow-up term (kernel fd scans,
+    #: accept() retries as the descriptor table saturates).
+    fd_pressure_coef: float = 0.4
+    #: DB connection-pool capacity (connections).
+    conn_pool_size: int = 32
+    #: Service inflation per held/free connection ratio (queueing on
+    #: the shrinking free set).
+    conn_wait_coef: float = 0.12
+    #: Fraction of the heap effectively lost per fragmentation event.
+    frag_per_event: float = 0.004
+    #: Ceiling on the effective heap fraction lost to fragmentation.
+    frag_cap: float = 0.95
 
     def __post_init__(self) -> None:
         if self.swap_blowup_coef < 0 or self.swap_thrash_coef < 0:
             raise ValueError("degradation coefficients must be non-negative")
+        if self.fd_pressure_coef < 0 or self.conn_wait_coef < 0:
+            raise ValueError("degradation coefficients must be non-negative")
+        if self.conn_pool_size < 1:
+            raise ValueError(
+                f"conn_pool_size must be >= 1, got {self.conn_pool_size}"
+            )
+        if self.frag_per_event < 0:
+            raise ValueError(
+                f"frag_per_event must be non-negative, got {self.frag_per_event}"
+            )
+        if not 0.0 <= self.frag_cap < 1.0:
+            raise ValueError(f"frag_cap must be in [0,1), got {self.frag_cap}")
 
 
 def degradation_multiplier(
@@ -73,13 +97,20 @@ def degradation_multiplier(
     n_leaked_threads: int,
     n_stuck_locks: int,
     swap_pressure: float,
+    n_leaked_fds: int = 0,
+    fd_limit: float = float("inf"),
+    n_held_connections: int = 0,
+    frag_events: int = 0,
 ) -> float:
-    """Combined service-time inflation from threads, locks and thrashing.
+    """Combined service-time inflation from every active aging family.
 
     Pure form of :meth:`AppServer.service_multiplier` (which delegates
     here). The fused substrate inlines this exact expression sequence in
     its hot loop (marked there); the substrate-equivalence battery keeps
-    the copies bit-identical.
+    the copies bit-identical. The fd/connection/fragmentation factors are
+    exactly ``1.0`` when their counters are zero, so campaigns that never
+    enable those injectors produce float-for-float the same multipliers
+    as before the families existed (``x * 1.0`` is a bitwise no-op).
     """
     thread_factor = 1.0 + config.thread_overhead_per_1k * (
         n_leaked_threads / 1000.0
@@ -91,7 +122,36 @@ def degradation_multiplier(
         swap_factor += config.swap_blowup_coef * s / (1.0 - s)
     else:
         swap_factor += config.swap_blowup_coef * 1e3
-    return thread_factor * lock_factor * swap_factor
+    fd_factor = 1.0
+    if n_leaked_fds > 0:
+        fill = n_leaked_fds / fd_limit
+        if fill < 1.0:
+            fd_factor = 1.0 + config.fd_pressure_coef * fill / (1.0 - fill)
+        else:
+            fd_factor = 1.0 + config.fd_pressure_coef * 1e3
+    conn_factor = 1.0
+    if n_held_connections > 0:
+        free = config.conn_pool_size - n_held_connections
+        if free > 0:
+            conn_factor = 1.0 + config.conn_wait_coef * (
+                n_held_connections / free
+            )
+        else:
+            conn_factor = 1.0 + config.conn_wait_coef * 1e3
+    frag_factor = 1.0
+    if frag_events > 0:
+        frag = frag_events * config.frag_per_event
+        if frag > config.frag_cap:
+            frag = config.frag_cap
+        frag_factor = 1.0 / (1.0 - frag)
+    return (
+        thread_factor
+        * lock_factor
+        * swap_factor
+        * fd_factor
+        * conn_factor
+        * frag_factor
+    )
 
 
 def tick_cpu_inputs(
@@ -154,6 +214,8 @@ class AppServer:
         self.total_leaked_kb: float = 0.0
         self.total_threads_spawned: int = 0
         self.n_stuck_locks: int = 0
+        self.n_held_connections: int = 0
+        self.frag_events: int = 0
 
     def add_stuck_locks(self, count: int) -> None:
         """Account permanently held locks (serialize part of the mix)."""
@@ -161,15 +223,31 @@ class AppServer:
             raise ValueError(f"lock count must be non-negative, got {count}")
         self.n_stuck_locks += count
 
+    def hold_connections(self, count: int) -> None:
+        """Account pool connections checked out and never returned."""
+        if count < 0:
+            raise ValueError(f"connection count must be non-negative, got {count}")
+        self.n_held_connections += count
+
+    def fragment_heap(self, count: int) -> None:
+        """Account heap-fragmentation events (no RSS growth)."""
+        if count < 0:
+            raise ValueError(f"event count must be non-negative, got {count}")
+        self.frag_events += count
+
     # -- degradation model ---------------------------------------------------
 
     def service_multiplier(self) -> float:
-        """Combined service-time inflation from threads and thrashing."""
+        """Combined service-time inflation from all active aging families."""
         return degradation_multiplier(
             self.config,
             n_leaked_threads=self.state.n_leaked_threads,
             n_stuck_locks=self.n_stuck_locks,
             swap_pressure=self.state.swap_pressure,
+            n_leaked_fds=self.state.n_leaked_fds,
+            fd_limit=self.state.config.fd_limit,
+            n_held_connections=self.n_held_connections,
+            frag_events=self.frag_events,
         )
 
     def _io_stall(self, n: int) -> np.ndarray:

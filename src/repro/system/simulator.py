@@ -26,11 +26,19 @@ import numpy as np
 from repro.core.history import DataHistory, RunRecord
 from repro.system.anomalies import (
     AnomalyProfile,
+    ConnectionPoolInjector,
+    FdLeakInjector,
+    HeapFragmentationInjector,
     LockContentionInjector,
     MemoryLeakInjector,
     ThreadLeakInjector,
 )
-from repro.system.failure import FailureCondition, MemoryExhaustion, SystemView
+from repro.system.failure import (
+    FailureCondition,
+    MemoryExhaustion,
+    SystemView,
+    parse_failure,
+)
 from repro.system.monitor import FeatureMonitorClient, FeatureMonitorServer, MonitorConfig
 from repro.system.resources import MachineConfig, MachineState
 from repro.system.schedule import ConstantLoad, LoadSchedule
@@ -78,6 +86,27 @@ class CampaignConfig:
     #: degrades response times directly).
     use_lock_injector: bool = False
     lock_injector_interval_range: tuple[float, float] = (30.0, 300.0)
+    #: Optional fd/socket-leak injector (extension; fills the process fd
+    #: table — service degradation and an ``FdExhaustion`` crash with no
+    #: RSS growth).
+    use_fd_injector: bool = False
+    fd_injector_interval_range: tuple[float, float] = (5.0, 60.0)
+    fd_injector_count_range: tuple[int, int] = (8, 128)
+    #: Optional connection-pool-depletion injector (extension; requests
+    #: queue on the shrinking free set of DB connections).
+    use_conn_injector: bool = False
+    conn_injector_interval_range: tuple[float, float] = (20.0, 180.0)
+    #: Optional heap-fragmentation injector (extension; service-time
+    #: degradation without any memory-feature signature).
+    use_frag_injector: bool = False
+    frag_injector_interval_range: tuple[float, float] = (10.0, 120.0)
+    #: Default failure condition as a compact spec string (see
+    #: :func:`repro.system.failure.parse_failure`), e.g. ``"mem"``,
+    #: ``"rt>8"``, ``"fd|rt>8"``. ``None`` keeps the historical default
+    #: (:class:`MemoryExhaustion`). An explicit condition object passed
+    #: to :class:`TestbedSimulator` always wins. Part of the config so
+    #: campaign cells are content-addressed per failure definition.
+    failure: "str | None" = None
     #: Execution substrate: ``"fused"`` runs the event-fused engine
     #: (:mod:`repro.system.fused`), ``"loop"`` the legacy per-tick loop.
     #: Both produce bit-identical output (see ``docs/PERFORMANCE.md``),
@@ -102,6 +131,37 @@ class CampaignConfig:
             raise ValueError(
                 f'substrate must be "fused" or "loop", got {self.substrate!r}'
             )
+        for name in ("p_leak_range", "p_thread_range"):
+            lo, hi = getattr(self, name)
+            if not 0.0 <= lo <= hi <= 1.0:
+                raise ValueError(
+                    f"{name} must satisfy 0 <= lo <= hi <= 1, got ({lo}, {hi})"
+                )
+        lo, hi = self.leak_kb_range
+        if not 0.0 <= lo <= hi:
+            raise ValueError(
+                f"leak_kb_range must satisfy 0 <= lo <= hi, got ({lo}, {hi})"
+            )
+        for name in (
+            "leak_injector_interval_range",
+            "thread_injector_interval_range",
+            "lock_injector_interval_range",
+            "fd_injector_interval_range",
+            "conn_injector_interval_range",
+            "frag_injector_interval_range",
+        ):
+            lo, hi = getattr(self, name)
+            if not 0.0 < lo <= hi:
+                raise ValueError(
+                    f"{name} must be positive-increasing, got ({lo}, {hi})"
+                )
+        lo, hi = self.fd_injector_count_range
+        if not 1 <= lo <= hi:
+            raise ValueError(
+                f"fd_injector_count_range must satisfy 1 <= lo <= hi, got ({lo}, {hi})"
+            )
+        if self.failure is not None:
+            parse_failure(self.failure)  # fail at construction, not mid-run
 
 
 class TestbedSimulator:
@@ -115,7 +175,12 @@ class TestbedSimulator:
         failure_condition: FailureCondition | None = None,
     ) -> None:
         self.config = config or CampaignConfig()
-        self.failure_condition = failure_condition or MemoryExhaustion()
+        if failure_condition is None:
+            if self.config.failure is not None:
+                failure_condition = parse_failure(self.config.failure)
+            else:
+                failure_condition = MemoryExhaustion()
+        self.failure_condition = failure_condition
 
     def run_once(self, seed: "int | None | np.random.Generator" = None) -> RunRecord:
         """Simulate one run from VM start to fail event (or truncation).
@@ -189,6 +254,29 @@ class TestbedSimulator:
             lock_injector = LockContentionInjector(
                 mean_interval_range=cfg.lock_injector_interval_range, seed=r_lock
             )
+        # Each later family spawns its stream only when enabled, in fixed
+        # fd -> conn -> frag order: toggling one injector never perturbs
+        # the streams of the others (same discipline as the lock stream).
+        fd_injector = None
+        if cfg.use_fd_injector:
+            (r_fd,) = r_inject.spawn(1)
+            fd_injector = FdLeakInjector(
+                count_range=cfg.fd_injector_count_range,
+                mean_interval_range=cfg.fd_injector_interval_range,
+                seed=r_fd,
+            )
+        conn_injector = None
+        if cfg.use_conn_injector:
+            (r_conn,) = r_inject.spawn(1)
+            conn_injector = ConnectionPoolInjector(
+                mean_interval_range=cfg.conn_injector_interval_range, seed=r_conn
+            )
+        frag_injector = None
+        if cfg.use_frag_injector:
+            (r_frag,) = r_inject.spawn(1)
+            frag_injector = HeapFragmentationInjector(
+                mean_interval_range=cfg.frag_injector_interval_range, seed=r_frag
+            )
 
         now = 0.0
         # Exponentially-weighted mean RT: the "mean client response time"
@@ -230,6 +318,14 @@ class TestbedSimulator:
                 state.update_swap()
             if lock_injector is not None:
                 lock_injector.advance(server, now)
+            # fd/conn/frag families degrade service time without touching
+            # memory, so no update_swap() is needed after them.
+            if fd_injector is not None:
+                fd_injector.advance(state, now)
+            if conn_injector is not None:
+                conn_injector.advance(server, now)
+            if frag_injector is not None:
+                frag_injector.advance(server, now)
 
             if fmc.due(now):
                 queue_delay = server.backlog_cpu_s / cfg.machine.n_cpus

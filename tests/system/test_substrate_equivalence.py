@@ -32,7 +32,7 @@ from repro.system import (
 )
 from repro.system.failure import FailureCondition
 
-from tests.conftest import small_campaign
+from tests.conftest import small_campaign, small_machine
 
 
 def _records_equal(a, b) -> bool:
@@ -74,14 +74,33 @@ MATRIX = {
         dataclasses.replace(_base(), use_lock_injector=True),
         ResponseTimeLimit(30.0),
     ),
+    "fd-injector": (
+        dataclasses.replace(
+            _base(),
+            machine=dataclasses.replace(small_machine(), fd_limit=4096),
+            use_fd_injector=True,
+        ),
+        MemoryExhaustion(),
+    ),
+    "conn-injector-rt-limit": (
+        dataclasses.replace(_base(), use_conn_injector=True),
+        ResponseTimeLimit(30.0),
+    ),
+    "frag-injector": (
+        dataclasses.replace(_base(), use_frag_injector=True),
+        MemoryExhaustion(),
+    ),
     "everything-on": (
         dataclasses.replace(
             _base(),
             use_session_chain=True,
             use_time_injectors=True,
             use_lock_injector=True,
+            use_fd_injector=True,
+            use_conn_injector=True,
+            use_frag_injector=True,
         ),
-        MemoryExhaustion(),
+        AnyOf(MemoryExhaustion(), ResponseTimeLimit(40.0)),
     ),
     "step-load": (
         dataclasses.replace(

@@ -48,6 +48,44 @@ class TestSimulate:
         ha, hb = DataHistory.load(a), DataHistory.load(b)
         assert np.array_equal(ha[0].features, hb[0].features)
 
+    def test_scenario_preset(self, tmp_path, capsys):
+        out = tmp_path / "h.npz"
+        rc = main([
+            "simulate", "-o", str(out), "--runs", "1", "--seed", "5",
+            "--scenario", "heap-fragmentation", "--max-run", "900",
+        ])
+        assert rc == 0
+        assert len(DataHistory.load(out)) == 1
+        assert "saved 1 runs" in capsys.readouterr().out
+
+    def test_unknown_scenario_one_line_error(self, tmp_path):
+        with pytest.raises(SystemExit, match="unknown scenario"):
+            main([
+                "simulate", "-o", str(tmp_path / "h.npz"),
+                "--scenario", "bogus",
+            ])
+
+    def test_bad_failure_spec_one_line_error(self, tmp_path):
+        with pytest.raises(SystemExit, match="failure"):
+            main([
+                "simulate", "-o", str(tmp_path / "h.npz"),
+                "--failure", "wat>3",
+            ])
+
+
+class TestScenariosCommand:
+    def test_catalog_table(self, capsys):
+        rc = main(["scenarios"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        for name in ("baseline-shopping", "fd-leak", "mixed-aging"):
+            assert name in out
+
+    def test_describe_includes_descriptions(self, capsys):
+        rc = main(["scenarios", "--describe"])
+        assert rc == 0
+        assert "EMFILE" in capsys.readouterr().out
+
 
 class TestAggregate:
     def test_writes_dataset(self, tmp_path, history_file, capsys):

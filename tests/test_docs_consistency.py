@@ -49,6 +49,7 @@ class TestDesignInventory:
             "repro.experiments.ext_rejuvenation_sweep",
             "repro.experiments.ext_incremental_curve",
             "repro.experiments.ext_mix_comparison",
+            "repro.experiments.ext_generalization",
             "repro.experiments.runall",
         ):
             importlib.import_module(module)
